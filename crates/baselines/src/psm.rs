@@ -1,0 +1,252 @@
+//! PSM — IEEE 802.11 power-save mode with the traffic-advertisement
+//! extensions of Chen et al. \[3\] (the paper's §5 configuration: beacon
+//! period 0.2 s, ATIM window 25 ms, advertisement window 100 ms).
+//!
+//! Behaviour modelled:
+//!
+//! * All nodes wake at every beacon and stay awake for the **ATIM
+//!   window**, during which a node with buffered traffic announces it to
+//!   each destination (small ATIM frames through the normal MAC).
+//! * A node that **sent or received** an announcement stays awake through
+//!   the **advertisement window** that follows, where the announced data
+//!   frames are exchanged.
+//! * Everyone else sleeps from the end of the ATIM window to the next
+//!   beacon.
+//!
+//! Consequences the paper measures: a floor duty cycle of
+//! `ATIM / beacon` (12.5%) even when idle, overhead ATIM traffic, and
+//! per-hop latency quantised to beacon periods (a relay that receives a
+//! report during the advertisement window cannot announce it until the
+//! *next* ATIM window).
+//!
+//! [`PsmSchedule`] provides the window arithmetic; [`PsmBeaconState`]
+//! tracks one node's announcements within the current beacon interval.
+
+use std::collections::BTreeSet;
+
+use essat_net::ids::NodeId;
+use essat_sim::time::{SimDuration, SimTime};
+
+/// ATIM frame size in bytes (802.11 management header scale).
+pub const ATIM_BYTES: u32 = 28;
+
+/// The global PSM window schedule (beacons assumed synchronised, as in
+/// the paper's single-hop-clock simplification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsmSchedule {
+    beacon_period: SimDuration,
+    atim_window: SimDuration,
+    adv_window: SimDuration,
+}
+
+impl PsmSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < atim_window`, `0 < adv_window`, and
+    /// `atim_window + adv_window <= beacon_period`.
+    pub fn new(
+        beacon_period: SimDuration,
+        atim_window: SimDuration,
+        adv_window: SimDuration,
+    ) -> Self {
+        assert!(!atim_window.is_zero() && !adv_window.is_zero());
+        assert!(
+            atim_window + adv_window <= beacon_period,
+            "windows exceed the beacon period"
+        );
+        PsmSchedule {
+            beacon_period,
+            atim_window,
+            adv_window,
+        }
+    }
+
+    /// The paper's parameters: beacon 0.2 s, ATIM 25 ms, advertisement
+    /// 100 ms.
+    pub fn paper() -> Self {
+        PsmSchedule::new(
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(25),
+            SimDuration::from_millis(100),
+        )
+    }
+
+    /// Beacon period.
+    pub fn beacon_period(&self) -> SimDuration {
+        self.beacon_period
+    }
+
+    /// ATIM window length.
+    pub fn atim_window(&self) -> SimDuration {
+        self.atim_window
+    }
+
+    /// Advertisement window length.
+    pub fn adv_window(&self) -> SimDuration {
+        self.adv_window
+    }
+
+    /// Start of the beacon interval containing `t`.
+    pub fn beacon_start(&self, t: SimTime) -> SimTime {
+        let k = t.as_nanos() / self.beacon_period.as_nanos();
+        SimTime::from_nanos(k * self.beacon_period.as_nanos())
+    }
+
+    /// Start of the beacon interval after the one containing `t`.
+    pub fn next_beacon(&self, t: SimTime) -> SimTime {
+        self.beacon_start(t) + self.beacon_period
+    }
+
+    /// True while `t` is inside the ATIM window of its beacon interval.
+    pub fn in_atim_window(&self, t: SimTime) -> bool {
+        t - self.beacon_start(t) < self.atim_window
+    }
+
+    /// End of the ATIM window of the interval containing `t`.
+    pub fn atim_end(&self, t: SimTime) -> SimTime {
+        self.beacon_start(t) + self.atim_window
+    }
+
+    /// End of the advertisement window of the interval containing `t`.
+    pub fn adv_end(&self, t: SimTime) -> SimTime {
+        self.beacon_start(t) + self.atim_window + self.adv_window
+    }
+
+    /// True while `t` is inside the advertisement window.
+    pub fn in_adv_window(&self, t: SimTime) -> bool {
+        let off = t - self.beacon_start(t);
+        off >= self.atim_window && off < self.atim_window + self.adv_window
+    }
+}
+
+/// One node's announcement bookkeeping for the current beacon interval.
+#[derive(Debug, Clone, Default)]
+pub struct PsmBeaconState {
+    announced_to: BTreeSet<NodeId>,
+    acked_by: BTreeSet<NodeId>,
+    heard_from: BTreeSet<NodeId>,
+}
+
+impl PsmBeaconState {
+    /// Fresh state at a beacon boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears everything (call at each beacon).
+    pub fn reset(&mut self) {
+        self.announced_to.clear();
+        self.acked_by.clear();
+        self.heard_from.clear();
+    }
+
+    /// Records that we sent an ATIM to `dest` this interval. Returns
+    /// `false` if one was already sent (suppress duplicates).
+    pub fn announce(&mut self, dest: NodeId) -> bool {
+        self.announced_to.insert(dest)
+    }
+
+    /// Records that `dest` acknowledged our ATIM (its MAC-level ACK or
+    /// ATIM-ACK arrived): we may transmit data to it this interval.
+    pub fn announce_confirmed(&mut self, dest: NodeId) {
+        self.acked_by.insert(dest);
+    }
+
+    /// Records an incoming ATIM from `src`: we must stay awake to
+    /// receive its data.
+    pub fn atim_received(&mut self, src: NodeId) {
+        self.heard_from.insert(src);
+    }
+
+    /// True if this node must stay awake through the advertisement
+    /// window (it announced traffic or was announced to).
+    pub fn must_stay_awake(&self) -> bool {
+        !self.announced_to.is_empty() || !self.heard_from.is_empty()
+    }
+
+    /// True if data for `dest` may be released this interval (the
+    /// destination is known awake).
+    pub fn may_send_to(&self, dest: NodeId) -> bool {
+        self.acked_by.contains(&dest)
+    }
+
+    /// Destinations announced this interval.
+    pub fn announced(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.announced_to.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn paper_windows() {
+        let p = PsmSchedule::paper();
+        assert_eq!(p.beacon_period(), SimDuration::from_millis(200));
+        assert!(p.in_atim_window(ms(0)));
+        assert!(p.in_atim_window(ms(24)));
+        assert!(!p.in_atim_window(ms(25)));
+        assert!(p.in_adv_window(ms(25)));
+        assert!(p.in_adv_window(ms(124)));
+        assert!(!p.in_adv_window(ms(125)));
+        assert_eq!(p.atim_end(ms(7)), ms(25));
+        assert_eq!(p.adv_end(ms(7)), ms(125));
+    }
+
+    #[test]
+    fn beacon_arithmetic() {
+        let p = PsmSchedule::paper();
+        assert_eq!(p.beacon_start(ms(450)), ms(400));
+        assert_eq!(p.next_beacon(ms(450)), ms(600));
+        assert!(p.in_atim_window(ms(410)));
+        assert_eq!(p.atim_end(ms(410)), ms(425));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the beacon period")]
+    fn oversized_windows_rejected() {
+        let _ = PsmSchedule::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(60),
+            SimDuration::from_millis(60),
+        );
+    }
+
+    #[test]
+    fn beacon_state_flow() {
+        let mut st = PsmBeaconState::new();
+        assert!(!st.must_stay_awake(), "idle node sleeps after ATIM window");
+        assert!(st.announce(NodeId::new(2)));
+        assert!(!st.announce(NodeId::new(2)), "duplicate suppressed");
+        assert!(st.must_stay_awake());
+        assert!(!st.may_send_to(NodeId::new(2)), "not yet confirmed");
+        st.announce_confirmed(NodeId::new(2));
+        assert!(st.may_send_to(NodeId::new(2)));
+        st.reset();
+        assert!(!st.must_stay_awake());
+        assert!(!st.may_send_to(NodeId::new(2)));
+    }
+
+    #[test]
+    fn receiver_side_stays_awake() {
+        let mut st = PsmBeaconState::new();
+        st.atim_received(NodeId::new(9));
+        assert!(st.must_stay_awake());
+    }
+
+    #[test]
+    fn announced_iterates() {
+        let mut st = PsmBeaconState::new();
+        st.announce(NodeId::new(3));
+        st.announce(NodeId::new(1));
+        let v: Vec<NodeId> = st.announced().collect();
+        assert_eq!(v, vec![NodeId::new(1), NodeId::new(3)]);
+    }
+}

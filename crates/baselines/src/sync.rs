@@ -1,0 +1,187 @@
+//! SYNC — synchronous fixed duty-cycle wakeup (the paper's §5 baseline,
+//! modelled on S-MAC-style schedules \[16\]).
+//!
+//! All nodes share one global periodic schedule: each period of length
+//! `T` starts with an active window of `duty × T` during which radios are
+//! on and frames may be exchanged; the rest of the period everyone
+//! sleeps. The paper configures 20% duty at a 0.2 s period.
+//!
+//! The inherent weakness the paper measures: transmissions are
+//! quantised to active windows, so a report that misses the window — or
+//! needs several hops — waits out whole sleep windows, inflating query
+//! latency regardless of the workload's timing.
+//!
+//! # Examples
+//!
+//! ```
+//! use essat_baselines::sync::SyncSchedule;
+//! use essat_sim::time::{SimDuration, SimTime};
+//!
+//! let s = SyncSchedule::paper(); // 20% of 0.2 s -> 40 ms active
+//! assert!(s.is_active(SimTime::from_millis(30)));
+//! assert!(!s.is_active(SimTime::from_millis(50)));
+//! assert_eq!(
+//!     s.next_active_start(SimTime::from_millis(50)),
+//!     SimTime::from_millis(200)
+//! );
+//! ```
+
+use essat_sim::time::{SimDuration, SimTime};
+
+/// The global synchronized schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncSchedule {
+    period: SimDuration,
+    active: SimDuration,
+}
+
+impl SyncSchedule {
+    /// Creates a schedule with the given period and duty-cycle fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `duty` is not within `(0, 1]`.
+    pub fn new(period: SimDuration, duty: f64) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        assert!(
+            duty > 0.0 && duty <= 1.0,
+            "duty cycle must be in (0, 1], got {duty}"
+        );
+        let active = SimDuration::from_nanos(
+            (period.as_nanos() as f64 * duty).round().max(1.0) as u64,
+        );
+        SyncSchedule { period, active }
+    }
+
+    /// The paper's configuration: 20% duty cycle, 0.2 s period (chosen to
+    /// coincide with the highest experimental data rate of 5 Hz).
+    pub fn paper() -> Self {
+        SyncSchedule::new(SimDuration::from_millis(200), 0.2)
+    }
+
+    /// The schedule period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The active-window length.
+    pub fn active_window(&self) -> SimDuration {
+        self.active
+    }
+
+    /// The configured duty-cycle fraction.
+    pub fn duty(&self) -> f64 {
+        self.active.as_nanos() as f64 / self.period.as_nanos() as f64
+    }
+
+    /// Start of the period containing `t`.
+    pub fn period_start(&self, t: SimTime) -> SimTime {
+        let k = t.as_nanos() / self.period.as_nanos();
+        SimTime::from_nanos(k * self.period.as_nanos())
+    }
+
+    /// True if `t` lies inside an active window.
+    pub fn is_active(&self, t: SimTime) -> bool {
+        t - self.period_start(t) < self.active
+    }
+
+    /// The current (or next) active-window start: `t` itself if active,
+    /// otherwise the start of the next period.
+    pub fn next_active_start(&self, t: SimTime) -> SimTime {
+        if self.is_active(t) {
+            t
+        } else {
+            self.period_start(t) + self.period
+        }
+    }
+
+    /// End of the active window of the period containing `t`.
+    pub fn active_end(&self, t: SimTime) -> SimTime {
+        self.period_start(t) + self.active
+    }
+
+    /// The next schedule edge strictly after `t`: the instant the radio
+    /// must toggle (active→sleep or sleep→active).
+    pub fn next_edge(&self, t: SimTime) -> SimTime {
+        if self.is_active(t) {
+            self.active_end(t)
+        } else {
+            self.period_start(t) + self.period
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn paper_schedule_shape() {
+        let s = SyncSchedule::paper();
+        assert_eq!(s.period(), SimDuration::from_millis(200));
+        assert_eq!(s.active_window(), SimDuration::from_millis(40));
+        assert!((s.duty() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_windows() {
+        let s = SyncSchedule::paper();
+        assert!(s.is_active(ms(0)));
+        assert!(s.is_active(ms(39)));
+        assert!(!s.is_active(ms(40)));
+        assert!(!s.is_active(ms(199)));
+        assert!(s.is_active(ms(200)));
+        assert!(s.is_active(ms(205)));
+    }
+
+    #[test]
+    fn next_active_start_quantises() {
+        let s = SyncSchedule::paper();
+        assert_eq!(s.next_active_start(ms(10)), ms(10), "already active");
+        assert_eq!(s.next_active_start(ms(40)), ms(200));
+        assert_eq!(s.next_active_start(ms(199)), ms(200));
+        assert_eq!(s.next_active_start(ms(430)), ms(430), "inside window");
+        assert_eq!(s.next_active_start(ms(450)), ms(600));
+    }
+
+    #[test]
+    fn edges_alternate() {
+        let s = SyncSchedule::paper();
+        assert_eq!(s.next_edge(ms(0)), ms(40));
+        assert_eq!(s.next_edge(ms(40)), ms(200));
+        assert_eq!(s.next_edge(ms(200)), ms(240));
+        // Walking edges never stalls.
+        let mut t = SimTime::ZERO;
+        for _ in 0..20 {
+            let e = s.next_edge(t);
+            assert!(e > t);
+            t = e;
+        }
+        assert_eq!(t, ms(2000));
+    }
+
+    #[test]
+    fn full_duty_always_active() {
+        let s = SyncSchedule::new(SimDuration::from_millis(100), 1.0);
+        for v in [0u64, 50, 99, 100, 1234] {
+            assert!(s.is_active(ms(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn zero_duty_rejected() {
+        let _ = SyncSchedule::new(SimDuration::from_millis(100), 0.0);
+    }
+
+    #[test]
+    fn active_end_and_period_start() {
+        let s = SyncSchedule::paper();
+        assert_eq!(s.period_start(ms(350)), ms(200));
+        assert_eq!(s.active_end(ms(350)), ms(240));
+    }
+}

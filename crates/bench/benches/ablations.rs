@@ -1,0 +1,155 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §6.
+//!
+//! These compare protocol *variants*, not code speed — the interesting
+//! output is the metric printed by each variant (duty cycle / latency),
+//! with wall-clock as a secondary signal. Run with
+//! `cargo bench --bench ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use essat_baselines::span::{SpanBackbone, SpanElection};
+use essat_net::radio::RadioParams;
+use essat_net::topology::Topology;
+use essat_query::tree::RoutingTree;
+use essat_sim::rng::SimRng;
+use essat_sim::time::SimDuration;
+use essat_wsn::config::{ExperimentConfig, Protocol, SetupMode, WorkloadSpec};
+use essat_wsn::runner;
+
+fn quick(protocol: Protocol, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(protocol, WorkloadSpec::paper(2.0), seed);
+    cfg.duration = SimDuration::from_secs(20);
+    cfg
+}
+
+/// Break-even gating on vs off: Safe Sleep with the MICA2 2.5 ms
+/// break-even versus an idealised zero-cost radio. The gap quantifies
+/// what §5.3 calls "the importance of reducing the wake-up time".
+fn ablation_break_even_gating(c: &mut Criterion) {
+    let gated = quick(Protocol::DtsSs, 11);
+    let ideal = quick(Protocol::DtsSs, 11).with_radio(RadioParams::instant());
+    c.bench_function("ablation/break_even_mica2_vs_instant", |b| {
+        b.iter(|| {
+            let g = runner::run_one(&gated).avg_duty_cycle_pct();
+            let i = runner::run_one(&ideal).avg_duty_cycle_pct();
+            black_box(g - i)
+        })
+    });
+}
+
+/// STS reception granularity (DESIGN.md §6): the paper's per-rank
+/// closed form `r(k) = φ + k·P + l·(d−1)` versus the per-child
+/// "reception = child's send slot" invariant. Per-child wakes parents
+/// later for shallow children, so it should never cost more energy.
+fn ablation_sts_reception_granularity(c: &mut Criterion) {
+    let per_child = quick(Protocol::StsSs, 12);
+    let per_rank = {
+        let mut cfg = quick(Protocol::StsSs, 12);
+        cfg.sts = essat_core::sts::StsConfig {
+            per_rank_reception: true,
+            ..Default::default()
+        };
+        cfg
+    };
+    c.bench_function("ablation/sts_per_child_vs_per_rank", |b| {
+        b.iter(|| {
+            let pc = runner::run_one(&per_child);
+            let pr = runner::run_one(&per_rank);
+            black_box((
+                pc.avg_duty_cycle_pct() - pr.avg_duty_cycle_pct(),
+                pc.avg_latency_s() - pr.avg_latency_s(),
+            ))
+        })
+    });
+}
+
+/// STS timeout via the workload deadline D, which scales every slot:
+/// D = P vs D = P/2.
+fn ablation_sts_deadline(c: &mut Criterion) {
+    let loose = {
+        let mut cfg = quick(Protocol::StsSs, 12);
+        cfg.workload = WorkloadSpec::paper(2.0);
+        cfg
+    };
+    let tight = {
+        let mut cfg = quick(Protocol::StsSs, 12);
+        cfg.workload = WorkloadSpec::paper(2.0).with_deadline(SimDuration::from_millis(250));
+        cfg
+    };
+    c.bench_function("ablation/sts_deadline_P_vs_P_half", |b| {
+        b.iter(|| {
+            let l = runner::run_one(&loose);
+            let t = runner::run_one(&tight);
+            black_box((
+                l.avg_latency_s() - t.avg_latency_s(),
+                l.avg_duty_cycle_pct() - t.avg_duty_cycle_pct(),
+            ))
+        })
+    });
+}
+
+/// SPAN backbone selection: the paper's tree-non-leaf variant versus the
+/// full distributed election. Compares backbone sizes (the energy
+/// driver).
+fn ablation_span_backbone(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(13);
+    let topo = Topology::random_paper(&mut rng);
+    let root = topo.closest_to_center();
+    let tree = RoutingTree::build(&topo, root, Some(300.0));
+    c.bench_function("ablation/span_tree_vs_elected_backbone", |b| {
+        b.iter(|| {
+            let tree_bb = SpanBackbone::from_tree(&tree, topo.node_count());
+            let elected = SpanElection::elect(&topo, &mut SimRng::seed_from_u64(14));
+            black_box((tree_bb.coordinator_count(), elected.coordinator_count()))
+        })
+    });
+}
+
+/// Query dissemination: idealized pre-registration vs in-band flooding
+/// during a setup slot (§4.1). The flooded variant pays the setup-slot
+/// energy but exercises the full dissemination path.
+fn ablation_setup_mode(c: &mut Criterion) {
+    let ideal = quick(Protocol::DtsSs, 15);
+    let flooded = {
+        let mut cfg = quick(Protocol::DtsSs, 15);
+        cfg.setup_mode = SetupMode::Flooded;
+        cfg
+    };
+    c.bench_function("ablation/setup_idealized_vs_flooded", |b| {
+        b.iter(|| {
+            let i = runner::run_one(&ideal);
+            let f = runner::run_one(&flooded);
+            black_box((i.delivery_ratio(), f.delivery_ratio()))
+        })
+    });
+}
+
+/// Loss injection: DTS resynchronisation cost under 5% random loss.
+fn ablation_loss_resync(c: &mut Criterion) {
+    let clean = quick(Protocol::DtsSs, 16);
+    let lossy = quick(Protocol::DtsSs, 16).with_drop_probability(0.05);
+    c.bench_function("ablation/dts_clean_vs_5pct_loss", |b| {
+        b.iter(|| {
+            let cl = runner::run_one(&clean);
+            let lo = runner::run_one(&lossy);
+            black_box((
+                lo.phase_requests as f64 - cl.phase_requests as f64,
+                cl.delivery_ratio() - lo.delivery_ratio(),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        ablation_break_even_gating,
+        ablation_sts_reception_granularity,
+        ablation_sts_deadline,
+        ablation_span_backbone,
+        ablation_setup_mode,
+        ablation_loss_resync,
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Micro-benchmarks of the hot substrate paths: event queue, Safe Sleep
+//! decisions, shaper updates, MAC contention cycles, channel collision
+//! bookkeeping, and routing-tree construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use essat_core::dts::Dts;
+use essat_core::nts::Nts;
+use essat_core::safe_sleep::SafeSleep;
+use essat_core::shaper::{TrafficShaper, TreeInfo};
+use essat_core::sts::Sts;
+use essat_net::channel::Channel;
+use essat_net::ids::NodeId;
+use essat_net::topology::Topology;
+use essat_query::aggregate::{AggState, AggregateOp};
+use essat_query::model::{Query, QueryId};
+use essat_query::tree::RoutingTree;
+use essat_sim::queue::EventQueue;
+use essat_sim::rng::SimRng;
+use essat_sim::time::{SimDuration, SimTime};
+
+fn event_queue_churn(c: &mut Criterion) {
+    c.bench_function("micro/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::seed_from_u64(1);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, _, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn safe_sleep_decide(c: &mut Criterion) {
+    let mut ss = SafeSleep::new(
+        SimDuration::from_micros(2_500),
+        SimDuration::from_micros(1_250),
+    );
+    for qi in 0..3u32 {
+        ss.update_next_send(QueryId::new(qi), SimTime::from_millis(100 + qi as u64));
+        for child in 0..6u32 {
+            ss.update_next_receive(
+                QueryId::new(qi),
+                NodeId::new(child),
+                SimTime::from_millis(50 + child as u64),
+            );
+        }
+    }
+    c.bench_function("micro/safe_sleep_decide_21_expectations", |b| {
+        b.iter(|| black_box(ss.decide(SimTime::from_millis(10))))
+    });
+}
+
+fn query() -> Query {
+    Query::periodic(
+        QueryId::new(0),
+        SimDuration::from_millis(200),
+        SimTime::from_secs(1),
+        AggregateOp::Avg,
+    )
+}
+
+fn shaper_round_trip(c: &mut Criterion) {
+    let q = query();
+    let children = [(NodeId::new(1), 0u32), (NodeId::new(2), 1)];
+    let info = TreeInfo {
+        own_rank: 2,
+        max_rank: 5,
+        own_level: 3,
+        max_level: 5,
+        children: &children,
+    };
+    let mut group = c.benchmark_group("micro/shaper_round");
+    for (name, mut shaper) in [
+        ("nts", Box::new(Nts::new()) as Box<dyn TrafficShaper>),
+        ("sts", Box::new(Sts::new())),
+        ("dts", Box::new(Dts::new())),
+    ] {
+        shaper.register(&q, &info, false);
+        group.bench_function(name, |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                let ready = q.round_start(k) + SimDuration::from_millis(3);
+                let rel = shaper.release(&q, k, ready, &info);
+                let s = shaper.after_send(&q, k, rel.send_at, &info);
+                let r = shaper.after_receive(&q, NodeId::new(1), k, ready, None, &info);
+                k += 1;
+                black_box((s, r))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn channel_collision_storm(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(42);
+    let topo = Topology::random_paper(&mut rng);
+    c.bench_function("micro/channel_40_overlapping_tx", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&topo, SimRng::seed_from_u64(7));
+            let mut txs = Vec::new();
+            for i in 0..40u32 {
+                let t = SimTime::from_micros(i as u64 * 10);
+                txs.push(ch.begin_tx(t, NodeId::new(i), SimDuration::from_micros(416)));
+            }
+            let mut clean = 0usize;
+            for (i, tx) in txs.into_iter().enumerate() {
+                let end = ch.end_tx(SimTime::from_micros(416 + i as u64 * 10), tx.id);
+                clean += end.clean_receivers.len();
+            }
+            black_box(clean)
+        })
+    });
+}
+
+fn tree_construction(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(3);
+    let topo = Topology::random_paper(&mut rng);
+    let root = topo.closest_to_center();
+    c.bench_function("micro/tree_build_80_nodes", |b| {
+        b.iter(|| black_box(RoutingTree::build(&topo, root, Some(300.0))))
+    });
+}
+
+fn aggregation_merge(c: &mut Criterion) {
+    c.bench_function("micro/agg_merge_1k", |b| {
+        b.iter(|| {
+            let mut acc = AggState::empty();
+            for i in 0..1000 {
+                acc.merge(&AggState::from_reading(i as f64 * 0.5));
+            }
+            black_box(acc.finish(AggregateOp::Avg))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        event_queue_churn,
+        safe_sleep_decide,
+        shaper_round_trip,
+        channel_collision_storm,
+        tree_construction,
+        aggregation_merge,
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Criterion benchmark crate for the ESSAT reproduction: one bench
+//! per paper figure (`benches/figures.rs`), substrate micro-benchmarks
+//! (`benches/micro.rs`), and design ablations (`benches/ablations.rs`).
+//! The crate itself exports nothing; everything lives in the bench
+//! targets.

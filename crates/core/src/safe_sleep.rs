@@ -1,0 +1,341 @@
+//! Safe Sleep (SS) — the paper's local sleep-scheduling algorithm (§4.1,
+//! Figure 1).
+//!
+//! SS keeps, for every query routed through the node, the next expected
+//! send time `q.snext` and, per child `c`, the next expected reception
+//! time `q.rnext(c)`. The traffic shaper updates these incrementally;
+//! whenever they change SS re-evaluates:
+//!
+//! ```text
+//! t_wakeup = min( {q.snext ∀q} ∪ {q.rnext(c) ∀q,c} )
+//! t_sleep  = t_wakeup − now
+//! if t_sleep > t_BE:
+//!     sleep, wake the radio at t_wakeup − t_OFF→ON
+//! ```
+//!
+//! Two properties follow by construction (the "safe" in Safe Sleep):
+//!
+//! 1. **No delay penalty** — the radio is awake by `t_wakeup` because the
+//!    wake-up is initiated `t_OFF→ON` early.
+//! 2. **No energy penalty** — the node only sleeps when the free interval
+//!    exceeds the break-even time `t_BE`.
+//!
+//! An expectation at or before `now` means the node is **busy** (it is
+//! waiting for a late report or has one to send) and must stay awake.
+//!
+//! # Examples
+//!
+//! ```
+//! use essat_core::safe_sleep::{SafeSleep, SleepDecision};
+//! use essat_net::ids::NodeId;
+//! use essat_query::model::QueryId;
+//! use essat_sim::time::{SimDuration, SimTime};
+//!
+//! let mut ss = SafeSleep::new(SimDuration::from_micros(2_500), SimDuration::from_micros(1_250));
+//! let q = QueryId::new(0);
+//! ss.update_next_send(q, SimTime::from_millis(100));
+//! ss.update_next_receive(q, NodeId::new(3), SimTime::from_millis(80));
+//! match ss.decide(SimTime::from_millis(10)) {
+//!     SleepDecision::Sleep { start_wake_at, wakeup_due } => {
+//!         assert_eq!(wakeup_due, SimTime::from_millis(80));
+//!         assert_eq!(start_wake_at, SimTime::from_millis(80) - SimDuration::from_micros(1_250));
+//!     }
+//!     other => panic!("expected sleep, got {other:?}"),
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use essat_net::ids::NodeId;
+use essat_query::model::QueryId;
+use essat_sim::time::{SimDuration, SimTime};
+
+/// The verdict of `checkState` at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleepDecision {
+    /// An expectation is due now or overdue: the node is busy and must
+    /// stay awake.
+    Busy,
+    /// The node is free, but for no longer than the break-even time;
+    /// switching off would cost energy or delay, so stay awake.
+    StayAwake {
+        /// The earliest upcoming expectation.
+        until: SimTime,
+    },
+    /// The free interval exceeds `t_BE`: switch the radio off.
+    Sleep {
+        /// When to start waking the radio (`t_wakeup − t_OFF→ON`).
+        start_wake_at: SimTime,
+        /// The expectation the node must be awake for.
+        wakeup_due: SimTime,
+    },
+    /// No expectations registered at all (no queries routed through this
+    /// node); the node may sleep until externally re-activated.
+    Unconstrained,
+}
+
+/// The Safe Sleep scheduler state for one node.
+#[derive(Debug, Clone, Default)]
+pub struct SafeSleep {
+    t_be: SimDuration,
+    t_off_on: SimDuration,
+    snext: BTreeMap<QueryId, SimTime>,
+    rnext: BTreeMap<(QueryId, NodeId), SimTime>,
+}
+
+impl SafeSleep {
+    /// Creates a scheduler for a radio with break-even time `t_be` and
+    /// wake-up transition `t_off_on`.
+    pub fn new(t_be: SimDuration, t_off_on: SimDuration) -> Self {
+        SafeSleep {
+            t_be,
+            t_off_on,
+            snext: BTreeMap::new(),
+            rnext: BTreeMap::new(),
+        }
+    }
+
+    /// The configured break-even time.
+    pub fn break_even(&self) -> SimDuration {
+        self.t_be
+    }
+
+    /// The configured wake-up lead time.
+    pub fn wake_lead(&self) -> SimDuration {
+        self.t_off_on
+    }
+
+    /// `updateNextSend(q, s(k+1))` from Figure 1.
+    pub fn update_next_send(&mut self, q: QueryId, at: SimTime) {
+        self.snext.insert(q, at);
+    }
+
+    /// `updateNextReceive(q, c, r(q, k+1, c))` from Figure 1.
+    pub fn update_next_receive(&mut self, q: QueryId, child: NodeId, at: SimTime) {
+        self.rnext.insert((q, child), at);
+    }
+
+    /// Removes the send expectation for `q` (e.g. the root never sends).
+    pub fn clear_send(&mut self, q: QueryId) {
+        self.snext.remove(&q);
+    }
+
+    /// Removes a child's reception expectation (child failed or was
+    /// re-parented away, §4.3).
+    pub fn clear_receive(&mut self, q: QueryId, child: NodeId) {
+        self.rnext.remove(&(q, child));
+    }
+
+    /// Drops every expectation related to `q` (query deregistered).
+    pub fn remove_query(&mut self, q: QueryId) {
+        self.snext.remove(&q);
+        self.rnext.retain(|&(qq, _), _| qq != q);
+    }
+
+    /// Drops every expectation involving `child` across all queries
+    /// (the child failed, §4.3).
+    pub fn remove_child(&mut self, child: NodeId) {
+        self.rnext.retain(|&(_, c), _| c != child);
+    }
+
+    /// Keeps only the reception expectations of `q` whose child appears
+    /// in `keep` (topology change: the child set was replaced).
+    pub fn retain_children(&mut self, q: QueryId, keep: &[NodeId]) {
+        self.rnext
+            .retain(|&(qq, c), _| qq != q || keep.contains(&c));
+    }
+
+    /// The earliest registered expectation, if any (`t_wakeup`).
+    pub fn earliest(&self) -> Option<SimTime> {
+        let s = self.snext.values().min().copied();
+        let r = self.rnext.values().min().copied();
+        match (s, r) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Number of registered expectations (the paper's storage-cost
+    /// argument: proportional to the node's degree per query).
+    pub fn expectation_count(&self) -> usize {
+        self.snext.len() + self.rnext.len()
+    }
+
+    /// `checkState()` from Figure 1.
+    pub fn decide(&self, now: SimTime) -> SleepDecision {
+        let Some(t_wakeup) = self.earliest() else {
+            return SleepDecision::Unconstrained;
+        };
+        if t_wakeup <= now {
+            return SleepDecision::Busy;
+        }
+        let t_sleep = t_wakeup - now;
+        if t_sleep > self.t_be {
+            SleepDecision::Sleep {
+                start_wake_at: t_wakeup.saturating_sub(self.t_off_on),
+                wakeup_due: t_wakeup,
+            }
+        } else {
+            SleepDecision::StayAwake { until: t_wakeup }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ss() -> SafeSleep {
+        SafeSleep::new(
+            SimDuration::from_micros(2_500),
+            SimDuration::from_micros(1_250),
+        )
+    }
+
+    fn q(i: u32) -> QueryId {
+        QueryId::new(i)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn no_expectations_is_unconstrained() {
+        assert_eq!(ss().decide(ms(5)), SleepDecision::Unconstrained);
+    }
+
+    #[test]
+    fn takes_min_over_sends_and_receives() {
+        let mut s = ss();
+        s.update_next_send(q(0), ms(100));
+        s.update_next_receive(q(0), n(1), ms(70));
+        s.update_next_receive(q(1), n(2), ms(90));
+        assert_eq!(s.earliest(), Some(ms(70)));
+        match s.decide(ms(0)) {
+            SleepDecision::Sleep {
+                start_wake_at,
+                wakeup_due,
+            } => {
+                assert_eq!(wakeup_due, ms(70));
+                assert_eq!(start_wake_at, ms(70) - SimDuration::from_micros(1_250));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_when_expectation_due_or_past() {
+        let mut s = ss();
+        s.update_next_send(q(0), ms(10));
+        assert_eq!(s.decide(ms(10)), SleepDecision::Busy);
+        assert_eq!(s.decide(ms(11)), SleepDecision::Busy);
+    }
+
+    #[test]
+    fn short_gap_stays_awake() {
+        let mut s = ss();
+        s.update_next_send(q(0), ms(10));
+        // 2 ms gap < 2.5 ms break-even.
+        assert_eq!(
+            s.decide(ms(8)),
+            SleepDecision::StayAwake { until: ms(10) }
+        );
+        // Exactly the break-even: still not worth sleeping (strict >).
+        let now = ms(10) - SimDuration::from_micros(2_500);
+        assert_eq!(s.decide(now), SleepDecision::StayAwake { until: ms(10) });
+        // A hair more than break-even: sleep.
+        let now2 = now - SimDuration::from_nanos(1);
+        assert!(matches!(s.decide(now2), SleepDecision::Sleep { .. }));
+    }
+
+    #[test]
+    fn zero_break_even_sleeps_for_any_gap() {
+        let mut s = SafeSleep::new(SimDuration::ZERO, SimDuration::ZERO);
+        s.update_next_send(q(0), ms(1));
+        match s.decide(ms(0)) {
+            SleepDecision::Sleep {
+                start_wake_at,
+                wakeup_due,
+            } => {
+                assert_eq!(start_wake_at, ms(1), "no wake lead with zero transition");
+                assert_eq!(wakeup_due, ms(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn updates_replace_prior_expectations() {
+        let mut s = ss();
+        s.update_next_send(q(0), ms(10));
+        s.update_next_send(q(0), ms(50));
+        assert_eq!(s.earliest(), Some(ms(50)));
+        s.update_next_receive(q(0), n(1), ms(40));
+        s.update_next_receive(q(0), n(1), ms(60));
+        assert_eq!(s.earliest(), Some(ms(50)));
+    }
+
+    #[test]
+    fn removal_operations() {
+        let mut s = ss();
+        s.update_next_send(q(0), ms(10));
+        s.update_next_receive(q(0), n(1), ms(5));
+        s.update_next_receive(q(1), n(1), ms(7));
+        s.update_next_receive(q(1), n(2), ms(3));
+        assert_eq!(s.expectation_count(), 4);
+        s.remove_child(n(1));
+        assert_eq!(s.expectation_count(), 2);
+        assert_eq!(s.earliest(), Some(ms(3)));
+        s.remove_query(q(1));
+        assert_eq!(s.expectation_count(), 1);
+        assert_eq!(s.earliest(), Some(ms(10)));
+        s.clear_send(q(0));
+        assert_eq!(s.decide(ms(0)), SleepDecision::Unconstrained);
+    }
+
+    #[test]
+    fn clear_receive_single_child() {
+        let mut s = ss();
+        s.update_next_receive(q(0), n(1), ms(5));
+        s.update_next_receive(q(0), n(2), ms(9));
+        s.clear_receive(q(0), n(1));
+        assert_eq!(s.earliest(), Some(ms(9)));
+    }
+
+    #[test]
+    fn wake_lead_clamps_at_time_zero() {
+        let s = {
+            let mut s = SafeSleep::new(SimDuration::ZERO, SimDuration::from_secs(10));
+            s.update_next_send(q(0), ms(1));
+            s
+        };
+        match s.decide(ms(0)) {
+            SleepDecision::Sleep { start_wake_at, .. } => {
+                assert_eq!(start_wake_at, SimTime::ZERO);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn storage_cost_proportional_to_degree() {
+        // The paper's locality argument: per query, one send slot plus one
+        // reception slot per child.
+        let mut s = ss();
+        let children = 7;
+        for qi in 0..3 {
+            s.update_next_send(q(qi), ms(100));
+            for c in 0..children {
+                s.update_next_receive(q(qi), n(c), ms(50));
+            }
+        }
+        assert_eq!(s.expectation_count(), 3 * (children as usize + 1));
+    }
+}

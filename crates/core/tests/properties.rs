@@ -1,0 +1,209 @@
+//! Property-based tests of the ESSAT protocol invariants.
+
+use proptest::prelude::*;
+
+use essat_core::dts::Dts;
+use essat_core::maintenance::{LossDetector, LossObservation};
+use essat_core::nts::Nts;
+use essat_core::safe_sleep::{SafeSleep, SleepDecision};
+use essat_core::shaper::{TrafficShaper, TreeInfo};
+use essat_core::sts::Sts;
+use essat_net::ids::NodeId;
+use essat_query::aggregate::AggregateOp;
+use essat_query::model::{Query, QueryId};
+use essat_sim::time::{SimDuration, SimTime};
+
+fn query(period_ms: u64, phase_ms: u64) -> Query {
+    Query::periodic(
+        QueryId::new(0),
+        SimDuration::from_millis(period_ms),
+        SimTime::from_millis(phase_ms),
+        AggregateOp::Avg,
+    )
+}
+
+proptest! {
+    /// Safe Sleep never schedules the wake-up after the earliest
+    /// expectation, and only sleeps when the gap strictly exceeds the
+    /// break-even time.
+    #[test]
+    fn safe_sleep_wake_is_never_late(
+        t_be_us in 0u64..50_000,
+        t_on_us in 0u64..20_000,
+        now_ms in 0u64..1_000,
+        exps in proptest::collection::vec((0u32..4, 0u32..8, 0u64..2_000), 1..20),
+    ) {
+        let mut ss = SafeSleep::new(
+            SimDuration::from_micros(t_be_us),
+            SimDuration::from_micros(t_on_us),
+        );
+        for &(q, c, at_ms) in &exps {
+            ss.update_next_receive(QueryId::new(q), NodeId::new(c), SimTime::from_millis(at_ms));
+        }
+        let earliest = ss.earliest().expect("non-empty");
+        let now = SimTime::from_millis(now_ms);
+        match ss.decide(now) {
+            SleepDecision::Sleep { start_wake_at, wakeup_due } => {
+                prop_assert_eq!(wakeup_due, earliest);
+                prop_assert!(earliest > now, "must not sleep when busy");
+                // Wake completes by the expectation.
+                prop_assert!(
+                    start_wake_at + SimDuration::from_micros(t_on_us) <= earliest
+                        || start_wake_at == SimTime::ZERO
+                );
+                // Gap strictly exceeds t_BE.
+                prop_assert!(earliest - now > SimDuration::from_micros(t_be_us));
+            }
+            SleepDecision::Busy => prop_assert!(earliest <= now),
+            SleepDecision::StayAwake { until } => {
+                prop_assert_eq!(until, earliest);
+                prop_assert!(earliest > now);
+                prop_assert!(earliest - now <= SimDuration::from_micros(t_be_us));
+            }
+            SleepDecision::Unconstrained => prop_assert!(false, "expectations exist"),
+        }
+    }
+
+    /// NTS expectations equal the closed form `φ + k·P` for every round,
+    /// regardless of call order.
+    #[test]
+    fn nts_matches_closed_form(
+        period_ms in 10u64..2_000,
+        phase_ms in 0u64..10_000,
+        rounds in 1u64..50,
+    ) {
+        let q = query(period_ms, phase_ms);
+        let mut nts = Nts::new();
+        let tree = TreeInfo::leaf(4);
+        for k in 0..rounds {
+            let s = nts.after_send(&q, k, q.round_start(k), &tree);
+            prop_assert_eq!(s, q.round_start(k + 1));
+            let r = nts.after_receive(&q, NodeId::new(1), k, q.round_start(k), None, &tree);
+            prop_assert_eq!(r, q.round_start(k + 1));
+        }
+    }
+
+    /// STS slots: reception expectation equals the child's send slot,
+    /// both within the deadline window, and the whole schedule shifts by
+    /// exactly one period per round.
+    #[test]
+    fn sts_slots_are_periodic_and_ordered(
+        period_ms in 50u64..2_000,
+        phase_ms in 0u64..5_000,
+        own_rank in 1u32..6,
+        max_rank in 1u32..8,
+        child_rank in 0u32..6,
+        k in 0u64..100,
+    ) {
+        let own_rank = own_rank.min(max_rank);
+        let child_rank = child_rank.min(own_rank.saturating_sub(1));
+        let q = query(period_ms, phase_ms);
+        let children = [(NodeId::new(1), child_rank)];
+        let tree = TreeInfo { own_rank, max_rank, own_level: max_rank.saturating_sub(own_rank), max_level: max_rank, children: &children };
+        let mut sts = Sts::new();
+        let rel_k = sts.release(&q, k, q.round_start(k), &tree);
+        let rel_k1 = sts.release(&q, k + 1, q.round_start(k + 1), &tree);
+        // Periodicity.
+        prop_assert_eq!(
+            rel_k1.send_at - rel_k.send_at,
+            SimDuration::from_millis(period_ms)
+        );
+        // Send slot precedes the deadline end.
+        prop_assert!(rel_k.send_at <= q.round_start(k) + q.deadline);
+        // Child's slot precedes ours.
+        let r = sts.after_receive(&q, NodeId::new(1), k, rel_k.send_at, None, &tree);
+        let s = sts.after_send(&q, k, rel_k.send_at, &tree);
+        prop_assert!(r <= s, "child slot {} after own slot {}", r, s);
+    }
+
+    /// DTS send times never regress and consecutive rounds are at least
+    /// one period apart, under arbitrary readiness jitter.
+    #[test]
+    fn dts_phases_monotone(
+        period_ms in 50u64..500,
+        phase_ms in 0u64..2_000,
+        jitter in proptest::collection::vec(0i64..400, 1..60),
+    ) {
+        let q = query(period_ms, phase_ms);
+        let mut dts = Dts::new();
+        let tree = TreeInfo::leaf(4);
+        dts.register(&q, &tree, false);
+        let mut last_send: Option<SimTime> = None;
+        for (k, &j) in jitter.iter().enumerate() {
+            let k = k as u64;
+            // Ready somewhere around the round start, sometimes late.
+            let ready = q.round_start(k) + SimDuration::from_millis(j as u64);
+            let rel = dts.release(&q, k, ready, &tree);
+            prop_assert!(rel.send_at >= ready.min(rel.send_at));
+            if let Some(prev) = last_send {
+                prop_assert!(
+                    rel.send_at >= prev + SimDuration::from_millis(period_ms),
+                    "round {k}: {} < {} + P",
+                    rel.send_at,
+                    prev
+                );
+            }
+            // Late release ⇒ phase shift ⇒ piggyback present.
+            let s_next = dts.after_send(&q, k, rel.send_at, &tree);
+            prop_assert_eq!(s_next, rel.send_at + SimDuration::from_millis(period_ms));
+            last_send = Some(rel.send_at);
+        }
+    }
+
+    /// Parent and child DTS state agree after any loss-free exchange:
+    /// the parent's next expected reception equals the child's next
+    /// expected send time.
+    #[test]
+    fn dts_parent_child_agreement(
+        period_ms in 50u64..500,
+        jitter in proptest::collection::vec(0i64..300, 1..40),
+    ) {
+        let q = query(period_ms, 1_000);
+        let child_id = NodeId::new(7);
+        let mut child = Dts::new();
+        let mut parent = Dts::new();
+        let leaf = TreeInfo::leaf(3);
+        let children = [(child_id, 0u32)];
+        let ptree = TreeInfo { own_rank: 1, max_rank: 3, own_level: 2, max_level: 3, children: &children };
+        child.register(&q, &leaf, false);
+        parent.register(&q, &ptree, false);
+        for (k, &j) in jitter.iter().enumerate() {
+            let k = k as u64;
+            let ready = q.round_start(k) + SimDuration::from_millis(j as u64);
+            let rel = child.release(&q, k, ready, &leaf);
+            let s_next = child.after_send(&q, k, rel.send_at, &leaf);
+            // Loss-free: parent receives the report (with any piggyback).
+            let r_next = parent.after_receive(
+                &q, child_id, k, rel.send_at, rel.piggyback, &ptree,
+            );
+            prop_assert_eq!(
+                r_next, s_next,
+                "round {}: parent expects {}, child sends {}",
+                k, r_next, s_next
+            );
+        }
+    }
+
+    /// The loss detector counts gaps exactly under arbitrary subsets of
+    /// delivered rounds.
+    #[test]
+    fn loss_detector_counts_gaps(present in proptest::collection::vec(any::<bool>(), 1..100)) {
+        let mut det = LossDetector::new();
+        let q = QueryId::new(0);
+        let c = NodeId::new(1);
+        let mut last: Option<u64> = None;
+        for (k, &p) in present.iter().enumerate() {
+            let k = k as u64;
+            if !p {
+                continue;
+            }
+            let obs = det.observe(q, c, k);
+            match last {
+                None => prop_assert_eq!(obs, LossObservation::First),
+                Some(l) if k == l + 1 => prop_assert_eq!(obs, LossObservation::InOrder),
+                Some(l) => prop_assert_eq!(obs, LossObservation::Gap { missed: k - l - 1 }),
+            }
+            last = Some(k);
+        }
+    }
+}

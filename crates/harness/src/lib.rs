@@ -1,0 +1,33 @@
+//! # essat-harness — regenerating the paper's figures
+//!
+//! Ready-made experiments for every figure of the ESSAT paper's
+//! evaluation (§5), plus the headline comparison table from the
+//! abstract. Each builder returns structured [`table::FigureData`]
+//! (series of `(x, mean, 90% CI)`), renderable as an aligned text table
+//! or CSV; the `essat-figures` binary drives them from the command line:
+//!
+//! ```text
+//! essat-figures all            # full paper scale (minutes of CPU)
+//! essat-figures fig3 --quick   # reduced scale, seconds
+//! ```
+//!
+//! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record produced by these builders.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scale;
+pub mod table;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::figures::{
+        fig2_deadline, fig5_rank_profile, fig8_sleep_hist, fig9_tbe, headline, query_sweep,
+        rate_sweep, Fig8Data, Headline, QuerySweepData, RateSweepData, DUTY_PROTOCOLS,
+        LATENCY_PROTOCOLS,
+    };
+    pub use crate::scale::Scale;
+    pub use crate::table::{FigureData, Point, Series};
+}

@@ -1,0 +1,151 @@
+//! `essat-figures` — regenerate the paper's figures from the command
+//! line.
+//!
+//! ```text
+//! essat-figures [FIGURES|all] [--quick] [--seed N] [--csv DIR]
+//!
+//! FIGURES   any of: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 headline overhead
+//! --quick   reduced scale (40 nodes, 50 s, 2 runs) instead of paper scale
+//! --seed N  master seed (default 2024)
+//! --csv DIR also write each figure as CSV into DIR
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use essat_harness::figures::{self, QuerySweepData, RateSweepData};
+use essat_harness::scale::Scale;
+use essat_harness::table::FigureData;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: BTreeSet<String> = BTreeSet::new();
+    let mut scale = Scale::Paper;
+    let mut seed = 2024u64;
+    let mut csv_dir: Option<PathBuf> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage("--csv needs a directory")),
+                ));
+            }
+            "all" => {
+                for f in [
+                    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                    "headline", "overhead",
+                ] {
+                    wanted.insert(f.to_string());
+                }
+            }
+            name if name.starts_with("fig") || name == "headline" || name == "overhead" => {
+                wanted.insert(name.to_string());
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if wanted.is_empty() {
+        usage("no figures requested");
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+
+    eprintln!(
+        "# scale: {:?}, seed: {seed}, figures: {:?}",
+        scale,
+        wanted.iter().collect::<Vec<_>>()
+    );
+
+    // Shared sweeps.
+    let needs_rate = ["fig3", "fig6", "headline", "overhead"]
+        .iter()
+        .any(|f| wanted.contains(*f));
+    let needs_query = ["fig4", "fig7", "headline"]
+        .iter()
+        .any(|f| wanted.contains(*f));
+    let rate: Option<RateSweepData> = needs_rate.then(|| {
+        eprintln!("# running base-rate sweep (figs 3 & 6)…");
+        figures::rate_sweep(scale, seed)
+    });
+    let query: Option<QuerySweepData> = needs_query.then(|| {
+        eprintln!("# running query-count sweep (figs 4 & 7)…");
+        figures::query_sweep(scale, seed)
+    });
+
+    let emit = |fig: &FigureData| {
+        println!("{}", fig.render_table());
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{}.csv", fig.id));
+            std::fs::write(&path, fig.to_csv()).expect("write csv");
+            eprintln!("# wrote {}", path.display());
+        }
+    };
+
+    if wanted.contains("fig2") {
+        eprintln!("# running fig2 deadline sweep…");
+        emit(&figures::fig2_deadline(scale, seed));
+    }
+    if wanted.contains("fig3") {
+        emit(&rate.as_ref().expect("computed").duty);
+    }
+    if wanted.contains("fig4") {
+        emit(&query.as_ref().expect("computed").duty);
+    }
+    if wanted.contains("fig5") {
+        eprintln!("# running fig5 rank profile…");
+        emit(&figures::fig5_rank_profile(scale, seed));
+    }
+    if wanted.contains("fig6") {
+        emit(&rate.as_ref().expect("computed").latency);
+    }
+    if wanted.contains("fig7") {
+        emit(&query.as_ref().expect("computed").latency);
+    }
+    if wanted.contains("fig8") {
+        eprintln!("# running fig8 sleep-interval histogram…");
+        let data = figures::fig8_sleep_hist(scale, seed);
+        emit(&data.histogram);
+        println!("fraction of sleep intervals < 2.5 ms (paper: NTS 0.40%, STS 0.85%, DTS 6.33%):");
+        for (label, pct) in &data.below_2_5ms_pct {
+            println!("  {label:>8}: {pct:5.2}%");
+        }
+        println!();
+    }
+    if wanted.contains("fig9") {
+        eprintln!("# running fig9 break-even sweep…");
+        emit(&figures::fig9_tbe(scale, seed));
+    }
+    if wanted.contains("overhead") {
+        let series = &rate.as_ref().expect("computed").dts_overhead_bits;
+        println!("== overhead — DTS phase-update overhead (paper: < 1 bit per data report)");
+        for p in &series.points {
+            println!("  base rate {:3.1} Hz: {:6.4} bits/report", p.x, p.y);
+        }
+        println!();
+    }
+    if wanted.contains("headline") {
+        let h = figures::headline(
+            rate.as_ref().expect("computed"),
+            query.as_ref().expect("computed"),
+        );
+        println!("{}", h.render());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: essat-figures [fig2..fig9|headline|overhead|all]… [--quick] [--seed N] [--csv DIR]"
+    );
+    std::process::exit(2);
+}

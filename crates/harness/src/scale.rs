@@ -1,0 +1,94 @@
+//! Experiment scale: the paper's full setup versus a fast CI/bench
+//! configuration.
+
+use essat_wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
+
+/// How big to run each experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's §5 setup: 80 nodes, 200 s runs, 5 repetitions, full
+    /// sweep grids. Regenerating every figure takes tens of minutes of
+    /// CPU.
+    Paper,
+    /// Reduced: 40 nodes, 50 s runs, 2 repetitions, thinned sweep grids.
+    /// Preserves every qualitative shape at a fraction of the cost.
+    Quick,
+}
+
+impl Scale {
+    /// Repetitions per data point (the paper averages 5 runs).
+    pub fn runs(self) -> u32 {
+        match self {
+            Scale::Paper => 5,
+            Scale::Quick => 2,
+        }
+    }
+
+    /// The base-rate sweep of Figures 3 and 6 (hertz).
+    pub fn rate_sweep(self) -> Vec<f64> {
+        match self {
+            Scale::Paper => vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0],
+            Scale::Quick => vec![1.0, 3.0, 5.0],
+        }
+    }
+
+    /// The queries-per-class sweep of Figures 4 and 7.
+    pub fn queries_sweep(self) -> Vec<u32> {
+        match self {
+            Scale::Paper => (1..=10).collect(),
+            Scale::Quick => vec![1, 5, 10],
+        }
+    }
+
+    /// The deadline sweep of Figure 2 (seconds).
+    pub fn deadline_sweep(self) -> Vec<f64> {
+        match self {
+            Scale::Paper => vec![0.02, 0.04, 0.08, 0.12, 0.2, 0.3, 0.4, 0.6, 0.8],
+            Scale::Quick => vec![0.02, 0.12, 0.4, 0.8],
+        }
+    }
+
+    /// The break-even-time sweep of Figure 9 (milliseconds).
+    pub fn tbe_sweep_ms(self) -> Vec<f64> {
+        vec![0.0, 2.5, 10.0, 40.0]
+    }
+
+    /// Builds the base configuration for a protocol and workload at this
+    /// scale.
+    pub fn config(self, protocol: Protocol, workload: WorkloadSpec, seed: u64) -> ExperimentConfig {
+        match self {
+            Scale::Paper => ExperimentConfig::paper(protocol, workload, seed),
+            Scale::Quick => ExperimentConfig::quick(protocol, workload, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let cfg = Scale::Paper.config(Protocol::DtsSs, WorkloadSpec::paper(5.0), 1);
+        assert_eq!(cfg.nodes, 80);
+        assert_eq!(Scale::Paper.runs(), 5);
+        assert_eq!(Scale::Paper.queries_sweep().len(), 10);
+    }
+
+    #[test]
+    fn quick_scale_is_thinner() {
+        assert!(Scale::Quick.rate_sweep().len() < Scale::Paper.rate_sweep().len());
+        assert!(Scale::Quick.runs() < Scale::Paper.runs());
+        let cfg = Scale::Quick.config(Protocol::Sync, WorkloadSpec::paper(1.0), 1);
+        assert!(cfg.nodes < 80);
+    }
+
+    #[test]
+    fn sweeps_cover_paper_ranges() {
+        let rates = Scale::Paper.rate_sweep();
+        assert_eq!(*rates.first().unwrap(), 1.0);
+        assert_eq!(*rates.last().unwrap(), 5.0);
+        let tbe = Scale::Paper.tbe_sweep_ms();
+        assert_eq!(tbe, vec![0.0, 2.5, 10.0, 40.0]);
+    }
+}

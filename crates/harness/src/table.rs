@@ -1,0 +1,204 @@
+//! Figure data containers and plain-text / CSV rendering.
+//!
+//! Each reproduced figure is a set of labelled series over a shared
+//! x-axis. The harness renders them as aligned text tables (what the
+//! binary prints) and CSV (for plotting).
+
+use std::fmt::Write as _;
+
+/// One data point: x, mean y, and the 90% CI half-width over runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Sweep coordinate.
+    pub x: f64,
+    /// Mean over runs.
+    pub y: f64,
+    /// 90% confidence half-width (0 for single runs).
+    pub ci: f64,
+}
+
+/// A labelled series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (protocol name, parameter value…).
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64, ci: f64) {
+        self.points.push(Point { x, y, ci });
+    }
+
+    /// The y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-9)
+            .map(|p| p.y)
+    }
+}
+
+/// A reproduced figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    /// Identifier, e.g. `"fig3"`.
+    pub id: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Looks up a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// The shared x coordinates (from the first series).
+    pub fn xs(&self) -> Vec<f64> {
+        self.series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.x).collect())
+            .unwrap_or_default()
+    }
+
+    /// Renders an aligned text table: one row per x, one column pair
+    /// (mean ± ci) per series.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " | {:>18}", s.label);
+        }
+        let _ = writeln!(out);
+        let width = 12 + self.series.len() * 21;
+        let _ = writeln!(out, "{}", "-".repeat(width));
+        for (i, x) in self.xs().iter().enumerate() {
+            let _ = write!(out, "{x:>12.3}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => {
+                        let _ = write!(out, " | {:>10.4} ±{:>6.3}", p.y, p.ci);
+                    }
+                    None => {
+                        let _ = write!(out, " | {:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "({} vs {})", self.y_label, self.x_label);
+        out
+    }
+
+    /// Renders CSV: `x,<label> mean,<label> ci,...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{} mean,{} ci90", s.label, s.label);
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.xs().iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => {
+                        let _ = write!(out, ",{},{}", p.y, p.ci);
+                    }
+                    None => {
+                        let _ = write!(out, ",,");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        let mut fig = FigureData::new("figX", "test figure", "rate", "duty");
+        let mut a = Series::new("A");
+        a.push(1.0, 10.0, 0.5);
+        a.push(2.0, 20.0, 0.25);
+        let mut b = Series::new("B");
+        b.push(1.0, 11.0, 0.0);
+        b.push(2.0, 21.0, 0.0);
+        fig.series.push(a);
+        fig.series.push(b);
+        fig
+    }
+
+    #[test]
+    fn table_contains_all_values() {
+        let t = sample().render_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("A"));
+        assert!(t.contains("B"));
+        assert!(t.contains("10.0000"));
+        assert!(t.contains("21.0000"));
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "rate,A mean,A ci90,B mean,B ci90");
+        assert_eq!(lines.next().unwrap(), "1,10,0.5,11,0");
+        assert_eq!(lines.next().unwrap(), "2,20,0.25,21,0");
+    }
+
+    #[test]
+    fn series_lookup() {
+        let fig = sample();
+        assert_eq!(fig.series("A").unwrap().y_at(2.0), Some(20.0));
+        assert_eq!(fig.series("A").unwrap().y_at(9.0), None);
+        assert!(fig.series("C").is_none());
+        assert_eq!(fig.xs(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_figure_renders() {
+        let fig = FigureData::new("e", "empty", "x", "y");
+        assert!(fig.render_table().contains("empty"));
+        assert!(fig.xs().is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Integration tests for the figure builders at reduced scale: every
+//! builder produces well-formed series with the expected axes, labels,
+//! and paper-shaped relationships.
+
+use essat_harness::figures;
+use essat_harness::scale::Scale;
+
+#[test]
+fn fig5_builder_shape() {
+    let fig = figures::fig5_rank_profile(Scale::Quick, 7);
+    assert_eq!(fig.id, "fig5");
+    assert_eq!(fig.series.len(), 3, "three ESSAT protocols");
+    for s in &fig.series {
+        assert!(!s.points.is_empty(), "{} is empty", s.label);
+        // Ranks start at 0 (leaves).
+        assert_eq!(s.points[0].x, 0.0);
+        for p in &s.points {
+            assert!((0.0..=100.0).contains(&p.y), "{}: duty {}", s.label, p.y);
+        }
+    }
+    // NTS grows from leaf to top rank.
+    let nts = fig.series("NTS-SS").expect("NTS series");
+    let first = nts.points.first().unwrap().y;
+    let last = nts.points.last().unwrap().y;
+    assert!(last > first, "NTS rank profile must grow: {first} -> {last}");
+}
+
+#[test]
+fn fig8_builder_shape() {
+    let data = figures::fig8_sleep_hist(Scale::Quick, 11);
+    assert_eq!(data.histogram.id, "fig8");
+    assert_eq!(data.histogram.series.len(), 3);
+    for s in &data.histogram.series {
+        assert_eq!(s.points.len(), 8, "25 ms bins up to 200 ms");
+        assert_eq!(s.points[0].x, 25.0);
+        assert_eq!(s.points[7].x, 200.0);
+        let total: f64 = s.points.iter().map(|p| p.y).sum();
+        assert!(total > 0.0, "{} recorded no sleep intervals", s.label);
+    }
+    // The paper's ordering of short-sleep fractions: DTS > NTS.
+    let get = |label: &str| {
+        data.below_2_5ms_pct
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| *v)
+            .expect("protocol present")
+    };
+    assert!(
+        get("DTS-SS") > get("NTS-SS"),
+        "DTS {} should have more short sleeps than NTS {}",
+        get("DTS-SS"),
+        get("NTS-SS")
+    );
+}
+
+#[test]
+fn fig2_builder_shape() {
+    let fig = figures::fig2_deadline(Scale::Quick, 5);
+    assert_eq!(fig.id, "fig2");
+    assert_eq!(fig.series.len(), 2, "duty + latency");
+    let duty = &fig.series[0];
+    let lat = &fig.series[1];
+    assert_eq!(duty.points.len(), lat.points.len());
+    // Latency grows monotonically-ish with the deadline past the knee:
+    // the last point must exceed the first.
+    assert!(
+        lat.points.last().unwrap().y > lat.points.first().unwrap().y,
+        "latency must grow with the deadline"
+    );
+    // Tight deadlines cost more energy than the loosest one.
+    assert!(
+        duty.points.first().unwrap().y > duty.points.last().unwrap().y * 0.8,
+        "tight deadlines shouldn't be cheaper"
+    );
+}

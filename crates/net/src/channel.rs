@@ -1,0 +1,548 @@
+//! The shared wireless medium: unit-disk propagation with collisions.
+//!
+//! The channel answers three questions the MAC layer needs:
+//!
+//! 1. **Who hears a transmission?** Every node within communication range
+//!    of the sender (the unit-disk model at the paper's 125 m range).
+//! 2. **Is the medium busy at a node?** — carrier sense: true while any
+//!    in-flight transmission is audible there.
+//! 3. **Did a frame survive?** A copy at receiver `r` is *corrupted* if
+//!    any other transmission overlapped it at `r` (no capture effect), if
+//!    `r` was itself transmitting (half-duplex), or if the configurable
+//!    random loss injection fires (used for the paper's §4.3 transient
+//!    packet-loss experiments).
+//!
+//! The channel is payload-agnostic: it tracks in-flight transmissions by
+//! opaque [`TxId`]; the simulator keeps the frame body alongside the
+//! transmission-end event it schedules.
+//!
+//! # Examples
+//!
+//! ```
+//! use essat_net::channel::Channel;
+//! use essat_net::ids::NodeId;
+//! use essat_net::topology::Topology;
+//! use essat_sim::rng::SimRng;
+//! use essat_sim::time::{SimDuration, SimTime};
+//!
+//! let topo = Topology::line(3, 10.0, 12.0); // 0 - 1 - 2
+//! let mut ch = Channel::new(&topo, SimRng::seed_from_u64(1));
+//! let t0 = SimTime::ZERO;
+//! let tx = ch.begin_tx(t0, NodeId::new(0), SimDuration::from_micros(416));
+//! assert!(ch.carrier_busy(NodeId::new(1)));
+//! assert!(!ch.carrier_busy(NodeId::new(2)), "node 2 is out of range of 0");
+//! let end = ch.end_tx(t0 + SimDuration::from_micros(416), tx.id);
+//! assert_eq!(end.clean_receivers, vec![NodeId::new(1)]);
+//! ```
+
+use std::collections::HashMap;
+
+use essat_sim::rng::SimRng;
+use essat_sim::time::{SimDuration, SimTime};
+
+use crate::ids::NodeId;
+use crate::topology::Topology;
+
+/// Identifier of an in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(u64);
+
+impl TxId {
+    /// Raw counter value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct ActiveTx {
+    sender: NodeId,
+    start: SimTime,
+    /// Nodes that can decode the frame (communication range).
+    hearers: Vec<NodeId>,
+    corrupted: Vec<bool>, // parallel to hearers
+    /// Nodes that merely sense the energy (interference range ⊇ hearers).
+    sensers: Vec<NodeId>,
+}
+
+/// Outcome of starting a transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxStart {
+    /// Handle to pass to [`Channel::end_tx`].
+    pub id: TxId,
+    /// Nodes at which the medium just became busy (carrier 0 → 1);
+    /// their MACs must be notified.
+    pub now_busy: Vec<NodeId>,
+}
+
+/// Outcome of finishing a transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxEnd {
+    /// The transmitting node.
+    pub sender: NodeId,
+    /// When the transmission started.
+    pub started: SimTime,
+    /// Hearers whose copy survived collisions and loss injection.
+    /// The caller must still verify each receiver's radio was active for
+    /// the whole airtime before delivering to its MAC.
+    pub clean_receivers: Vec<NodeId>,
+    /// Hearers whose copy was corrupted (collision, half-duplex, or
+    /// injected loss).
+    pub corrupted_receivers: Vec<NodeId>,
+    /// Nodes at which the medium just became idle (carrier 1 → 0);
+    /// their MACs must be notified.
+    pub now_idle: Vec<NodeId>,
+}
+
+/// Counters the channel keeps for the run summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Transmissions started.
+    pub transmissions: u64,
+    /// (transmission, receiver) pairs corrupted by overlap or half-duplex.
+    pub collisions: u64,
+    /// (transmission, receiver) pairs dropped by loss injection.
+    pub injected_drops: u64,
+}
+
+/// The shared medium. One instance per simulation.
+#[derive(Debug)]
+pub struct Channel {
+    neighbors: Vec<Vec<NodeId>>,
+    interference: Vec<Vec<NodeId>>,
+    carrier_count: Vec<u32>,
+    transmitting: Vec<bool>,
+    active: HashMap<u64, ActiveTx>,
+    next_tx: u64,
+    drop_prob: f64,
+    rng: SimRng,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Creates a channel over the given topology with no loss injection.
+    pub fn new(topology: &Topology, rng: SimRng) -> Self {
+        let n = topology.node_count();
+        Channel {
+            neighbors: topology.nodes().map(|id| topology.neighbors(id).to_vec()).collect(),
+            interference: topology
+                .nodes()
+                .map(|id| topology.interference_neighbors(id).to_vec())
+                .collect(),
+            carrier_count: vec![0; n],
+            transmitting: vec![false; n],
+            active: HashMap::new(),
+            next_tx: 0,
+            drop_prob: 0.0,
+            rng,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Sets the per-(frame, receiver) random drop probability used for
+    /// transient-loss experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.drop_prob = p;
+    }
+
+    /// Current loss-injection probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// True if any in-flight transmission is audible at `node`.
+    pub fn carrier_busy(&self, node: NodeId) -> bool {
+        self.carrier_count[node.index()] > 0
+    }
+
+    /// True if `node` is currently transmitting.
+    pub fn is_transmitting(&self, node: NodeId) -> bool {
+        self.transmitting[node.index()]
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Starts a transmission from `sender` lasting `airtime`.
+    ///
+    /// The caller must schedule a call to [`Channel::end_tx`] exactly
+    /// `airtime` later and must ensure the sender's radio is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is already transmitting (the MAC must never do
+    /// this).
+    pub fn begin_tx(&mut self, now: SimTime, sender: NodeId, airtime: SimDuration) -> TxStart {
+        let _ = airtime; // airtime is enforced by the caller's end event
+        assert!(
+            !self.transmitting[sender.index()],
+            "{sender} started a second concurrent transmission"
+        );
+        self.stats.transmissions += 1;
+        self.transmitting[sender.index()] = true;
+
+        // The sender cannot receive while transmitting: corrupt every
+        // in-flight copy addressed at it.
+        for tx in self.active.values_mut() {
+            if let Some(pos) = tx.hearers.iter().position(|&h| h == sender) {
+                if !tx.corrupted[pos] {
+                    tx.corrupted[pos] = true;
+                    self.stats.collisions += 1;
+                }
+            }
+        }
+
+        let hearers = self.neighbors[sender.index()].clone();
+        let sensers = self.interference[sender.index()].clone();
+        let mut corrupted = vec![false; hearers.len()];
+        let mut now_busy = Vec::new();
+        // Energy is sensed — and corrupts concurrent receptions — out to
+        // the interference range; only communication-range hearers can
+        // decode the frame itself.
+        for &h in &sensers {
+            let cc = &mut self.carrier_count[h.index()];
+            *cc += 1;
+            if *cc == 1 {
+                now_busy.push(h);
+            }
+            // Overlap: any second audible transmission at h destroys
+            // every decodable copy there (no capture).
+            if *cc >= 2 {
+                for tx in self.active.values_mut() {
+                    if let Some(pos) = tx.hearers.iter().position(|&x| x == h) {
+                        if !tx.corrupted[pos] {
+                            tx.corrupted[pos] = true;
+                            self.stats.collisions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (i, &h) in hearers.iter().enumerate() {
+            // Half-duplex: a transmitting hearer cannot receive.
+            if self.transmitting[h.index()] {
+                corrupted[i] = true;
+                self.stats.collisions += 1;
+            }
+            // The new copy is corrupted wherever other energy overlaps.
+            if self.carrier_count[h.index()] >= 2 && !corrupted[i] {
+                corrupted[i] = true;
+                self.stats.collisions += 1;
+            }
+        }
+
+        let id = self.next_tx;
+        self.next_tx += 1;
+        self.active.insert(
+            id,
+            ActiveTx {
+                sender,
+                start: now,
+                hearers,
+                corrupted,
+                sensers,
+            },
+        );
+        TxStart {
+            id: TxId(id),
+            now_busy,
+        }
+    }
+
+    /// Finishes a transmission, returning delivery outcomes and carrier
+    /// transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not correspond to an in-flight transmission.
+    pub fn end_tx(&mut self, now: SimTime, id: TxId) -> TxEnd {
+        let _ = now;
+        let tx = self
+            .active
+            .remove(&id.0)
+            .expect("end_tx for unknown transmission");
+        self.transmitting[tx.sender.index()] = false;
+
+        let mut clean = Vec::new();
+        let mut corrupted_rx = Vec::new();
+        let mut now_idle = Vec::new();
+        for &h in &tx.sensers {
+            let cc = &mut self.carrier_count[h.index()];
+            debug_assert!(*cc > 0, "carrier count underflow at {h}");
+            *cc -= 1;
+            if *cc == 0 {
+                now_idle.push(h);
+            }
+        }
+        for (i, &h) in tx.hearers.iter().enumerate() {
+            let mut bad = tx.corrupted[i];
+            if !bad && self.drop_prob > 0.0 && self.rng.chance(self.drop_prob) {
+                bad = true;
+                self.stats.injected_drops += 1;
+            }
+            if bad {
+                corrupted_rx.push(h);
+            } else {
+                clean.push(h);
+            }
+        }
+        TxEnd {
+            sender: tx.sender,
+            started: tx.start,
+            clean_receivers: clean,
+            corrupted_receivers: corrupted_rx,
+            now_idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    fn t_us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// 0 - 1 - 2 - 3 line, only adjacent nodes hear each other.
+    fn line4() -> Channel {
+        let topo = Topology::line(4, 10.0, 12.0);
+        Channel::new(&topo, SimRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn clean_delivery_to_neighbors_only() {
+        let mut ch = line4();
+        let tx = ch.begin_tx(t_us(0), n(1), us(416));
+        assert_eq!(tx.now_busy, vec![n(0), n(2)]);
+        let end = ch.end_tx(t_us(416), tx.id);
+        assert_eq!(end.clean_receivers, vec![n(0), n(2)]);
+        assert!(end.corrupted_receivers.is_empty());
+        assert_eq!(end.now_idle, vec![n(0), n(2)]);
+        assert_eq!(ch.stats().transmissions, 1);
+        assert_eq!(ch.stats().collisions, 0);
+    }
+
+    #[test]
+    fn overlapping_transmissions_collide_at_common_hearer() {
+        let mut ch = line4();
+        // 0 and 2 both transmit; node 1 hears both -> both corrupt at 1.
+        let a = ch.begin_tx(t_us(0), n(0), us(416));
+        let b = ch.begin_tx(t_us(100), n(2), us(416));
+        let end_a = ch.end_tx(t_us(416), a.id);
+        assert!(end_a.clean_receivers.is_empty());
+        assert_eq!(end_a.corrupted_receivers, vec![n(1)]);
+        let end_b = ch.end_tx(t_us(516), b.id);
+        // Node 3 only hears 2, so its copy survives; node 1's copy died.
+        assert_eq!(end_b.clean_receivers, vec![n(3)]);
+        assert_eq!(end_b.corrupted_receivers, vec![n(1)]);
+        assert!(ch.stats().collisions >= 2);
+    }
+
+    #[test]
+    fn non_overlapping_sequential_txs_are_clean() {
+        let mut ch = line4();
+        let a = ch.begin_tx(t_us(0), n(0), us(416));
+        let ea = ch.end_tx(t_us(416), a.id);
+        assert_eq!(ea.clean_receivers, vec![n(1)]);
+        let b = ch.begin_tx(t_us(500), n(2), us(416));
+        let eb = ch.end_tx(t_us(916), b.id);
+        assert_eq!(eb.clean_receivers, vec![n(1), n(3)]);
+        assert_eq!(ch.stats().collisions, 0);
+    }
+
+    #[test]
+    fn half_duplex_sender_cannot_receive() {
+        let mut ch = line4();
+        // 1 transmits; while it does, 2 transmits too. 1 must not receive
+        // 2's frame even though only one tx is audible at 1 (its own tx
+        // doesn't count toward its carrier).
+        let a = ch.begin_tx(t_us(0), n(1), us(416));
+        let b = ch.begin_tx(t_us(10), n(2), us(100));
+        let eb = ch.end_tx(t_us(110), b.id);
+        assert!(
+            !eb.clean_receivers.contains(&n(1)),
+            "transmitting node must not receive"
+        );
+        // 3 hears only 2's tx -> clean there.
+        assert!(eb.clean_receivers.contains(&n(3)));
+        let ea = ch.end_tx(t_us(416), a.id);
+        // 1's frame is corrupted at 2 (2 was transmitting during it).
+        assert!(ea.corrupted_receivers.contains(&n(2)));
+        // ...and clean at 0 (0 heard only 1's frame).
+        assert!(ea.clean_receivers.contains(&n(0)));
+    }
+
+    #[test]
+    fn late_starter_corrupts_frame_already_in_flight() {
+        let mut ch = line4();
+        let a = ch.begin_tx(t_us(0), n(0), us(416)); // 1 hears
+        // 2 starts mid-flight; at node 1 carrier goes 1 -> 2.
+        let _b = ch.begin_tx(t_us(200), n(2), us(416));
+        let ea = ch.end_tx(t_us(416), a.id);
+        assert_eq!(ea.corrupted_receivers, vec![n(1)]);
+        assert!(ea.clean_receivers.is_empty());
+    }
+
+    #[test]
+    fn carrier_counts_track_busy_idle() {
+        let mut ch = line4();
+        assert!(!ch.carrier_busy(n(1)));
+        let a = ch.begin_tx(t_us(0), n(0), us(416));
+        assert!(ch.carrier_busy(n(1)));
+        assert!(!ch.carrier_busy(n(3)));
+        let b = ch.begin_tx(t_us(10), n(2), us(416));
+        assert!(ch.carrier_busy(n(3)));
+        let ea = ch.end_tx(t_us(416), a.id);
+        assert!(!ea.now_idle.contains(&n(1)), "1 still hears 2's tx");
+        assert!(ch.carrier_busy(n(1)));
+        let eb = ch.end_tx(t_us(426), b.id);
+        assert!(eb.now_idle.contains(&n(1)));
+        assert!(!ch.carrier_busy(n(1)));
+        assert!(!ch.carrier_busy(n(3)));
+    }
+
+    #[test]
+    fn is_transmitting_lifecycle() {
+        let mut ch = line4();
+        assert!(!ch.is_transmitting(n(0)));
+        let a = ch.begin_tx(t_us(0), n(0), us(10));
+        assert!(ch.is_transmitting(n(0)));
+        ch.end_tx(t_us(10), a.id);
+        assert!(!ch.is_transmitting(n(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "second concurrent transmission")]
+    fn double_tx_rejected() {
+        let mut ch = line4();
+        let _ = ch.begin_tx(t_us(0), n(0), us(10));
+        let _ = ch.begin_tx(t_us(1), n(0), us(10));
+    }
+
+    #[test]
+    fn loss_injection_drops_roughly_p() {
+        let topo = Topology::line(2, 10.0, 12.0);
+        let mut ch = Channel::new(&topo, SimRng::seed_from_u64(7));
+        ch.set_drop_probability(0.3);
+        let mut dropped = 0;
+        let trials = 2000;
+        for i in 0..trials {
+            let t0 = SimTime::from_micros(i * 1000);
+            let tx = ch.begin_tx(t0, n(0), us(416));
+            let end = ch.end_tx(t0 + us(416), tx.id);
+            if end.corrupted_receivers.contains(&n(1)) {
+                dropped += 1;
+            }
+        }
+        let frac = dropped as f64 / trials as f64;
+        assert!((frac - 0.3).abs() < 0.05, "drop fraction {frac}");
+        assert_eq!(ch.stats().injected_drops, dropped);
+        assert_eq!(ch.stats().collisions, 0);
+    }
+
+    #[test]
+    fn isolated_node_transmission_reaches_nobody() {
+        let topo = Topology::line(2, 100.0, 10.0); // out of range
+        let mut ch = Channel::new(&topo, SimRng::seed_from_u64(1));
+        let tx = ch.begin_tx(t_us(0), n(0), us(416));
+        assert!(tx.now_busy.is_empty());
+        let end = ch.end_tx(t_us(416), tx.id);
+        assert!(end.clean_receivers.is_empty());
+        assert!(end.corrupted_receivers.is_empty());
+    }
+
+    #[test]
+    fn tx_end_reports_start_time() {
+        let mut ch = line4();
+        let tx = ch.begin_tx(t_us(123), n(0), us(10));
+        let end = ch.end_tx(t_us(133), tx.id);
+        assert_eq!(end.started, t_us(123));
+        assert_eq!(end.sender, n(0));
+    }
+}
+
+#[cfg(test)]
+mod interference_tests {
+    use super::*;
+    use crate::topology::Topology;
+    use essat_sim::rng::SimRng;
+    use essat_sim::time::{SimDuration, SimTime};
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    fn t_us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Line 0-1-2-3 spaced 10 m apart: communication 12 m (adjacent
+    /// only), interference 22 m (two hops).
+    fn two_range() -> Channel {
+        let topo = Topology::line(4, 10.0, 12.0).with_interference_range(22.0);
+        Channel::new(&topo, SimRng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn interference_is_sensed_but_not_decoded() {
+        let mut ch = two_range();
+        let tx = ch.begin_tx(t_us(0), n(0), us(416));
+        // Node 2 senses node 0 (22 m reach) but cannot decode it.
+        assert!(ch.carrier_busy(n(2)), "carrier sensed at interference range");
+        assert!(tx.now_busy.contains(&n(2)));
+        assert!(!ch.carrier_busy(n(3)), "three hops is beyond interference");
+        let end = ch.end_tx(t_us(416), tx.id);
+        assert_eq!(end.clean_receivers, vec![n(1)], "only comm-range decodes");
+        assert!(!end.corrupted_receivers.contains(&n(2)));
+        assert!(end.now_idle.contains(&n(2)));
+        assert!(!ch.carrier_busy(n(2)));
+    }
+
+    #[test]
+    fn hidden_interferer_corrupts_reception() {
+        let mut ch = two_range();
+        // 0 transmits to 1; 3 transmits concurrently. 3 is outside 1's
+        // communication range but inside its interference range — the
+        // classic hidden-terminal corruption the one-range model misses.
+        let a = ch.begin_tx(t_us(0), n(0), us(416));
+        let _b = ch.begin_tx(t_us(100), n(3), us(416));
+        let ea = ch.end_tx(t_us(416), a.id);
+        assert!(
+            ea.corrupted_receivers.contains(&n(1)),
+            "interference-range overlap must corrupt"
+        );
+        assert!(ea.clean_receivers.is_empty());
+    }
+
+    #[test]
+    fn one_range_default_unchanged() {
+        // Without an explicit interference range the two lists coincide,
+        // so 3's transmission cannot affect 1.
+        let topo = Topology::line(4, 10.0, 12.0);
+        let mut ch = Channel::new(&topo, SimRng::seed_from_u64(5));
+        let a = ch.begin_tx(t_us(0), n(0), us(416));
+        let _b = ch.begin_tx(t_us(100), n(3), us(416));
+        let ea = ch.end_tx(t_us(416), a.id);
+        assert_eq!(ea.clean_receivers, vec![n(1)]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Frames on the air.
+//!
+//! The MAC and channel are generic over the upper-layer payload `P`, so
+//! the protocol crates can carry data reports, query floods, ATIM
+//! announcements, or phase-update requests without the substrate knowing
+//! about them. The paper encapsulates each data report in a single
+//! 52-byte packet at 1 Mbps (416 µs airtime); sizes here are explicit so
+//! airtime is computed, never assumed.
+
+use std::fmt;
+
+use essat_sim::time::SimDuration;
+
+use crate::ids::NodeId;
+
+/// The paper's data-report packet size in bytes.
+pub const PAPER_REPORT_BYTES: u32 = 52;
+/// 802.11 ACK frame size in bytes.
+pub const ACK_BYTES: u32 = 14;
+
+/// Globally unique frame identifier (unique per simulation run), used for
+/// tracing and collision bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u64);
+
+impl FrameId {
+    /// Creates a frame id from a raw counter value.
+    pub const fn new(v: u64) -> Self {
+        FrameId(v)
+    }
+
+    /// The raw counter value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Link-layer destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dest {
+    /// One receiver; the MAC will expect an ACK and retransmit.
+    Unicast(NodeId),
+    /// All neighbours; fire-and-forget.
+    Broadcast,
+}
+
+impl Dest {
+    /// True if `node` should accept a frame with this destination.
+    pub fn accepts(self, node: NodeId) -> bool {
+        match self {
+            Dest::Unicast(d) => d == node,
+            Dest::Broadcast => true,
+        }
+    }
+}
+
+impl fmt::Display for Dest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dest::Unicast(n) => write!(f, "{n}"),
+            Dest::Broadcast => f.write_str("*"),
+        }
+    }
+}
+
+/// Link-layer frame class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Upper-layer data (reports, floods, protocol control).
+    Data,
+    /// MAC-level acknowledgement of the identified data frame.
+    Ack(FrameId),
+}
+
+/// A frame as handed to / delivered by the MAC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame<P> {
+    /// Unique id for tracing.
+    pub id: FrameId,
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Link-layer destination.
+    pub dest: Dest,
+    /// Frame class.
+    pub kind: FrameKind,
+    /// Total size on the air, in bytes.
+    pub bytes: u32,
+    /// Upper-layer payload (unused for ACKs).
+    pub payload: P,
+}
+
+impl<P> Frame<P> {
+    /// Airtime of this frame at `bitrate_bps` bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitrate_bps` is zero.
+    pub fn airtime(&self, bitrate_bps: u64) -> SimDuration {
+        airtime(self.bytes, bitrate_bps)
+    }
+}
+
+/// Airtime of `bytes` at `bitrate_bps`.
+///
+/// # Panics
+///
+/// Panics if `bitrate_bps` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use essat_net::frame::airtime;
+/// use essat_sim::time::SimDuration;
+///
+/// // The paper's numbers: 52 bytes at 1 Mbps = 416 us.
+/// assert_eq!(airtime(52, 1_000_000), SimDuration::from_micros(416));
+/// ```
+pub fn airtime(bytes: u32, bitrate_bps: u64) -> SimDuration {
+    assert!(bitrate_bps > 0, "bitrate must be positive");
+    let bits = bytes as u64 * 8;
+    SimDuration::from_nanos(bits * 1_000_000_000 / bitrate_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_airtime() {
+        assert_eq!(
+            airtime(PAPER_REPORT_BYTES, 1_000_000),
+            SimDuration::from_micros(416)
+        );
+        assert_eq!(airtime(ACK_BYTES, 1_000_000), SimDuration::from_micros(112));
+    }
+
+    #[test]
+    fn frame_airtime_method() {
+        let f = Frame {
+            id: FrameId::new(0),
+            src: NodeId::new(1),
+            dest: Dest::Broadcast,
+            kind: FrameKind::Data,
+            bytes: 100,
+            payload: (),
+        };
+        assert_eq!(f.airtime(1_000_000), SimDuration::from_micros(800));
+    }
+
+    #[test]
+    fn dest_accepts() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        assert!(Dest::Unicast(a).accepts(a));
+        assert!(!Dest::Unicast(a).accepts(b));
+        assert!(Dest::Broadcast.accepts(a));
+        assert!(Dest::Broadcast.accepts(b));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Dest::Broadcast.to_string(), "*");
+        assert_eq!(Dest::Unicast(NodeId::new(4)).to_string(), "n4");
+        assert_eq!(FrameId::new(9).to_string(), "f9");
+    }
+}

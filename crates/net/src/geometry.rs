@@ -1,0 +1,143 @@
+//! Plane geometry for node placement.
+//!
+//! The paper deploys 80 nodes uniformly at random in a 500 × 500 m² area
+//! with a 125 m communication range; these types express that setup.
+
+use std::fmt;
+
+use essat_sim::rng::SimRng;
+
+/// A point in the deployment plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Horizontal coordinate in metres.
+    pub x: f64,
+    /// Vertical coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from coordinates in metres.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use essat_net::geometry::Position;
+    /// let a = Position::new(0.0, 0.0);
+    /// let b = Position::new(3.0, 4.0);
+    /// assert_eq!(a.distance_to(b), 5.0);
+    /// ```
+    pub fn distance_to(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared distance — avoids the square root in range tests.
+    pub fn distance_sq(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// A rectangular deployment area anchored at the origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Area {
+    width: f64,
+    height: f64,
+}
+
+impl Area {
+    /// Creates an area of the given dimensions in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0 && height.is_finite() && height > 0.0,
+            "area dimensions must be positive, got {width} x {height}"
+        );
+        Area { width, height }
+    }
+
+    /// The paper's 500 × 500 m² deployment area.
+    pub fn paper() -> Self {
+        Area::new(500.0, 500.0)
+    }
+
+    /// Width in metres.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Height in metres.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// The centre point of the area.
+    pub fn center(&self) -> Position {
+        Position::new(self.width / 2.0, self.height / 2.0)
+    }
+
+    /// Uniformly random position inside the area.
+    pub fn random_position(&self, rng: &mut SimRng) -> Position {
+        Position::new(rng.range_f64(0.0, self.width), rng.range_f64(0.0, self.height))
+    }
+
+    /// True if `p` lies inside the area (boundary inclusive).
+    pub fn contains(&self, p: Position) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(-4.0, 7.5);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+        assert_eq!(a.distance_to(a), 0.0);
+        assert!((a.distance_sq(b) - a.distance_to(b).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_center_and_contains() {
+        let area = Area::paper();
+        assert_eq!(area.center(), Position::new(250.0, 250.0));
+        assert!(area.contains(Position::new(0.0, 500.0)));
+        assert!(!area.contains(Position::new(-0.1, 10.0)));
+        assert!(!area.contains(Position::new(10.0, 500.1)));
+    }
+
+    #[test]
+    fn random_positions_stay_inside() {
+        let area = Area::new(100.0, 30.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..500 {
+            assert!(area.contains(area.random_position(&mut rng)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn degenerate_area_rejected() {
+        let _ = Area::new(0.0, 10.0);
+    }
+}

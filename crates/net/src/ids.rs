@@ -1,0 +1,79 @@
+//! Node identity.
+
+use std::fmt;
+
+/// Identifier of a sensor node, dense in `0..n` for an `n`-node network.
+///
+/// Node ids double as indices into per-node vectors throughout the
+/// workspace (`positions[node.index()]`), which keeps hot paths
+/// allocation- and hash-free.
+///
+/// # Examples
+///
+/// ```
+/// use essat_net::ids::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw id value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Iterator over the ids `0..n`.
+    pub fn all(n: u32) -> impl Iterator<Item = NodeId> {
+        (0..n).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let id = NodeId::new(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.as_u32(), 17);
+        assert_eq!(NodeId::from(17u32), id);
+    }
+
+    #[test]
+    fn all_enumerates_densely() {
+        let ids: Vec<usize> = NodeId::all(4).map(NodeId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,215 @@
+//! In-network aggregation in the TAG style (Madden et al. \[7\]).
+//!
+//! Each data report carries a *partial state record* ([`AggState`]) that
+//! any two nodes can merge; the final answer is extracted at the root.
+//! This is what lets an interior node combine its own reading with its
+//! children's reports into a single fixed-size packet — the property the
+//! paper relies on ("we assume that each aggregated data report fits in a
+//! single data packet").
+
+use std::fmt;
+
+/// The aggregation function of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateOp {
+    /// Sum of all source readings.
+    Sum,
+    /// Minimum reading.
+    Min,
+    /// Maximum reading.
+    Max,
+    /// Number of contributing sources.
+    Count,
+    /// Arithmetic mean of readings.
+    Avg,
+}
+
+impl fmt::Display for AggregateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggregateOp::Sum => "sum",
+            AggregateOp::Min => "min",
+            AggregateOp::Max => "max",
+            AggregateOp::Count => "count",
+            AggregateOp::Avg => "avg",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A mergeable partial state record.
+///
+/// Carries enough for any [`AggregateOp`]; merging is commutative and
+/// associative, so aggregation order (and partial aggregation after
+/// timeouts) never changes the maths.
+///
+/// # Examples
+///
+/// ```
+/// use essat_query::aggregate::{AggState, AggregateOp};
+///
+/// let mut a = AggState::from_reading(3.0);
+/// let b = AggState::from_reading(5.0);
+/// a.merge(&b);
+/// assert_eq!(a.finish(AggregateOp::Sum), 8.0);
+/// assert_eq!(a.finish(AggregateOp::Avg), 4.0);
+/// assert_eq!(a.finish(AggregateOp::Count), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggState {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl AggState {
+    /// The empty record (identity for [`AggState::merge`]).
+    pub fn empty() -> Self {
+        AggState {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A record holding a single source reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reading` is NaN.
+    pub fn from_reading(reading: f64) -> Self {
+        assert!(!reading.is_nan(), "NaN reading");
+        AggState {
+            sum: reading,
+            count: 1,
+            min: reading,
+            max: reading,
+        }
+    }
+
+    /// Number of source readings folded into this record.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no readings have been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: &AggState) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Extracts the final answer under `op`.
+    ///
+    /// Empty records yield 0.0 for `Sum`/`Count`/`Avg` and the respective
+    /// infinities for `Min`/`Max` (callers should check
+    /// [`AggState::is_empty`] first when that matters).
+    pub fn finish(&self, op: AggregateOp) -> f64 {
+        match op {
+            AggregateOp::Sum => self.sum,
+            AggregateOp::Min => self.min,
+            AggregateOp::Max => self.max,
+            AggregateOp::Count => self.count as f64,
+            AggregateOp::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+        }
+    }
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        AggState::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let readings = [4.0, -1.0, 7.5, 0.0, 2.25];
+        let mut fwd = AggState::empty();
+        for &r in &readings {
+            fwd.merge(&AggState::from_reading(r));
+        }
+        let mut rev = AggState::empty();
+        for &r in readings.iter().rev() {
+            rev.merge(&AggState::from_reading(r));
+        }
+        assert_eq!(fwd, rev);
+        // Associativity: ((a+b)+c) == (a+(b+c))
+        let a = AggState::from_reading(1.0);
+        let b = AggState::from_reading(2.0);
+        let c = AggState::from_reading(3.0);
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn finishes_match_direct_computation() {
+        let readings = [4.0, -1.0, 7.5, 0.0, 2.25];
+        let mut s = AggState::empty();
+        for &r in &readings {
+            s.merge(&AggState::from_reading(r));
+        }
+        assert_eq!(s.finish(AggregateOp::Sum), readings.iter().sum::<f64>());
+        assert_eq!(s.finish(AggregateOp::Min), -1.0);
+        assert_eq!(s.finish(AggregateOp::Max), 7.5);
+        assert_eq!(s.finish(AggregateOp::Count), 5.0);
+        assert_eq!(
+            s.finish(AggregateOp::Avg),
+            readings.iter().sum::<f64>() / 5.0
+        );
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let mut s = AggState::from_reading(9.0);
+        let before = s;
+        s.merge(&AggState::empty());
+        assert_eq!(s, before);
+        assert!(AggState::empty().is_empty());
+        assert_eq!(AggState::empty().finish(AggregateOp::Avg), 0.0);
+        assert_eq!(AggState::empty().finish(AggregateOp::Sum), 0.0);
+    }
+
+    #[test]
+    fn single_reading_round_trip() {
+        let s = AggState::from_reading(3.5);
+        for op in [
+            AggregateOp::Sum,
+            AggregateOp::Min,
+            AggregateOp::Max,
+            AggregateOp::Avg,
+        ] {
+            assert_eq!(s.finish(op), 3.5, "{op}");
+        }
+        assert_eq!(s.finish(AggregateOp::Count), 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AggregateOp::Sum.to_string(), "sum");
+        assert_eq!(AggregateOp::Avg.to_string(), "avg");
+    }
+}

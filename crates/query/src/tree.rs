@@ -1,0 +1,531 @@
+//! The aggregation routing tree.
+//!
+//! The paper's query service floods a setup request from the root; each
+//! node picks the neighbour with the lowest level as its parent. The
+//! resulting tree determines:
+//!
+//! * **level** — hop count from the root (down the tree);
+//! * **rank** `d` — the maximum hop count from a node to any of its
+//!   descendants (leaves have rank 0). STS allocates its local deadline
+//!   per rank, and NTS's idle listening grows linearly with rank
+//!   (paper §4.2.1);
+//! * `M` — the maximum rank in the tree (the root's rank), which sets
+//!   STS's local deadline `l = D / M`.
+//!
+//! [`RoutingTree::build`] constructs the tree deterministically
+//! (lowest level, ties by lowest node id — matching the paper's rule with
+//! a deterministic tie-break). [`RoutingTree::fail_node`] implements the
+//! §4.3 topology-change recovery: orphaned children re-parent to the best
+//! surviving neighbour, and levels/ranks are recomputed so STS can learn
+//! its new ranks.
+//!
+//! # Examples
+//!
+//! ```
+//! use essat_net::ids::NodeId;
+//! use essat_net::topology::Topology;
+//! use essat_query::tree::RoutingTree;
+//!
+//! let topo = Topology::line(4, 10.0, 12.0); // 0 - 1 - 2 - 3
+//! let tree = RoutingTree::build(&topo, NodeId::new(0), None);
+//! assert_eq!(tree.parent(NodeId::new(2)), Some(NodeId::new(1)));
+//! assert_eq!(tree.rank(NodeId::new(0)), 3); // root sees depth-3 subtree
+//! assert_eq!(tree.max_rank(), 3);
+//! assert!(tree.is_leaf(NodeId::new(3)));
+//! ```
+
+use essat_net::ids::NodeId;
+use essat_net::topology::Topology;
+
+/// Aggregation tree rooted at the base station.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTree {
+    root: NodeId,
+    /// Parent per node; `None` for the root and for non-members.
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    /// Hop count from root; `None` for non-members.
+    level: Vec<Option<u32>>,
+    /// Max hop count to any descendant; 0 for leaves and non-members.
+    rank: Vec<u32>,
+    member: Vec<bool>,
+    members: Vec<NodeId>,
+}
+
+impl RoutingTree {
+    /// Builds the tree by BFS from `root`, restricted to nodes within
+    /// `radius_limit` metres of the root when given (the paper uses
+    /// 300 m).
+    ///
+    /// Parent selection is the paper's rule: the neighbour with the
+    /// lowest level, ties broken by lowest node id.
+    pub fn build(topology: &Topology, root: NodeId, radius_limit: Option<f64>) -> Self {
+        let n = topology.node_count();
+        let eligible: Vec<bool> = match radius_limit {
+            None => vec![true; n],
+            Some(r) => {
+                let mut v = vec![false; n];
+                for node in topology.nodes_within(root, r) {
+                    v[node.index()] = true;
+                }
+                v
+            }
+        };
+        assert!(eligible[root.index()], "root outside its own radius");
+
+        let mut level: Vec<Option<u32>> = vec![None; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        level[root.index()] = Some(0);
+        let mut frontier = vec![root];
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                // Deterministic order: neighbours are stored sorted by id.
+                for &v in topology.neighbors(u) {
+                    if eligible[v.index()] && level[v.index()].is_none() {
+                        level[v.index()] = Some(depth);
+                        parent[v.index()] = Some(u);
+                        next.push(v);
+                    }
+                }
+            }
+            // BFS visits parents in id order within a level, so the
+            // lowest-id lowest-level neighbour wins ties, deterministically.
+            next.sort_unstable();
+            frontier = next;
+        }
+
+        let mut tree = RoutingTree {
+            root,
+            parent,
+            children: vec![Vec::new(); n],
+            level,
+            rank: vec![0; n],
+            member: vec![false; n],
+            members: Vec::new(),
+        };
+        tree.rebuild_derived();
+        tree
+    }
+
+    /// Recomputes children lists, membership, and ranks from the parent
+    /// array + levels.
+    fn rebuild_derived(&mut self) {
+        let n = self.parent.len();
+        for c in &mut self.children {
+            c.clear();
+        }
+        self.members.clear();
+        for i in 0..n {
+            self.member[i] = self.level[i].is_some();
+            if self.member[i] {
+                self.members.push(NodeId::new(i as u32));
+            }
+            if let Some(p) = self.parent[i] {
+                self.children[p.index()].push(NodeId::new(i as u32));
+            }
+        }
+        for c in &mut self.children {
+            c.sort_unstable();
+        }
+        // Ranks: process members deepest-level first so children are done
+        // before parents.
+        let mut order: Vec<NodeId> = self.members.clone();
+        order.sort_unstable_by_key(|m| std::cmp::Reverse(self.level[m.index()]));
+        for &u in &order {
+            let r = self.children[u.index()]
+                .iter()
+                .map(|c| self.rank[c.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            self.rank[u.index()] = r;
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// True if `node` is part of the tree.
+    pub fn is_member(&self, node: NodeId) -> bool {
+        self.member[node.index()]
+    }
+
+    /// All member nodes, sorted by id.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Parent of `node` (`None` for the root or non-members).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()]
+    }
+
+    /// Children of `node`, sorted by id.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// Hop count from the root (`None` for non-members).
+    pub fn level(&self, node: NodeId) -> Option<u32> {
+        self.level[node.index()]
+    }
+
+    /// The paper's rank `d`: max hop count to any descendant; 0 for
+    /// leaves.
+    pub fn rank(&self, node: NodeId) -> u32 {
+        self.rank[node.index()]
+    }
+
+    /// The maximum rank `M` (the root's rank).
+    pub fn max_rank(&self) -> u32 {
+        self.rank[self.root.index()]
+    }
+
+    /// The deepest level among members (equals [`RoutingTree::max_rank`]
+    /// on any tree, since the root's rank is the height).
+    pub fn max_level(&self) -> u32 {
+        self.members
+            .iter()
+            .filter_map(|&m| self.level[m.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True if `node` is a member with no children.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.member[node.index()] && self.children[node.index()].is_empty()
+    }
+
+    /// All leaves, sorted by id.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| self.is_leaf(m))
+            .collect()
+    }
+
+    /// Number of members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if `desc` lies in the subtree rooted at `anc` (a node is its
+    /// own descendant).
+    pub fn is_descendant(&self, desc: NodeId, anc: NodeId) -> bool {
+        let mut cur = Some(desc);
+        while let Some(u) = cur {
+            if u == anc {
+                return true;
+            }
+            cur = self.parent[u.index()];
+        }
+        false
+    }
+
+    /// Members of the subtree rooted at `node` (including `node`).
+    pub fn subtree(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend(self.children[u.index()].iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Removes a failed node (§4.3 topology change). Each orphaned child
+    /// re-parents to its best surviving neighbour — lowest level, ties by
+    /// lowest id, never inside its own subtree. Orphans with no valid new
+    /// parent leave the tree together with their subtrees. Levels and
+    /// ranks are recomputed.
+    ///
+    /// Returns the list of nodes whose parent changed (the re-attached
+    /// orphans), which the protocol layer uses to trigger its §4.3
+    /// recovery actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed` is the root (the paper assumes the base station
+    /// survives) or not a member.
+    pub fn fail_node(&mut self, topology: &Topology, failed: NodeId) -> Vec<NodeId> {
+        assert!(failed != self.root, "cannot fail the root/base station");
+        assert!(self.member[failed.index()], "{failed} is not a tree member");
+
+        let orphans: Vec<NodeId> = self.children[failed.index()].clone();
+        // Remove the failed node.
+        self.level[failed.index()] = None;
+        self.parent[failed.index()] = None;
+        self.member[failed.index()] = false;
+
+        let mut reattached = Vec::new();
+        for orphan in orphans {
+            // Candidate parents: surviving member neighbours outside the
+            // orphan's own subtree.
+            let mut best: Option<(u32, NodeId)> = None;
+            for &cand in topology.neighbors(orphan) {
+                if cand == failed || !self.member[cand.index()] {
+                    continue;
+                }
+                if self.is_descendant_via(cand, orphan, failed) {
+                    continue;
+                }
+                if let Some(lvl) = self.level[cand.index()] {
+                    let key = (lvl, cand);
+                    if best.map(|b| key < b).unwrap_or(true) {
+                        best = Some(key);
+                    }
+                }
+            }
+            match best {
+                Some((_, new_parent)) => {
+                    self.parent[orphan.index()] = Some(new_parent);
+                    reattached.push(orphan);
+                }
+                None => {
+                    // Orphan subtree drops out of the tree.
+                    self.drop_subtree(orphan);
+                }
+            }
+        }
+
+        self.recompute_levels();
+        self.rebuild_derived();
+        reattached
+    }
+
+    /// `is_descendant` that tolerates the broken parent pointers present
+    /// mid-failure (stops at `failed`).
+    fn is_descendant_via(&self, desc: NodeId, anc: NodeId, failed: NodeId) -> bool {
+        let mut cur = Some(desc);
+        while let Some(u) = cur {
+            if u == anc {
+                return true;
+            }
+            if u == failed {
+                return false;
+            }
+            cur = self.parent[u.index()];
+        }
+        false
+    }
+
+    fn drop_subtree(&mut self, node: NodeId) {
+        let mut stack = vec![node];
+        while let Some(u) = stack.pop() {
+            self.level[u.index()] = None;
+            self.parent[u.index()] = None;
+            self.member[u.index()] = false;
+            stack.extend(self.children[u.index()].iter().copied());
+        }
+    }
+
+    /// Recomputes levels by walking tree edges from the root (parent
+    /// pointers are authoritative).
+    fn recompute_levels(&mut self) {
+        let n = self.parent.len();
+        // children-from-parents, transient.
+        let mut kids: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for i in 0..n {
+            if let Some(p) = self.parent[i] {
+                kids[p.index()].push(NodeId::new(i as u32));
+            }
+        }
+        for l in &mut self.level {
+            *l = None;
+        }
+        self.level[self.root.index()] = Some(0);
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            let lvl = self.level[u.index()].expect("visited");
+            for &c in &kids[u.index()] {
+                self.level[c.index()] = Some(lvl + 1);
+                stack.push(c);
+            }
+        }
+        // Anything unreachable from the root is no longer a member.
+        for i in 0..n {
+            if self.level[i].is_none() {
+                self.parent[i] = None;
+                self.member[i] = false;
+            }
+        }
+    }
+
+    /// Exhaustive structural validation; used by tests and debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self) {
+        assert!(self.member[self.root.index()], "root must be a member");
+        assert_eq!(self.level[self.root.index()], Some(0), "root level 0");
+        assert!(self.parent[self.root.index()].is_none(), "root has no parent");
+        for &m in &self.members {
+            let i = m.index();
+            assert!(self.member[i]);
+            let lvl = self.level[i].expect("member has a level");
+            if m != self.root {
+                let p = self.parent[i].expect("non-root member has a parent");
+                assert!(self.member[p.index()], "parent {p} of {m} is a member");
+                assert_eq!(
+                    self.level[p.index()].map(|l| l + 1),
+                    Some(lvl),
+                    "level({m}) = level(parent)+1"
+                );
+                assert!(
+                    self.children[p.index()].contains(&m),
+                    "{m} listed among {p}'s children"
+                );
+            }
+            // Rank definition check.
+            let expect = self.children[i]
+                .iter()
+                .map(|c| self.rank[c.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(self.rank[i], expect, "rank({m})");
+            // Acyclicity: walking parents reaches the root.
+            assert!(self.is_descendant(m, self.root), "{m} reaches root");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn line_tree_structure() {
+        let topo = Topology::line(5, 10.0, 12.0);
+        let tree = RoutingTree::build(&topo, n(0), None);
+        tree.check_invariants();
+        assert_eq!(tree.member_count(), 5);
+        assert_eq!(tree.level(n(3)), Some(3));
+        assert_eq!(tree.rank(n(0)), 4);
+        assert_eq!(tree.rank(n(4)), 0);
+        assert_eq!(tree.rank(n(2)), 2);
+        assert_eq!(tree.max_rank(), 4);
+        assert_eq!(tree.leaves(), vec![n(4)]);
+        assert_eq!(tree.children(n(1)), &[n(2)]);
+    }
+
+    #[test]
+    fn grid_tree_parent_rule_is_deterministic() {
+        let topo = Topology::grid(3, 3, 10.0, 10.5);
+        let a = RoutingTree::build(&topo, n(4), None);
+        let b = RoutingTree::build(&topo, n(4), None);
+        assert_eq!(a, b);
+        a.check_invariants();
+        // Node 0 (corner) has neighbours 1 and 3, both level 1; the
+        // tie-break picks the lower id via BFS order.
+        assert_eq!(a.parent(n(0)), Some(n(1)));
+    }
+
+    #[test]
+    fn radius_limit_excludes_far_nodes() {
+        let topo = Topology::line(5, 10.0, 12.0);
+        let tree = RoutingTree::build(&topo, n(0), Some(25.0));
+        tree.check_invariants();
+        assert_eq!(tree.member_count(), 3);
+        assert!(!tree.is_member(n(3)));
+        assert!(!tree.is_member(n(4)));
+        assert_eq!(tree.max_rank(), 2);
+    }
+
+    #[test]
+    fn subtree_and_descendants() {
+        let topo = Topology::line(4, 10.0, 12.0);
+        let tree = RoutingTree::build(&topo, n(0), None);
+        assert_eq!(tree.subtree(n(1)), vec![n(1), n(2), n(3)]);
+        assert!(tree.is_descendant(n(3), n(1)));
+        assert!(tree.is_descendant(n(1), n(1)));
+        assert!(!tree.is_descendant(n(1), n(3)));
+    }
+
+    #[test]
+    fn fail_interior_node_reattaches_children() {
+        // Diamond: 0 at root; 1 and 2 both level 1; 3 connected to both 1
+        // and 2 at level 2.
+        let topo = Topology::grid(2, 2, 10.0, 10.5); // 0-1 / 2-3 square
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        tree.check_invariants();
+        // 3's parent is 1 (lowest id of the two level-1 neighbours).
+        assert_eq!(tree.parent(n(3)), Some(n(1)));
+        let moved = tree.fail_node(&topo, n(1));
+        tree.check_invariants();
+        assert_eq!(moved, vec![n(3)]);
+        assert_eq!(tree.parent(n(3)), Some(n(2)), "re-parented to survivor");
+        assert!(!tree.is_member(n(1)));
+        assert_eq!(tree.member_count(), 3);
+    }
+
+    #[test]
+    fn fail_node_drops_disconnected_subtree() {
+        let topo = Topology::line(4, 10.0, 12.0);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        let moved = tree.fail_node(&topo, n(1));
+        tree.check_invariants();
+        assert!(moved.is_empty());
+        // 2 and 3 can no longer reach the root.
+        assert!(!tree.is_member(n(2)));
+        assert!(!tree.is_member(n(3)));
+        assert_eq!(tree.member_count(), 1);
+        assert_eq!(tree.max_rank(), 0);
+    }
+
+    #[test]
+    fn fail_leaf_shrinks_ranks() {
+        let topo = Topology::line(3, 10.0, 12.0);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        assert_eq!(tree.max_rank(), 2);
+        let moved = tree.fail_node(&topo, n(2));
+        assert!(moved.is_empty());
+        tree.check_invariants();
+        assert_eq!(tree.max_rank(), 1);
+        assert!(tree.is_leaf(n(1)));
+    }
+
+    #[test]
+    fn reparenting_never_creates_cycles() {
+        // Star-of-line: 0 - 1 - 2, and 2 - 3 where 3 also hears 2 only.
+        // Failing 1 leaves 2,3 with no path: both drop.
+        let topo = Topology::line(4, 10.0, 12.0);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        tree.fail_node(&topo, n(1));
+        tree.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fail the root")]
+    fn failing_root_rejected() {
+        let topo = Topology::line(2, 10.0, 12.0);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        tree.fail_node(&topo, n(0));
+    }
+
+    #[test]
+    fn paper_scale_tree_is_valid() {
+        use essat_sim::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(2024);
+        let topo = Topology::random_paper(&mut rng);
+        let root = topo.closest_to_center();
+        let tree = RoutingTree::build(&topo, root, Some(300.0));
+        tree.check_invariants();
+        assert!(tree.member_count() > 40, "most of 80 nodes join");
+        assert!(tree.max_rank() >= 2);
+        // Every member is within 300 m of the root.
+        for &m in tree.members() {
+            assert!(topo.position(m).distance_to(topo.position(root)) <= 300.0);
+        }
+    }
+}

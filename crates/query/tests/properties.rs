@@ -1,0 +1,161 @@
+//! Property-based tests for queries, aggregation, and routing trees.
+
+use proptest::prelude::*;
+
+use essat_net::geometry::Area;
+use essat_net::topology::Topology;
+use essat_query::aggregate::{AggState, AggregateOp};
+use essat_query::model::{Query, QueryId};
+use essat_query::round::RoundAggregator;
+use essat_query::tree::RoutingTree;
+use essat_net::ids::NodeId;
+use essat_sim::rng::SimRng;
+use essat_sim::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Merging partial state records is order-insensitive for min/max/
+    /// count exactly, and for sum/avg within floating-point tolerance.
+    #[test]
+    fn aggregation_order_insensitive(
+        readings in proptest::collection::vec(-1e6f64..1e6, 1..60),
+        perm_seed in any::<u64>(),
+    ) {
+        let mut fwd = AggState::empty();
+        for &x in &readings {
+            fwd.merge(&AggState::from_reading(x));
+        }
+        let mut shuffled = readings.clone();
+        let mut rng = SimRng::seed_from_u64(perm_seed);
+        rng.shuffle(&mut shuffled);
+        let mut rev = AggState::empty();
+        for &x in &shuffled {
+            rev.merge(&AggState::from_reading(x));
+        }
+        prop_assert_eq!(fwd.finish(AggregateOp::Min), rev.finish(AggregateOp::Min));
+        prop_assert_eq!(fwd.finish(AggregateOp::Max), rev.finish(AggregateOp::Max));
+        prop_assert_eq!(fwd.finish(AggregateOp::Count), rev.finish(AggregateOp::Count));
+        let tol = 1e-9 * readings.iter().map(|x| x.abs()).sum::<f64>().max(1.0);
+        prop_assert!((fwd.finish(AggregateOp::Sum) - rev.finish(AggregateOp::Sum)).abs() <= tol);
+        prop_assert!((fwd.finish(AggregateOp::Avg) - rev.finish(AggregateOp::Avg)).abs() <= tol);
+    }
+
+    /// Aggregate extrema always bracket the mean; count equals inputs.
+    #[test]
+    fn aggregate_invariants(readings in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+        let mut s = AggState::empty();
+        for &x in &readings {
+            s.merge(&AggState::from_reading(x));
+        }
+        prop_assert_eq!(s.count(), readings.len() as u64);
+        let avg = s.finish(AggregateOp::Avg);
+        prop_assert!(s.finish(AggregateOp::Min) <= avg + 1e-9);
+        prop_assert!(avg <= s.finish(AggregateOp::Max) + 1e-9);
+    }
+
+    /// Round arithmetic: `round_at(round_start(k)) == k`, and round
+    /// starts are strictly increasing.
+    #[test]
+    fn round_arithmetic_round_trips(
+        period_ms in 1u64..10_000,
+        phase_ms in 0u64..100_000,
+        k in 0u64..10_000,
+    ) {
+        let q = Query::periodic(
+            QueryId::new(0),
+            SimDuration::from_millis(period_ms),
+            SimTime::from_millis(phase_ms),
+            AggregateOp::Sum,
+        );
+        prop_assert_eq!(q.round_at(q.round_start(k)), Some(k));
+        prop_assert!(q.round_start(k + 1) > q.round_start(k));
+        // rounds_until is consistent with round_start.
+        let end = q.round_start(k) + SimDuration::from_millis(1);
+        prop_assert_eq!(q.rounds_until(end), k + if period_ms > 1 { 0 } else { 1 });
+    }
+
+    /// Tree construction on arbitrary random topologies always satisfies
+    /// the structural invariants, and ranks are bounded by levels' max.
+    #[test]
+    fn tree_invariants_on_random_topologies(
+        seed in any::<u64>(),
+        n in 1u32..80,
+        range in 30.0f64..150.0,
+        radius in proptest::option::of(50.0f64..400.0),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let topo = Topology::random(n, Area::new(300.0, 300.0), range, &mut rng);
+        let root = topo.closest_to_center();
+        let tree = RoutingTree::build(&topo, root, radius);
+        tree.check_invariants();
+        // Rank of root equals the maximum level among members.
+        let max_level = tree
+            .members()
+            .iter()
+            .filter_map(|&m| tree.level(m))
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(tree.max_rank(), max_level);
+    }
+
+    /// Failing random non-root members repeatedly never breaks the
+    /// invariants; membership shrinks monotonically.
+    #[test]
+    fn tree_survives_random_failures(
+        seed in any::<u64>(),
+        n in 3u32..50,
+        kills in proptest::collection::vec(any::<u32>(), 1..10),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let topo = Topology::random(n, Area::new(250.0, 250.0), 90.0, &mut rng);
+        let root = topo.closest_to_center();
+        let mut tree = RoutingTree::build(&topo, root, None);
+        for &kraw in &kills {
+            let candidates: Vec<_> = tree
+                .members()
+                .iter()
+                .copied()
+                .filter(|&m| m != root)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let victim = candidates[(kraw as usize) % candidates.len()];
+            let before = tree.member_count();
+            tree.fail_node(&topo, victim);
+            tree.check_invariants();
+            prop_assert!(tree.member_count() < before);
+            prop_assert!(!tree.is_member(victim));
+        }
+    }
+
+    /// A round aggregator seals to exactly the sum of accepted inputs,
+    /// regardless of arrival order and duplicates.
+    #[test]
+    fn round_aggregator_accepts_each_child_once(
+        children in proptest::collection::vec(0u32..10, 1..10),
+        arrivals in proptest::collection::vec((0u32..10, -100f64..100.0), 0..40),
+    ) {
+        let kids: Vec<NodeId> = {
+            let mut v: Vec<u32> = children.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.into_iter().map(NodeId::new).collect()
+        };
+        let mut agg = RoundAggregator::new(&kids);
+        let mut expect_sum = 0.0;
+        let mut seen = std::collections::BTreeSet::new();
+        for &(c, val) in &arrivals {
+            let child = NodeId::new(c);
+            let accepted = agg.add_child(child, AggState::from_reading(val));
+            let should = kids.contains(&child) && !seen.contains(&child);
+            prop_assert_eq!(accepted, should);
+            if should {
+                seen.insert(child);
+                expect_sum += val;
+            }
+        }
+        let sealed = agg.seal();
+        prop_assert!((sealed.finish(AggregateOp::Sum) - expect_sum).abs() < 1e-9);
+        prop_assert_eq!(sealed.count(), seen.len() as u64);
+    }
+}

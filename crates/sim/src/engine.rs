@@ -1,0 +1,385 @@
+//! The discrete-event simulation engine.
+//!
+//! A simulation is a [`Model`] (the entire mutable world state) driven by
+//! an [`Engine`] that owns the clock and the pending-event set. The model
+//! handles one event at a time and may schedule or cancel future events
+//! through the [`Context`] passed to its handler.
+//!
+//! This mirrors the classic sequential DES loop of ns-2 but with two
+//! guarantees ns-2 does not give:
+//!
+//! 1. **Determinism** — same model, same seed, same event sequence, every
+//!    run (see [`crate::queue`] for the ordering rule).
+//! 2. **Monotonic clock** — scheduling an event strictly in the past
+//!    panics immediately rather than silently reordering history.
+//!
+//! # Examples
+//!
+//! ```
+//! use essat_sim::engine::{Context, Engine, Model};
+//! use essat_sim::time::{SimDuration, SimTime};
+//!
+//! /// Counts ticks of a periodic timer.
+//! struct Clock {
+//!     ticks: u32,
+//! }
+//!
+//! enum Ev {
+//!     Tick,
+//! }
+//!
+//! impl Model for Clock {
+//!     type Event = Ev;
+//!     fn handle(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+//!         match event {
+//!             Ev::Tick => {
+//!                 self.ticks += 1;
+//!                 if self.ticks < 5 {
+//!                     ctx.schedule_after(SimDuration::from_millis(10), Ev::Tick);
+//!                 }
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Clock { ticks: 0 });
+//! engine.schedule_at(SimTime::ZERO, Ev::Tick);
+//! engine.run_until_idle();
+//! assert_eq!(engine.model().ticks, 5);
+//! assert_eq!(engine.now(), SimTime::from_millis(40));
+//! ```
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// World state driven by the engine.
+///
+/// The single `handle` method receives each event in deterministic order
+/// together with a [`Context`] for scheduling follow-up events.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Processes one event at the context's current time.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event>);
+}
+
+/// Scheduling interface handed to [`Model::handle`].
+///
+/// All mutation of the future-event set during a handler goes through this
+/// type, which keeps the clock and the queue consistent.
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`Context::now`].
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event)
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        let at = self.now + delay;
+        self.queue.push(at, event)
+    }
+
+    /// Schedules `event` to run after every event already scheduled for
+    /// the current instant ("end of this time step").
+    pub fn schedule_now(&mut self, event: E) -> EventId {
+        self.queue.push(self.now, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if it was
+    /// still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// True if the event is still pending.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.queue.is_pending(id)
+    }
+}
+
+/// Sequential discrete-event engine: owns the clock, the queue, and the
+/// model.
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    now: SimTime,
+    queue: EventQueue<M::Event>,
+    model: M,
+    processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine at time zero with an empty event set.
+    pub fn new(model: M) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            model,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time (the time of the last processed event, or
+    /// zero before any event has run).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (for setup and inspection between
+    /// runs; event handling itself must go through the queue).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an event from outside a handler (setup code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event)
+    }
+
+    /// Schedules an event after a relative delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: M::Event) -> EventId {
+        let at = self.now + delay;
+        self.queue.push(at, event)
+    }
+
+    /// Cancels a pending event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Processes the single earliest pending event. Returns `false` if the
+    /// queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((time, _id, event)) => {
+                debug_assert!(time >= self.now, "event queue violated monotonicity");
+                self.now = time;
+                self.processed += 1;
+                let mut ctx = Context {
+                    now: time,
+                    queue: &mut self.queue,
+                };
+                self.model.handle(event, &mut ctx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue is empty.
+    ///
+    /// Returns the number of events processed by this call.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let before = self.processed;
+        while self.step() {}
+        self.processed - before
+    }
+
+    /// Runs events with fire time `<= deadline`, then advances the clock
+    /// to exactly `deadline` (even if the queue still holds later events).
+    ///
+    /// Returns the number of events processed by this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.processed - before
+    }
+
+    /// Runs at most `budget` events; returns how many actually ran. Useful
+    /// as a watchdog against runaway models in tests.
+    pub fn run_with_budget(&mut self, budget: u64) -> u64 {
+        let mut ran = 0;
+        while ran < budget && self.step() {
+            ran += 1;
+        }
+        ran
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+        cancel_target: Option<EventId>,
+    }
+
+    enum Ev {
+        Mark(u32),
+        Spawn,
+        CancelOther,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+            match event {
+                Ev::Mark(n) => self.log.push((ctx.now(), n)),
+                Ev::Spawn => {
+                    ctx.schedule_after(SimDuration::from_millis(1), Ev::Mark(100));
+                    ctx.schedule_now(Ev::Mark(99));
+                }
+                Ev::CancelOther => {
+                    if let Some(id) = self.cancel_target.take() {
+                        assert!(ctx.cancel(id));
+                        assert!(!ctx.is_pending(id));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn processes_in_order_and_advances_clock() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_millis(20), Ev::Mark(2));
+        e.schedule_at(SimTime::from_millis(10), Ev::Mark(1));
+        assert_eq!(e.pending(), 2);
+        let ran = e.run_until_idle();
+        assert_eq!(ran, 2);
+        assert_eq!(
+            e.model().log,
+            vec![
+                (SimTime::from_millis(10), 1),
+                (SimTime::from_millis(20), 2)
+            ]
+        );
+        assert_eq!(e.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_millis(5), Ev::Spawn);
+        e.run_until_idle();
+        // schedule_now event runs at the same instant, after already-queued
+        // same-time events; the delayed one runs 1ms later.
+        assert_eq!(
+            e.model().log,
+            vec![
+                (SimTime::from_millis(5), 99),
+                (SimTime::from_millis(6), 100)
+            ]
+        );
+    }
+
+    #[test]
+    fn cancellation_from_handler() {
+        let mut e = Engine::new(Recorder::default());
+        let victim = e.schedule_at(SimTime::from_millis(10), Ev::Mark(1));
+        e.model_mut().cancel_target = Some(victim);
+        e.schedule_at(SimTime::from_millis(5), Ev::CancelOther);
+        e.run_until_idle();
+        assert!(e.model().log.is_empty());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_millis(10), Ev::Mark(1));
+        e.schedule_at(SimTime::from_millis(30), Ev::Mark(3));
+        let ran = e.run_until(SimTime::from_millis(20));
+        assert_eq!(ran, 1);
+        assert_eq!(e.now(), SimTime::from_millis(20));
+        assert_eq!(e.pending(), 1);
+        e.run_until_idle();
+        assert_eq!(e.model().log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut e = Engine::new(Recorder::default());
+        e.run_until(SimTime::from_secs(7));
+        assert_eq!(e.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn budget_limits_work() {
+        let mut e = Engine::new(Recorder::default());
+        for i in 0..10 {
+            e.schedule_at(SimTime::from_millis(i), Ev::Mark(i as u32));
+        }
+        assert_eq!(e.run_with_budget(3), 3);
+        assert_eq!(e.model().log.len(), 3);
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_past_panics() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_millis(10), Ev::Mark(1));
+        e.run_until_idle();
+        e.schedule_at(SimTime::from_millis(5), Ev::Mark(2));
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::ZERO, Ev::Mark(7));
+        e.run_until_idle();
+        let m = e.into_model();
+        assert_eq!(m.log, vec![(SimTime::ZERO, 7)]);
+    }
+}

@@ -1,0 +1,270 @@
+//! The pending-event set: a priority queue ordered by `(time, sequence)`.
+//!
+//! Determinism requirement: two events scheduled for the same instant must
+//! always execute in the order they were scheduled, on every run. The queue
+//! therefore orders entries by the pair *(fire time, insertion sequence)* —
+//! a strict total order with FIFO tie-breaking.
+//!
+//! Cancellation is exact: [`EventQueue::cancel`] removes a pending event by
+//! its [`EventId`] and reports whether the event was actually still
+//! pending. Internally this uses lazy deletion (the heap entry is skipped
+//! at pop time), which keeps `cancel` O(1).
+//!
+//! # Examples
+//!
+//! ```
+//! use essat_sim::queue::EventQueue;
+//! use essat_sim::time::SimTime;
+//!
+//! let mut q = EventQueue::new();
+//! let t = SimTime::from_millis(5);
+//! q.push(t, "b");
+//! let id = q.push(SimTime::from_millis(1), "a");
+//! q.push(t, "c");
+//! assert!(q.cancel(id));
+//! let (t1, _, e1) = q.pop().unwrap();
+//! assert_eq!((t1, e1), (t, "b")); // FIFO among same-time events
+//! assert_eq!(q.pop().unwrap().2, "c");
+//! assert!(q.pop().is_none());
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable to cancel it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number (unique per queue, monotonically increasing).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Deterministic future-event set.
+///
+/// See the [module documentation](self) for ordering and cancellation
+/// semantics.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    pending: HashSet<u64>,
+    next_seq: u64,
+    last_popped: Option<SimTime>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+            last_popped: None,
+        }
+    }
+
+    /// Schedules `event` to fire at `time` and returns its cancellation
+    /// handle.
+    ///
+    /// Scheduling into the past (before the last popped event) is allowed
+    /// by the queue itself; the [`engine`](crate::engine) enforces clock
+    /// monotonicity at a higher level.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        EventId(seq)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending (and is now guaranteed never to fire), `false` if it had
+    /// already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// Returns `true` if the event is still pending.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.pending.contains(&id.0)
+    }
+
+    /// Removes and returns the earliest pending event as
+    /// `(time, id, event)`, skipping cancelled entries.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                self.last_popped = Some(entry.time);
+                return Some((entry.time, EventId(entry.seq), entry.event));
+            }
+        }
+        None
+    }
+
+    /// The fire time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled heads so the answer reflects a live event.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_is_exact() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        let b = q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        let (_, id, e) = q.pop().unwrap();
+        assert_eq!(e, "b");
+        assert_eq!(id, b);
+        assert!(!q.cancel(b), "cancel after pop reports false");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn is_pending_tracks_lifecycle() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), ());
+        assert!(q.is_pending(a));
+        q.pop();
+        assert!(!q.is_pending(a));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(t(i), i);
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.scheduled_total(), 10);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        // Sequence numbers keep increasing after clear.
+        let id = q.push(t(1), 99);
+        assert_eq!(id.as_u64(), 10);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 10);
+        q.push(t(30), 30);
+        assert_eq!(q.pop().unwrap().2, 10);
+        q.push(t(20), 20);
+        assert_eq!(q.pop().unwrap().2, 20);
+        assert_eq!(q.pop().unwrap().2, 30);
+    }
+
+    #[test]
+    fn same_time_ids_are_distinct() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(0) + SimDuration::ZERO, 0);
+        let b = q.push(t(0), 1);
+        assert_ne!(a, b);
+    }
+}

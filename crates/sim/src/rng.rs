@@ -1,0 +1,280 @@
+//! Deterministic random numbers for simulations.
+//!
+//! [`SimRng`] wraps a seeded PRNG behind a small, simulation-oriented API
+//! and adds **stream derivation**: [`SimRng::derive`] produces an
+//! independent child generator from a parent seed and a stream label, so
+//! each node/component gets its own reproducible randomness regardless of
+//! the order in which other components draw. This is what makes runs
+//! bit-for-bit repeatable even as the code evolves.
+//!
+//! # Examples
+//!
+//! ```
+//! use essat_sim::rng::SimRng;
+//!
+//! let root = SimRng::seed_from_u64(42);
+//! let mut a = root.derive(1);
+//! let mut b = root.derive(2);
+//! // Independent streams: interleaving draws does not couple them.
+//! let x = a.next_u64();
+//! let _ = b.next_u64();
+//! let mut a2 = SimRng::seed_from_u64(42).derive(1);
+//! assert_eq!(x, a2.next_u64());
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic, derivable random-number generator.
+///
+/// Cloning a `SimRng` clones its state; the clone continues the same
+/// stream. Use [`SimRng::derive`] to obtain statistically independent
+/// sub-streams instead.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+/// SplitMix64 step — used to decorrelate derived stream seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator for stream `stream`.
+    ///
+    /// Derivation depends only on `(seed, stream)` — not on how many
+    /// values have been drawn from `self` — so components can be created
+    /// in any order without perturbing each other's randomness.
+    pub fn derive(&self, stream: u64) -> SimRng {
+        let child_seed = splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A)));
+        SimRng::seed_from_u64(child_seed)
+    }
+
+    /// Derives a child generator from two stream labels (e.g. node id and
+    /// component id).
+    pub fn derive2(&self, a: u64, b: u64) -> SimRng {
+        self.derive(splitmix64(a).wrapping_add(b))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "bad range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random::<f64>() < p
+        }
+    }
+
+    /// Picks a uniformly random element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "pick from empty slice");
+        &slice[self.below(slice.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        let n = slice.len();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        let u = 1.0 - self.f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should differ, {same}/64 collisions");
+    }
+
+    #[test]
+    fn derive_is_order_independent() {
+        let root = SimRng::seed_from_u64(99);
+        let mut c1 = root.derive(5);
+        let first = c1.next_u64();
+        // Derive again after drawing from an unrelated child.
+        let mut other = root.derive(6);
+        let _ = other.next_u64();
+        let mut c2 = root.derive(5);
+        assert_eq!(c2.next_u64(), first);
+    }
+
+    #[test]
+    fn derive2_distinguishes_pairs() {
+        let root = SimRng::seed_from_u64(3);
+        let mut a = root.derive2(1, 2);
+        let mut b = root.derive2(2, 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SimRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let x = r.range_f64(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&x));
+            let n = r.range_u64(10, 20);
+            assert!((10..20).contains(&n));
+            let m = r.below(3);
+            assert!(m < 3);
+        }
+        assert_eq!(r.range_f64(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(17);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "empirical {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from_u64(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+
+    #[test]
+    fn exp_mean_roughly_right() {
+        let mut r = SimRng::seed_from_u64(29);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exp(2.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut r = SimRng::seed_from_u64(31);
+        let items = [0usize, 1, 2, 3];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*r.pick(&items)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::seed_from_u64(0).below(0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+
+use essat_sim::queue::EventQueue;
+use essat_sim::rng::SimRng;
+use essat_sim::stats::{Histogram, OnlineStats};
+use essat_sim::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, and same-time
+    /// events pop in insertion order.
+    #[test]
+    fn queue_pop_order_is_total(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, _, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated among equal times");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// Cancellation removes exactly the chosen events.
+    #[test]
+    fn queue_cancellation_is_exact(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.push(SimTime::from_nanos(t), i))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expect.push(i);
+            }
+        }
+        prop_assert_eq!(q.len(), expect.len());
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, _, v)) = q.pop() {
+            popped.push(v);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, expect);
+    }
+
+    /// Time arithmetic round-trips: (t + d) − d == t and
+    /// (t + d) − t == d.
+    #[test]
+    fn time_addition_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(t);
+        let d = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert!(t + d >= t);
+    }
+
+    /// Saturating operations never panic and clamp correctly.
+    #[test]
+    fn time_saturating_ops(a in any::<u64>(), b in any::<u64>()) {
+        let t = SimTime::from_nanos(a);
+        let d = SimDuration::from_nanos(b);
+        let sub = t.saturating_sub(d);
+        prop_assert!(sub <= t);
+        if b > a {
+            prop_assert_eq!(sub, SimTime::ZERO);
+        }
+        let dur = t.saturating_duration_since(SimTime::from_nanos(b));
+        if a >= b {
+            prop_assert_eq!(dur.as_nanos(), a - b);
+        } else {
+            prop_assert_eq!(dur, SimDuration::ZERO);
+        }
+    }
+
+    /// Welford accumulation matches the naive two-pass computation.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.sample_variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+    }
+
+    /// Merging partitions equals accumulating the whole.
+    #[test]
+    fn welford_merge_is_partition_invariant(
+        xs in proptest::collection::vec(-1e4f64..1e4, 2..100),
+        split in 0usize..100,
+    ) {
+        let k = split % xs.len();
+        let whole: OnlineStats = xs.iter().copied().collect();
+        let mut left: OnlineStats = xs[..k].iter().copied().collect();
+        let right: OnlineStats = xs[k..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-7 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.sample_variance() - whole.sample_variance()).abs()
+                < 1e-5 * (1.0 + whole.sample_variance().abs())
+        );
+    }
+
+    /// Histogram mass is conserved and fraction_below is monotone.
+    #[test]
+    fn histogram_mass_and_monotonicity(xs in proptest::collection::vec(0.0f64..10.0, 1..300)) {
+        let mut h = Histogram::new(0.5, 10); // covers [0, 5); rest overflow
+        for &x in &xs {
+            h.add(x);
+        }
+        let binned: u64 = (0..h.bins()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(binned + h.overflow(), xs.len() as u64);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let mut last = 0.0;
+        for q in [0.5, 1.0, 2.0, 3.0, 5.0, 100.0] {
+            let f = h.fraction_below(q);
+            prop_assert!(f >= last - 1e-12, "fraction_below not monotone");
+            prop_assert!((0.0..=1.0).contains(&f));
+            last = f;
+        }
+    }
+
+    /// Derived RNG streams are reproducible and independent of sibling
+    /// draw order.
+    #[test]
+    fn rng_derivation_reproducible(seed in any::<u64>(), a in 0u64..64, b in 0u64..64) {
+        let root = SimRng::seed_from_u64(seed);
+        let mut c1 = root.derive(a);
+        let v1 = c1.next_u64();
+        // Interleave unrelated draws.
+        let mut other = root.derive(b.wrapping_add(17));
+        let _ = other.next_u64();
+        let mut c2 = root.derive(a);
+        prop_assert_eq!(c2.next_u64(), v1);
+    }
+
+    /// Uniform range draws respect their bounds.
+    #[test]
+    fn rng_ranges_in_bounds(seed in any::<u64>(), lo in -1e6f64..1e6, width in 1e-3f64..1e6) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let hi = lo + width;
+        for _ in 0..32 {
+            let x = rng.range_f64(lo, hi);
+            prop_assert!((lo..hi).contains(&x));
+        }
+    }
+}
+
+/// Deterministic stress: 50k randomly-timed events pop in a stable
+/// order across two identical queues.
+#[test]
+fn queue_stress_is_stable() {
+    use essat_sim::queue::EventQueue;
+    use essat_sim::rng::SimRng;
+    use essat_sim::time::SimTime;
+
+    let build = || {
+        let mut q = EventQueue::new();
+        let mut rng = SimRng::seed_from_u64(99);
+        for i in 0..50_000u64 {
+            q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000), i);
+        }
+        let mut order = Vec::with_capacity(50_000);
+        while let Some((_, _, e)) = q.pop() {
+            order.push(e);
+        }
+        order
+    };
+    assert_eq!(build(), build());
+}

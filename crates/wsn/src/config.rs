@@ -1,0 +1,334 @@
+//! Experiment configuration, mirroring the paper's §5 setup.
+
+use essat_core::dts::DtsConfig;
+use essat_core::sts::StsConfig;
+use essat_net::mac::MacParams;
+use essat_net::radio::RadioParams;
+use essat_net::topology::{PAPER_NODE_COUNT, PAPER_RANGE_M, PAPER_TREE_RADIUS_M};
+use essat_query::aggregate::AggregateOp;
+use essat_sim::time::{SimDuration, SimTime};
+
+/// Which power-management protocol every node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// ESSAT with no traffic shaping (NTS-SS).
+    NtsSs,
+    /// ESSAT with the static traffic shaper (STS-SS).
+    StsSs,
+    /// ESSAT with the dynamic traffic shaper (DTS-SS).
+    DtsSs,
+    /// Fixed 20%-duty synchronous wakeup.
+    Sync,
+    /// 802.11 PSM with advertisement windows.
+    Psm,
+    /// SPAN backbone (tree non-leaves always on, leaves run NTS-SS).
+    Span,
+    /// TinyDB/TAG level-slot scheduling under Safe Sleep (related-work
+    /// comparison, not in the paper's figures).
+    TagSs,
+    /// Radios never sleep (sanity baseline, not in the paper's figures).
+    AlwaysOn,
+}
+
+impl Protocol {
+    /// All protocols the paper plots (Figures 3–7).
+    pub fn paper_set() -> [Protocol; 6] {
+        [
+            Protocol::DtsSs,
+            Protocol::StsSs,
+            Protocol::NtsSs,
+            Protocol::Psm,
+            Protocol::Span,
+            Protocol::Sync,
+        ]
+    }
+
+    /// The three ESSAT variants.
+    pub fn essat_set() -> [Protocol; 3] {
+        [Protocol::DtsSs, Protocol::StsSs, Protocol::NtsSs]
+    }
+
+    /// Display name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::NtsSs => "NTS-SS",
+            Protocol::StsSs => "STS-SS",
+            Protocol::DtsSs => "DTS-SS",
+            Protocol::Sync => "SYNC",
+            Protocol::Psm => "PSM",
+            Protocol::Span => "SPAN",
+            Protocol::TagSs => "TAG-SS",
+            Protocol::AlwaysOn => "ALWAYS-ON",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Specification of the periodic query workload.
+///
+/// The paper simulates three query classes with rate ratio
+/// `Q1 : Q2 : Q3 = 6 : 3 : 2` (so Q2 runs at half and Q3 at a third of
+/// the base rate), a configurable number of queries per class, and
+/// random start times in `[0, 10] s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Q1's rate in hertz ("base rate").
+    pub base_rate_hz: f64,
+    /// Queries per class (the paper varies 1–10).
+    pub queries_per_class: u32,
+    /// Start times are drawn uniformly from `[0, phase_window]`.
+    pub phase_window: SimDuration,
+    /// Aggregation operator used by every query.
+    pub op: AggregateOp,
+    /// Deadline override: `None` keeps the paper's `D = P`.
+    pub deadline: Option<SimDuration>,
+}
+
+impl WorkloadSpec {
+    /// The paper's workload at the given base rate with one query per
+    /// class.
+    pub fn paper(base_rate_hz: f64) -> Self {
+        WorkloadSpec {
+            base_rate_hz,
+            queries_per_class: 1,
+            phase_window: SimDuration::from_secs(10),
+            op: AggregateOp::Avg,
+            deadline: None,
+        }
+    }
+
+    /// Builder-style override of the queries-per-class count.
+    pub fn with_queries_per_class(mut self, n: u32) -> Self {
+        self.queries_per_class = n;
+        self
+    }
+
+    /// Builder-style deadline override (used by the Figure 2 sweep).
+    pub fn with_deadline(mut self, d: SimDuration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// The class rates in hertz, ratio 6:3:2.
+    pub fn class_rates(&self) -> [f64; 3] {
+        [
+            self.base_rate_hz,
+            self.base_rate_hz * 3.0 / 6.0,
+            self.base_rate_hz * 2.0 / 6.0,
+        ]
+    }
+
+    /// Total number of queries.
+    pub fn query_count(&self) -> u32 {
+        self.queries_per_class * 3
+    }
+}
+
+/// How queries reach the nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetupMode {
+    /// Queries are pre-registered at every node before the run (the
+    /// paper sets up the routing tree "before the start of the
+    /// experiments"; dissemination cost excluded from metrics).
+    Idealized,
+    /// The root floods a setup request per query during a setup slot in
+    /// which all radios stay on (§4.1's setup-slot mechanism).
+    Flooded,
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Deployment area side length in metres (square area).
+    pub area_side: f64,
+    /// Communication range in metres.
+    pub range: f64,
+    /// Interference (carrier-sense) range in metres; `None` keeps it
+    /// equal to the communication range (one-range model).
+    pub interference_range: Option<f64>,
+    /// Only nodes within this distance of the root join the tree.
+    pub tree_radius: f64,
+    /// The protocol under test.
+    pub protocol: Protocol,
+    /// The query workload.
+    pub workload: WorkloadSpec,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Radio model.
+    pub radio: RadioParams,
+    /// MAC parameters.
+    pub mac: MacParams,
+    /// Setup slot length (all radios on until then; metrics start after).
+    pub setup_slot: SimDuration,
+    /// Query dissemination mode.
+    pub setup_mode: SetupMode,
+    /// Random per-(frame, receiver) loss probability (§4.3 experiments).
+    pub drop_probability: f64,
+    /// Scripted node failures: `(time, node_index)`.
+    pub node_failures: Vec<(SimTime, u32)>,
+    /// STS tuning (timeout margin, reception granularity ablation).
+    pub sts: StsConfig,
+    /// DTS tuning (collection timeout margin).
+    pub dts: DtsConfig,
+    /// Master seed; every run derives all randomness from it.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's §5 setup: 80 nodes in 500 × 500 m², 125 m range,
+    /// 300 m tree radius, 802.11b at 1 Mbps, MICA2 radio, 200 s runs.
+    pub fn paper(protocol: Protocol, workload: WorkloadSpec, seed: u64) -> Self {
+        ExperimentConfig {
+            nodes: PAPER_NODE_COUNT,
+            area_side: 500.0,
+            range: PAPER_RANGE_M,
+            interference_range: None,
+            tree_radius: PAPER_TREE_RADIUS_M,
+            protocol,
+            workload,
+            duration: SimDuration::from_secs(200),
+            radio: RadioParams::mica2(),
+            mac: MacParams::paper(),
+            setup_slot: SimDuration::from_millis(500),
+            setup_mode: SetupMode::Idealized,
+            drop_probability: 0.0,
+            node_failures: Vec::new(),
+            sts: StsConfig::default(),
+            dts: DtsConfig::default(),
+            seed,
+        }
+    }
+
+    /// A reduced-scale configuration for fast tests and Criterion
+    /// benches: 40 nodes in 350 × 350 m², 50 s runs.
+    pub fn quick(protocol: Protocol, workload: WorkloadSpec, seed: u64) -> Self {
+        ExperimentConfig {
+            nodes: 40,
+            area_side: 350.0,
+            range: PAPER_RANGE_M,
+            tree_radius: PAPER_TREE_RADIUS_M,
+            duration: SimDuration::from_secs(50),
+            ..ExperimentConfig::paper(protocol, workload, seed)
+        }
+    }
+
+    /// Builder-style radio override.
+    pub fn with_radio(mut self, radio: RadioParams) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Builder-style loss injection.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_probability = p;
+        self
+    }
+
+    /// Builder-style scripted failure.
+    pub fn with_node_failure(mut self, at: SimTime, node: u32) -> Self {
+        self.node_failures.push((at, node));
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameters.
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "need at least one node");
+        assert!(self.area_side > 0.0 && self.range > 0.0);
+        if let Some(ir) = self.interference_range {
+            assert!(ir >= self.range, "interference range below comm range");
+        }
+        assert!(!self.duration.is_zero(), "duration must be positive");
+        assert!(self.workload.base_rate_hz > 0.0);
+        assert!(self.workload.queries_per_class > 0);
+        assert!((0.0..=1.0).contains(&self.drop_probability));
+        for &(_, node) in &self.node_failures {
+            assert!(node < self.nodes, "failure of unknown node {node}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = ExperimentConfig::paper(Protocol::DtsSs, WorkloadSpec::paper(5.0), 1);
+        cfg.validate();
+        assert_eq!(cfg.nodes, 80);
+        assert_eq!(cfg.range, 125.0);
+        assert_eq!(cfg.duration, SimDuration::from_secs(200));
+        assert_eq!(cfg.workload.query_count(), 3);
+    }
+
+    #[test]
+    fn class_rates_ratio() {
+        let w = WorkloadSpec::paper(6.0);
+        let [q1, q2, q3] = w.class_rates();
+        assert_eq!(q1, 6.0);
+        assert_eq!(q2, 3.0);
+        assert_eq!(q3, 2.0);
+        // Ratio 6:3:2 preserved at other base rates.
+        let w2 = WorkloadSpec::paper(0.2);
+        let r = w2.class_rates();
+        assert!((r[0] / r[1] - 2.0).abs() < 1e-12);
+        assert!((r[0] / r[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let cfg = ExperimentConfig::quick(Protocol::Sync, WorkloadSpec::paper(1.0), 2);
+        cfg.validate();
+        assert!(cfg.nodes < 80);
+        assert!(cfg.duration < SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 3)
+            .with_drop_probability(0.1)
+            .with_node_failure(SimTime::from_secs(10), 5)
+            .with_radio(RadioParams::zebranet());
+        cfg.validate();
+        assert_eq!(cfg.drop_probability, 0.1);
+        assert_eq!(cfg.node_failures, vec![(SimTime::from_secs(10), 5)]);
+        assert_eq!(cfg.radio, RadioParams::zebranet());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn failure_of_unknown_node_rejected() {
+        ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 3)
+            .with_node_failure(SimTime::from_secs(1), 999)
+            .validate();
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(Protocol::DtsSs.to_string(), "DTS-SS");
+        assert_eq!(Protocol::Span.label(), "SPAN");
+        assert_eq!(Protocol::paper_set().len(), 6);
+        assert_eq!(Protocol::essat_set().len(), 3);
+    }
+
+    #[test]
+    fn workload_builders() {
+        let w = WorkloadSpec::paper(0.2)
+            .with_queries_per_class(10)
+            .with_deadline(SimDuration::from_millis(120));
+        assert_eq!(w.query_count(), 30);
+        assert_eq!(w.deadline, Some(SimDuration::from_millis(120)));
+    }
+}

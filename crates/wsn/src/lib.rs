@@ -1,0 +1,47 @@
+//! # essat-wsn — the integrated sensor-network simulator
+//!
+//! Composes the substrates into runnable experiments:
+//!
+//! * [`payload`] — upper-layer packet contents (reports with DTS phase
+//!   piggybacks, phase-update requests, ATIMs, query floods).
+//! * [`config`] — the paper's §5 experimental setup as data
+//!   ([`config::ExperimentConfig::paper`]) plus a reduced
+//!   [`config::ExperimentConfig::quick`] scale for tests and benches.
+//! * [`sim`] — the [`sim::World`]: per-node stacks (radio + CSMA/CA MAC +
+//!   power manager + query agent) over the deterministic engine.
+//! * [`metrics`] — duty cycles (per node / per rank), query latencies,
+//!   sleep-interval histograms, phase-update overhead.
+//! * [`runner`] — the paper's five-runs-with-90%-CI protocol, threaded.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use essat_wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
+//! use essat_wsn::runner;
+//!
+//! // A small DTS-SS run (the paper-scale setup is
+//! // `ExperimentConfig::paper`).
+//! let mut cfg = ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 7);
+//! cfg.duration = essat_sim::time::SimDuration::from_secs(15);
+//! let result = runner::run_one(&cfg);
+//! assert!(result.avg_duty_cycle_pct() < 100.0);
+//! assert!(result.queries.iter().any(|q| q.rounds_completed > 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod payload;
+pub mod runner;
+pub mod sim;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::config::{ExperimentConfig, Protocol, SetupMode, WorkloadSpec};
+    pub use crate::metrics::{MacTotals, NodeMetrics, QueryMetrics, RunResult};
+    pub use crate::payload::Payload;
+    pub use crate::runner::{run_many, run_one, run_summary, Summary};
+    pub use crate::sim::{Ev, World};
+}

@@ -1,0 +1,275 @@
+//! Run metrics: everything the paper's figures are built from.
+
+use std::collections::BTreeMap;
+
+use essat_net::ids::NodeId;
+use essat_query::model::QueryId;
+use essat_sim::stats::{Histogram, OnlineStats};
+use essat_sim::time::{SimDuration, SimTime};
+
+/// Per-node outcome of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMetrics {
+    /// The node.
+    pub node: NodeId,
+    /// Routing-tree rank `d` at the start of the run.
+    pub rank: u32,
+    /// Tree level (hops from root).
+    pub level: u32,
+    /// Duty cycle over the measurement window (fraction, 0–1; off-time
+    /// excludes transitions, which count as on).
+    pub duty_cycle: f64,
+    /// Energy consumed in joules over the measurement window.
+    pub energy_j: f64,
+}
+
+/// One completed round at the root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// Round number `k`.
+    pub round: u64,
+    /// When the root sealed the round.
+    pub at: SimTime,
+    /// Latency relative to the round start `φ + k·P`, in seconds.
+    pub latency_s: f64,
+    /// True if every expected source contributed.
+    pub full: bool,
+    /// Source readings folded into the aggregate.
+    pub readings: u64,
+}
+
+/// Per-query outcome of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMetrics {
+    /// The query.
+    pub query: QueryId,
+    /// The query's rate in hertz.
+    pub rate_hz: f64,
+    /// Latency samples: root completion − round start, per completed
+    /// round.
+    pub latency: OnlineStats,
+    /// Rounds completed at the root (sealed, partial or full).
+    pub rounds_completed: u64,
+    /// Rounds in which every expected source contributed.
+    pub rounds_full: u64,
+    /// Source readings delivered / expected, accumulated over rounds.
+    pub delivered_readings: u64,
+    /// Expected readings over completed rounds.
+    pub expected_readings: u64,
+    /// Per-round trace, in completion order (drives recovery analyses).
+    pub records: Vec<RoundRecord>,
+}
+
+impl QueryMetrics {
+    /// Fraction of source readings that reached the root.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.expected_readings == 0 {
+            1.0
+        } else {
+            self.delivered_readings as f64 / self.expected_readings as f64
+        }
+    }
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Seed the run was executed with.
+    pub seed: u64,
+    /// Measurement window start (end of the setup slot).
+    pub measured_from: SimTime,
+    /// Run end.
+    pub measured_until: SimTime,
+    /// Per-node metrics for routing-tree members.
+    pub nodes: Vec<NodeMetrics>,
+    /// Per-query metrics.
+    pub queries: Vec<QueryMetrics>,
+    /// Histogram of completed sleep-interval lengths in seconds
+    /// (paper Figure 8: 25 ms bins up to 200 ms).
+    pub sleep_intervals: Histogram,
+    /// DTS phase updates piggybacked on data reports.
+    pub phase_piggybacks: u64,
+    /// Explicit phase-update request packets sent.
+    pub phase_requests: u64,
+    /// Data reports released by all nodes.
+    pub reports_sent: u64,
+    /// MAC-level statistics summed over nodes.
+    pub mac: MacTotals,
+    /// Channel statistics.
+    pub channel_transmissions: u64,
+    /// (transmission, receiver) collision pairs.
+    pub channel_collisions: u64,
+    /// Events processed by the engine (for performance reporting).
+    pub events_processed: u64,
+}
+
+/// Summed MAC counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacTotals {
+    /// Frames handed to MACs.
+    pub enqueued: u64,
+    /// Data transmissions (with retries).
+    pub data_tx: u64,
+    /// Unicast completions.
+    pub delivered: u64,
+    /// Retry-limit drops.
+    pub failed: u64,
+    /// Retransmissions.
+    pub retries: u64,
+}
+
+impl RunResult {
+    /// Average duty cycle over member nodes (the paper's headline energy
+    /// metric), as a percentage.
+    pub fn avg_duty_cycle_pct(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.nodes.iter().map(|n| n.duty_cycle).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Average query latency in seconds over all queries (weighted by
+    /// rounds).
+    pub fn avg_latency_s(&self) -> f64 {
+        let mut all = OnlineStats::new();
+        for q in &self.queries {
+            all.merge(&q.latency);
+        }
+        all.mean()
+    }
+
+    /// Mean duty cycle per rank, for the paper's Figure 5.
+    pub fn duty_by_rank(&self) -> BTreeMap<u32, OnlineStats> {
+        let mut map: BTreeMap<u32, OnlineStats> = BTreeMap::new();
+        for n in &self.nodes {
+            map.entry(n.rank).or_default().add(n.duty_cycle * 100.0);
+        }
+        map
+    }
+
+    /// Phase-update overhead in bits per data report, assuming a 32-bit
+    /// phase field (the paper reports < 1 bit/report).
+    pub fn phase_overhead_bits_per_report(&self) -> f64 {
+        if self.reports_sent == 0 {
+            0.0
+        } else {
+            32.0 * self.phase_piggybacks as f64 / self.reports_sent as f64
+        }
+    }
+
+    /// Overall delivery ratio across queries.
+    pub fn delivery_ratio(&self) -> f64 {
+        let (d, e) = self.queries.iter().fold((0u64, 0u64), |(d, e), q| {
+            (d + q.delivered_readings, e + q.expected_readings)
+        });
+        if e == 0 {
+            1.0
+        } else {
+            d as f64 / e as f64
+        }
+    }
+
+    /// The measurement window length.
+    pub fn window(&self) -> SimDuration {
+        self.measured_until - self.measured_from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(rank: u32, duty: f64) -> NodeMetrics {
+        NodeMetrics {
+            node: NodeId::new(rank),
+            rank,
+            level: 0,
+            duty_cycle: duty,
+            energy_j: 0.0,
+        }
+    }
+
+    fn result(nodes: Vec<NodeMetrics>, queries: Vec<QueryMetrics>) -> RunResult {
+        RunResult {
+            seed: 0,
+            measured_from: SimTime::ZERO,
+            measured_until: SimTime::from_secs(10),
+            nodes,
+            queries,
+            sleep_intervals: Histogram::new(0.025, 8),
+            phase_piggybacks: 0,
+            phase_requests: 0,
+            reports_sent: 0,
+            mac: MacTotals::default(),
+            channel_transmissions: 0,
+            channel_collisions: 0,
+            events_processed: 0,
+        }
+    }
+
+    #[test]
+    fn avg_duty_cycle() {
+        let r = result(vec![node(0, 0.1), node(1, 0.3)], vec![]);
+        assert!((r.avg_duty_cycle_pct() - 20.0).abs() < 1e-9);
+        assert_eq!(result(vec![], vec![]).avg_duty_cycle_pct(), 0.0);
+    }
+
+    #[test]
+    fn duty_by_rank_groups() {
+        let r = result(
+            vec![node(0, 0.1), node(0, 0.2), node(2, 0.5)],
+            vec![],
+        );
+        let by_rank = r.duty_by_rank();
+        assert_eq!(by_rank.len(), 2);
+        assert!((by_rank[&0].mean() - 15.0).abs() < 1e-9);
+        assert!((by_rank[&2].mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_merges_queries() {
+        let mut q1 = QueryMetrics {
+            query: QueryId::new(0),
+            rate_hz: 1.0,
+            latency: OnlineStats::new(),
+            rounds_completed: 0,
+            rounds_full: 0,
+            delivered_readings: 8,
+            expected_readings: 10,
+            records: Vec::new(),
+        };
+        q1.latency.add(0.1);
+        q1.latency.add(0.3);
+        let mut q2 = q1.clone();
+        q2.latency = OnlineStats::new();
+        q2.latency.add(0.2);
+        let r = result(vec![], vec![q1, q2]);
+        assert!((r.avg_latency_s() - 0.2).abs() < 1e-9);
+        assert!((r.delivery_ratio() - 16.0 / 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_overhead() {
+        let mut r = result(vec![], vec![]);
+        r.phase_piggybacks = 1;
+        r.reports_sent = 64;
+        assert!((r.phase_overhead_bits_per_report() - 0.5).abs() < 1e-9);
+        r.reports_sent = 0;
+        assert_eq!(r.phase_overhead_bits_per_report(), 0.0);
+    }
+
+    #[test]
+    fn delivery_ratio_empty_is_one() {
+        let q = QueryMetrics {
+            query: QueryId::new(0),
+            rate_hz: 1.0,
+            latency: OnlineStats::new(),
+            rounds_completed: 0,
+            rounds_full: 0,
+            delivered_readings: 0,
+            expected_readings: 0,
+            records: Vec::new(),
+        };
+        assert_eq!(q.delivery_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Upper-layer packet payloads carried by the MAC.
+
+use essat_query::aggregate::AggState;
+use essat_query::model::QueryId;
+use essat_sim::time::SimTime;
+
+/// Everything a frame can carry above the link layer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Payload {
+    /// Nothing (ACK frames and padding).
+    #[default]
+    Empty,
+    /// An aggregated data report for one round of one query
+    /// (the paper's 52-byte packet).
+    Report {
+        /// The query.
+        query: QueryId,
+        /// Round number `k` — doubles as the §4.3 sequence number.
+        round: u64,
+        /// TAG-style partial state record.
+        agg: AggState,
+        /// DTS phase update: the sender's next expected send time
+        /// `s(k+1)`, present after phase shifts and on request.
+        piggyback: Option<SimTime>,
+    },
+    /// DTS §4.3: explicit request for a phase update (sent when a gap is
+    /// detected and the received report carried no piggyback).
+    PhaseUpdateRequest {
+        /// The query to resynchronise.
+        query: QueryId,
+    },
+    /// PSM traffic announcement (ATIM): the sender has buffered data for
+    /// the destination this beacon interval.
+    Atim,
+    /// Query dissemination flood (setup slot): announces a query so
+    /// nodes can register it.
+    QuerySetup {
+        /// The announced query.
+        query: QueryId,
+        /// Flood hop counter (diagnostics only).
+        hops: u32,
+    },
+}
+
+impl Payload {
+    /// The query a payload refers to, if any.
+    pub fn query(&self) -> Option<QueryId> {
+        match self {
+            Payload::Report { query, .. }
+            | Payload::PhaseUpdateRequest { query }
+            | Payload::QuerySetup { query, .. } => Some(*query),
+            Payload::Empty | Payload::Atim => None,
+        }
+    }
+
+    /// True for data reports.
+    pub fn is_report(&self) -> bool {
+        matches!(self, Payload::Report { .. })
+    }
+}
+
+/// Control-frame sizes (bytes on the air).
+pub mod sizes {
+    /// Phase-update request frames: tiny control packets.
+    pub const PHASE_REQUEST_BYTES: u32 = 20;
+    /// Query-setup flood frames.
+    pub const QUERY_SETUP_BYTES: u32 = 36;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(Payload::default(), Payload::Empty);
+    }
+
+    #[test]
+    fn query_extraction() {
+        let q = QueryId::new(3);
+        let report = Payload::Report {
+            query: q,
+            round: 0,
+            agg: AggState::empty(),
+            piggyback: None,
+        };
+        assert_eq!(report.query(), Some(q));
+        assert!(report.is_report());
+        assert_eq!(Payload::Atim.query(), None);
+        assert_eq!(Payload::PhaseUpdateRequest { query: q }.query(), Some(q));
+        assert!(!Payload::Empty.is_report());
+    }
+}

@@ -1,0 +1,2036 @@
+//! The integrated simulator: node stacks composed over the
+//! discrete-event engine.
+//!
+//! One [`World`] is one simulation run. It owns the topology, the routing
+//! tree, the shared channel, and a per-node stack (radio + MAC + power
+//! manager + query agent). Protocol logic lives in the `essat-core` and
+//! `essat-baselines` crates as pure state machines; this module only
+//! wires their decisions to events.
+//!
+//! The per-node power managers:
+//!
+//! * **ESSAT** modes run a [`TrafficShaper`] + [`SafeSleep`]: the shaper
+//!   decides release times and feeds expectations to SS; SS decisions are
+//!   re-evaluated whenever the MAC quiesces or an expectation changes.
+//! * **SYNC** follows the global 20%-duty schedule; releases are
+//!   quantised to active windows.
+//! * **PSM** wakes at every beacon, announces buffered traffic in the
+//!   ATIM window, exchanges data in the advertisement window.
+//! * **SPAN** marks tree non-leaves always-on; leaves run NTS-SS
+//!   (the paper's evaluation configuration).
+//!
+//! All protocols share the same query service: per-round aggregation
+//! with per-shaper collection timeouts, loss detection, and the §4.3
+//! failure recovery (re-parenting through the routing tree).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use essat_baselines::psm::{PsmBeaconState, PsmSchedule, ATIM_BYTES};
+use essat_baselines::span::SpanBackbone;
+use essat_baselines::sync::SyncSchedule;
+use essat_baselines::tag::Tag;
+use essat_core::dts::Dts;
+use essat_core::maintenance::{FailureDetector, LossDetector, LossObservation};
+use essat_core::nts::Nts;
+use essat_core::safe_sleep::{SafeSleep, SleepDecision};
+use essat_core::shaper::{Expectations, TrafficShaper, TreeInfo};
+use essat_core::sts::Sts;
+use essat_net::channel::{Channel, TxId};
+use essat_net::frame::{Dest, Frame, FrameKind, PAPER_REPORT_BYTES};
+use essat_net::geometry::Area;
+use essat_net::ids::NodeId;
+use essat_net::mac::{Mac, MacAction, MacTimer};
+use essat_net::radio::{Radio, TransitionOutcome};
+use essat_net::topology::Topology;
+use essat_query::aggregate::AggState;
+use essat_query::model::{Query, QueryId};
+use essat_query::round::{RoundAggregator, RoundKey};
+use essat_query::tree::RoutingTree;
+use essat_sim::engine::{Context, Engine, Model};
+use essat_sim::rng::SimRng;
+use essat_sim::stats::{Histogram, OnlineStats};
+use essat_sim::time::{SimDuration, SimTime};
+
+use crate::config::{ExperimentConfig, Protocol, SetupMode};
+use crate::metrics::{MacTotals, NodeMetrics, QueryMetrics, RunResult};
+use crate::payload::{sizes, Payload};
+
+/// Consecutive collection timeouts before a parent declares a child
+/// failed (§4.3). Deliberately high: transient contention regularly
+/// delays single reports, and a false child-removal costs a subtree.
+const CHILD_FAIL_THRESHOLD: u32 = 8;
+/// Consecutive MAC transmission failures before a child declares its
+/// parent failed. Each miss already represents a full retry cycle
+/// (7 MAC attempts), but a sleeping parent also manifests as one, so
+/// several rounds must agree before the routing layer reacts.
+const PARENT_FAIL_THRESHOLD: u32 = 5;
+/// Fine-grained sleep-interval histogram: 0.5 ms bins up to 1 s.
+const SLEEP_HIST_BIN_S: f64 = 0.0005;
+const SLEEP_HIST_BINS: usize = 2000;
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Ev {
+    /// End of the setup slot: metrics snapshot + first sleep decisions.
+    SetupEnd,
+    /// A forced-awake window (flooded query dissemination) closed.
+    ForcedWindowEnd,
+    /// Round `round` of query `query` begins at `node` (local sampling).
+    RoundStart {
+        /// Sampling node.
+        node: NodeId,
+        /// Query index.
+        query: usize,
+        /// Round number.
+        round: u64,
+    },
+    /// Collection timeout for `(node, query, round)`.
+    CollectionTimeout {
+        /// Aggregating node.
+        node: NodeId,
+        /// Query index.
+        query: usize,
+        /// Round number.
+        round: u64,
+        /// Staleness guard.
+        gen: u64,
+    },
+    /// A buffered report reaches its shaper release time.
+    ReleaseReport {
+        /// Sending node.
+        node: NodeId,
+        /// Query index.
+        query: usize,
+        /// Round number.
+        round: u64,
+    },
+    /// MAC timer expiry.
+    MacTimer {
+        /// Owning node.
+        node: NodeId,
+        /// Timer class.
+        kind: MacTimer,
+        /// Generation echo.
+        gen: u64,
+    },
+    /// A transmission leaves the air.
+    TxEnd {
+        /// Transmitting node.
+        sender: NodeId,
+        /// Channel handle.
+        tx: TxId,
+        /// The frame (delivered to clean receivers).
+        frame: Frame<Payload>,
+    },
+    /// A radio power transition completes.
+    RadioDone {
+        /// Owning node.
+        node: NodeId,
+    },
+    /// Safe-Sleep-scheduled wake-up (`t_wakeup − t_OFF→ON`).
+    RadioWake {
+        /// Owning node.
+        node: NodeId,
+        /// Staleness guard.
+        gen: u64,
+    },
+    /// SYNC schedule edge (window start or end).
+    SyncEdge {
+        /// Owning node.
+        node: NodeId,
+    },
+    /// PSM beacon boundary.
+    PsmBeacon {
+        /// Owning node.
+        node: NodeId,
+    },
+    /// End of the PSM ATIM window.
+    PsmAtimEnd {
+        /// Owning node.
+        node: NodeId,
+    },
+    /// End of the PSM advertisement window.
+    PsmAdvEnd {
+        /// Owning node.
+        node: NodeId,
+    },
+    /// Release PSM-buffered frames to a confirmed destination.
+    PsmRelease {
+        /// Owning node.
+        node: NodeId,
+        /// Confirmed destination.
+        dest: NodeId,
+    },
+    /// Scripted node failure.
+    NodeFail {
+        /// The failing node.
+        node: NodeId,
+    },
+    /// Flooded setup: the root issues a query announcement.
+    FloodIssue {
+        /// Query index.
+        query: usize,
+    },
+    /// Flooded setup: wake everyone for the setup window.
+    ForceWake {
+        /// Node to wake.
+        node: NodeId,
+    },
+}
+
+/// Power-manager personality of a node.
+enum Mode {
+    /// ESSAT: a traffic shaper plus Safe Sleep.
+    Essat {
+        shaper: Box<dyn TrafficShaper>,
+        ss: SafeSleep,
+    },
+    /// Global synchronized duty cycle.
+    Sync,
+    /// 802.11 PSM with advertisement windows.
+    Psm,
+    /// Radio never sleeps (SPAN coordinators, ALWAYS-ON).
+    AlwaysOn,
+}
+
+impl std::fmt::Debug for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Essat { shaper, .. } => write!(f, "Essat({})", shaper.kind()),
+            Mode::Sync => f.write_str("Sync"),
+            Mode::Psm => f.write_str("Psm"),
+            Mode::AlwaysOn => f.write_str("AlwaysOn"),
+        }
+    }
+}
+
+/// One round's collection state.
+#[derive(Debug)]
+struct RoundState {
+    agg: RoundAggregator,
+    timeout_gen: u64,
+    deadline: Option<SimTime>,
+    piggyback: Option<SimTime>,
+    release_planned: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RadioSnapshot {
+    active: u64,
+    off: u64,
+    trans: u64,
+    energy: f64,
+}
+
+/// Per-node simulation state.
+#[derive(Debug)]
+struct NodeState {
+    mode: Mode,
+    radio: Radio,
+    mac: Mac<Payload>,
+    member: bool,
+    dead: bool,
+    died_at: Option<SimTime>,
+    participating: BTreeSet<usize>,
+    expected_children: BTreeMap<usize, Vec<NodeId>>,
+    rounds: BTreeMap<RoundKey, RoundState>,
+    /// Highest round released/completed per query (staleness guard).
+    done: BTreeMap<usize, u64>,
+    loss: LossDetector,
+    child_fail: FailureDetector,
+    parent_fail: FailureDetector,
+    /// `(query, child)` pairs whose DTS phase is suspected stale.
+    stale_phase: BTreeSet<(usize, NodeId)>,
+    wake_gen: u64,
+    /// PSM: frames buffered per destination awaiting announcement.
+    psm_pending: BTreeMap<NodeId, Vec<Frame<Payload>>>,
+    psm_beacon: PsmBeaconState,
+    /// Flooded setup: queries already registered.
+    registered: BTreeSet<usize>,
+    snap: RadioSnapshot,
+    rank0: u32,
+    level0: u32,
+}
+
+/// One simulation run: the [`Model`] driven by the engine.
+#[derive(Debug)]
+pub struct World {
+    cfg: ExperimentConfig,
+    topo: Topology,
+    tree: RoutingTree,
+    root: NodeId,
+    channel: Channel,
+    queries: Vec<Query>,
+    source_count: Vec<u64>,
+    nodes: Vec<NodeState>,
+    sync_schedule: SyncSchedule,
+    psm_schedule: PsmSchedule,
+    setup_over: bool,
+    forced_windows: Vec<(SimTime, SimTime)>,
+    run_end: SimTime,
+    measure_from: SimTime,
+    // accumulated metrics
+    qmetrics: Vec<QueryMetrics>,
+    phase_piggybacks: u64,
+    phase_requests: u64,
+    reports_sent: u64,
+}
+
+impl World {
+    /// Builds the world and the initial event list for `cfg`.
+    pub fn new(cfg: ExperimentConfig) -> (World, Vec<(SimTime, Ev)>) {
+        cfg.validate();
+        let master = SimRng::seed_from_u64(cfg.seed);
+        let mut topo_rng = master.derive(1);
+        let mut phase_rng = master.derive(2);
+        let channel_rng = master.derive(3);
+
+        let area = Area::new(cfg.area_side, cfg.area_side);
+        let mut topo = Topology::random(cfg.nodes, area, cfg.range, &mut topo_rng);
+        if let Some(ir) = cfg.interference_range {
+            topo = topo.with_interference_range(ir);
+        }
+        let root = topo.closest_to_center();
+        let tree = RoutingTree::build(&topo, root, Some(cfg.tree_radius));
+
+        let mut channel = Channel::new(&topo, channel_rng);
+        channel.set_drop_probability(cfg.drop_probability);
+
+        // Queries: three classes at rate ratio 6:3:2.
+        let rates = cfg.workload.class_rates();
+        let mut queries = Vec::new();
+        for &rate in &rates {
+            for _ in 0..cfg.workload.queries_per_class {
+                let id = QueryId::new(queries.len() as u32);
+                let period = SimDuration::from_rate_hz(rate);
+                let phase = SimTime::from_secs_f64(
+                    phase_rng.range_f64(0.0, cfg.workload.phase_window.as_secs_f64()),
+                );
+                let mut q = Query::periodic(id, period, phase, cfg.workload.op);
+                if let Some(d) = cfg.workload.deadline {
+                    q = q.with_deadline(d);
+                }
+                queries.push(q);
+            }
+        }
+        let member_count = tree.member_count() as u64;
+        let source_count = queries.iter().map(|_| member_count).collect();
+
+        let span_backbone = match cfg.protocol {
+            Protocol::Span => Some(SpanBackbone::from_tree(&tree, topo.node_count())),
+            _ => None,
+        };
+
+        let t_be = cfg.radio.break_even();
+        let t_on = cfg.radio.turn_on;
+        let nodes = topo
+            .nodes()
+            .map(|id| {
+                let mode = match cfg.protocol {
+                    Protocol::NtsSs => Mode::Essat {
+                        shaper: Box::new(Nts::new()),
+                        ss: SafeSleep::new(t_be, t_on),
+                    },
+                    Protocol::StsSs => Mode::Essat {
+                        shaper: Box::new(Sts::with_config(cfg.sts)),
+                        ss: SafeSleep::new(t_be, t_on),
+                    },
+                    Protocol::DtsSs => Mode::Essat {
+                        shaper: Box::new(Dts::with_config(cfg.dts)),
+                        ss: SafeSleep::new(t_be, t_on),
+                    },
+                    Protocol::Sync => Mode::Sync,
+                    Protocol::Psm => Mode::Psm,
+                    Protocol::TagSs => Mode::Essat {
+                        shaper: Box::new(Tag::new()),
+                        ss: SafeSleep::new(t_be, t_on),
+                    },
+                    Protocol::AlwaysOn => Mode::AlwaysOn,
+                    Protocol::Span => {
+                        let bb = span_backbone.as_ref().expect("built above");
+                        if bb.is_coordinator(id) {
+                            Mode::AlwaysOn
+                        } else {
+                            // Leaves (and non-members) run NTS-SS, per the
+                            // paper's modified SPAN setup.
+                            Mode::Essat {
+                                shaper: Box::new(Nts::new()),
+                                ss: SafeSleep::new(t_be, t_on),
+                            }
+                        }
+                    }
+                };
+                NodeState {
+                    mode,
+                    radio: Radio::new(cfg.radio),
+                    mac: Mac::new(id, cfg.mac, master.derive2(4, id.as_u32() as u64)),
+                    member: tree.is_member(id),
+                    dead: false,
+                    died_at: None,
+                    participating: BTreeSet::new(),
+                    expected_children: BTreeMap::new(),
+                    rounds: BTreeMap::new(),
+                    done: BTreeMap::new(),
+                    loss: LossDetector::new(),
+                    child_fail: FailureDetector::new(CHILD_FAIL_THRESHOLD),
+                    parent_fail: FailureDetector::new(PARENT_FAIL_THRESHOLD),
+                    stale_phase: BTreeSet::new(),
+                    wake_gen: 0,
+                    psm_pending: BTreeMap::new(),
+                    psm_beacon: PsmBeaconState::new(),
+                    registered: BTreeSet::new(),
+                    snap: RadioSnapshot::default(),
+                    rank0: tree.rank(id),
+                    level0: tree.level(id).unwrap_or(0),
+                }
+            })
+            .collect();
+
+        let qmetrics = queries
+            .iter()
+            .map(|q| QueryMetrics {
+                query: q.id,
+                rate_hz: q.rate_hz(),
+                latency: OnlineStats::new(),
+                rounds_completed: 0,
+                rounds_full: 0,
+                delivered_readings: 0,
+                expected_readings: 0,
+                records: Vec::new(),
+            })
+            .collect();
+
+        let run_end = SimTime::ZERO + cfg.duration;
+        let measure_from = SimTime::ZERO + cfg.setup_slot;
+
+        let mut forced_windows = Vec::new();
+        if cfg.setup_mode == SetupMode::Flooded {
+            for q in &queries {
+                let start = q.phase.saturating_sub(cfg.setup_slot);
+                forced_windows.push((start, start + cfg.setup_slot));
+            }
+        }
+
+        let mut world = World {
+            cfg,
+            topo,
+            tree,
+            root,
+            channel,
+            queries,
+            source_count,
+            nodes,
+            sync_schedule: SyncSchedule::paper(),
+            psm_schedule: PsmSchedule::paper(),
+            setup_over: false,
+            forced_windows,
+            run_end,
+            measure_from,
+            qmetrics,
+            phase_piggybacks: 0,
+            phase_requests: 0,
+            reports_sent: 0,
+        };
+
+        let mut initial: Vec<(SimTime, Ev)> = Vec::new();
+        initial.push((world.measure_from, Ev::SetupEnd));
+
+        match world.cfg.setup_mode {
+            SetupMode::Idealized => {
+                // Pre-register every query at every relevant node.
+                for qi in 0..world.queries.len() {
+                    for node in world.tree.members().to_vec() {
+                        if let Some(at) = world.register_query_at(node, qi, SimTime::ZERO) {
+                            initial.push((
+                                at,
+                                Ev::RoundStart {
+                                    node,
+                                    query: qi,
+                                    round: 0,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            SetupMode::Flooded => {
+                for (qi, q) in world.queries.iter().enumerate() {
+                    let issue = q.phase.saturating_sub(world.cfg.setup_slot);
+                    initial.push((issue, Ev::FloodIssue { query: qi }));
+                    for node in world.tree.members() {
+                        initial.push((issue, Ev::ForceWake { node: *node }));
+                    }
+                }
+                for &(_, end) in &world.forced_windows.clone() {
+                    initial.push((end, Ev::ForcedWindowEnd));
+                }
+            }
+        }
+
+        // Baseline schedule chains.
+        match world.cfg.protocol {
+            Protocol::Sync => {
+                for &m in world.tree.members() {
+                    initial.push((world.sync_schedule.next_edge(SimTime::ZERO), Ev::SyncEdge { node: m }));
+                }
+            }
+            Protocol::Psm => {
+                for &m in world.tree.members() {
+                    initial.push((SimTime::ZERO, Ev::PsmBeacon { node: m }));
+                }
+            }
+            _ => {}
+        }
+
+        // Scripted failures.
+        for &(at, node) in &world.cfg.node_failures.clone() {
+            initial.push((at, Ev::NodeFail { node: NodeId::new(node) }));
+        }
+
+        (world, initial)
+    }
+
+    /// Runs a full experiment and returns its metrics.
+    pub fn run(cfg: &ExperimentConfig) -> RunResult {
+        let (world, initial) = World::new(cfg.clone());
+        let run_end = world.run_end;
+        let mut engine = Engine::new(world);
+        for (at, ev) in initial {
+            engine.schedule_at(at, ev);
+        }
+        engine.run_until(run_end);
+        let events = engine.processed();
+        engine.into_model().finalize(run_end, events)
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn query(&self, qi: usize) -> Query {
+        self.queries[qi].clone()
+    }
+
+    /// `(own_rank, max_rank, own_level, max_level, children-with-ranks)`
+    /// for `node`, from the current tree.
+    fn tree_view(&self, node: NodeId) -> (u32, u32, u32, u32, Vec<(NodeId, u32)>) {
+        let kids = self
+            .tree
+            .children(node)
+            .iter()
+            .map(|&c| (c, self.tree.rank(c)))
+            .collect();
+        (
+            self.tree.rank(node),
+            self.tree.max_rank(),
+            self.tree.level(node).unwrap_or(0),
+            self.tree.max_level(),
+            kids,
+        )
+    }
+
+    fn is_source(&self, node: NodeId, qi: usize) -> bool {
+        self.tree.is_member(node) && self.queries[qi].sources.contains(node)
+    }
+
+    fn in_forced_window(&self, now: SimTime) -> bool {
+        self.forced_windows
+            .iter()
+            .any(|&(s, e)| now >= s && now < e)
+    }
+
+    /// Registers query `qi` at `node`. Returns the time of the node's
+    /// first round if the node participates.
+    fn register_query_at(&mut self, node: NodeId, qi: usize, now: SimTime) -> Option<SimTime> {
+        if !self.tree.is_member(node) || self.nodes[node.index()].dead {
+            return None;
+        }
+        let q = self.query(qi);
+        let kids: Vec<NodeId> = self.tree.children(node).to_vec();
+        let is_src = self.is_source(node, qi);
+        if !is_src && kids.is_empty() {
+            return None; // nothing to sample, nothing to relay
+        }
+        let is_root = node == self.root;
+        let (own_rank, max_rank, own_level, max_level, kid_ranks) = self.tree_view(node);
+        let n = &mut self.nodes[node.index()];
+        n.participating.insert(qi);
+        n.registered.insert(qi);
+        n.expected_children.insert(qi, kids);
+        if let Mode::Essat { shaper, ss } = &mut n.mode {
+            let info = TreeInfo {
+                own_rank,
+                max_rank,
+                own_level,
+                max_level,
+                children: &kid_ranks,
+            };
+            let exps = shaper.register(&q, &info, is_root);
+            apply_expectations(ss, q.id, &exps, is_root);
+        }
+        // First round this node can still run.
+        let k0 = if q.phase >= now {
+            0
+        } else {
+            q.round_at(now).map(|k| k + 1).unwrap_or(0)
+        };
+        let at = q.round_start(k0);
+        (at < self.run_end).then_some(at)
+    }
+
+    /// Deterministic synthetic sensor reading.
+    fn reading(node: NodeId, k: u64) -> AggState {
+        AggState::from_reading(((node.index() as u64 * 31 + k * 7) % 101) as f64)
+    }
+
+    // ------------------------------------------------------------------
+    // MAC plumbing
+    // ------------------------------------------------------------------
+
+    fn exec_mac_actions(
+        &mut self,
+        node: NodeId,
+        actions: Vec<MacAction<Payload>>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        for action in actions {
+            match action {
+                MacAction::SetTimer { kind, gen, after } => {
+                    ctx.schedule_after(after, Ev::MacTimer { node, kind, gen });
+                }
+                MacAction::StartTx { frame, airtime } => {
+                    let start = self.channel.begin_tx(ctx.now(), node, airtime);
+                    for h in start.now_busy {
+                        let hn = &mut self.nodes[h.index()];
+                        if !hn.dead && hn.radio.is_active() {
+                            let acts = hn.mac.carrier_busy(ctx.now());
+                            self.exec_mac_actions(h, acts, ctx);
+                        }
+                    }
+                    ctx.schedule_after(
+                        airtime,
+                        Ev::TxEnd {
+                            sender: node,
+                            tx: start.id,
+                            frame,
+                        },
+                    );
+                }
+                MacAction::Deliver { frame } => self.handle_delivery(node, frame, ctx),
+                MacAction::TxDone { frame, .. } => self.handle_tx_done(node, frame, ctx),
+                MacAction::TxFailed { frame, .. } => self.handle_tx_failed(node, frame, ctx),
+            }
+        }
+    }
+
+    fn enqueue_frame(&mut self, node: NodeId, frame: Frame<Payload>, ctx: &mut Context<'_, Ev>) {
+        let actions = self.nodes[node.index()].mac.enqueue(frame, ctx.now());
+        self.exec_mac_actions(node, actions, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Round lifecycle
+    // ------------------------------------------------------------------
+
+    fn open_round(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) -> bool {
+        let q = self.query(qi);
+        let key = RoundKey { query: q.id, round: k };
+        {
+            let n = &self.nodes[node.index()];
+            if n.rounds.contains_key(&key) {
+                return true;
+            }
+            if n.done.get(&qi).map(|&d| k <= d).unwrap_or(false) {
+                return false; // round already finished
+            }
+        }
+        let expected = self.nodes[node.index()]
+            .expected_children
+            .get(&qi)
+            .cloned()
+            .unwrap_or_default();
+        let deadline = if expected.is_empty() {
+            None
+        } else {
+            Some(self.collection_deadline(node, qi, k))
+        };
+        let n = &mut self.nodes[node.index()];
+        let state = RoundState {
+            agg: RoundAggregator::new(&expected),
+            timeout_gen: 0,
+            deadline,
+            piggyback: None,
+            release_planned: false,
+        };
+        n.rounds.insert(key, state);
+        if let Some(d) = deadline {
+            ctx.schedule_at(
+                d.max(ctx.now()),
+                Ev::CollectionTimeout {
+                    node,
+                    query: qi,
+                    round: k,
+                    gen: 0,
+                },
+            );
+        }
+        true
+    }
+
+    /// The collection deadline under the node's power manager. ESSAT
+    /// modes use their shaper's §4.3 rule; fixed-schedule baselines need
+    /// roughly one schedule period per subtree level.
+    fn collection_deadline(&self, node: NodeId, qi: usize, k: u64) -> SimTime {
+        let q = self.query(qi);
+        let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+        let info = TreeInfo {
+            own_rank,
+            max_rank,
+            own_level,
+            max_level,
+            children: &kids,
+        };
+        match &self.nodes[node.index()].mode {
+            Mode::Essat { shaper, .. } => shaper.collection_deadline(&q, k, &info),
+            Mode::Sync => {
+                q.round_start(k)
+                    + self.sync_schedule.period() * (own_rank as u64 + 1)
+                    + SimDuration::from_millis(50)
+            }
+            Mode::Psm => {
+                q.round_start(k)
+                    + self.psm_schedule.beacon_period() * (own_rank as u64 + 1)
+                    + SimDuration::from_millis(50)
+            }
+            Mode::AlwaysOn => {
+                // NTS's rank-proportional rule works for always-on nodes.
+                Nts::new().collection_deadline(&q, k, &info)
+            }
+        }
+    }
+
+    fn handle_round_start(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let n = &self.nodes[node.index()];
+        if n.dead || !n.participating.contains(&qi) {
+            return;
+        }
+        let q = self.query(qi);
+        if self.open_round(node, qi, k, ctx) && self.is_source(node, qi) {
+            let key = RoundKey { query: q.id, round: k };
+            let reading = Self::reading(node, k);
+            if let Some(r) = self.nodes[node.index()].rounds.get_mut(&key) {
+                r.agg.add_own(reading);
+            }
+        }
+        self.maybe_complete(node, qi, k, ctx);
+        // Chain the next round.
+        let next = q.round_start(k + 1);
+        if next < self.run_end {
+            ctx.schedule_at(
+                next,
+                Ev::RoundStart {
+                    node,
+                    query: qi,
+                    round: k + 1,
+                },
+            );
+        }
+        self.reconsider_sleep(node, ctx);
+    }
+
+    /// Checks readiness and plans the release when ready.
+    fn maybe_complete(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
+        let q = self.query(qi);
+        let key = RoundKey { query: q.id, round: k };
+        let ready = {
+            let n = &self.nodes[node.index()];
+            match n.rounds.get(&key) {
+                None => false,
+                Some(r) => {
+                    !r.release_planned
+                        && r.agg.children_complete()
+                        && (!self.is_source(node, qi) || r.agg.own_added())
+                }
+            }
+        };
+        if !ready {
+            return;
+        }
+        self.finish_round(node, qi, k, true, ctx);
+    }
+
+    /// Completes a round: at the root, record metrics; elsewhere, plan
+    /// the report release. `full` is false on the timeout path.
+    fn finish_round(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        full: bool,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let q = self.query(qi);
+        let key = RoundKey { query: q.id, round: k };
+        let now = ctx.now();
+        if node == self.root {
+            let Some(mut r) = self.nodes[node.index()].rounds.remove(&key) else {
+                return;
+            };
+            let agg = r.agg.seal();
+            let n = &mut self.nodes[node.index()];
+            n.done
+                .entry(qi)
+                .and_modify(|d| *d = (*d).max(k))
+                .or_insert(k);
+            // "Full" means every expected source reading arrived — the
+            // root's children being complete is not enough, since their
+            // aggregates may themselves be partial.
+            let full = full && agg.count() == self.source_count[qi];
+            let latency_s = (now - q.round_start(k)).as_secs_f64().max(0.0);
+            let qm = &mut self.qmetrics[qi];
+            qm.latency.add(latency_s);
+            qm.rounds_completed += 1;
+            if full {
+                qm.rounds_full += 1;
+            }
+            qm.delivered_readings += agg.count();
+            qm.expected_readings += self.source_count[qi];
+            qm.records.push(crate::metrics::RoundRecord {
+                round: k,
+                at: now,
+                latency_s,
+                full,
+                readings: agg.count(),
+            });
+            return;
+        }
+        // Non-root: plan the release according to the power manager.
+        let mut send_now = false;
+        let mut send_at = now;
+        {
+            let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+            let n = &mut self.nodes[node.index()];
+            let Some(r) = n.rounds.get_mut(&key) else {
+                return;
+            };
+            r.release_planned = true;
+            match &mut n.mode {
+                Mode::Essat { shaper, .. } => {
+                    let info = TreeInfo {
+                        own_rank,
+                        max_rank,
+                        own_level,
+                        max_level,
+                        children: &kids,
+                    };
+                    let rel = shaper.release(&q, k, now, &info);
+                    r.piggyback = rel.piggyback;
+                    if rel.send_at <= now {
+                        send_now = true;
+                    } else {
+                        send_at = rel.send_at;
+                    }
+                }
+                Mode::Sync => {
+                    let at = self.sync_schedule.next_active_start(now);
+                    if at <= now {
+                        send_now = true;
+                    } else {
+                        send_at = at;
+                    }
+                }
+                Mode::Psm | Mode::AlwaysOn => {
+                    send_now = true; // PSM buffering happens in do_send
+                }
+            }
+        }
+        if send_now {
+            self.do_send(node, qi, k, ctx);
+        } else {
+            ctx.schedule_at(
+                send_at,
+                Ev::ReleaseReport {
+                    node,
+                    query: qi,
+                    round: k,
+                },
+            );
+        }
+    }
+
+    /// Seals the round and hands the report towards the parent.
+    fn do_send(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
+        let q = self.query(qi);
+        let key = RoundKey { query: q.id, round: k };
+        let Some(parent) = self.tree.parent(node) else {
+            // Detached from the tree (declared failed): drop silently.
+            self.nodes[node.index()].rounds.remove(&key);
+            return;
+        };
+        let (agg, piggyback) = {
+            let n = &mut self.nodes[node.index()];
+            let Some(r) = n.rounds.get_mut(&key) else {
+                return;
+            };
+            (r.agg.seal(), r.piggyback)
+        };
+        {
+            let n = &mut self.nodes[node.index()];
+            n.done
+                .entry(qi)
+                .and_modify(|d| *d = (*d).max(k))
+                .or_insert(k);
+        }
+        if piggyback.is_some() {
+            self.phase_piggybacks += 1;
+        }
+        let frame = {
+            let n = &mut self.nodes[node.index()];
+            Frame {
+                id: n.mac.alloc_frame_id(),
+                src: node,
+                dest: Dest::Unicast(parent),
+                kind: FrameKind::Data,
+                bytes: PAPER_REPORT_BYTES,
+                payload: Payload::Report {
+                    query: q.id,
+                    round: k,
+                    agg,
+                    piggyback,
+                },
+            }
+        };
+        if matches!(self.nodes[node.index()].mode, Mode::Psm) {
+            self.psm_buffer_frame(node, parent, frame, ctx);
+        } else {
+            self.enqueue_frame(node, frame, ctx);
+        }
+    }
+
+    fn handle_collection_timeout(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        gen: u64,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let q = self.query(qi);
+        let key = RoundKey { query: q.id, round: k };
+        let missing = {
+            let n = &self.nodes[node.index()];
+            match n.rounds.get(&key) {
+                None => return,
+                Some(r) if r.timeout_gen != gen || r.release_planned => return,
+                Some(r) => r.agg.missing(),
+            }
+        };
+        let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+        let mut failed_children = Vec::new();
+        {
+            let n = &mut self.nodes[node.index()];
+            for &c in &missing {
+                if let Mode::Essat { shaper, ss } = &mut n.mode {
+                    let info = TreeInfo {
+                        own_rank,
+                        max_rank,
+                        own_level,
+                        max_level,
+                        children: &kids,
+                    };
+                    let rnext = shaper.child_timed_out(&q, c, k, &info);
+                    ss.update_next_receive(q.id, c, rnext);
+                }
+                if n.child_fail.miss(c) {
+                    failed_children.push(c);
+                }
+            }
+        }
+        for c in failed_children {
+            if self.tree.is_member(c) && self.tree.parent(c) == Some(node) {
+                self.repair_tree(c, ctx);
+            }
+        }
+        // Forward the partial aggregate (§4.3).
+        self.finish_round(node, qi, k, false, ctx);
+        self.reconsider_sleep(node, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Frame handling
+    // ------------------------------------------------------------------
+
+    fn handle_delivery(&mut self, node: NodeId, frame: Frame<Payload>, ctx: &mut Context<'_, Ev>) {
+        if self.nodes[node.index()].dead {
+            return;
+        }
+        match frame.payload.clone() {
+            Payload::Report {
+                query,
+                round,
+                agg,
+                piggyback,
+            } => {
+                self.handle_report(node, frame.src, query, round, agg, piggyback, ctx);
+            }
+            Payload::PhaseUpdateRequest { query } => {
+                let qi = query.index();
+                let q = self.query(qi);
+                if let Mode::Essat { shaper, .. } = &mut self.nodes[node.index()].mode {
+                    shaper.on_phase_update_request(&q);
+                }
+            }
+            Payload::Atim => {
+                let n = &mut self.nodes[node.index()];
+                n.psm_beacon.atim_received(frame.src);
+            }
+            Payload::QuerySetup { query, hops } => {
+                self.handle_query_setup(node, query.index(), hops, ctx);
+            }
+            Payload::Empty => {}
+        }
+        self.reconsider_sleep(node, ctx);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_report(
+        &mut self,
+        node: NodeId,
+        child: NodeId,
+        query: QueryId,
+        k: u64,
+        agg: AggState,
+        piggyback: Option<SimTime>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let qi = query.index();
+        let q = self.query(qi);
+        if !self.nodes[node.index()].participating.contains(&qi) {
+            return;
+        }
+        // Resurrection: a child we removed is still alive — restore it.
+        if self.tree.children(node).contains(&child) {
+            let n = &mut self.nodes[node.index()];
+            let kids = n.expected_children.entry(qi).or_default();
+            if !kids.contains(&child) {
+                kids.push(child);
+                kids.sort_unstable();
+            }
+        } else if !self
+            .nodes[node.index()]
+            .expected_children
+            .get(&qi)
+            .map(|v| v.contains(&child))
+            .unwrap_or(false)
+        {
+            return; // stranger (stale sender after re-parenting)
+        }
+
+        let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+        let now = ctx.now();
+        {
+            let n = &mut self.nodes[node.index()];
+            let obs = n.loss.observe(query, child, k);
+            n.child_fail.heard_from(child);
+            // §4.3 phase resynchronisation bookkeeping.
+            if piggyback.is_some() {
+                n.stale_phase.remove(&(qi, child));
+            }
+            let wants_resync = match &n.mode {
+                Mode::Essat { shaper, .. } => shaper.wants_phase_resync(),
+                _ => false,
+            };
+            if wants_resync {
+                let gap = matches!(obs, LossObservation::Gap { .. });
+                if gap && piggyback.is_none() {
+                    n.stale_phase.insert((qi, child));
+                }
+                if n.stale_phase.contains(&(qi, child)) {
+                    // Ask for a phase update on the ACK we are about to
+                    // send (the paper's piggyback-in-ACK mechanism).
+                    n.mac
+                        .prime_ack_note(child, Payload::PhaseUpdateRequest { query });
+                    self.phase_requests += 1;
+                }
+            }
+            if let Mode::Essat { shaper, ss } = &mut n.mode {
+                let info = TreeInfo {
+                    own_rank,
+                    max_rank,
+                    own_level,
+                    max_level,
+                    children: &kids,
+                };
+                let rnext = shaper.after_receive(&q, child, k, now, piggyback, &info);
+                ss.update_next_receive(query, child, rnext);
+            }
+        }
+        // Fold into the round (unless it already finished).
+        if self.open_round(node, qi, k, ctx) {
+            let key = RoundKey { query, round: k };
+            let n = &mut self.nodes[node.index()];
+            if let Some(r) = n.rounds.get_mut(&key) {
+                r.agg.add_child(child, agg);
+            }
+        }
+        // A fresher expectation may move open collection deadlines
+        // (DTS learns child phases): re-derive for k and k+1.
+        for kk in [k, k + 1] {
+            self.refresh_deadline(node, qi, kk, ctx);
+        }
+        self.maybe_complete(node, qi, k, ctx);
+    }
+
+    /// Re-derives the collection deadline of an open, unreleased round
+    /// and reschedules its timeout if it moved.
+    fn refresh_deadline(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
+        let q = self.query(qi);
+        let key = RoundKey { query: q.id, round: k };
+        let current = {
+            let n = &self.nodes[node.index()];
+            match n.rounds.get(&key) {
+                Some(r) if !r.release_planned && r.deadline.is_some() => r.deadline,
+                _ => return,
+            }
+        };
+        let fresh = self.collection_deadline(node, qi, k);
+        if Some(fresh) != current {
+            let n = &mut self.nodes[node.index()];
+            let r = n.rounds.get_mut(&key).expect("checked above");
+            r.deadline = Some(fresh);
+            r.timeout_gen += 1;
+            let gen = r.timeout_gen;
+            ctx.schedule_at(
+                fresh.max(ctx.now()),
+                Ev::CollectionTimeout {
+                    node,
+                    query: qi,
+                    round: k,
+                    gen,
+                },
+            );
+        }
+    }
+
+    fn handle_tx_done(&mut self, node: NodeId, frame: Frame<Payload>, ctx: &mut Context<'_, Ev>) {
+        match frame.payload {
+            Payload::Report { query, round, .. } => {
+                self.reports_sent += 1;
+                let qi = query.index();
+                let q = self.query(qi);
+                let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+                let parent = self.tree.parent(node);
+                let now = ctx.now();
+                let n = &mut self.nodes[node.index()];
+                if let Some(p) = parent {
+                    n.parent_fail.heard_from(p);
+                }
+                if let Mode::Essat { shaper, ss } = &mut n.mode {
+                    let info = TreeInfo {
+                        own_rank,
+                        max_rank,
+                        own_level,
+                        max_level,
+                        children: &kids,
+                    };
+                    let snext = shaper.after_send(&q, round, now, &info);
+                    ss.update_next_send(query, snext);
+                }
+                n.rounds.remove(&RoundKey { query, round });
+            }
+            Payload::Atim => {
+                if let Dest::Unicast(dest) = frame.dest {
+                    self.psm_announce_confirmed(node, dest, ctx);
+                }
+            }
+            _ => {}
+        }
+        self.reconsider_sleep(node, ctx);
+    }
+
+    fn handle_tx_failed(&mut self, node: NodeId, frame: Frame<Payload>, ctx: &mut Context<'_, Ev>) {
+        match frame.payload {
+            Payload::Report { query, round, .. } => {
+                let qi = query.index();
+                let q = self.query(qi);
+                let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+                let now = ctx.now();
+                let mut parent_failed = None;
+                {
+                    let n = &mut self.nodes[node.index()];
+                    // The schedule advances regardless (the round is lost).
+                    if let Mode::Essat { shaper, ss } = &mut n.mode {
+                        let info = TreeInfo {
+                            own_rank,
+                            max_rank,
+                            own_level,
+                            max_level,
+                            children: &kids,
+                        };
+                        let snext = shaper.after_send(&q, round, now, &info);
+                        ss.update_next_send(query, snext);
+                        // A failed exchange usually means the parent was
+                        // not listening when we expected it to be — our
+                        // phases have diverged. Advertise ours on the
+                        // next report so the parent can re-arm (§4.3).
+                        if shaper.wants_phase_resync() {
+                            shaper.on_phase_update_request(&q);
+                        }
+                    }
+                    n.rounds.remove(&RoundKey { query, round });
+                    if let Dest::Unicast(p) = frame.dest {
+                        if n.parent_fail.miss(p) {
+                            parent_failed = Some(p);
+                        }
+                    }
+                }
+                if let Some(p) = parent_failed {
+                    if self.tree.is_member(p) && p != self.root {
+                        self.repair_tree(p, ctx);
+                    }
+                }
+            }
+            Payload::Atim => { /* re-announced next beacon */ }
+            _ => {}
+        }
+        self.reconsider_sleep(node, ctx);
+    }
+
+    fn handle_query_setup(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        hops: u32,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let n = &self.nodes[node.index()];
+        if n.dead || !n.member || n.registered.contains(&qi) {
+            return;
+        }
+        if let Some(at) = self.register_query_at(node, qi, ctx.now()) {
+            ctx.schedule_at(
+                at.max(ctx.now()),
+                Ev::RoundStart {
+                    node,
+                    query: qi,
+                    round: 0,
+                },
+            );
+        } else {
+            // Still mark as seen so we only rebroadcast once.
+            self.nodes[node.index()].registered.insert(qi);
+        }
+        // Re-flood once.
+        let frame = {
+            let n = &mut self.nodes[node.index()];
+            Frame {
+                id: n.mac.alloc_frame_id(),
+                src: node,
+                dest: Dest::Broadcast,
+                kind: FrameKind::Data,
+                bytes: sizes::QUERY_SETUP_BYTES,
+                payload: Payload::QuerySetup {
+                    query: QueryId::new(qi as u32),
+                    hops: hops + 1,
+                },
+            }
+        };
+        self.enqueue_frame(node, frame, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Radio control
+    // ------------------------------------------------------------------
+
+    /// ESSAT sleep re-evaluation (`checkState` call sites).
+    fn reconsider_sleep(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        if !self.setup_over || self.in_forced_window(ctx.now()) {
+            return;
+        }
+        let now = ctx.now();
+        let n = &mut self.nodes[node.index()];
+        if n.dead || !n.radio.is_active() || !n.mac.is_quiescent() {
+            return;
+        }
+        let Mode::Essat { ss, .. } = &n.mode else {
+            return;
+        };
+        match ss.decide(now) {
+            SleepDecision::Sleep { start_wake_at, .. } => {
+                if start_wake_at <= now + n.radio.params().turn_off {
+                    return; // no room to complete the off transition
+                }
+                n.mac.radio_slept(now);
+                let d = n.radio.begin_sleep(now).expect("radio is active");
+                ctx.schedule_after(d, Ev::RadioDone { node });
+                n.wake_gen += 1;
+                let gen = n.wake_gen;
+                ctx.schedule_at(start_wake_at, Ev::RadioWake { node, gen });
+            }
+            SleepDecision::Unconstrained => {
+                // No queries routed through this node: sleep until poked.
+                n.mac.radio_slept(now);
+                let d = n.radio.begin_sleep(now).expect("radio is active");
+                ctx.schedule_after(d, Ev::RadioDone { node });
+                n.wake_gen += 1;
+            }
+            SleepDecision::Busy | SleepDecision::StayAwake { .. } => {}
+        }
+    }
+
+    /// After a repair touched a sleeping node's expectations, re-arm its
+    /// wake-up.
+    fn refresh_wake(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let n = &mut self.nodes[node.index()];
+        if n.dead {
+            return;
+        }
+        let Mode::Essat { ss, .. } = &n.mode else {
+            return;
+        };
+        if n.radio.is_active() {
+            return; // awake: normal event flow handles it
+        }
+        let Some(earliest) = ss.earliest() else {
+            return;
+        };
+        n.wake_gen += 1;
+        let gen = n.wake_gen;
+        let at = earliest.saturating_sub(n.radio.params().turn_on).max(now);
+        ctx.schedule_at(at, Ev::RadioWake { node, gen });
+    }
+
+    /// Begin waking the radio if it is off (or queue the wake if it is
+    /// mid-transition).
+    fn wake_radio(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let n = &mut self.nodes[node.index()];
+        if n.dead {
+            return;
+        }
+        if n.radio.is_off() {
+            let d = n.radio.begin_wake(now).expect("radio is off");
+            ctx.schedule_after(d, Ev::RadioDone { node });
+        } else {
+            // Active / turning on: nothing. Turning off: queue the wake.
+            let _ = n.radio.begin_wake(now);
+        }
+    }
+
+    fn handle_radio_done(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        if self.nodes[node.index()].dead {
+            return;
+        }
+        let outcome = self.nodes[node.index()].radio.finish_transition(now);
+        match outcome {
+            TransitionOutcome::NowOff => {}
+            TransitionOutcome::NowActive => {
+                let busy = self.channel.carrier_busy(node);
+                let actions = self.nodes[node.index()].mac.radio_woke(now, busy);
+                self.exec_mac_actions(node, actions, ctx);
+            }
+            TransitionOutcome::OffWakeQueued => {
+                let n = &mut self.nodes[node.index()];
+                let d = n.radio.begin_wake(now).expect("just turned off");
+                ctx.schedule_after(d, Ev::RadioDone { node });
+            }
+        }
+    }
+
+    fn handle_radio_wake(&mut self, node: NodeId, gen: u64, ctx: &mut Context<'_, Ev>) {
+        {
+            let n = &self.nodes[node.index()];
+            if n.dead || gen != n.wake_gen {
+                return;
+            }
+        }
+        self.wake_radio(node, ctx);
+    }
+
+    /// Baseline (SYNC/PSM) sleep attempt at a schedule boundary.
+    fn try_mode_sleep(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        if !self.setup_over || self.in_forced_window(ctx.now()) {
+            return;
+        }
+        let now = ctx.now();
+        let sync = self.sync_schedule;
+        let psm = self.psm_schedule;
+        let n = &mut self.nodes[node.index()];
+        if n.dead || !n.radio.is_active() || !n.mac.can_suspend() {
+            return;
+        }
+        let may_sleep = match &n.mode {
+            Mode::Sync => !sync.is_active(now),
+            Mode::Psm => {
+                if psm.in_atim_window(now) {
+                    false
+                } else if psm.in_adv_window(now) {
+                    !n.psm_beacon.must_stay_awake()
+                } else {
+                    true
+                }
+            }
+            _ => false,
+        };
+        if may_sleep {
+            n.mac.radio_slept(now);
+            let d = n.radio.begin_sleep(now).expect("radio is active");
+            ctx.schedule_after(d, Ev::RadioDone { node });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SYNC / PSM schedules
+    // ------------------------------------------------------------------
+
+    fn handle_sync_edge(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        if self.nodes[node.index()].dead {
+            return;
+        }
+        let now = ctx.now();
+        if self.sync_schedule.is_active(now) {
+            self.wake_radio(node, ctx);
+        } else {
+            self.try_mode_sleep(node, ctx);
+        }
+        let next = self.sync_schedule.next_edge(now);
+        if next < self.run_end {
+            ctx.schedule_at(next, Ev::SyncEdge { node });
+        }
+    }
+
+    fn handle_psm_beacon(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        if self.nodes[node.index()].dead {
+            return;
+        }
+        let now = ctx.now();
+        self.wake_radio(node, ctx);
+        let dests: Vec<NodeId> = {
+            let n = &mut self.nodes[node.index()];
+            n.psm_beacon.reset();
+            n.psm_pending.keys().copied().collect()
+        };
+        for dest in dests {
+            self.psm_announce(node, dest, ctx);
+        }
+        ctx.schedule_at(self.psm_schedule.atim_end(now), Ev::PsmAtimEnd { node });
+        let next = self.psm_schedule.next_beacon(now);
+        if next < self.run_end {
+            ctx.schedule_at(next, Ev::PsmBeacon { node });
+        }
+    }
+
+    fn psm_announce(&mut self, node: NodeId, dest: NodeId, ctx: &mut Context<'_, Ev>) {
+        let frame = {
+            let n = &mut self.nodes[node.index()];
+            if !n.psm_beacon.announce(dest) {
+                return; // already announced this beacon
+            }
+            Frame {
+                id: n.mac.alloc_frame_id(),
+                src: node,
+                dest: Dest::Unicast(dest),
+                kind: FrameKind::Data,
+                bytes: ATIM_BYTES,
+                payload: Payload::Atim,
+            }
+        };
+        self.enqueue_frame(node, frame, ctx);
+    }
+
+    fn psm_announce_confirmed(&mut self, node: NodeId, dest: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        self.nodes[node.index()].psm_beacon.announce_confirmed(dest);
+        let atim_end = self.psm_schedule.atim_end(now);
+        if now >= atim_end {
+            self.psm_release(node, dest, ctx);
+        } else {
+            ctx.schedule_at(atim_end, Ev::PsmRelease { node, dest });
+        }
+    }
+
+    fn psm_release(&mut self, node: NodeId, dest: NodeId, ctx: &mut Context<'_, Ev>) {
+        let frames = {
+            let n = &mut self.nodes[node.index()];
+            if n.dead || !n.psm_beacon.may_send_to(dest) {
+                return;
+            }
+            n.psm_pending.remove(&dest).unwrap_or_default()
+        };
+        for f in frames {
+            self.enqueue_frame(node, f, ctx);
+        }
+    }
+
+    fn psm_buffer_frame(
+        &mut self,
+        node: NodeId,
+        dest: NodeId,
+        frame: Frame<Payload>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let now = ctx.now();
+        let psm = self.psm_schedule;
+        let (announce, direct) = {
+            let n = &mut self.nodes[node.index()];
+            let confirmed = n.psm_beacon.may_send_to(dest);
+            if confirmed && now >= psm.atim_end(now) && now < psm.adv_end(now) {
+                (false, true) // already cleared for this beacon
+            } else {
+                n.psm_pending.entry(dest).or_default().push(frame.clone());
+                (psm.in_atim_window(now), false)
+            }
+        };
+        if direct {
+            self.enqueue_frame(node, frame, ctx);
+        } else if announce {
+            self.psm_announce(node, dest, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failures and repair (§4.3)
+    // ------------------------------------------------------------------
+
+    fn handle_node_fail(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let n = &mut self.nodes[node.index()];
+        if n.dead {
+            return;
+        }
+        n.dead = true;
+        n.died_at = Some(now);
+        n.radio.settle(now);
+        let _ = ctx; // detectors at the neighbours drive the repair
+    }
+
+    /// Routing-layer repair after `failed` is declared dead: re-parent
+    /// orphans, recompute ranks, and notify every node whose schedule
+    /// depends on the topology (§4.3).
+    fn repair_tree(&mut self, failed: NodeId, ctx: &mut Context<'_, Ev>) {
+        if !self.tree.is_member(failed) || failed == self.root {
+            return;
+        }
+        let now = ctx.now();
+        let old_parent = self.tree.parent(failed);
+        let old_rank: Vec<u32> = self.topo.nodes().map(|n| self.tree.rank(n)).collect();
+        let old_max = self.tree.max_rank();
+        let was_member: Vec<bool> = self.topo.nodes().map(|n| self.tree.is_member(n)).collect();
+        let moved = self.tree.fail_node(&self.topo, failed);
+
+        // The failed node — and any orphan subtree that could not
+        // re-attach and therefore dropped out of the tree — stops
+        // participating entirely. Without this, dropped nodes keep
+        // running their query machinery against a tree that no longer
+        // contains them (or their children).
+        for m in self.topo.nodes() {
+            if !was_member[m.index()] || self.tree.is_member(m) {
+                continue;
+            }
+            let n = &mut self.nodes[m.index()];
+            n.participating.clear();
+            n.rounds.clear();
+            n.expected_children.clear();
+            if let Mode::Essat { ss, .. } = &mut n.mode {
+                for qi in 0..self.queries.len() {
+                    ss.remove_query(QueryId::new(qi as u32));
+                }
+            }
+        }
+
+        // Its old parent drops every dependency on it.
+        if let Some(p) = old_parent {
+            let qids: Vec<usize> = self.nodes[p.index()].participating.iter().copied().collect();
+            for qi in qids {
+                let q = self.query(qi);
+                let n = &mut self.nodes[p.index()];
+                if let Some(kids) = n.expected_children.get_mut(&qi) {
+                    kids.retain(|&c| c != failed);
+                }
+                if let Mode::Essat { shaper, ss } = &mut n.mode {
+                    ss.clear_receive(q.id, failed);
+                    shaper.remove_child(&q, failed);
+                }
+                n.loss.remove_child(failed);
+                n.child_fail.remove(failed);
+                // Unblock open rounds that waited on the failed child.
+                let open: Vec<u64> = n
+                    .rounds
+                    .iter()
+                    .filter(|(rk, _)| rk.query == q.id)
+                    .map(|(rk, _)| rk.round)
+                    .collect();
+                for k in open {
+                    let key = RoundKey { query: q.id, round: k };
+                    if let Some(r) = self.nodes[p.index()].rounds.get_mut(&key) {
+                        r.agg.remove_child(failed);
+                    }
+                    self.maybe_complete(p, qi, k, ctx);
+                }
+            }
+        }
+
+        // Nodes affected by rank changes or re-parenting refresh their
+        // schedules.
+        let max_changed = self.tree.max_rank() != old_max;
+        for m in self.topo.nodes() {
+            if !self.tree.is_member(m) {
+                continue;
+            }
+            let rank_changed = self.tree.rank(m) != old_rank[m.index()];
+            let reparented = moved.contains(&m);
+            let gained_child = moved.iter().any(|&o| self.tree.parent(o) == Some(m));
+            if !(rank_changed || reparented || gained_child || max_changed) {
+                continue;
+            }
+            self.refresh_node_schedule(m, now);
+            self.refresh_wake(m, ctx);
+        }
+    }
+
+    /// Re-derives a node's expected-children lists and shaper/SS state
+    /// from the current tree.
+    fn refresh_node_schedule(&mut self, node: NodeId, now: SimTime) {
+        let is_root = node == self.root;
+        let kids_now: Vec<NodeId> = self.tree.children(node).to_vec();
+        let (own_rank, max_rank, own_level, max_level, kid_ranks) = self.tree_view(node);
+        let qids: Vec<usize> = self.nodes[node.index()].participating.iter().copied().collect();
+        for qi in qids {
+            let q = self.query(qi);
+            let n = &mut self.nodes[node.index()];
+            let old_kids = n.expected_children.insert(qi, kids_now.clone());
+            if let Mode::Essat { shaper, ss } = &mut n.mode {
+                let info = TreeInfo {
+                    own_rank,
+                    max_rank,
+                    own_level,
+                    max_level,
+                    children: &kid_ranks,
+                };
+                ss.retain_children(q.id, &kids_now);
+                match shaper.on_topology_change(&q, &info, is_root, now) {
+                    Some(exps) => apply_expectations(ss, q.id, &exps, is_root),
+                    None => {
+                        // NTS/DTS: existing children keep their current
+                        // expectations; *new* children (re-parented here)
+                        // get a conservative one — the start of the
+                        // current round, i.e. "assume busy until the
+                        // child's first report re-synchronises us"
+                        // (phase shifts only ever delay, so an early
+                        // expectation is always safe).
+                        let conservative = q
+                            .round_at(now)
+                            .map(|k| q.round_start(k))
+                            .unwrap_or(q.phase);
+                        for &c in &kids_now {
+                            let is_new = old_kids
+                                .as_ref()
+                                .map(|old| !old.contains(&c))
+                                .unwrap_or(true);
+                            if is_new {
+                                ss.update_next_receive(q.id, c, conservative);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Setup & finalisation
+    // ------------------------------------------------------------------
+
+    fn handle_setup_end(&mut self, ctx: &mut Context<'_, Ev>) {
+        self.setup_over = true;
+        let now = ctx.now();
+        // Metrics snapshot.
+        for i in 0..self.nodes.len() {
+            let n = &mut self.nodes[i];
+            n.radio.settle(now);
+            n.snap = RadioSnapshot {
+                active: n.radio.active_ns(),
+                off: n.radio.off_ns(),
+                trans: n.radio.transition_ns(),
+                energy: n.radio.energy_j(),
+            };
+        }
+        // First sleep decisions.
+        for node in self.topo.nodes().collect::<Vec<_>>() {
+            let n = &self.nodes[node.index()];
+            if n.dead {
+                continue;
+            }
+            if !n.member {
+                // Outside the tree: sleep for the rest of the run.
+                let n = &mut self.nodes[node.index()];
+                if n.radio.is_active() && n.mac.can_suspend() {
+                    n.mac.radio_slept(now);
+                    let d = n.radio.begin_sleep(now).expect("active");
+                    ctx.schedule_after(d, Ev::RadioDone { node });
+                }
+                continue;
+            }
+            match self.nodes[node.index()].mode {
+                Mode::Essat { .. } => self.reconsider_sleep(node, ctx),
+                Mode::Sync | Mode::Psm => self.try_mode_sleep(node, ctx),
+                Mode::AlwaysOn => {}
+            }
+        }
+    }
+
+    fn handle_forced_window_end(&mut self, ctx: &mut Context<'_, Ev>) {
+        if !self.setup_over {
+            return;
+        }
+        for node in self.topo.nodes().collect::<Vec<_>>() {
+            match self.nodes[node.index()].mode {
+                Mode::Essat { .. } => self.reconsider_sleep(node, ctx),
+                Mode::Sync | Mode::Psm => self.try_mode_sleep(node, ctx),
+                Mode::AlwaysOn => {}
+            }
+        }
+    }
+
+    fn handle_flood_issue(&mut self, qi: usize, ctx: &mut Context<'_, Ev>) {
+        let root = self.root;
+        if let Some(at) = self.register_query_at(root, qi, ctx.now()) {
+            ctx.schedule_at(
+                at.max(ctx.now()),
+                Ev::RoundStart {
+                    node: root,
+                    query: qi,
+                    round: 0,
+                },
+            );
+        }
+        self.nodes[root.index()].registered.insert(qi);
+        let frame = {
+            let n = &mut self.nodes[root.index()];
+            Frame {
+                id: n.mac.alloc_frame_id(),
+                src: root,
+                dest: Dest::Broadcast,
+                kind: FrameKind::Data,
+                bytes: sizes::QUERY_SETUP_BYTES,
+                payload: Payload::QuerySetup {
+                    query: QueryId::new(qi as u32),
+                    hops: 0,
+                },
+            }
+        };
+        self.enqueue_frame(root, frame, ctx);
+    }
+
+    fn handle_tx_end(
+        &mut self,
+        sender: NodeId,
+        tx: TxId,
+        frame: Frame<Payload>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let now = ctx.now();
+        let end = self.channel.end_tx(now, tx);
+        for h in end.now_idle {
+            let hn = &mut self.nodes[h.index()];
+            if !hn.dead && hn.radio.is_active() {
+                let acts = hn.mac.carrier_idle(now);
+                self.exec_mac_actions(h, acts, ctx);
+            }
+        }
+        if !self.nodes[sender.index()].dead {
+            let acts = self.nodes[sender.index()].mac.tx_ended(now);
+            self.exec_mac_actions(sender, acts, ctx);
+        }
+        for r in end.clean_receivers {
+            let n = &self.nodes[r.index()];
+            if n.dead {
+                continue;
+            }
+            // The receiver must have been awake for the entire frame.
+            let awake_whole_frame = n
+                .radio
+                .active_since()
+                .map(|t| t <= end.started)
+                .unwrap_or(false);
+            if awake_whole_frame {
+                let acts = self.nodes[r.index()].mac.frame_arrived(frame.clone(), now);
+                self.exec_mac_actions(r, acts, ctx);
+            }
+        }
+        self.reconsider_sleep(sender, ctx);
+    }
+
+    /// Collects the run's metrics.
+    fn finalize(mut self, end: SimTime, events_processed: u64) -> RunResult {
+        let mut node_metrics = Vec::new();
+        let mut sleep_hist = Histogram::new(SLEEP_HIST_BIN_S, SLEEP_HIST_BINS);
+        let mut mac = MacTotals::default();
+        for i in 0..self.nodes.len() {
+            let id = NodeId::new(i as u32);
+            let n = &mut self.nodes[i];
+            if !n.dead {
+                n.radio.settle(end);
+            }
+            if !n.member {
+                continue;
+            }
+            let active = n.radio.active_ns() - n.snap.active;
+            let off = n.radio.off_ns() - n.snap.off;
+            let trans = n.radio.transition_ns() - n.snap.trans;
+            let total = active + off + trans;
+            let duty = if total == 0 {
+                1.0
+            } else {
+                (active + trans) as f64 / total as f64
+            };
+            node_metrics.push(NodeMetrics {
+                node: id,
+                rank: n.rank0,
+                level: n.level0,
+                duty_cycle: duty,
+                energy_j: n.radio.energy_j() - n.snap.energy,
+            });
+            for si in n.radio.sleep_intervals() {
+                if si.started >= self.measure_from {
+                    sleep_hist.add(si.length().as_secs_f64());
+                }
+            }
+            let ms = n.mac.stats();
+            mac.enqueued += ms.enqueued;
+            mac.data_tx += ms.data_tx;
+            mac.delivered += ms.delivered;
+            mac.failed += ms.failed;
+            mac.retries += ms.retries;
+        }
+        let ch = self.channel.stats();
+        RunResult {
+            seed: self.cfg.seed,
+            measured_from: self.measure_from,
+            measured_until: end,
+            nodes: node_metrics,
+            queries: std::mem::take(&mut self.qmetrics),
+            sleep_intervals: sleep_hist,
+            phase_piggybacks: self.phase_piggybacks,
+            phase_requests: self.phase_requests,
+            reports_sent: self.reports_sent,
+            mac,
+            channel_transmissions: ch.transmissions,
+            channel_collisions: ch.collisions,
+            events_processed,
+        }
+    }
+
+    /// The routing tree (tests & examples inspect structure).
+    pub fn tree(&self) -> &RoutingTree {
+        &self.tree
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+fn apply_expectations(ss: &mut SafeSleep, q: QueryId, exps: &Expectations, is_root: bool) {
+    match exps.snext {
+        Some(s) if !is_root => ss.update_next_send(q, s),
+        _ => ss.clear_send(q),
+    }
+    for &(c, r) in &exps.rnext {
+        ss.update_next_receive(q, c, r);
+    }
+}
+
+impl Model for World {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        match event {
+            Ev::SetupEnd => self.handle_setup_end(ctx),
+            Ev::ForcedWindowEnd => self.handle_forced_window_end(ctx),
+            Ev::RoundStart { node, query, round } => {
+                self.handle_round_start(node, query, round, ctx)
+            }
+            Ev::CollectionTimeout {
+                node,
+                query,
+                round,
+                gen,
+            } => self.handle_collection_timeout(node, query, round, gen, ctx),
+            Ev::ReleaseReport { node, query, round } => {
+                if !self.nodes[node.index()].dead {
+                    self.do_send(node, query, round, ctx);
+                }
+            }
+            Ev::MacTimer { node, kind, gen } => {
+                if !self.nodes[node.index()].dead {
+                    let acts = self.nodes[node.index()].mac.timer_fired(kind, gen, ctx.now());
+                    self.exec_mac_actions(node, acts, ctx);
+                    self.reconsider_sleep(node, ctx);
+                }
+            }
+            Ev::TxEnd { sender, tx, frame } => self.handle_tx_end(sender, tx, frame, ctx),
+            Ev::RadioDone { node } => self.handle_radio_done(node, ctx),
+            Ev::RadioWake { node, gen } => self.handle_radio_wake(node, gen, ctx),
+            Ev::SyncEdge { node } => self.handle_sync_edge(node, ctx),
+            Ev::PsmBeacon { node } => self.handle_psm_beacon(node, ctx),
+            Ev::PsmAtimEnd { node } => {
+                let stay = self.nodes[node.index()].psm_beacon.must_stay_awake();
+                if stay {
+                    ctx.schedule_at(self.psm_schedule.adv_end(ctx.now()), Ev::PsmAdvEnd { node });
+                } else {
+                    self.try_mode_sleep(node, ctx);
+                }
+            }
+            Ev::PsmAdvEnd { node } => self.try_mode_sleep(node, ctx),
+            Ev::PsmRelease { node, dest } => self.psm_release(node, dest, ctx),
+            Ev::NodeFail { node } => self.handle_node_fail(node, ctx),
+            Ev::FloodIssue { query } => self.handle_flood_issue(query, ctx),
+            Ev::ForceWake { node } => self.wake_radio(node, ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadSpec;
+
+    fn quick_cfg(protocol: Protocol, seed: u64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(protocol, WorkloadSpec::paper(1.0), seed);
+        cfg.duration = SimDuration::from_secs(12);
+        cfg
+    }
+
+    #[test]
+    fn world_builds_paper_workload() {
+        let (world, initial) = World::new(quick_cfg(Protocol::DtsSs, 1));
+        assert_eq!(world.queries.len(), 3, "one query per class");
+        // Rate ratio 6:3:2.
+        let p0 = world.queries[0].period;
+        let p1 = world.queries[1].period;
+        let p2 = world.queries[2].period;
+        assert_eq!(p1, p0 * 2);
+        assert_eq!(p2, p0 * 3);
+        // Phases within the window.
+        for q in &world.queries {
+            assert!(q.phase <= SimTime::from_secs(10));
+        }
+        // Setup end + round starts + (per-protocol chains) scheduled.
+        assert!(initial.len() > world.tree.member_count());
+        // The tree is rooted near the centre and valid.
+        world.tree().check_invariants();
+    }
+
+    #[test]
+    fn span_assigns_coordinators_always_on() {
+        let (world, _) = World::new(quick_cfg(Protocol::Span, 2));
+        let mut coordinators = 0;
+        let mut leaves = 0;
+        for &m in world.tree.members() {
+            match &world.nodes[m.index()].mode {
+                Mode::AlwaysOn => {
+                    coordinators += 1;
+                    assert!(!world.tree.is_leaf(m), "coordinators are non-leaves");
+                }
+                Mode::Essat { shaper, .. } => {
+                    leaves += 1;
+                    assert_eq!(shaper.kind(), essat_core::shaper::ShaperKind::Nts);
+                    assert!(world.tree.is_leaf(m), "sleepers are leaves");
+                }
+                other => panic!("unexpected mode {other:?}"),
+            }
+        }
+        assert!(coordinators > 0 && leaves > 0);
+    }
+
+    #[test]
+    fn collection_deadline_mode_specific() {
+        let (mut world, _) = World::new(quick_cfg(Protocol::Sync, 3));
+        // Pick an interior member.
+        let node = world
+            .tree
+            .members()
+            .iter()
+            .copied()
+            .find(|&m| !world.tree.is_leaf(m))
+            .expect("interior node");
+        world.nodes[node.index()].participating.insert(0);
+        let d_sync = world.collection_deadline(node, 0, 0);
+        let q = world.query(0);
+        // SYNC: at least one schedule period of grace.
+        assert!(d_sync >= q.round_start(0) + world.sync_schedule.period());
+    }
+
+    #[test]
+    fn readings_are_deterministic() {
+        assert_eq!(World::reading(NodeId::new(3), 7), World::reading(NodeId::new(3), 7));
+        assert_ne!(
+            World::reading(NodeId::new(3), 7),
+            World::reading(NodeId::new(4), 7)
+        );
+    }
+
+    #[test]
+    fn register_skips_childless_nonsources() {
+        let (mut world, _) = World::new(quick_cfg(Protocol::DtsSs, 4));
+        // With SourceSet::All every member registers...
+        let member = world.tree.members()[0];
+        // Re-registration for an already-registered query returns the
+        // next round time rather than None.
+        let at = world.register_query_at(member, 0, SimTime::ZERO);
+        assert!(at.is_some());
+        // Non-members never register.
+        let non_member = world
+            .topo
+            .nodes()
+            .find(|&n| !world.tree.is_member(n));
+        if let Some(nm) = non_member {
+            assert!(world.register_query_at(nm, 0, SimTime::ZERO).is_none());
+        }
+    }
+
+    #[test]
+    fn psm_mode_nodes_buffer_by_destination() {
+        let (world, _) = World::new(quick_cfg(Protocol::Psm, 5));
+        for &m in world.tree.members() {
+            assert!(matches!(world.nodes[m.index()].mode, Mode::Psm));
+            assert!(world.nodes[m.index()].psm_pending.is_empty());
+        }
+    }
+
+    #[test]
+    fn run_to_completion_settles_all_radios() {
+        let r = World::run(&quick_cfg(Protocol::DtsSs, 6));
+        // Every member contributes a node metric with a sane duty cycle.
+        assert!(!r.nodes.is_empty());
+        for n in &r.nodes {
+            assert!((0.0..=1.0).contains(&n.duty_cycle), "{:?}", n);
+            assert!(n.energy_j >= 0.0);
+        }
+        // Time accounting: window matches config.
+        assert_eq!(r.measured_until, SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn forced_windows_only_in_flooded_mode() {
+        let (ideal, _) = World::new(quick_cfg(Protocol::DtsSs, 7));
+        assert!(ideal.forced_windows.is_empty());
+        let mut cfg = quick_cfg(Protocol::DtsSs, 7);
+        cfg.setup_mode = SetupMode::Flooded;
+        let (flooded, initial) = World::new(cfg);
+        assert_eq!(flooded.forced_windows.len(), 3);
+        assert!(initial
+            .iter()
+            .any(|(_, e)| matches!(e, Ev::FloodIssue { .. })));
+    }
+}

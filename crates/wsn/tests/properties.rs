@@ -1,0 +1,69 @@
+//! Property-based tests over whole simulations (small worlds, few
+//! cases — each case is a full run).
+
+use proptest::prelude::*;
+
+use essat_sim::time::SimDuration;
+use essat_wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
+use essat_wsn::runner;
+
+fn tiny(protocol: Protocol, rate: f64, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(protocol, WorkloadSpec::paper(rate), seed);
+    cfg.nodes = 18;
+    cfg.area_side = 260.0;
+    cfg.duration = SimDuration::from_secs(12);
+    cfg
+}
+
+fn any_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::NtsSs),
+        Just(Protocol::StsSs),
+        Just(Protocol::DtsSs),
+        Just(Protocol::Sync),
+        Just(Protocol::Psm),
+        Just(Protocol::Span),
+        Just(Protocol::TagSs),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same config ⇒ bit-identical metrics, for any protocol and seed.
+    #[test]
+    fn runs_are_deterministic(protocol in any_protocol(), seed in 0u64..1_000, rate in 1u64..4) {
+        let cfg = tiny(protocol, rate as f64, seed);
+        let a = runner::run_one(&cfg);
+        let b = runner::run_one(&cfg);
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.avg_duty_cycle_pct(), b.avg_duty_cycle_pct());
+        prop_assert_eq!(a.avg_latency_s(), b.avg_latency_s());
+        prop_assert_eq!(a.reports_sent, b.reports_sent);
+    }
+
+    /// Every run produces well-formed metrics: bounded duty cycles and
+    /// delivery ratios, non-negative latencies, consistent counters.
+    #[test]
+    fn metrics_are_well_formed(protocol in any_protocol(), seed in 0u64..1_000) {
+        let r = runner::run_one(&tiny(protocol, 2.0, seed));
+        for n in &r.nodes {
+            prop_assert!((0.0..=1.0).contains(&n.duty_cycle));
+            prop_assert!(n.energy_j >= 0.0);
+        }
+        let d = r.delivery_ratio();
+        prop_assert!((0.0..=1.0).contains(&d), "delivery {d}");
+        prop_assert!(r.avg_latency_s() >= 0.0);
+        for q in &r.queries {
+            prop_assert!(q.rounds_full <= q.rounds_completed);
+            prop_assert!(q.delivered_readings <= q.expected_readings);
+            prop_assert_eq!(q.records.len() as u64, q.rounds_completed);
+            for rec in &q.records {
+                prop_assert!(rec.latency_s >= 0.0);
+                prop_assert!(rec.at >= r.measured_from || rec.at <= r.measured_until);
+            }
+        }
+        // MAC counters are internally consistent.
+        prop_assert!(r.mac.delivered + r.mac.failed <= r.mac.enqueued + r.mac.retries);
+    }
+}

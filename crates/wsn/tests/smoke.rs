@@ -1,0 +1,120 @@
+//! End-to-end smoke tests: every protocol runs, produces sane metrics,
+//! and the paper's qualitative orderings hold at reduced scale.
+
+use essat_sim::time::SimDuration;
+use essat_wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
+use essat_wsn::runner;
+
+fn quick(protocol: Protocol, rate: f64, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(protocol, WorkloadSpec::paper(rate), seed);
+    cfg.duration = SimDuration::from_secs(30);
+    cfg
+}
+
+#[test]
+fn every_protocol_completes_rounds() {
+    for protocol in [
+        Protocol::NtsSs,
+        Protocol::StsSs,
+        Protocol::DtsSs,
+        Protocol::Sync,
+        Protocol::Psm,
+        Protocol::Span,
+        Protocol::AlwaysOn,
+    ] {
+        let r = runner::run_one(&quick(protocol, 1.0, 42));
+        let rounds: u64 = r.queries.iter().map(|q| q.rounds_completed).sum();
+        assert!(rounds > 10, "{protocol}: only {rounds} rounds completed");
+        let duty = r.avg_duty_cycle_pct();
+        assert!(
+            (0.0..=100.0).contains(&duty),
+            "{protocol}: duty {duty} out of range"
+        );
+        let lat = r.avg_latency_s();
+        assert!(
+            (0.0..10.0).contains(&lat),
+            "{protocol}: implausible latency {lat}"
+        );
+        eprintln!(
+            "{protocol:>9}: duty {:5.1}%  latency {:7.4}s  delivery {:4.2}  rounds {rounds}  events {}",
+            duty,
+            lat,
+            r.delivery_ratio(),
+            r.events_processed,
+        );
+    }
+}
+
+#[test]
+fn essat_beats_baselines_on_energy() {
+    let dts = runner::run_one(&quick(Protocol::DtsSs, 1.0, 7));
+    let span = runner::run_one(&quick(Protocol::Span, 1.0, 7));
+    let psm = runner::run_one(&quick(Protocol::Psm, 1.0, 7));
+    assert!(
+        dts.avg_duty_cycle_pct() < span.avg_duty_cycle_pct(),
+        "DTS-SS {} >= SPAN {}",
+        dts.avg_duty_cycle_pct(),
+        span.avg_duty_cycle_pct()
+    );
+    assert!(
+        dts.avg_duty_cycle_pct() < psm.avg_duty_cycle_pct(),
+        "DTS-SS {} >= PSM {}",
+        dts.avg_duty_cycle_pct(),
+        psm.avg_duty_cycle_pct()
+    );
+}
+
+#[test]
+fn essat_beats_sync_psm_on_latency() {
+    let dts = runner::run_one(&quick(Protocol::DtsSs, 1.0, 7));
+    let sync = runner::run_one(&quick(Protocol::Sync, 1.0, 7));
+    let psm = runner::run_one(&quick(Protocol::Psm, 1.0, 7));
+    assert!(
+        dts.avg_latency_s() < sync.avg_latency_s(),
+        "DTS-SS {} >= SYNC {}",
+        dts.avg_latency_s(),
+        sync.avg_latency_s()
+    );
+    assert!(
+        dts.avg_latency_s() < psm.avg_latency_s(),
+        "DTS-SS {} >= PSM {}",
+        dts.avg_latency_s(),
+        psm.avg_latency_s()
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_metrics() {
+    let a = runner::run_one(&quick(Protocol::DtsSs, 2.0, 11));
+    let b = runner::run_one(&quick(Protocol::DtsSs, 2.0, 11));
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.avg_duty_cycle_pct(), b.avg_duty_cycle_pct());
+    assert_eq!(a.avg_latency_s(), b.avg_latency_s());
+    assert_eq!(a.reports_sent, b.reports_sent);
+    for (qa, qb) in a.queries.iter().zip(&b.queries) {
+        assert_eq!(qa.rounds_completed, qb.rounds_completed);
+        assert_eq!(qa.latency.mean(), qb.latency.mean());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = runner::run_one(&quick(Protocol::DtsSs, 2.0, 1));
+    let b = runner::run_one(&quick(Protocol::DtsSs, 2.0, 2));
+    assert_ne!(
+        a.events_processed, b.events_processed,
+        "different topologies should not coincide"
+    );
+}
+
+#[test]
+fn delivery_is_high_on_clean_channel() {
+    for protocol in [Protocol::NtsSs, Protocol::StsSs, Protocol::DtsSs] {
+        let r = runner::run_one(&quick(protocol, 1.0, 21));
+        assert!(
+            r.delivery_ratio() > 0.9,
+            "{protocol}: delivery {} too low on a clean channel",
+            r.delivery_ratio()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Fire-monitoring scenario from the paper's introduction: "while the
+//! workload in a fire monitoring system may be moderate during normal
+//! conditions, it may increase sharply after a wild fire is detected."
+//!
+//! We run DTS-SS twice — normal conditions (one query per class at a
+//! 0.2 Hz base rate) and crisis conditions (six queries per class at a
+//! 2 Hz base rate) — and show that the *same protocol with no retuning*
+//! scales its duty cycle with the workload, which is exactly the
+//! adaptivity argument of the paper's Figures 3 and 4. A fixed-schedule
+//! protocol (SYNC) burns the same energy regardless and falls behind on
+//! latency when the workload surges.
+//!
+//! ```text
+//! cargo run --release --example fire_monitoring
+//! ```
+
+use essat::sim::time::SimDuration;
+use essat::wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
+use essat::wsn::runner;
+
+struct Phase {
+    name: &'static str,
+    workload: WorkloadSpec,
+}
+
+fn main() {
+    let phases = [
+        Phase {
+            name: "normal (3 queries, base 0.2 Hz)",
+            workload: WorkloadSpec::paper(0.2),
+        },
+        Phase {
+            name: "fire!  (18 queries, base 2 Hz)",
+            workload: WorkloadSpec::paper(2.0).with_queries_per_class(6),
+        },
+    ];
+
+    for protocol in [Protocol::DtsSs, Protocol::Sync] {
+        println!("== {}", protocol.label());
+        for phase in &phases {
+            let mut cfg = ExperimentConfig::quick(protocol, phase.workload.clone(), 99);
+            cfg.duration = SimDuration::from_secs(60);
+            let r = runner::run_one(&cfg);
+            println!(
+                "  {:<34} duty {:>5.1}%   latency {:>7.4}s   delivery {:>4.2}",
+                phase.name,
+                r.avg_duty_cycle_pct(),
+                r.avg_latency_s(),
+                r.delivery_ratio(),
+            );
+        }
+        println!();
+    }
+    println!("DTS-SS spends energy proportional to the workload — near-zero duty");
+    println!("while quiet, scaling up only when the fire-fighting queries arrive.");
+    println!("SYNC pays its fixed 20% duty cycle around the clock either way.");
+}

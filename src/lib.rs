@@ -1,0 +1,29 @@
+//! # essat — facade crate for the ESSAT paper reproduction
+//!
+//! Re-exports the whole workspace behind one dependency, mirroring how a
+//! downstream user would consume the library:
+//!
+//! * [`sim`] — deterministic discrete-event engine, clock, RNG, statistics.
+//! * [`net`] — wireless substrate: geometry, radio power model, unit-disk
+//!   channel, CSMA/CA MAC.
+//! * [`query`] — periodic query model, in-network aggregation, routing
+//!   trees.
+//! * [`core`] — the paper's contribution: the Safe Sleep scheduler and the
+//!   NTS / STS / DTS traffic shapers plus protocol maintenance.
+//! * [`baselines`] — SYNC, PSM, and SPAN comparison protocols.
+//! * [`wsn`] — the integrated node stack, simulator, metrics, and
+//!   experiment runner.
+//! * [`harness`] — ready-made experiments regenerating every figure of the
+//!   paper.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+#![forbid(unsafe_code)]
+
+pub use essat_baselines as baselines;
+pub use essat_core as core;
+pub use essat_harness as harness;
+pub use essat_net as net;
+pub use essat_query as query;
+pub use essat_sim as sim;
+pub use essat_wsn as wsn;

@@ -1,0 +1,78 @@
+//! Reproducibility: identical seeds give bit-identical metrics; the
+//! multi-run helper derives distinct seeds; and results are stable
+//! across the threaded runner.
+
+use essat::sim::time::SimDuration;
+use essat::wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
+use essat::wsn::runner;
+
+fn cfg(protocol: Protocol, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(protocol, WorkloadSpec::paper(2.0), seed);
+    cfg.duration = SimDuration::from_secs(25);
+    cfg
+}
+
+#[test]
+fn identical_seeds_identical_runs_all_protocols() {
+    for protocol in [
+        Protocol::NtsSs,
+        Protocol::StsSs,
+        Protocol::DtsSs,
+        Protocol::Sync,
+        Protocol::Psm,
+        Protocol::Span,
+    ] {
+        let a = runner::run_one(&cfg(protocol, 101));
+        let b = runner::run_one(&cfg(protocol, 101));
+        assert_eq!(a.events_processed, b.events_processed, "{protocol}");
+        assert_eq!(a.reports_sent, b.reports_sent, "{protocol}");
+        assert_eq!(a.channel_transmissions, b.channel_transmissions, "{protocol}");
+        assert_eq!(a.avg_duty_cycle_pct(), b.avg_duty_cycle_pct(), "{protocol}");
+        assert_eq!(a.avg_latency_s(), b.avg_latency_s(), "{protocol}");
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.records, qb.records, "{protocol}: round traces differ");
+        }
+        for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(na.duty_cycle, nb.duty_cycle, "{protocol}");
+            assert_eq!(na.energy_j, nb.energy_j, "{protocol}");
+        }
+    }
+}
+
+#[test]
+fn threaded_runner_matches_sequential() {
+    let base = cfg(Protocol::DtsSs, 200);
+    let threaded = runner::run_many(&base, 3);
+    for (i, r) in threaded.iter().enumerate() {
+        let mut c = base.clone();
+        c.seed = base.seed + i as u64;
+        let seq = runner::run_one(&c);
+        assert_eq!(r.seed, seq.seed);
+        assert_eq!(r.events_processed, seq.events_processed);
+        assert_eq!(r.avg_duty_cycle_pct(), seq.avg_duty_cycle_pct());
+    }
+}
+
+#[test]
+fn derived_seeds_are_distinct() {
+    let rs = runner::run_many(&cfg(Protocol::NtsSs, 300), 3);
+    assert_eq!(rs.len(), 3);
+    let seeds: Vec<u64> = rs.iter().map(|r| r.seed).collect();
+    assert_eq!(seeds, vec![300, 301, 302]);
+    // Different seeds — different topologies — different event counts.
+    assert!(
+        rs[0].events_processed != rs[1].events_processed
+            || rs[1].events_processed != rs[2].events_processed
+    );
+}
+
+#[test]
+fn run_summary_aggregates() {
+    let s = runner::run_summary(&cfg(Protocol::DtsSs, 400), 3);
+    assert_eq!(s.runs, 3);
+    assert!(s.duty_mean() > 0.0 && s.duty_mean() < 100.0);
+    assert!(s.latency_mean() > 0.0);
+    assert!(s.duty_ci90() >= 0.0);
+    assert!(s.latency_ci90() >= 0.0);
+    assert!(s.delivery.mean() > 0.5);
+}

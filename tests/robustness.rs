@@ -1,0 +1,188 @@
+//! §4.3 robustness: transient loss, node failure, and recovery — the
+//! paper's protocol-maintenance behaviours, asserted end to end.
+
+use essat::sim::time::{SimDuration, SimTime};
+use essat::wsn::config::{ExperimentConfig, Protocol, SetupMode, WorkloadSpec};
+use essat::wsn::runner;
+
+fn cfg(protocol: Protocol, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(protocol, WorkloadSpec::paper(1.0), seed);
+    cfg.duration = SimDuration::from_secs(60);
+    cfg
+}
+
+/// Transient packet loss: ESSAT protocols keep collecting (partial
+/// aggregation + timeouts), and DTS issues phase-update requests to
+/// resynchronise.
+#[test]
+fn transient_loss_degrades_gracefully() {
+    for protocol in [Protocol::NtsSs, Protocol::StsSs, Protocol::DtsSs] {
+        let clean = runner::run_one(&cfg(protocol, 41));
+        let lossy = runner::run_one(&cfg(protocol, 41).with_drop_probability(0.05));
+        assert!(
+            lossy.delivery_ratio() > 0.75,
+            "{protocol}: delivery {} collapsed under 5% loss",
+            lossy.delivery_ratio()
+        );
+        assert!(
+            lossy.delivery_ratio() <= clean.delivery_ratio() + 0.02,
+            "{protocol}: loss can't improve delivery"
+        );
+        // Rounds still complete at the root throughout (compare each
+        // query against its clean counterpart — rates differ by class).
+        for (ql, qc) in lossy.queries.iter().zip(&clean.queries) {
+            assert!(
+                ql.rounds_completed as f64 >= 0.8 * qc.rounds_completed as f64,
+                "{protocol}: rounds collapsed under loss ({} vs {})",
+                ql.rounds_completed,
+                qc.rounds_completed
+            );
+        }
+    }
+}
+
+/// DTS resynchronises after losses (§4.3).
+///
+/// Light loss is fully absorbed by MAC retries (7 attempts make the
+/// end-to-end frame loss ~(1−(1−p)²)⁷ ≈ 0), so report-level *gaps* only
+/// appear under heavy loss — hence the 40% injection. Resynchronisation
+/// is sender-driven here (a failed exchange forces a phase update onto
+/// the next report), which pre-empts most receiver-side requests; the
+/// observable is therefore extra piggybacked phases, not request
+/// packets.
+#[test]
+fn dts_resynchronises_under_loss() {
+    let clean = runner::run_one(&cfg(Protocol::DtsSs, 43));
+    let lossy = runner::run_one(&cfg(Protocol::DtsSs, 43).with_drop_probability(0.40));
+    assert!(
+        lossy.mac.failed > 0,
+        "40% loss should exhaust some retry budgets"
+    );
+    let clean_rate = clean.phase_piggybacks as f64 / clean.reports_sent.max(1) as f64;
+    let lossy_rate = lossy.phase_piggybacks as f64 / lossy.reports_sent.max(1) as f64;
+    assert!(
+        lossy_rate > clean_rate * 1.5,
+        "loss must force extra phase updates: {lossy_rate:.4} vs clean {clean_rate:.4}"
+    );
+    assert!(
+        lossy.delivery_ratio() > 0.5,
+        "resync should keep the system collecting: {}",
+        lossy.delivery_ratio()
+    );
+    // NTS has no phases to advertise at all.
+    let nts = runner::run_one(&cfg(Protocol::NtsSs, 43).with_drop_probability(0.40));
+    assert_eq!(nts.phase_piggybacks, 0, "NTS never piggybacks");
+    assert_eq!(nts.phase_requests, 0, "NTS never requests resync");
+}
+
+/// A failed relay is detected and routed around; reporting continues.
+#[test]
+fn node_failure_recovery() {
+    for protocol in [Protocol::DtsSs, Protocol::StsSs, Protocol::NtsSs] {
+        let base = cfg(protocol, 5);
+        let healthy = runner::run_one(&base);
+        // Fail a node mid-run. Node index 1 is an arbitrary member at
+        // this seed (the failure machinery tolerates leaves too).
+        let failed = base
+            .clone()
+            .with_node_failure(SimTime::from_secs(20), 1);
+        let wounded = runner::run_one(&failed);
+        assert!(
+            wounded.delivery_ratio() > healthy.delivery_ratio() - 0.15,
+            "{protocol}: delivery {} vs healthy {} — recovery failed",
+            wounded.delivery_ratio(),
+            healthy.delivery_ratio()
+        );
+        // The run keeps completing rounds to the very end.
+        let last_at = wounded
+            .queries
+            .iter()
+            .flat_map(|q| q.records.iter().map(|r| r.at))
+            .max()
+            .expect("rounds completed");
+        assert!(
+            last_at > SimTime::from_secs(55),
+            "{protocol}: reporting stopped after the failure (last at {last_at})"
+        );
+    }
+}
+
+/// Flooded query dissemination (§4.1 setup slot): queries reach the
+/// network in-band and the system still works.
+#[test]
+fn flooded_setup_registers_queries() {
+    let mut c = cfg(Protocol::DtsSs, 47);
+    c.setup_mode = SetupMode::Flooded;
+    let r = runner::run_one(&c);
+    assert!(
+        r.delivery_ratio() > 0.75,
+        "flooded setup delivery {}",
+        r.delivery_ratio()
+    );
+    for q in &r.queries {
+        assert!(q.rounds_completed > 0, "query {:?} never ran", q.query);
+    }
+}
+
+/// Loss injection sanity: heavier loss, lower delivery — monotone in
+/// the right direction.
+#[test]
+fn loss_monotonicity() {
+    let d0 = runner::run_one(&cfg(Protocol::DtsSs, 53)).delivery_ratio();
+    let d10 = runner::run_one(&cfg(Protocol::DtsSs, 53).with_drop_probability(0.10))
+        .delivery_ratio();
+    let d30 = runner::run_one(&cfg(Protocol::DtsSs, 53).with_drop_probability(0.30))
+        .delivery_ratio();
+    assert!(d0 > d10 - 0.02, "{d0} vs {d10}");
+    assert!(d10 > d30, "{d10} vs {d30}");
+    assert!(d30 > 0.2, "even heavy loss shouldn't zero out delivery: {d30}");
+}
+
+/// MAC-level retries mask most single-frame losses: with light loss the
+/// retry counters grow but delivery barely moves.
+#[test]
+fn mac_retries_absorb_light_loss() {
+    let clean = runner::run_one(&cfg(Protocol::NtsSs, 59));
+    let lossy = runner::run_one(&cfg(Protocol::NtsSs, 59).with_drop_probability(0.05));
+    assert!(
+        lossy.mac.retries > clean.mac.retries,
+        "injected loss must cause extra retries ({} vs {})",
+        lossy.mac.retries,
+        clean.mac.retries
+    );
+    assert!(
+        lossy.delivery_ratio() > 0.9,
+        "retries should mask 5% loss, got delivery {}",
+        lossy.delivery_ratio()
+    );
+}
+
+/// The two-range interference model (carrier-sense beyond decode
+/// range). Two opposing effects: hidden terminals can now corrupt
+/// receptions from outside decode range, but wider carrier sensing also
+/// makes MACs defer more, *avoiding* overlaps. Either way the system
+/// must keep functioning, and the channel must behave differently from
+/// the one-range model.
+#[test]
+fn interference_range_still_functions() {
+    let one = runner::run_one(&cfg(Protocol::DtsSs, 61));
+    let two = {
+        let mut c = cfg(Protocol::DtsSs, 61);
+        c.interference_range = Some(c.range * 1.8);
+        runner::run_one(&c)
+    };
+    assert_ne!(
+        two.events_processed, one.events_processed,
+        "two-range model must actually change channel behaviour"
+    );
+    assert!(
+        two.delivery_ratio() > 0.7,
+        "hidden-terminal corruption shouldn't collapse delivery: {}",
+        two.delivery_ratio()
+    );
+    assert!(
+        two.avg_duty_cycle_pct() < 50.0,
+        "sleeping must keep working under the harsher model: {}",
+        two.avg_duty_cycle_pct()
+    );
+}

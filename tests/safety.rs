@@ -1,0 +1,104 @@
+//! Safe Sleep's "no penalty" guarantee, observed end to end.
+//!
+//! The paper's §4.1 argument: because nodes wake `t_OFF→ON` early and
+//! only sleep past the break-even time, turning radios off must cost
+//! neither deliveries nor (beyond shaping delay) latency. These tests
+//! compare sleeping protocols against an always-on control on identical
+//! topologies and seeds.
+
+use essat::sim::time::SimDuration;
+use essat::wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
+use essat::wsn::runner;
+
+fn cfg(protocol: Protocol, seed: u64, rate: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(protocol, WorkloadSpec::paper(rate), seed);
+    cfg.duration = SimDuration::from_secs(40);
+    cfg
+}
+
+/// Sleeping under NTS-SS costs (almost) no deliveries relative to
+/// never sleeping: receivers are awake whenever the shared schedule
+/// says a report may arrive.
+#[test]
+fn sleeping_does_not_lose_deliveries() {
+    for seed in [1, 2] {
+        let awake = runner::run_one(&cfg(Protocol::AlwaysOn, seed, 1.0));
+        let nts = runner::run_one(&cfg(Protocol::NtsSs, seed, 1.0));
+        assert!(
+            nts.delivery_ratio() > awake.delivery_ratio() - 0.05,
+            "seed {seed}: NTS delivery {} vs always-on {}",
+            nts.delivery_ratio(),
+            awake.delivery_ratio()
+        );
+        // And it actually slept.
+        assert!(
+            nts.avg_duty_cycle_pct() < awake.avg_duty_cycle_pct() / 2.0,
+            "seed {seed}: NTS duty {} suggests it never slept",
+            nts.avg_duty_cycle_pct()
+        );
+    }
+}
+
+/// NTS introduces no delay penalty relative to always-on forwarding
+/// (the paper's §4.2.1 claim): latencies stay within the MAC's noise.
+#[test]
+fn nts_latency_matches_always_on() {
+    let awake = runner::run_one(&cfg(Protocol::AlwaysOn, 3, 2.0));
+    let nts = runner::run_one(&cfg(Protocol::NtsSs, 3, 2.0));
+    let ratio = nts.avg_latency_s() / awake.avg_latency_s();
+    assert!(
+        ratio < 1.6,
+        "NTS latency {}s vs always-on {}s — sleeping added delay",
+        nts.avg_latency_s(),
+        awake.avg_latency_s()
+    );
+}
+
+/// The always-on control itself: 100% duty, full delivery.
+#[test]
+fn always_on_control_is_clean() {
+    let r = runner::run_one(&cfg(Protocol::AlwaysOn, 4, 2.0));
+    assert!(r.avg_duty_cycle_pct() > 99.9, "duty {}", r.avg_duty_cycle_pct());
+    assert!(r.delivery_ratio() > 0.97, "delivery {}", r.delivery_ratio());
+    assert_eq!(r.phase_piggybacks, 0);
+}
+
+/// PSM's duty cycle never drops below its ATIM floor (awake every
+/// beacon interval), even at trivial load — the structural inefficiency
+/// the paper contrasts ESSAT against.
+#[test]
+fn psm_pays_its_atim_floor() {
+    let r = runner::run_one(&cfg(Protocol::Psm, 5, 0.2));
+    let floor_pct = 100.0 * 0.025 / 0.2; // ATIM / beacon = 12.5%
+    assert!(
+        r.avg_duty_cycle_pct() > floor_pct * 0.8,
+        "PSM duty {} below its structural floor {floor_pct}",
+        r.avg_duty_cycle_pct()
+    );
+    // ESSAT at the same load goes far below that floor.
+    let dts = runner::run_one(&cfg(Protocol::DtsSs, 5, 0.2));
+    assert!(
+        dts.avg_duty_cycle_pct() < floor_pct / 2.0,
+        "DTS duty {} should undercut PSM's floor",
+        dts.avg_duty_cycle_pct()
+    );
+}
+
+/// Radio duty cycles and energy track each other: a node that is awake
+/// more consumes more.
+#[test]
+fn energy_tracks_duty() {
+    let r = runner::run_one(&cfg(Protocol::NtsSs, 6, 2.0));
+    let mut nodes = r.nodes.clone();
+    nodes.sort_by(|a, b| a.duty_cycle.total_cmp(&b.duty_cycle));
+    let lo = &nodes[0];
+    let hi = &nodes[nodes.len() - 1];
+    assert!(
+        hi.energy_j > lo.energy_j,
+        "duty {:.3} node used {:.4} J but duty {:.3} node used {:.4} J",
+        hi.duty_cycle,
+        hi.energy_j,
+        lo.duty_cycle,
+        lo.energy_j
+    );
+}
