@@ -124,9 +124,7 @@ impl SpanElection {
             rng.shuffle(&mut order);
             let mut changed = false;
             for &u in &order {
-                if !coordinator[u.index()]
-                    && Self::has_uncovered_pair(topology, &coordinator, u)
-                {
+                if !coordinator[u.index()] && Self::has_uncovered_pair(topology, &coordinator, u) {
                     coordinator[u.index()] = true;
                     changed = true;
                 }
@@ -349,7 +347,12 @@ mod tests {
     #[test]
     fn election_is_deterministic_per_seed() {
         let mut rng_t = SimRng::seed_from_u64(5);
-        let topo = Topology::random(30, essat_net::geometry::Area::new(200.0, 200.0), 70.0, &mut rng_t);
+        let topo = Topology::random(
+            30,
+            essat_net::geometry::Area::new(200.0, 200.0),
+            70.0,
+            &mut rng_t,
+        );
         let a = SpanElection::elect(&topo, &mut SimRng::seed_from_u64(9));
         let b = SpanElection::elect(&topo, &mut SimRng::seed_from_u64(9));
         assert_eq!(a, b);

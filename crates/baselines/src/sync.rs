@@ -47,9 +47,8 @@ impl SyncSchedule {
             duty > 0.0 && duty <= 1.0,
             "duty cycle must be in (0, 1], got {duty}"
         );
-        let active = SimDuration::from_nanos(
-            (period.as_nanos() as f64 * duty).round().max(1.0) as u64,
-        );
+        let active =
+            SimDuration::from_nanos((period.as_nanos() as f64 * duty).round().max(1.0) as u64);
         SyncSchedule { period, active }
     }
 

@@ -84,8 +84,8 @@ fn fig7_latency_vs_queries(c: &mut Criterion) {
 
 /// Figure 8 cell: DTS-SS sleep-interval histogram with t_BE = 0.
 fn fig8_sleep_hist(c: &mut Criterion) {
-    let cfg = quick_run(Protocol::DtsSs, WorkloadSpec::paper(5.0), 7)
-        .with_radio(RadioParams::instant());
+    let cfg =
+        quick_run(Protocol::DtsSs, WorkloadSpec::paper(5.0), 7).with_radio(RadioParams::instant());
     c.bench_function("fig8/dts_sleep_hist_tbe0", |b| {
         b.iter(|| {
             let r = runner::run_one(&cfg);
@@ -96,8 +96,8 @@ fn fig8_sleep_hist(c: &mut Criterion) {
 
 /// Figure 9 cell: DTS-SS at 5 Hz with the ZebraNet 40 ms break-even.
 fn fig9_tbe(c: &mut Criterion) {
-    let cfg = quick_run(Protocol::DtsSs, WorkloadSpec::paper(5.0), 8)
-        .with_radio(RadioParams::zebranet());
+    let cfg =
+        quick_run(Protocol::DtsSs, WorkloadSpec::paper(5.0), 8).with_radio(RadioParams::zebranet());
     c.bench_function("fig9/dts_duty_tbe40ms", |b| {
         b.iter(|| black_box(runner::run_one(&cfg).avg_duty_cycle_pct()))
     });

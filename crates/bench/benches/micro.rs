@@ -37,6 +37,59 @@ fn event_queue_churn(c: &mut Criterion) {
     });
 }
 
+fn event_queue_churn_with_cancel(c: &mut Criterion) {
+    c.bench_function("micro/event_queue_churn_cancel_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::seed_from_u64(1);
+            let mut ids = Vec::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                ids.push(q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000), i));
+            }
+            // Cancel every third event, then drain — the simulator's
+            // actual usage pattern (timers armed and mostly re-armed).
+            for (j, id) in ids.iter().enumerate() {
+                if j % 3 == 0 {
+                    q.cancel(*id);
+                }
+            }
+            let mut sum = 0u64;
+            while let Some((_, _, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn channel_start_end_tx(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(42);
+    let topo = Topology::random_paper(&mut rng);
+    c.bench_function("micro/channel_start_end_tx", |b| {
+        let mut ch = Channel::new(&topo, SimRng::seed_from_u64(7));
+        let mut t = 0u64;
+        b.iter(|| {
+            // Four spread-out senders transmit concurrently, then all
+            // transmissions end — one busy begin/end cycle of the paper
+            // deployment, including the collision bookkeeping.
+            let t0 = SimTime::from_micros(t);
+            let airtime = SimDuration::from_micros(416);
+            let txs = [0u32, 20, 40, 60].map(|s| ch.begin_tx(t0, NodeId::new(s), airtime));
+            let mut clean = 0usize;
+            for tx in txs {
+                ch.recycle_nodes(tx.now_busy);
+                let end = ch.end_tx(t0 + airtime, tx.id);
+                clean += end.clean_receivers.len();
+                ch.recycle_nodes(end.clean_receivers);
+                ch.recycle_nodes(end.corrupted_receivers);
+                ch.recycle_nodes(end.now_idle);
+            }
+            t += 1_000;
+            black_box(clean)
+        })
+    });
+}
+
 fn safe_sleep_decide(c: &mut Criterion) {
     let mut ss = SafeSleep::new(
         SimDuration::from_micros(2_500),
@@ -145,6 +198,8 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets =
         event_queue_churn,
+        event_queue_churn_with_cancel,
+        channel_start_end_tx,
         safe_sleep_decide,
         shaper_round_trip,
         channel_collision_storm,

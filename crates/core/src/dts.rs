@@ -493,7 +493,10 @@ mod tests {
         let out = dts.on_topology_change(&q(), &leaf_tree(), false, ms(0));
         assert!(out.is_none(), "DTS needs no recomputation");
         let r = dts.release(&q(), 0, ms(990), &leaf_tree());
-        assert!(r.piggyback.is_some(), "first report to new parent carries phase");
+        assert!(
+            r.piggyback.is_some(),
+            "first report to new parent carries phase"
+        );
         assert!(dts.wants_phase_resync());
     }
 

@@ -108,9 +108,7 @@ impl ResyncPolicy {
     /// contains a phase update, this phase is used as the new phase …
     /// Otherwise, the receiver requests a phase update from the sender.")
     pub fn should_request_phase(self, obs: LossObservation, had_piggyback: bool) -> bool {
-        self.shaper_uses_phases
-            && matches!(obs, LossObservation::Gap { .. })
-            && !had_piggyback
+        self.shaper_uses_phases && matches!(obs, LossObservation::Gap { .. }) && !had_piggyback
     }
 }
 
@@ -200,10 +198,7 @@ mod tests {
     fn gaps_counted_exactly() {
         let mut d = LossDetector::new();
         d.observe(q(0), n(1), 0);
-        assert_eq!(
-            d.observe(q(0), n(1), 3),
-            LossObservation::Gap { missed: 2 }
-        );
+        assert_eq!(d.observe(q(0), n(1), 3), LossObservation::Gap { missed: 2 });
         assert_eq!(d.observe(q(0), n(1), 4), LossObservation::InOrder);
     }
 

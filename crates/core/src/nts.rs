@@ -171,8 +171,14 @@ mod tests {
         let r5 = nts.after_receive(&q(), n(1), 4, SimTime::from_secs(2), None, &tree);
         assert_eq!(r5, SimTime::from_secs(2));
         // Piggybacks are ignored by NTS.
-        let r =
-            nts.after_receive(&q(), n(1), 0, SimTime::from_secs(1), Some(SimTime::MAX), &tree);
+        let r = nts.after_receive(
+            &q(),
+            n(1),
+            0,
+            SimTime::from_secs(1),
+            Some(SimTime::MAX),
+            &tree,
+        );
         assert_eq!(r, SimTime::from_millis(1200));
     }
 

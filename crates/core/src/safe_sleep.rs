@@ -243,10 +243,7 @@ mod tests {
         let mut s = ss();
         s.update_next_send(q(0), ms(10));
         // 2 ms gap < 2.5 ms break-even.
-        assert_eq!(
-            s.decide(ms(8)),
-            SleepDecision::StayAwake { until: ms(10) }
-        );
+        assert_eq!(s.decide(ms(8)), SleepDecision::StayAwake { until: ms(10) });
         // Exactly the break-even: still not worth sleeping (strict >).
         let now = ms(10) - SimDuration::from_micros(2_500);
         assert_eq!(s.decide(now), SleepDecision::StayAwake { until: ms(10) });

@@ -159,13 +159,8 @@ pub trait TrafficShaper: fmt::Debug + Send {
     /// `child` failed to deliver its round-`k` report by the collection
     /// deadline. Returns the updated expected reception time for Safe
     /// Sleep (the child's report `k+1`).
-    fn child_timed_out(
-        &mut self,
-        q: &Query,
-        child: NodeId,
-        k: u64,
-        tree: &TreeInfo<'_>,
-    ) -> SimTime;
+    fn child_timed_out(&mut self, q: &Query, child: NodeId, k: u64, tree: &TreeInfo<'_>)
+        -> SimTime;
 
     /// The node's position in the tree changed (new parent / new ranks,
     /// §4.3) at time `now`. Returns fresh expectations when the shaper's

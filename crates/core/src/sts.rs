@@ -371,7 +371,9 @@ mod tests {
             max_level: 3,
             children: &new_children,
         };
-        let e = sts.on_topology_change(&q(), &new_tree, false, ms(0)).unwrap();
+        let e = sts
+            .on_topology_change(&q(), &new_tree, false, ms(0))
+            .unwrap();
         // Child expectation starts at our next send round (1); the new
         // child has rank 0, so its slot offset is zero.
         assert_eq!(e.rnext, vec![(n(7), ms(1200))]);

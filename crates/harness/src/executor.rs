@@ -1,0 +1,241 @@
+//! The parallel sweep executor: one flat, deterministic job list over
+//! all cores.
+//!
+//! The paper's evaluation is a grid — figures × sweep points × protocols
+//! × repetitions — of fully independent simulation runs. The old harness
+//! parallelised only the 2–5 repetitions of one data point at a time
+//! (`runner::run_many`), so a nine-point six-protocol sweep executed as
+//! 54 sequential barriers, each leaving most cores idle. The executor
+//! instead flattens **every** `(cell, repetition)` tuple into a single
+//! job list and lets a pool of workers self-schedule off one shared
+//! atomic cursor: an idle worker always steals the next unclaimed job,
+//! whatever figure it belongs to, so the grid drains with no barriers at
+//! all.
+//!
+//! Determinism: each job is a pure function of its `ExperimentConfig`
+//! (seed included), and results land in pre-assigned slots indexed by
+//! job id — the assembled output is byte-identical whatever the thread
+//! count or interleaving (see `tests/determinism.rs`).
+//!
+//! The executor also aggregates the run statistics —
+//! wall-clock, events processed, events/second, peak event-queue depth —
+//! that the `essat-figures` binary writes to `BENCH_harness.json`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use essat_wsn::config::ExperimentConfig;
+use essat_wsn::metrics::RunResult;
+use essat_wsn::sim::World;
+
+/// One sweep cell: a configuration to repeat `runs` times with derived
+/// seeds (`seed, seed+1, …` — the paper's repetition protocol).
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Base configuration (its `seed` is the first repetition's seed).
+    pub cfg: ExperimentConfig,
+    /// Number of repetitions.
+    pub runs: u32,
+}
+
+impl SweepCell {
+    /// A cell with the standard repetition count for its scale.
+    pub fn new(cfg: ExperimentConfig, runs: u32) -> Self {
+        assert!(runs > 0, "a sweep cell needs at least one run");
+        SweepCell { cfg, runs }
+    }
+}
+
+/// Aggregate statistics over everything an executor has run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutorStats {
+    /// Simulation runs completed.
+    pub jobs: u64,
+    /// Total simulation events processed.
+    pub events: u64,
+    /// Largest pending-event set seen in any run.
+    pub peak_queue_depth: u64,
+    /// Wall-clock time spent inside [`SweepExecutor::run`].
+    pub wall: Duration,
+}
+
+impl ExecutorStats {
+    /// Events per wall-clock second (0 if nothing ran).
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.events as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the stats as a `BENCH_harness.json` document.
+    pub fn to_json(&self, threads: usize) -> String {
+        format!(
+            "{{\n  \"threads\": {threads},\n  \"jobs\": {},\n  \"events\": {},\n  \
+             \"wall_clock_s\": {:.3},\n  \"events_per_sec\": {:.0},\n  \
+             \"peak_queue_depth\": {}\n}}\n",
+            self.jobs,
+            self.events,
+            self.wall.as_secs_f64(),
+            self.events_per_sec(),
+            self.peak_queue_depth,
+        )
+    }
+}
+
+/// Work-stealing executor over sweep grids. Reusable: statistics
+/// accumulate across [`SweepExecutor::run`] calls.
+#[derive(Debug)]
+pub struct SweepExecutor {
+    threads: usize,
+    stats: ExecutorStats,
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepExecutor {
+    /// An executor over all available cores.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// An executor with an explicit worker count (1 = serial reference
+    /// executor; the determinism tests compare it against the parallel
+    /// one).
+    pub fn with_threads(threads: usize) -> Self {
+        SweepExecutor {
+            threads: threads.max(1),
+            stats: ExecutorStats::default(),
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> ExecutorStats {
+        self.stats
+    }
+
+    /// Runs every `(cell, repetition)` job across the worker pool and
+    /// returns, per cell, its repetition results ordered by seed.
+    pub fn run(&mut self, cells: &[SweepCell]) -> Vec<Vec<RunResult>> {
+        let t0 = Instant::now();
+        // Flatten the grid into one deterministic job list.
+        let mut jobs: Vec<(usize, ExperimentConfig)> = Vec::new();
+        for (ci, cell) in cells.iter().enumerate() {
+            for rep in 0..cell.runs {
+                let mut cfg = cell.cfg.clone();
+                cfg.seed = cell.cfg.seed.wrapping_add(rep as u64);
+                jobs.push((ci, cfg));
+            }
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(jobs.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((_, cfg)) = jobs.get(i) else {
+                        break;
+                    };
+                    let result = World::run(cfg);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        // Deterministic assembly: slot order == job order == cell order.
+        let mut out: Vec<Vec<RunResult>> = cells
+            .iter()
+            .map(|c| Vec::with_capacity(c.runs as usize))
+            .collect();
+        for ((ci, _), slot) in jobs.iter().zip(slots) {
+            let r = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot");
+            self.stats.jobs += 1;
+            self.stats.events += r.events_processed;
+            self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(r.peak_queue_depth);
+            out[*ci].push(r);
+        }
+        self.stats.wall += t0.elapsed();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essat_sim::time::SimDuration;
+    use essat_wsn::config::{Protocol, WorkloadSpec};
+
+    fn tiny(seed: u64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(Protocol::NtsSs, WorkloadSpec::paper(1.0), seed);
+        cfg.nodes = 12;
+        cfg.area_side = 220.0;
+        cfg.duration = SimDuration::from_secs(6);
+        cfg
+    }
+
+    #[test]
+    fn results_ordered_by_cell_and_seed() {
+        let cells = vec![SweepCell::new(tiny(10), 2), SweepCell::new(tiny(50), 3)];
+        let mut ex = SweepExecutor::with_threads(4);
+        let out = ex.run(&cells);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 2);
+        assert_eq!(out[1].len(), 3);
+        assert_eq!(out[0][0].seed, 10);
+        assert_eq!(out[0][1].seed, 11);
+        assert_eq!(
+            out[1].iter().map(|r| r.seed).collect::<Vec<_>>(),
+            vec![50, 51, 52]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cells = vec![SweepCell::new(tiny(7), 3), SweepCell::new(tiny(8), 2)];
+        let serial = SweepExecutor::with_threads(1).run(&cells);
+        let parallel = SweepExecutor::with_threads(8).run(&cells);
+        for (s_cell, p_cell) in serial.iter().zip(&parallel) {
+            for (s, p) in s_cell.iter().zip(p_cell) {
+                assert_eq!(s.seed, p.seed);
+                assert_eq!(s.events_processed, p.events_processed);
+                assert_eq!(s.avg_duty_cycle_pct(), p.avg_duty_cycle_pct());
+                assert_eq!(s.avg_latency_s(), p.avg_latency_s());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ex = SweepExecutor::with_threads(2);
+        ex.run(&[SweepCell::new(tiny(1), 1)]);
+        let first = ex.stats();
+        assert_eq!(first.jobs, 1);
+        assert!(first.events > 0);
+        assert!(first.peak_queue_depth > 0);
+        ex.run(&[SweepCell::new(tiny(2), 2)]);
+        let second = ex.stats();
+        assert_eq!(second.jobs, 3);
+        assert!(second.events > first.events);
+        let json = second.to_json(2);
+        assert!(json.contains("\"jobs\": 3"));
+        assert!(json.contains("events_per_sec"));
+    }
+}

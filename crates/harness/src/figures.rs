@@ -12,14 +12,24 @@
 //!
 //! Figures 3+6 and 4+7 share their underlying simulations (duty cycle
 //! and latency come from the same runs), which halves the sweep cost.
+//!
+//! Every figure is split into a **plan** half (`*_cells`, enumerating
+//! its sweep grid as [`SweepCell`]s) and an **assemble** half (`*_from`,
+//! a deterministic walk of the per-cell results in cell order). The
+//! one-shot builders (`rate_sweep` etc.) wire the two through a single
+//! [`SweepExecutor::run`] call for callers that want one figure; the
+//! `essat-figures` binary instead concatenates the plans of *all*
+//! requested figures and executes them as **one** flat job list, so the
+//! whole invocation drains across every core with no per-figure or
+//! per-point barrier.
 
 use essat_net::radio::RadioParams;
 use essat_sim::stats::{Confidence, OnlineStats};
 use essat_sim::time::SimDuration;
 use essat_wsn::config::{Protocol, WorkloadSpec};
 use essat_wsn::metrics::RunResult;
-use essat_wsn::runner;
 
+use crate::executor::{SweepCell, SweepExecutor};
 use crate::scale::Scale;
 use crate::table::{FigureData, Series};
 
@@ -60,8 +70,27 @@ pub struct RateSweepData {
     pub dts_overhead_bits: Series,
 }
 
+/// The base-rate sweep's job plan: every (rate, protocol) cell.
+pub fn rate_sweep_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for rate in scale.rate_sweep() {
+        for protocol in LATENCY_PROTOCOLS {
+            let cfg = scale.config(protocol, WorkloadSpec::paper(rate), seed);
+            cells.push(SweepCell::new(cfg, scale.runs()));
+        }
+    }
+    cells
+}
+
 /// Runs the base-rate sweep (one query per class, rates 1–5 Hz).
-pub fn rate_sweep(scale: Scale, seed: u64) -> RateSweepData {
+pub fn rate_sweep(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> RateSweepData {
+    let grid = exec.run(&rate_sweep_cells(scale, seed));
+    rate_sweep_from(&grid, scale)
+}
+
+/// Assembles Figures 3 & 6 from the results of [`rate_sweep_cells`]
+/// (same order).
+pub fn rate_sweep_from(grid: &[Vec<RunResult>], scale: Scale) -> RateSweepData {
     let mut duty = FigureData::new(
         "fig3",
         "Average duty cycle for three query classes when varying base rate",
@@ -81,11 +110,12 @@ pub fn rate_sweep(scale: Scale, seed: u64) -> RateSweepData {
     for p in LATENCY_PROTOCOLS {
         latency.series.push(Series::new(p.label()));
     }
-    for rate in scale.rate_sweep() {
+    let rates = scale.rate_sweep();
+    let mut cell = grid.iter();
+    for &rate in &rates {
         for protocol in LATENCY_PROTOCOLS {
-            let cfg = scale.config(protocol, WorkloadSpec::paper(rate), seed);
-            let results = runner::run_many(&cfg, scale.runs());
-            let (lat, lat_ci) = stat_over_runs(&results, RunResult::avg_latency_s);
+            let results = cell.next().expect("one cell per (rate, protocol)");
+            let (lat, lat_ci) = stat_over_runs(results, RunResult::avg_latency_s);
             latency
                 .series
                 .iter_mut()
@@ -93,7 +123,7 @@ pub fn rate_sweep(scale: Scale, seed: u64) -> RateSweepData {
                 .expect("series exists")
                 .push(rate, lat, lat_ci);
             if protocol != Protocol::Sync {
-                let (d, d_ci) = stat_over_runs(&results, RunResult::avg_duty_cycle_pct);
+                let (d, d_ci) = stat_over_runs(results, RunResult::avg_duty_cycle_pct);
                 duty.series
                     .iter_mut()
                     .find(|s| s.label == protocol.label())
@@ -101,8 +131,7 @@ pub fn rate_sweep(scale: Scale, seed: u64) -> RateSweepData {
                     .push(rate, d, d_ci);
             }
             if protocol == Protocol::DtsSs {
-                let (o, o_ci) =
-                    stat_over_runs(&results, RunResult::phase_overhead_bits_per_report);
+                let (o, o_ci) = stat_over_runs(results, RunResult::phase_overhead_bits_per_report);
                 overhead.push(rate, o, o_ci);
             }
         }
@@ -123,8 +152,28 @@ pub struct QuerySweepData {
     pub latency: FigureData,
 }
 
+/// The query-count sweep's job plan: every (qpc, protocol) cell.
+pub fn query_sweep_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for qpc in scale.queries_sweep() {
+        let workload = WorkloadSpec::paper(0.2).with_queries_per_class(qpc);
+        for protocol in LATENCY_PROTOCOLS {
+            let cfg = scale.config(protocol, workload.clone(), seed);
+            cells.push(SweepCell::new(cfg, scale.runs()));
+        }
+    }
+    cells
+}
+
 /// Runs the query-count sweep (base rate fixed at 0.2 Hz).
-pub fn query_sweep(scale: Scale, seed: u64) -> QuerySweepData {
+pub fn query_sweep(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> QuerySweepData {
+    let grid = exec.run(&query_sweep_cells(scale, seed));
+    query_sweep_from(&grid, scale)
+}
+
+/// Assembles Figures 4 & 7 from the results of [`query_sweep_cells`]
+/// (same order).
+pub fn query_sweep_from(grid: &[Vec<RunResult>], scale: Scale) -> QuerySweepData {
     let mut duty = FigureData::new(
         "fig4",
         "Average duty cycle for three query classes when varying number of queries per class",
@@ -143,12 +192,12 @@ pub fn query_sweep(scale: Scale, seed: u64) -> QuerySweepData {
     for p in LATENCY_PROTOCOLS {
         latency.series.push(Series::new(p.label()));
     }
-    for qpc in scale.queries_sweep() {
-        let workload = WorkloadSpec::paper(0.2).with_queries_per_class(qpc);
+    let qpcs = scale.queries_sweep();
+    let mut cell = grid.iter();
+    for &qpc in &qpcs {
         for protocol in LATENCY_PROTOCOLS {
-            let cfg = scale.config(protocol, workload.clone(), seed);
-            let results = runner::run_many(&cfg, scale.runs());
-            let (lat, lat_ci) = stat_over_runs(&results, RunResult::avg_latency_s);
+            let results = cell.next().expect("one cell per (qpc, protocol)");
+            let (lat, lat_ci) = stat_over_runs(results, RunResult::avg_latency_s);
             latency
                 .series
                 .iter_mut()
@@ -156,7 +205,7 @@ pub fn query_sweep(scale: Scale, seed: u64) -> QuerySweepData {
                 .expect("series exists")
                 .push(qpc as f64, lat, lat_ci);
             if protocol != Protocol::Sync {
-                let (d, d_ci) = stat_over_runs(&results, RunResult::avg_duty_cycle_pct);
+                let (d, d_ci) = stat_over_runs(results, RunResult::avg_duty_cycle_pct);
                 duty.series
                     .iter_mut()
                     .find(|s| s.label == protocol.label())
@@ -171,7 +220,25 @@ pub fn query_sweep(scale: Scale, seed: u64) -> QuerySweepData {
 /// Figure 2: the STS-SS deadline sweep — duty cycle and query latency as
 /// the query deadline `D` (and with it the local deadline `l = D/M`)
 /// grows. The paper's knee sits where `l` crosses `T_agg`.
-pub fn fig2_deadline(scale: Scale, seed: u64) -> FigureData {
+pub fn fig2_deadline(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> FigureData {
+    let grid = exec.run(&fig2_deadline_cells(scale, seed));
+    fig2_deadline_from(&grid, scale)
+}
+
+/// Figure 2's job plan: one STS-SS cell per deadline.
+pub fn fig2_deadline_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    scale
+        .deadline_sweep()
+        .iter()
+        .map(|&d| {
+            let workload = WorkloadSpec::paper(5.0).with_deadline(SimDuration::from_secs_f64(d));
+            SweepCell::new(scale.config(Protocol::StsSs, workload, seed), scale.runs())
+        })
+        .collect()
+}
+
+/// Assembles Figure 2 from the results of [`fig2_deadline_cells`].
+pub fn fig2_deadline_from(grid: &[Vec<RunResult>], scale: Scale) -> FigureData {
     let mut fig = FigureData::new(
         "fig2",
         "Impact of query deadline on duty cycle and query latency of STS-SS",
@@ -180,13 +247,10 @@ pub fn fig2_deadline(scale: Scale, seed: u64) -> FigureData {
     );
     let mut duty = Series::new("Duty Cycle (%)");
     let mut lat = Series::new("Query latency (s)");
-    for d in scale.deadline_sweep() {
-        let workload =
-            WorkloadSpec::paper(5.0).with_deadline(SimDuration::from_secs_f64(d));
-        let cfg = scale.config(Protocol::StsSs, workload, seed);
-        let results = runner::run_many(&cfg, scale.runs());
-        let (dy, dy_ci) = stat_over_runs(&results, RunResult::avg_duty_cycle_pct);
-        let (ly, ly_ci) = stat_over_runs(&results, RunResult::avg_latency_s);
+    let deadlines = scale.deadline_sweep();
+    for (&d, results) in deadlines.iter().zip(grid) {
+        let (dy, dy_ci) = stat_over_runs(results, RunResult::avg_duty_cycle_pct);
+        let (ly, ly_ci) = stat_over_runs(results, RunResult::avg_latency_s);
         duty.push(d, dy, dy_ci);
         lat.push(d, ly, ly_ci);
     }
@@ -198,19 +262,37 @@ pub fn fig2_deadline(scale: Scale, seed: u64) -> FigureData {
 /// Figure 5: distribution of duty cycles across routing-tree ranks for
 /// the three ESSAT protocols (a single "typical run" at 5 Hz, as in the
 /// paper). NTS-SS grows linearly with rank; STS-SS and DTS-SS stay flat.
-pub fn fig5_rank_profile(scale: Scale, seed: u64) -> FigureData {
+pub fn fig5_rank_profile(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> FigureData {
+    let grid = exec.run(&fig5_rank_profile_cells(scale, seed));
+    fig5_rank_profile_from(&grid)
+}
+
+/// Figure 5's job plan: one single-run cell per ESSAT protocol.
+pub fn fig5_rank_profile_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    Protocol::essat_set()
+        .iter()
+        .map(|&p| SweepCell::new(scale.config(p, WorkloadSpec::paper(5.0), seed), 1))
+        .collect()
+}
+
+/// Assembles Figure 5 from the results of [`fig5_rank_profile_cells`].
+pub fn fig5_rank_profile_from(grid: &[Vec<RunResult>]) -> FigureData {
     let mut fig = FigureData::new(
         "fig5",
         "Distribution of duty cycles at different ranks",
         "rank",
         "duty cycle (%)",
     );
-    for protocol in Protocol::essat_set() {
-        let cfg = scale.config(protocol, WorkloadSpec::paper(5.0), seed);
-        let result = runner::run_one(&cfg);
+    let protocols = Protocol::essat_set();
+    for (protocol, results) in protocols.iter().zip(grid) {
+        let result = &results[0];
         let mut series = Series::new(protocol.label());
         for (rank, stats) in result.duty_by_rank() {
-            series.push(rank as f64, stats.mean(), stats.ci_halfwidth(Confidence::P90));
+            series.push(
+                rank as f64,
+                stats.mean(),
+                stats.ci_halfwidth(Confidence::P90),
+            );
         }
         fig.series.push(series);
     }
@@ -229,7 +311,26 @@ pub struct Fig8Data {
 
 /// Figure 8: histogram of sleep-interval lengths with `t_BE = 0`
 /// (instant radio transitions), three queries at 5 Hz.
-pub fn fig8_sleep_hist(scale: Scale, seed: u64) -> Fig8Data {
+pub fn fig8_sleep_hist(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> Fig8Data {
+    let grid = exec.run(&fig8_sleep_hist_cells(scale, seed));
+    fig8_sleep_hist_from(&grid)
+}
+
+/// Figure 8's job plan: one instant-radio cell per ESSAT protocol.
+pub fn fig8_sleep_hist_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    Protocol::essat_set()
+        .iter()
+        .map(|&p| {
+            let cfg = scale
+                .config(p, WorkloadSpec::paper(5.0), seed)
+                .with_radio(RadioParams::instant());
+            SweepCell::new(cfg, scale.runs())
+        })
+        .collect()
+}
+
+/// Assembles Figure 8 from the results of [`fig8_sleep_hist_cells`].
+pub fn fig8_sleep_hist_from(grid: &[Vec<RunResult>]) -> Fig8Data {
     let mut fig = FigureData::new(
         "fig8",
         "Histogram of sleep intervals (t_BE = 0); bins of 25 ms",
@@ -237,11 +338,8 @@ pub fn fig8_sleep_hist(scale: Scale, seed: u64) -> Fig8Data {
         "count",
     );
     let mut below = Vec::new();
-    for protocol in Protocol::essat_set() {
-        let cfg = scale
-            .config(protocol, WorkloadSpec::paper(5.0), seed)
-            .with_radio(RadioParams::instant());
-        let results = runner::run_many(&cfg, scale.runs());
+    let protocols = Protocol::essat_set();
+    for (protocol, results) in protocols.iter().zip(grid) {
         let mut series = Series::new(protocol.label());
         // Re-bin the fine histograms (0.5 ms) into the paper's 25 ms
         // bins up to 200 ms; counts are averaged over runs.
@@ -249,7 +347,7 @@ pub fn fig8_sleep_hist(scale: Scale, seed: u64) -> Fig8Data {
         let fine_per_coarse = 50;
         for cb in 0..coarse_bins {
             let mut total = 0u64;
-            for r in &results {
+            for r in results {
                 for fb in 0..fine_per_coarse {
                     let idx = cb * fine_per_coarse + fb;
                     if idx < r.sleep_intervals.bins() {
@@ -278,26 +376,46 @@ pub fn fig8_sleep_hist(scale: Scale, seed: u64) -> Fig8Data {
 ///
 /// Note: the paper's caption says "STS-SS" but the body text and legend
 /// describe DTS-SS; we follow the text.
-pub fn fig9_tbe(scale: Scale, seed: u64) -> FigureData {
-    let mut fig = FigureData::new(
-        "fig9",
-        "Impact of break-even time on DTS-SS duty cycle",
-        "rate_hz",
-        "duty cycle (%)",
-    );
+pub fn fig9_tbe(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> FigureData {
+    let grid = exec.run(&fig9_tbe_cells(scale, seed));
+    fig9_tbe_from(&grid, scale)
+}
+
+/// Figure 9's job plan: every (break-even time, rate) cell.
+pub fn fig9_tbe_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
     for tbe_ms in scale.tbe_sweep_ms() {
         let radio = if tbe_ms == 0.0 {
             RadioParams::instant()
         } else {
             RadioParams::with_break_even(SimDuration::from_secs_f64(tbe_ms / 1000.0))
         };
-        let mut series = Series::new(format!("TBE={tbe_ms}ms"));
         for rate in scale.rate_sweep() {
             let cfg = scale
                 .config(Protocol::DtsSs, WorkloadSpec::paper(rate), seed)
                 .with_radio(radio);
-            let results = runner::run_many(&cfg, scale.runs());
-            let (d, ci) = stat_over_runs(&results, RunResult::avg_duty_cycle_pct);
+            cells.push(SweepCell::new(cfg, scale.runs()));
+        }
+    }
+    cells
+}
+
+/// Assembles Figure 9 from the results of [`fig9_tbe_cells`].
+pub fn fig9_tbe_from(grid: &[Vec<RunResult>], scale: Scale) -> FigureData {
+    let mut fig = FigureData::new(
+        "fig9",
+        "Impact of break-even time on DTS-SS duty cycle",
+        "rate_hz",
+        "duty cycle (%)",
+    );
+    let tbes = scale.tbe_sweep_ms();
+    let rates = scale.rate_sweep();
+    let mut cell = grid.iter();
+    for &tbe_ms in &tbes {
+        let mut series = Series::new(format!("TBE={tbe_ms}ms"));
+        for &rate in &rates {
+            let results = cell.next().expect("one cell per (tbe, rate)");
+            let (d, ci) = stat_over_runs(results, RunResult::avg_duty_cycle_pct);
             series.push(rate, d, ci);
         }
         fig.series.push(series);
@@ -392,7 +510,8 @@ mod tests {
     fn headline_ranges_from_synthetic_data() {
         let mk_duty = |id: &str| {
             let mut f = FigureData::new(id, "t", "x", "y");
-            f.series.push(fig_with("DTS-SS", &[(1.0, 10.0), (2.0, 20.0)]));
+            f.series
+                .push(fig_with("DTS-SS", &[(1.0, 10.0), (2.0, 20.0)]));
             f.series.push(fig_with("SPAN", &[(1.0, 40.0), (2.0, 40.0)]));
             f
         };

@@ -17,12 +17,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod figures;
 pub mod scale;
 pub mod table;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::executor::{ExecutorStats, SweepCell, SweepExecutor};
     pub use crate::figures::{
         fig2_deadline, fig5_rank_profile, fig8_sleep_hist, fig9_tbe, headline, query_sweep,
         rate_sweep, Fig8Data, Headline, QuerySweepData, RateSweepData, DUTY_PROTOCOLS,

@@ -2,17 +2,32 @@
 //! line.
 //!
 //! ```text
-//! essat-figures [FIGURES|all] [--quick] [--seed N] [--csv DIR]
+//! essat-figures [FIGURES|all] [--scale quick|paper] [--seed N]
+//!               [--csv DIR] [--threads N] [--bench-json PATH]
 //!
-//! FIGURES   any of: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 headline overhead
-//! --quick   reduced scale (40 nodes, 50 s, 2 runs) instead of paper scale
-//! --seed N  master seed (default 2024)
-//! --csv DIR also write each figure as CSV into DIR
+//! FIGURES      any of: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!              headline overhead (default: all)
+//! --scale S    quick (40 nodes, 50 s, 2 runs) or paper (80 nodes,
+//!              200 s, 5 runs; the default). --quick is shorthand for
+//!              --scale quick.
+//! --seed N     master seed (default 2024)
+//! --csv DIR    also write each figure as CSV into DIR
+//! --threads N  worker threads (default: all cores)
+//! --bench-json PATH  where to write the run's performance record
+//!              (default: BENCH_harness.json in the working directory)
 //! ```
+//!
+//! All requested figures share one [`SweepExecutor`]: the whole
+//! `(figure, sweep point, protocol, repetition)` grid drains across all
+//! cores with no per-point barrier, and the executor's aggregate
+//! statistics (wall-clock, events/second, peak event-queue depth) are
+//! written to `BENCH_harness.json` so the performance trajectory is
+//! tracked run over run.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
+use essat_harness::executor::SweepExecutor;
 use essat_harness::figures::{self, QuerySweepData, RateSweepData};
 use essat_harness::scale::Scale;
 use essat_harness::table::FigureData;
@@ -23,27 +38,50 @@ fn main() {
     let mut scale = Scale::Paper;
     let mut seed = 2024u64;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut bench_json = PathBuf::from("BENCH_harness.json");
 
+    let all_figures = [
+        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "headline", "overhead",
+    ];
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("paper") => Scale::Paper,
+                    other => usage(&format!("--scale needs quick|paper, got {other:?}")),
+                };
+            }
             "--seed" => {
                 seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs a number")),
+                );
+            }
             "--csv" => {
                 csv_dir = Some(PathBuf::from(
-                    it.next().unwrap_or_else(|| usage("--csv needs a directory")),
+                    it.next()
+                        .unwrap_or_else(|| usage("--csv needs a directory")),
                 ));
             }
+            "--bench-json" => {
+                bench_json = PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--bench-json needs a path")),
+                );
+            }
             "all" => {
-                for f in [
-                    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-                    "headline", "overhead",
-                ] {
+                for f in all_figures {
                     wanted.insert(f.to_string());
                 }
             }
@@ -54,33 +92,90 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        usage("no figures requested");
+        // Quickstart default: regenerate everything.
+        for f in all_figures {
+            wanted.insert(f.to_string());
+        }
     }
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
 
+    let mut exec = match threads {
+        Some(n) => SweepExecutor::with_threads(n),
+        None => SweepExecutor::new(),
+    };
     eprintln!(
-        "# scale: {:?}, seed: {seed}, figures: {:?}",
+        "# scale: {:?}, seed: {seed}, threads: {}, figures: {:?}",
         scale,
+        exec.threads(),
         wanted.iter().collect::<Vec<_>>()
     );
 
-    // Shared sweeps.
+    // Plan every requested figure up front and execute the whole
+    // invocation as ONE flat job list — no per-figure barrier: an idle
+    // worker takes the next unclaimed job whatever figure it belongs to.
     let needs_rate = ["fig3", "fig6", "headline", "overhead"]
         .iter()
         .any(|f| wanted.contains(*f));
     let needs_query = ["fig4", "fig7", "headline"]
         .iter()
         .any(|f| wanted.contains(*f));
-    let rate: Option<RateSweepData> = needs_rate.then(|| {
-        eprintln!("# running base-rate sweep (figs 3 & 6)…");
-        figures::rate_sweep(scale, seed)
-    });
-    let query: Option<QuerySweepData> = needs_query.then(|| {
-        eprintln!("# running query-count sweep (figs 4 & 7)…");
-        figures::query_sweep(scale, seed)
-    });
+    let mut cells = Vec::new();
+    let mut spans: Vec<(&str, usize, usize)> = Vec::new();
+    let mut plan = |key: &'static str, mut figure_cells: Vec<_>, cells: &mut Vec<_>| {
+        spans.push((key, cells.len(), figure_cells.len()));
+        cells.append(&mut figure_cells);
+    };
+    if needs_rate {
+        plan("rate", figures::rate_sweep_cells(scale, seed), &mut cells);
+    }
+    if needs_query {
+        plan("query", figures::query_sweep_cells(scale, seed), &mut cells);
+    }
+    if wanted.contains("fig2") {
+        plan(
+            "fig2",
+            figures::fig2_deadline_cells(scale, seed),
+            &mut cells,
+        );
+    }
+    if wanted.contains("fig5") {
+        plan(
+            "fig5",
+            figures::fig5_rank_profile_cells(scale, seed),
+            &mut cells,
+        );
+    }
+    if wanted.contains("fig8") {
+        plan(
+            "fig8",
+            figures::fig8_sleep_hist_cells(scale, seed),
+            &mut cells,
+        );
+    }
+    if wanted.contains("fig9") {
+        plan("fig9", figures::fig9_tbe_cells(scale, seed), &mut cells);
+    }
+    let total_jobs: u32 = cells
+        .iter()
+        .map(|c: &essat_harness::executor::SweepCell| c.runs)
+        .sum();
+    eprintln!(
+        "# executing {} simulation runs ({} sweep cells) as one job list…",
+        total_jobs,
+        cells.len()
+    );
+    let grid = exec.run(&cells);
+    let slice = |key: &str| {
+        spans
+            .iter()
+            .find(|(k, _, _)| *k == key)
+            .map(|&(_, start, len)| &grid[start..start + len])
+    };
+
+    let rate: Option<RateSweepData> = slice("rate").map(|g| figures::rate_sweep_from(g, scale));
+    let query: Option<QuerySweepData> = slice("query").map(|g| figures::query_sweep_from(g, scale));
 
     let emit = |fig: &FigureData| {
         println!("{}", fig.render_table());
@@ -92,8 +187,10 @@ fn main() {
     };
 
     if wanted.contains("fig2") {
-        eprintln!("# running fig2 deadline sweep…");
-        emit(&figures::fig2_deadline(scale, seed));
+        emit(&figures::fig2_deadline_from(
+            slice("fig2").expect("planned"),
+            scale,
+        ));
     }
     if wanted.contains("fig3") {
         emit(&rate.as_ref().expect("computed").duty);
@@ -102,8 +199,9 @@ fn main() {
         emit(&query.as_ref().expect("computed").duty);
     }
     if wanted.contains("fig5") {
-        eprintln!("# running fig5 rank profile…");
-        emit(&figures::fig5_rank_profile(scale, seed));
+        emit(&figures::fig5_rank_profile_from(
+            slice("fig5").expect("planned"),
+        ));
     }
     if wanted.contains("fig6") {
         emit(&rate.as_ref().expect("computed").latency);
@@ -112,8 +210,7 @@ fn main() {
         emit(&query.as_ref().expect("computed").latency);
     }
     if wanted.contains("fig8") {
-        eprintln!("# running fig8 sleep-interval histogram…");
-        let data = figures::fig8_sleep_hist(scale, seed);
+        let data = figures::fig8_sleep_hist_from(slice("fig8").expect("planned"));
         emit(&data.histogram);
         println!("fraction of sleep intervals < 2.5 ms (paper: NTS 0.40%, STS 0.85%, DTS 6.33%):");
         for (label, pct) in &data.below_2_5ms_pct {
@@ -122,8 +219,10 @@ fn main() {
         println!();
     }
     if wanted.contains("fig9") {
-        eprintln!("# running fig9 break-even sweep…");
-        emit(&figures::fig9_tbe(scale, seed));
+        emit(&figures::fig9_tbe_from(
+            slice("fig9").expect("planned"),
+            scale,
+        ));
     }
     if wanted.contains("overhead") {
         let series = &rate.as_ref().expect("computed").dts_overhead_bits;
@@ -140,12 +239,28 @@ fn main() {
         );
         println!("{}", h.render());
     }
+
+    // Performance record: one JSON document per invocation.
+    let stats = exec.stats();
+    let json = stats.to_json(exec.threads());
+    match std::fs::write(&bench_json, &json) {
+        Ok(()) => eprintln!(
+            "# {}: {} runs, {:.1}s wall, {:.0} events/s, peak queue {}",
+            bench_json.display(),
+            stats.jobs,
+            stats.wall.as_secs_f64(),
+            stats.events_per_sec(),
+            stats.peak_queue_depth
+        ),
+        Err(e) => eprintln!("# could not write {}: {e}", bench_json.display()),
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: essat-figures [fig2..fig9|headline|overhead|all]… [--quick] [--seed N] [--csv DIR]"
+        "usage: essat-figures [fig2..fig9|headline|overhead|all]… [--scale quick|paper] \
+         [--seed N] [--csv DIR] [--threads N] [--bench-json PATH]"
     );
     std::process::exit(2);
 }

@@ -2,12 +2,13 @@
 //! builder produces well-formed series with the expected axes, labels,
 //! and paper-shaped relationships.
 
+use essat_harness::executor::SweepExecutor;
 use essat_harness::figures;
 use essat_harness::scale::Scale;
 
 #[test]
 fn fig5_builder_shape() {
-    let fig = figures::fig5_rank_profile(Scale::Quick, 7);
+    let fig = figures::fig5_rank_profile(&mut SweepExecutor::new(), Scale::Quick, 7);
     assert_eq!(fig.id, "fig5");
     assert_eq!(fig.series.len(), 3, "three ESSAT protocols");
     for s in &fig.series {
@@ -22,12 +23,15 @@ fn fig5_builder_shape() {
     let nts = fig.series("NTS-SS").expect("NTS series");
     let first = nts.points.first().unwrap().y;
     let last = nts.points.last().unwrap().y;
-    assert!(last > first, "NTS rank profile must grow: {first} -> {last}");
+    assert!(
+        last > first,
+        "NTS rank profile must grow: {first} -> {last}"
+    );
 }
 
 #[test]
 fn fig8_builder_shape() {
-    let data = figures::fig8_sleep_hist(Scale::Quick, 11);
+    let data = figures::fig8_sleep_hist(&mut SweepExecutor::new(), Scale::Quick, 11);
     assert_eq!(data.histogram.id, "fig8");
     assert_eq!(data.histogram.series.len(), 3);
     for s in &data.histogram.series {
@@ -55,7 +59,7 @@ fn fig8_builder_shape() {
 
 #[test]
 fn fig2_builder_shape() {
-    let fig = figures::fig2_deadline(Scale::Quick, 5);
+    let fig = figures::fig2_deadline(&mut SweepExecutor::new(), Scale::Quick, 5);
     assert_eq!(fig.id, "fig2");
     assert_eq!(fig.series.len(), 2, "duty + latency");
     let duty = &fig.series[0];

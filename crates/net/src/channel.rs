@@ -16,6 +16,22 @@
 //! opaque [`TxId`]; the simulator keeps the frame body alongside the
 //! transmission-end event it schedules.
 //!
+//! # Hot-path layout
+//!
+//! `begin_tx`/`end_tx` run once per frame (plus retries) and dominate
+//! dense-traffic simulations, so the channel is built to not allocate in
+//! steady state:
+//!
+//! * Adjacency is stored **CSR-style** — one flat `Vec<NodeId>` plus an
+//!   offsets array per range — and each transmission refers to its
+//!   hearers/sensers by the *sender's index range* into those arrays
+//!   instead of cloning the neighbour lists per transmission.
+//! * In-flight transmissions live in a **slab** keyed by a dense slot id
+//!   ([`TxId`] packs slot + generation); there is no hashing anywhere.
+//! * Per-hearer corruption flags and the returned receiver lists draw
+//!   from internal **buffer pools**; the simulator hands vectors back via
+//!   [`Channel::recycle_nodes`] after consuming a [`TxStart`]/[`TxEnd`].
+//!
 //! # Examples
 //!
 //! ```
@@ -35,8 +51,6 @@
 //! assert_eq!(end.clean_receivers, vec![NodeId::new(1)]);
 //! ```
 
-use std::collections::HashMap;
-
 use essat_sim::rng::SimRng;
 use essat_sim::time::{SimDuration, SimTime};
 
@@ -44,25 +58,45 @@ use crate::ids::NodeId;
 use crate::topology::Topology;
 
 /// Identifier of an in-flight transmission.
+///
+/// Packs the slab slot (low 32 bits) and a generation counter (high 32
+/// bits) so stale ids are detected exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxId(u64);
 
 impl TxId {
-    /// Raw counter value.
+    /// Raw packed value (generation << 32 | slot).
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    fn new(slot: u32, seq: u32) -> Self {
+        TxId((seq as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn seq(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
+/// One slab slot for an in-flight transmission. Hearers/sensers are the
+/// sender's CSR ranges in the channel's adjacency arrays; only the
+/// per-hearer corruption flags are per-transmission state.
 #[derive(Debug)]
 struct ActiveTx {
+    seq: u32,
+    live: bool,
+    /// Index of this slot in `Channel::active` (for O(1) removal).
+    active_pos: u32,
     sender: NodeId,
     start: SimTime,
-    /// Nodes that can decode the frame (communication range).
-    hearers: Vec<NodeId>,
-    corrupted: Vec<bool>, // parallel to hearers
-    /// Nodes that merely sense the energy (interference range ⊇ hearers).
-    sensers: Vec<NodeId>,
+    /// Parallel to the sender's communication-range CSR slice; recycled
+    /// through `bool_pool`.
+    corrupted: Vec<bool>,
 }
 
 /// Outcome of starting a transmission.
@@ -105,15 +139,43 @@ pub struct ChannelStats {
     pub injected_drops: u64,
 }
 
+/// CSR adjacency: `flat[off[i]..off[i+1]]` are node `i`'s neighbours in
+/// ascending id order.
+#[derive(Debug)]
+struct Csr {
+    flat: Vec<NodeId>,
+    off: Vec<u32>,
+}
+
+impl Csr {
+    fn from_lists<'a>(n: usize, mut list: impl FnMut(usize) -> &'a [NodeId]) -> Csr {
+        let mut off = Vec::with_capacity(n + 1);
+        let mut flat = Vec::new();
+        off.push(0u32);
+        for i in 0..n {
+            flat.extend_from_slice(list(i));
+            off.push(flat.len() as u32);
+        }
+        Csr { flat, off }
+    }
+}
+
 /// The shared medium. One instance per simulation.
 #[derive(Debug)]
 pub struct Channel {
-    neighbors: Vec<Vec<NodeId>>,
-    interference: Vec<Vec<NodeId>>,
+    neighbors: Csr,
+    interference: Csr,
     carrier_count: Vec<u32>,
     transmitting: Vec<bool>,
-    active: HashMap<u64, ActiveTx>,
-    next_tx: u64,
+    /// Transmission slab; `active` lists the live slot ids.
+    slots: Vec<ActiveTx>,
+    active: Vec<u32>,
+    free: Vec<u32>,
+    next_seq: u32,
+    /// Recycled per-hearer corruption buffers.
+    bool_pool: Vec<Vec<bool>>,
+    /// Recycled receiver-list buffers (see [`Channel::recycle_nodes`]).
+    node_pool: Vec<Vec<NodeId>>,
     drop_prob: f64,
     rng: SimRng,
     stats: ChannelStats,
@@ -123,16 +185,21 @@ impl Channel {
     /// Creates a channel over the given topology with no loss injection.
     pub fn new(topology: &Topology, rng: SimRng) -> Self {
         let n = topology.node_count();
+        let neighbors = Csr::from_lists(n, |i| topology.neighbors(NodeId::new(i as u32)));
+        let interference = Csr::from_lists(n, |i| {
+            topology.interference_neighbors(NodeId::new(i as u32))
+        });
         Channel {
-            neighbors: topology.nodes().map(|id| topology.neighbors(id).to_vec()).collect(),
-            interference: topology
-                .nodes()
-                .map(|id| topology.interference_neighbors(id).to_vec())
-                .collect(),
+            neighbors,
+            interference,
             carrier_count: vec![0; n],
             transmitting: vec![false; n],
-            active: HashMap::new(),
-            next_tx: 0,
+            slots: Vec::new(),
+            active: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            bool_pool: Vec::new(),
+            node_pool: Vec::new(),
             drop_prob: 0.0,
             rng,
             stats: ChannelStats::default(),
@@ -170,6 +237,42 @@ impl Channel {
         self.stats
     }
 
+    /// Returns a receiver-list vector to the channel's buffer pool.
+    ///
+    /// Optional: callers that consume [`TxStart::now_busy`] or the
+    /// [`TxEnd`] lists can hand the vectors back here to keep the
+    /// begin/end paths allocation-free in steady state.
+    pub fn recycle_nodes(&mut self, mut v: Vec<NodeId>) {
+        v.clear();
+        self.node_pool.push(v);
+    }
+
+    fn take_nodes(&mut self) -> Vec<NodeId> {
+        self.node_pool.pop().unwrap_or_default()
+    }
+
+    /// Marks the copy of in-flight transmission `slot` as corrupted at
+    /// hearer position `pos`, counting the collision once.
+    fn corrupt_at(stats: &mut ChannelStats, tx: &mut ActiveTx, pos: usize) {
+        if !tx.corrupted[pos] {
+            tx.corrupted[pos] = true;
+            stats.collisions += 1;
+        }
+    }
+
+    /// Corrupts every in-flight copy decodable at `node`.
+    fn corrupt_copies_at(&mut self, node: NodeId) {
+        for i in 0..self.active.len() {
+            let slot = self.active[i] as usize;
+            let s = self.slots[slot].sender.index();
+            let hearers = &self.neighbors.flat
+                [self.neighbors.off[s] as usize..self.neighbors.off[s + 1] as usize];
+            if let Some(pos) = hearers.iter().position(|&h| h == node) {
+                Self::corrupt_at(&mut self.stats, &mut self.slots[slot], pos);
+            }
+        }
+    }
+
     /// Starts a transmission from `sender` lasting `airtime`.
     ///
     /// The caller must schedule a call to [`Channel::end_tx`] exactly
@@ -190,42 +293,42 @@ impl Channel {
 
         // The sender cannot receive while transmitting: corrupt every
         // in-flight copy addressed at it.
-        for tx in self.active.values_mut() {
-            if let Some(pos) = tx.hearers.iter().position(|&h| h == sender) {
-                if !tx.corrupted[pos] {
-                    tx.corrupted[pos] = true;
-                    self.stats.collisions += 1;
-                }
-            }
-        }
+        self.corrupt_copies_at(sender);
 
-        let hearers = self.neighbors[sender.index()].clone();
-        let sensers = self.interference[sender.index()].clone();
-        let mut corrupted = vec![false; hearers.len()];
-        let mut now_busy = Vec::new();
+        let si = sender.index();
+        let hearer_count = (self.neighbors.off[si + 1] - self.neighbors.off[si]) as usize;
+        let mut corrupted = self.bool_pool.pop().unwrap_or_default();
+        corrupted.clear();
+        corrupted.resize(hearer_count, false);
+        let mut now_busy = self.take_nodes();
+
         // Energy is sensed — and corrupts concurrent receptions — out to
         // the interference range; only communication-range hearers can
         // decode the frame itself.
-        for &h in &sensers {
+        let (i0, i1) = (
+            self.interference.off[si] as usize,
+            self.interference.off[si + 1] as usize,
+        );
+        for idx in i0..i1 {
+            let h = self.interference.flat[idx];
             let cc = &mut self.carrier_count[h.index()];
             *cc += 1;
-            if *cc == 1 {
+            let cc = *cc;
+            if cc == 1 {
                 now_busy.push(h);
             }
             // Overlap: any second audible transmission at h destroys
             // every decodable copy there (no capture).
-            if *cc >= 2 {
-                for tx in self.active.values_mut() {
-                    if let Some(pos) = tx.hearers.iter().position(|&x| x == h) {
-                        if !tx.corrupted[pos] {
-                            tx.corrupted[pos] = true;
-                            self.stats.collisions += 1;
-                        }
-                    }
-                }
+            if cc >= 2 {
+                self.corrupt_copies_at(h);
             }
         }
-        for (i, &h) in hearers.iter().enumerate() {
+        let (h0, h1) = (
+            self.neighbors.off[si] as usize,
+            self.neighbors.off[si + 1] as usize,
+        );
+        for (i, idx) in (h0..h1).enumerate() {
+            let h = self.neighbors.flat[idx];
             // Half-duplex: a transmitting hearer cannot receive.
             if self.transmitting[h.index()] {
                 corrupted[i] = true;
@@ -238,20 +341,36 @@ impl Channel {
             }
         }
 
-        let id = self.next_tx;
-        self.next_tx += 1;
-        self.active.insert(
-            id,
-            ActiveTx {
-                sender,
-                start: now,
-                hearers,
-                corrupted,
-                sensers,
-            },
-        );
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let active_pos = self.active.len() as u32;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let tx = &mut self.slots[s as usize];
+                tx.seq = seq;
+                tx.live = true;
+                tx.active_pos = active_pos;
+                tx.sender = sender;
+                tx.start = now;
+                tx.corrupted = corrupted;
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(ActiveTx {
+                    seq,
+                    live: true,
+                    active_pos,
+                    sender,
+                    start: now,
+                    corrupted,
+                });
+                s
+            }
+        };
+        self.active.push(slot);
         TxStart {
-            id: TxId(id),
+            id: TxId::new(slot, seq),
             now_busy,
         }
     }
@@ -264,16 +383,42 @@ impl Channel {
     /// Panics if `id` does not correspond to an in-flight transmission.
     pub fn end_tx(&mut self, now: SimTime, id: TxId) -> TxEnd {
         let _ = now;
-        let tx = self
-            .active
-            .remove(&id.0)
-            .expect("end_tx for unknown transmission");
-        self.transmitting[tx.sender.index()] = false;
+        let slot = id.slot();
+        assert!(
+            self.slots
+                .get(slot)
+                .is_some_and(|tx| tx.live && tx.seq == id.seq()),
+            "end_tx for unknown transmission"
+        );
+        // Detach the slot from the active set (swap-remove, O(1)).
+        let (sender, start, corrupted, pos) = {
+            let tx = &mut self.slots[slot];
+            tx.live = false;
+            (
+                tx.sender,
+                tx.start,
+                std::mem::take(&mut tx.corrupted),
+                tx.active_pos as usize,
+            )
+        };
+        self.active.swap_remove(pos);
+        if pos < self.active.len() {
+            let moved = self.active[pos] as usize;
+            self.slots[moved].active_pos = pos as u32;
+        }
+        self.free.push(slot as u32);
+        self.transmitting[sender.index()] = false;
 
-        let mut clean = Vec::new();
-        let mut corrupted_rx = Vec::new();
-        let mut now_idle = Vec::new();
-        for &h in &tx.sensers {
+        let mut clean = self.take_nodes();
+        let mut corrupted_rx = self.take_nodes();
+        let mut now_idle = self.take_nodes();
+        let si = sender.index();
+        let (i0, i1) = (
+            self.interference.off[si] as usize,
+            self.interference.off[si + 1] as usize,
+        );
+        for idx in i0..i1 {
+            let h = self.interference.flat[idx];
             let cc = &mut self.carrier_count[h.index()];
             debug_assert!(*cc > 0, "carrier count underflow at {h}");
             *cc -= 1;
@@ -281,8 +426,13 @@ impl Channel {
                 now_idle.push(h);
             }
         }
-        for (i, &h) in tx.hearers.iter().enumerate() {
-            let mut bad = tx.corrupted[i];
+        let (h0, h1) = (
+            self.neighbors.off[si] as usize,
+            self.neighbors.off[si + 1] as usize,
+        );
+        for (i, idx) in (h0..h1).enumerate() {
+            let h = self.neighbors.flat[idx];
+            let mut bad = corrupted[i];
             if !bad && self.drop_prob > 0.0 && self.rng.chance(self.drop_prob) {
                 bad = true;
                 self.stats.injected_drops += 1;
@@ -293,9 +443,11 @@ impl Channel {
                 clean.push(h);
             }
         }
+        // Return the corruption buffer to the pool.
+        self.bool_pool.push(corrupted);
         TxEnd {
-            sender: tx.sender,
-            started: tx.start,
+            sender,
+            started: start,
             clean_receivers: clean,
             corrupted_receivers: corrupted_rx,
             now_idle,
@@ -392,7 +544,7 @@ mod tests {
     fn late_starter_corrupts_frame_already_in_flight() {
         let mut ch = line4();
         let a = ch.begin_tx(t_us(0), n(0), us(416)); // 1 hears
-        // 2 starts mid-flight; at node 1 carrier goes 1 -> 2.
+                                                     // 2 starts mid-flight; at node 1 carrier goes 1 -> 2.
         let _b = ch.begin_tx(t_us(200), n(2), us(416));
         let ea = ch.end_tx(t_us(416), a.id);
         assert_eq!(ea.corrupted_receivers, vec![n(1)]);
@@ -433,6 +585,38 @@ mod tests {
         let mut ch = line4();
         let _ = ch.begin_tx(t_us(0), n(0), us(10));
         let _ = ch.begin_tx(t_us(1), n(0), us(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown transmission")]
+    fn stale_tx_id_rejected() {
+        let mut ch = line4();
+        let a = ch.begin_tx(t_us(0), n(0), us(10));
+        ch.end_tx(t_us(10), a.id);
+        // The slot is reused by a new transmission; the stale id must
+        // not end it.
+        let _b = ch.begin_tx(t_us(20), n(2), us(10));
+        ch.end_tx(t_us(30), a.id);
+    }
+
+    #[test]
+    fn slab_reuse_many_sequential_txs() {
+        let mut ch = line4();
+        for i in 0..1_000u64 {
+            let t0 = t_us(i * 1_000);
+            let tx = ch.begin_tx(t0, n((i % 4) as u32), us(416));
+            let end = ch.end_tx(t0 + us(416), tx.id);
+            ch.recycle_nodes(tx.now_busy);
+            ch.recycle_nodes(end.clean_receivers);
+            ch.recycle_nodes(end.corrupted_receivers);
+            ch.recycle_nodes(end.now_idle);
+        }
+        assert_eq!(ch.stats().transmissions, 1_000);
+        assert_eq!(ch.stats().collisions, 0);
+        for i in 0..4 {
+            assert!(!ch.carrier_busy(n(i)));
+            assert!(!ch.is_transmitting(n(i)));
+        }
     }
 
     #[test]
@@ -508,7 +692,10 @@ mod interference_tests {
         let mut ch = two_range();
         let tx = ch.begin_tx(t_us(0), n(0), us(416));
         // Node 2 senses node 0 (22 m reach) but cannot decode it.
-        assert!(ch.carrier_busy(n(2)), "carrier sensed at interference range");
+        assert!(
+            ch.carrier_busy(n(2)),
+            "carrier sensed at interference range"
+        );
         assert!(tx.now_busy.contains(&n(2)));
         assert!(!ch.carrier_busy(n(3)), "three hops is beyond interference");
         let end = ch.end_tx(t_us(416), tx.id);

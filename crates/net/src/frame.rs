@@ -79,7 +79,10 @@ pub enum FrameKind {
 }
 
 /// A frame as handed to / delivered by the MAC.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Frame<P>` is `Copy` whenever the payload is — the simulator relies
+/// on this to fan one frame out to many receivers without allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Frame<P> {
     /// Unique id for tracing.
     pub id: FrameId,

@@ -95,7 +95,10 @@ impl Area {
 
     /// Uniformly random position inside the area.
     pub fn random_position(&self, rng: &mut SimRng) -> Position {
-        Position::new(rng.range_f64(0.0, self.width), rng.range_f64(0.0, self.height))
+        Position::new(
+            rng.range_f64(0.0, self.width),
+            rng.range_f64(0.0, self.height),
+        )
     }
 
     /// True if `p` lies inside the area (boundary inclusive).

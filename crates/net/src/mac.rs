@@ -339,7 +339,11 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
     /// Panics if the frame is not a data frame or claims a different
     /// source.
     pub fn enqueue(&mut self, frame: Frame<P>, now: SimTime) -> Vec<MacAction<P>> {
-        assert_eq!(frame.kind, FrameKind::Data, "upper layers enqueue data frames");
+        assert_eq!(
+            frame.kind,
+            FrameKind::Data,
+            "upper layers enqueue data frames"
+        );
         assert_eq!(frame.src, self.node, "frame source must be this node");
         self.stats.enqueued += 1;
         self.queue.push_back(frame);
@@ -487,8 +491,7 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                             };
                             // Build the ACK now so a freshly primed note
                             // can ride along.
-                            let payload =
-                                self.ack_notes.remove(&dest).unwrap_or_default();
+                            let payload = self.ack_notes.remove(&dest).unwrap_or_default();
                             let ack = Frame {
                                 id: self.alloc_frame_id(),
                                 src: self.node,
@@ -500,7 +503,10 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                             let airtime = ack.airtime(self.params.bitrate_bps);
                             self.stats.ack_tx += 1;
                             self.state = State::TxAck;
-                            out.push(MacAction::StartTx { frame: ack, airtime });
+                            out.push(MacAction::StartTx {
+                                frame: ack,
+                                airtime,
+                            });
                         }
                     }
                 }
@@ -632,7 +638,10 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                         let attempts = self.attempts;
                         self.stats.delivered += 1;
                         self.reset_contention();
-                        out.push(MacAction::TxDone { frame: done, attempts });
+                        out.push(MacAction::TxDone {
+                            frame: done,
+                            attempts,
+                        });
                         self.next_frame_or_idle(&mut out);
                     }
                 }
@@ -708,7 +717,11 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
     /// The node's radio is active again. `medium_busy` is the channel's
     /// current carrier state at this node.
     pub fn radio_woke(&mut self, now: SimTime, medium_busy: bool) -> Vec<MacAction<P>> {
-        debug_assert_eq!(self.state, State::Suspended, "radio_woke while not suspended");
+        debug_assert_eq!(
+            self.state,
+            State::Suspended,
+            "radio_woke while not suspended"
+        );
         self.medium_busy = medium_busy;
         let mut out = Vec::new();
         if self.queue.is_empty() {
@@ -768,7 +781,9 @@ mod tests {
     }
 
     fn has_tx(actions: &[MacAction<u32>]) -> bool {
-        actions.iter().any(|a| matches!(a, MacAction::StartTx { .. }))
+        actions
+            .iter()
+            .any(|a| matches!(a, MacAction::StartTx { .. }))
     }
 
     #[test]
@@ -778,7 +793,10 @@ mod tests {
         let a1 = mac.enqueue(f, t(0));
         assert!(matches!(
             a1[0],
-            MacAction::SetTimer { kind: MacTimer::Difs, .. }
+            MacAction::SetTimer {
+                kind: MacTimer::Difs,
+                ..
+            }
         ));
         let a2 = fire(&mut mac, &a1, t(50));
         assert!(has_tx(&a2), "no backoff for a fresh frame on idle medium");
@@ -788,7 +806,7 @@ mod tests {
     fn broadcast_completes_without_ack() {
         let mut mac = mk(0);
         let f = data(&mut mac, Dest::Broadcast, 1);
-        let a1 = mac.enqueue(f.clone(), t(0));
+        let a1 = mac.enqueue(f, t(0));
         let a2 = fire(&mut mac, &a1, t(50));
         assert!(has_tx(&a2));
         let a3 = mac.tx_ended(t(466));
@@ -803,11 +821,11 @@ mod tests {
         let mut sender = mk(0);
         let mut receiver = mk(1);
         let f = data(&mut sender, Dest::Unicast(NodeId::new(1)), 7);
-        let a1 = sender.enqueue(f.clone(), t(0));
+        let a1 = sender.enqueue(f, t(0));
         let a2 = fire(&mut sender, &a1, t(50));
         assert!(has_tx(&a2));
         // Frame lands at receiver.
-        let a3 = receiver.frame_arrived(f.clone(), t(466));
+        let a3 = receiver.frame_arrived(f, t(466));
         assert!(a3
             .iter()
             .any(|a| matches!(a, MacAction::Deliver { frame } if frame.payload == 7)));
@@ -816,7 +834,7 @@ mod tests {
         let ack = a4
             .iter()
             .find_map(|a| match a {
-                MacAction::StartTx { frame, .. } => Some(frame.clone()),
+                MacAction::StartTx { frame, .. } => Some(*frame),
                 _ => None,
             })
             .expect("ack tx");
@@ -845,18 +863,28 @@ mod tests {
         // AckTimeout armed.
         let a4 = fire(&mut mac, &a3, t(700));
         // Retry: DIFS timer armed again (medium idle).
-        assert!(a4
-            .iter()
-            .any(|a| matches!(a, MacAction::SetTimer { kind: MacTimer::Difs, .. })));
+        assert!(a4.iter().any(|a| matches!(
+            a,
+            MacAction::SetTimer {
+                kind: MacTimer::Difs,
+                ..
+            }
+        )));
         assert_eq!(mac.stats().retries, 1);
         assert_eq!(mac.cw, 64, "contention window doubled");
         // Retry uses a backoff (cw_pending) — fire DIFS, expect either tx
         // (slot 0) or a backoff timer.
         let a5 = fire(&mut mac, &a4, t(750));
         let tx_or_backoff = has_tx(&a5)
-            || a5
-                .iter()
-                .any(|a| matches!(a, MacAction::SetTimer { kind: MacTimer::Backoff, .. }));
+            || a5.iter().any(|a| {
+                matches!(
+                    a,
+                    MacAction::SetTimer {
+                        kind: MacTimer::Backoff,
+                        ..
+                    }
+                )
+            });
         assert!(tx_or_backoff);
     }
 
@@ -864,7 +892,7 @@ mod tests {
     fn frame_dropped_after_retry_limit() {
         let mut mac = mk(0);
         let f = data(&mut mac, Dest::Unicast(NodeId::new(1)), 7);
-        let mut actions = mac.enqueue(f.clone(), t(0));
+        let mut actions = mac.enqueue(f, t(0));
         let mut now = t(0);
         let mut failed = false;
         // Walk the machine through enough retries to exhaust the limit.
@@ -874,11 +902,12 @@ mod tests {
                 .iter()
                 .find(|a| matches!(a, MacAction::SetTimer { .. }))
             {
-                Some(MacAction::SetTimer { kind, gen, .. }) => {
-                    mac.timer_fired(*kind, *gen, now)
-                }
+                Some(MacAction::SetTimer { kind, gen, .. }) => mac.timer_fired(*kind, *gen, now),
                 _ => {
-                    if actions.iter().any(|a| matches!(a, MacAction::StartTx { .. })) {
+                    if actions
+                        .iter()
+                        .any(|a| matches!(a, MacAction::StartTx { .. }))
+                    {
                         mac.tx_ended(now)
                     } else {
                         break;
@@ -908,17 +937,25 @@ mod tests {
         assert!(a1.is_empty(), "no access while busy");
         let a2 = mac.carrier_idle(t(1000));
         // DIFS first...
-        assert!(a2
-            .iter()
-            .any(|a| matches!(a, MacAction::SetTimer { kind: MacTimer::Difs, .. })));
+        assert!(a2.iter().any(|a| matches!(
+            a,
+            MacAction::SetTimer {
+                kind: MacTimer::Difs,
+                ..
+            }
+        )));
         let a3 = fire(&mut mac, &a2, t(1050));
         // ...then a contention backoff (cw_pending was set by the busy
         // medium) or an immediate tx if the draw was zero slots.
         assert!(
             has_tx(&a3)
-                || a3
-                    .iter()
-                    .any(|a| matches!(a, MacAction::SetTimer { kind: MacTimer::Backoff, .. }))
+                || a3.iter().any(|a| matches!(
+                    a,
+                    MacAction::SetTimer {
+                        kind: MacTimer::Backoff,
+                        ..
+                    }
+                ))
         );
     }
 
@@ -949,7 +986,10 @@ mod tests {
         let _ = mac.carrier_busy(t(160));
         let rem = mac.backoff_remaining.expect("frozen remainder");
         assert!(rem <= backoff);
-        assert!(rem.as_nanos().is_multiple_of(mac.params().slot.as_nanos()), "whole slots");
+        assert!(
+            rem.as_nanos().is_multiple_of(mac.params().slot.as_nanos()),
+            "whole slots"
+        );
         // Idle again: DIFS, then the remainder (not a fresh draw).
         let a4 = mac.carrier_idle(t(5000));
         let a5 = fire(&mut mac, &a4, t(5050));
@@ -969,14 +1009,14 @@ mod tests {
         let mut rx = mk(1);
         let mut sender = mk(0);
         let f = data(&mut sender, Dest::Unicast(NodeId::new(1)), 42);
-        let a1 = rx.frame_arrived(f.clone(), t(0));
+        let a1 = rx.frame_arrived(f, t(0));
         assert!(a1.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
         // Drive the first ACK out.
         let a2 = fire(&mut rx, &a1, t(10));
         assert!(has_tx(&a2));
         let _ = rx.tx_ended(t(122));
         // Retransmission of the same frame.
-        let a3 = rx.frame_arrived(f.clone(), t(1000));
+        let a3 = rx.frame_arrived(f, t(1000));
         assert!(
             !a3.iter().any(|a| matches!(a, MacAction::Deliver { .. })),
             "duplicate must not be delivered"
@@ -1005,9 +1045,13 @@ mod tests {
         assert!(!mac.is_quiescent(), "frame still queued");
         assert_eq!(mac.queue_len(), 1);
         let a = mac.radio_woke(t(1000), false);
-        assert!(a
-            .iter()
-            .any(|a| matches!(a, MacAction::SetTimer { kind: MacTimer::Difs, .. })));
+        assert!(a.iter().any(|a| matches!(
+            a,
+            MacAction::SetTimer {
+                kind: MacTimer::Difs,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1051,22 +1095,22 @@ mod tests {
         let f = data(&mut sender, Dest::Unicast(NodeId::new(1)), 5);
         // Receiver sees the data frame; upper layer primes a note during
         // the Deliver (before the SIFS-delayed ACK is built).
-        let a1 = rx.frame_arrived(f.clone(), t(0));
+        let a1 = rx.frame_arrived(f, t(0));
         assert!(a1.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
         rx.prime_ack_note(NodeId::new(0), 77u32);
         let a2 = fire(&mut rx, &a1, t(10));
         let ack = a2
             .iter()
             .find_map(|a| match a {
-                MacAction::StartTx { frame, .. } => Some(frame.clone()),
+                MacAction::StartTx { frame, .. } => Some(*frame),
                 _ => None,
             })
             .expect("ack goes out");
         assert_eq!(ack.kind, FrameKind::Ack(f.id));
         assert_eq!(ack.payload, 77, "note rides on the ACK");
         let _ = rx.tx_ended(t(122)); // the ACK leaves the air
-        // The original sender (waiting for this ACK) both completes its
-        // frame AND sees the note delivered upward.
+                                     // The original sender (waiting for this ACK) both completes its
+                                     // frame AND sees the note delivered upward.
         let e1 = sender.enqueue(f, t(100)); // reconstruct WaitAck state
         let e2 = fire(&mut sender, &e1, t(150));
         assert!(has_tx(&e2));
@@ -1092,7 +1136,7 @@ mod tests {
         let ack2 = b2
             .iter()
             .find_map(|a| match a {
-                MacAction::StartTx { frame, .. } => Some(frame.clone()),
+                MacAction::StartTx { frame, .. } => Some(*frame),
                 _ => None,
             })
             .expect("second ack");

@@ -425,7 +425,6 @@ impl Radio {
             (self.active_ns + self.transition_ns) as f64 / total as f64
         }
     }
-
 }
 
 /// Result of [`Radio::finish_transition`].
@@ -452,8 +451,14 @@ mod tests {
     fn break_even_simple_sum() {
         let p = RadioParams::mica2();
         assert_eq!(p.break_even(), SimDuration::from_micros(2_500));
-        assert_eq!(RadioParams::mica2_worst().break_even(), SimDuration::from_millis(10));
-        assert_eq!(RadioParams::zebranet().break_even(), SimDuration::from_millis(40));
+        assert_eq!(
+            RadioParams::mica2_worst().break_even(),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            RadioParams::zebranet().break_even(),
+            SimDuration::from_millis(40)
+        );
         assert_eq!(RadioParams::instant().break_even(), SimDuration::ZERO);
     }
 

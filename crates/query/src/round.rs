@@ -156,7 +156,10 @@ mod tests {
         let mut agg = RoundAggregator::new(&[n(1)]);
         assert!(agg.add_child(n(1), AggState::from_reading(2.0)));
         assert!(!agg.add_child(n(1), AggState::from_reading(2.0)), "dup");
-        assert!(!agg.add_child(n(9), AggState::from_reading(5.0)), "stranger");
+        assert!(
+            !agg.add_child(n(9), AggState::from_reading(5.0)),
+            "stranger"
+        );
         assert!(agg.add_own(AggState::from_reading(1.0)));
         assert!(!agg.add_own(AggState::from_reading(1.0)), "own dup");
         assert_eq!(agg.seal().finish(AggregateOp::Sum), 3.0);

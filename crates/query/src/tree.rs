@@ -365,7 +365,10 @@ impl RoutingTree {
     pub fn check_invariants(&self) {
         assert!(self.member[self.root.index()], "root must be a member");
         assert_eq!(self.level[self.root.index()], Some(0), "root level 0");
-        assert!(self.parent[self.root.index()].is_none(), "root has no parent");
+        assert!(
+            self.parent[self.root.index()].is_none(),
+            "root has no parent"
+        );
         for &m in &self.members {
             let i = m.index();
             assert!(self.member[i]);

@@ -3,12 +3,12 @@
 use proptest::prelude::*;
 
 use essat_net::geometry::Area;
+use essat_net::ids::NodeId;
 use essat_net::topology::Topology;
 use essat_query::aggregate::{AggState, AggregateOp};
 use essat_query::model::{Query, QueryId};
 use essat_query::round::RoundAggregator;
 use essat_query::tree::RoutingTree;
-use essat_net::ids::NodeId;
 use essat_sim::rng::SimRng;
 use essat_sim::time::{SimDuration, SimTime};
 

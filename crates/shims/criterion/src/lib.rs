@@ -1,0 +1,253 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! The container builds fully offline, so the real criterion is not
+//! available; this crate keeps the benches' source compatible
+//! (`Criterion`, `bench_function`, `benchmark_group`,
+//! `criterion_group!`, `criterion_main!`) while measuring with a plain
+//! wall-clock loop: a warm-up phase, then `sample_size` samples whose
+//! per-iteration times are reported as min / median / mean.
+//!
+//! Results print to stdout and, when `BENCH_JSON` is set in the
+//! environment, are also appended to that path as JSON lines — the
+//! format `BENCH_harness.json` tooling consumes.
+//!
+//! Filtering works like criterion's: `cargo bench -- <substring>` runs
+//! only benchmarks whose id contains the substring.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measurement loop handed to [`Criterion::bench_function`] closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording per-iteration wall-clock
+    /// times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for ~2 ms per sample, at least one iteration.
+        let batch = ((0.002 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+/// One benchmark's summarised timings, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleSummary {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+}
+
+fn summarize(samples: &mut [f64]) -> SampleSummary {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let ns = 1e9;
+    let n = samples.len().max(1);
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    SampleSummary {
+        min_ns: samples.first().copied().unwrap_or(0.0) * ns,
+        median_ns: samples[n / 2] * ns,
+        mean_ns: mean * ns,
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.is_empty());
+        Criterion {
+            sample_size: 20,
+            warmup: Duration::from_millis(300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    fn skipped(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+
+    fn record(&self, id: &str, summary: SampleSummary) {
+        println!(
+            "{id:<48} min {:>12.1} ns/iter   median {:>12.1} ns/iter   mean {:>12.1} ns/iter",
+            summary.min_ns, summary.median_ns, summary.mean_ns
+        );
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    f,
+                    "{{\"id\":\"{id}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1}}}",
+                    summary.min_ns, summary.median_ns, summary.mean_ns
+                );
+            }
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.skipped(id) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warmup: self.warmup,
+        };
+        f(&mut b);
+        let summary = summarize(&mut b.samples);
+        self.record(id, summary);
+        self
+    }
+
+    /// Opens a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (formality for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions plus its shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_summarizes() {
+        let mut c = Criterion::default().sample_size(3);
+        c.warmup = Duration::from_millis(1);
+        c.filter = None;
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filter = Some("only_this".into());
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion::default().sample_size(2);
+        c.warmup = Duration::from_millis(1);
+        c.filter = Some("grp/inner".into());
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("inner", |b| {
+                ran = true;
+                b.iter(|| 1)
+            });
+            g.finish();
+        }
+        assert!(ran);
+    }
+}

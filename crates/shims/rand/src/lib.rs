@@ -1,0 +1,206 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The container builds fully offline, so the real `rand` is not
+//! available; this crate provides the exact subset `essat-sim` consumes:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] sampling methods (`random`, `random_range`). The generator
+//! is xoshiro256++ seeded through SplitMix64 — deterministic across
+//! platforms, which is all the simulator requires (statistical quality
+//! matches the real SmallRng family; the streams are simply different).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used to expand the 64-bit seed into full state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that can be drawn uniformly from an RNG.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut rngs::SmallRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut rngs::SmallRng) -> Self {
+        rng.next_raw()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut rngs::SmallRng) -> Self {
+        (rng.next_raw() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut rngs::SmallRng) -> Self {
+        rng.next_raw() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut rngs::SmallRng) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The produced value type.
+    type Output;
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut rngs::SmallRng) -> Self::Output;
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut rngs::SmallRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end - self.start;
+        // Multiply-shift rejection-free mapping (Lemire); the tiny bias
+        // over a 64-bit draw is irrelevant for simulation workloads.
+        let hi = ((rng.next_raw() as u128 * span as u128) >> 64) as u64;
+        self.start + hi
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut rngs::SmallRng) -> u32 {
+        (self.start as u64..self.end as u64).sample(rng) as u32
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut rngs::SmallRng) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut rngs::SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = f64::draw(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.start
+                .max(self.end - (self.end - self.start) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+}
+
+/// Sampling extension methods (the rand 0.9+ `random*` spelling).
+pub trait RngExt {
+    /// Draws a value of type `T` from its standard distribution.
+    fn random<T: Standard>(&mut self) -> T;
+    /// Draws uniformly from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+impl RngExt for rngs::SmallRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{splitmix64, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.random_range(5u64..17);
+            assert!((5..17).contains(&y));
+            let z = r.random_range(-3.0f64..4.5);
+            assert!((-3.0..4.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn bool_roughly_fair() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let trues = (0..10_000).filter(|_| r.random::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "{trues}");
+    }
+}

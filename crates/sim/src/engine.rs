@@ -156,6 +156,11 @@ impl<M: Model> Engine<M> {
         self.queue.len()
     }
 
+    /// High-water mark of the pending-event set over the whole run.
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// Shared access to the model.
     pub fn model(&self) -> &M {
         &self.model
@@ -300,10 +305,7 @@ mod tests {
         assert_eq!(ran, 2);
         assert_eq!(
             e.model().log,
-            vec![
-                (SimTime::from_millis(10), 1),
-                (SimTime::from_millis(20), 2)
-            ]
+            vec![(SimTime::from_millis(10), 1), (SimTime::from_millis(20), 2)]
         );
         assert_eq!(e.now(), SimTime::from_millis(20));
     }

@@ -5,10 +5,17 @@
 //! therefore orders entries by the pair *(fire time, insertion sequence)* —
 //! a strict total order with FIFO tie-breaking.
 //!
-//! Cancellation is exact: [`EventQueue::cancel`] removes a pending event by
-//! its [`EventId`] and reports whether the event was actually still
-//! pending. Internally this uses lazy deletion (the heap entry is skipped
-//! at pop time), which keeps `cancel` O(1).
+//! # Implementation
+//!
+//! Events live in a **slab** (a vector of reusable slots with a free
+//! list); the heap holds only small `Copy` entries `(time, seq, slot)`.
+//! The insertion sequence number doubles as a **generation tag**: a slot
+//! is live for exactly one sequence number, so a heap entry is stale iff
+//! its sequence no longer matches its slot. Cancellation
+//! ([`EventQueue::cancel`]) is O(1): drop the payload, free the slot,
+//! and leave the heap entry to be skipped at pop time by the sequence
+//! check — no hashing anywhere on the push/pop/cancel paths (the
+//! previous implementation consulted a `HashSet` on every pop).
 //!
 //! # Examples
 //!
@@ -29,40 +36,51 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Opaque handle to a scheduled event, usable to cancel it later.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    /// Insertion sequence (unique per queue, monotonically increasing);
+    /// doubles as the slot generation tag.
+    seq: u64,
+    /// Slab slot the event occupies (or occupied).
+    slot: u32,
+}
 
 impl EventId {
     /// The raw sequence number (unique per queue, monotonically increasing).
     pub fn as_u64(self) -> u64 {
-        self.0
+        self.seq
     }
 }
 
+/// One slab slot. `event` is `None` while the slot sits on the free
+/// list; `seq` records the generation that last occupied it.
 #[derive(Debug)]
-struct Entry<E> {
+struct Slot<E> {
+    seq: u64,
+    time: SimTime,
+    event: Option<E>,
+}
+
+/// A heap entry: everything needed for ordering and staleness detection,
+/// but not the event payload itself (which stays in the slab).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
@@ -74,10 +92,12 @@ impl<E> Ord for Entry<E> {
 /// semantics.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    pending: HashSet<u64>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    live: usize,
+    peak_live: usize,
     next_seq: u64,
-    last_popped: Option<SimTime>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -91,9 +111,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            peak_live: 0,
             next_seq: 0,
-            last_popped: None,
         }
     }
 
@@ -106,31 +128,79 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.insert(seq);
-        self.heap.push(Reverse(Entry { time, seq, event }));
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let sl = &mut self.slots[s as usize];
+                sl.seq = seq;
+                sl.time = time;
+                sl.event = Some(event);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    seq,
+                    time,
+                    event: Some(event),
+                });
+                s
+            }
+        };
+        self.heap.push(Reverse(HeapEntry { time, seq, slot }));
+        self.live += 1;
+        if self.live > self.peak_live {
+            self.peak_live = self.live;
+        }
+        EventId { seq, slot }
+    }
+
+    /// True if `id` still identifies the live occupant of its slot.
+    fn is_live(&self, id: EventId) -> bool {
+        self.slots
+            .get(id.slot as usize)
+            .is_some_and(|sl| sl.seq == id.seq && sl.event.is_some())
     }
 
     /// Cancels a pending event. Returns `true` if the event was still
     /// pending (and is now guaranteed never to fire), `false` if it had
     /// already fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        if !self.is_live(id) {
+            return false;
+        }
+        let sl = &mut self.slots[id.slot as usize];
+        sl.event = None;
+        self.free.push(id.slot);
+        self.live -= 1;
+        true
     }
 
     /// Returns `true` if the event is still pending.
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.pending.contains(&id.0)
+        self.is_live(id)
     }
 
     /// Removes and returns the earliest pending event as
     /// `(time, id, event)`, skipping cancelled entries.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
-                self.last_popped = Some(entry.time);
-                return Some((entry.time, EventId(entry.seq), entry.event));
+            let sl = &mut self.slots[entry.slot as usize];
+            if sl.seq != entry.seq {
+                continue; // stale: cancelled and possibly reused
             }
+            let Some(event) = sl.event.take() else {
+                continue; // stale: cancelled, slot not yet reused
+            };
+            self.free.push(entry.slot);
+            self.live -= 1;
+            return Some((
+                entry.time,
+                EventId {
+                    seq: entry.seq,
+                    slot: entry.slot,
+                },
+                event,
+            ));
         }
         None
     }
@@ -139,7 +209,8 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drop cancelled heads so the answer reflects a live event.
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
+            let sl = &self.slots[entry.slot as usize];
+            if sl.seq == entry.seq && sl.event.is_some() {
                 return Some(entry.time);
             }
             self.heap.pop();
@@ -149,12 +220,17 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
+    }
+
+    /// The largest number of simultaneously pending events seen so far.
+    pub fn peak_len(&self) -> usize {
+        self.peak_live
     }
 
     /// True if no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -162,10 +238,13 @@ impl<E> EventQueue<E> {
         self.next_seq
     }
 
-    /// Removes all pending events.
+    /// Removes all pending events and resets the high-water mark.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+        self.peak_live = 0;
     }
 }
 
@@ -266,5 +345,51 @@ mod tests {
         let a = q.push(t(0) + SimDuration::ZERO, 0);
         let b = q.push(t(0), 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_confuse_handles() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert!(q.cancel(a));
+        // The slot freed by `a` is reused by `b`.
+        let b = q.push(t(2), "b");
+        assert!(!q.is_pending(a), "stale handle must not see the new event");
+        assert!(!q.cancel(a), "stale handle must not cancel the new event");
+        assert!(q.is_pending(b));
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_then_reuse_preserves_order() {
+        let mut q = EventQueue::new();
+        // Fill, cancel the middle, refill the hole with a later event.
+        let ids: Vec<_> = (0..10u64).map(|i| q.push(t(i), i)).collect();
+        for id in &ids[3..7] {
+            assert!(q.cancel(*id));
+        }
+        for i in 20..24u64 {
+            q.push(t(i), i);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 7, 8, 9, 20, 21, 22, 23]);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.push(t(i), i);
+        }
+        q.pop();
+        q.pop();
+        q.push(t(9), 9);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peak_len(), 5);
+        q.clear();
+        assert_eq!(q.peak_len(), 0, "clear resets the high-water mark");
+        q.push(t(1), 1);
+        assert_eq!(q.peak_len(), 1);
     }
 }

@@ -404,8 +404,7 @@ mod tests {
         let xs = [1.0, 2.5, -3.0, 7.25, 0.0, 2.0, 2.0];
         let s: OnlineStats = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.sample_variance() - var).abs() < 1e-12);
         assert_eq!(s.count(), 7);

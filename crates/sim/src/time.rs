@@ -111,9 +111,8 @@ impl SimTime {
     ///
     /// Panics if `earlier` is later than `self`.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        self.checked_duration_since(earlier).unwrap_or_else(|| {
-            panic!("duration_since: {earlier} is later than {self}")
-        })
+        self.checked_duration_since(earlier)
+            .unwrap_or_else(|| panic!("duration_since: {earlier} is later than {self}"))
     }
 
     /// The duration elapsed since `earlier`, or `None` if `earlier` is
@@ -412,7 +411,10 @@ mod tests {
 
     #[test]
     fn rate_to_period() {
-        assert_eq!(SimDuration::from_rate_hz(5.0), SimDuration::from_millis(200));
+        assert_eq!(
+            SimDuration::from_rate_hz(5.0),
+            SimDuration::from_millis(200)
+        );
         assert_eq!(SimDuration::from_rate_hz(0.2), SimDuration::from_secs(5));
     }
 

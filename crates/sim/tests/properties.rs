@@ -57,6 +57,53 @@ proptest! {
         prop_assert_eq!(popped, expect);
     }
 
+    /// FIFO among same-instant events survives random cancellations and
+    /// slab-slot reuse: after cancelling an arbitrary subset and pushing
+    /// a second wave of events (which recycles freed slots), the
+    /// survivors still pop in exact `(time, insertion sequence)` order.
+    #[test]
+    fn queue_fifo_under_random_cancellations(
+        first_wave in proptest::collection::vec(0u64..50, 1..150),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..150),
+        second_wave in proptest::collection::vec(0u64..50, 0..150),
+    ) {
+        let mut q = EventQueue::new();
+        // Expected survivors as (time, seq, payload), later sorted the
+        // way the queue contract orders them.
+        let mut expected: Vec<(u64, u64, usize)> = Vec::new();
+        let ids: Vec<_> = first_wave
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.push(SimTime::from_nanos(t), i))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected.push((first_wave[i], id.as_u64(), i));
+            }
+        }
+        // Second wave reuses the cancelled slots.
+        for (j, &t) in second_wave.iter().enumerate() {
+            let id = q.push(SimTime::from_nanos(t), first_wave.len() + j);
+            expected.push((t, id.as_u64(), first_wave.len() + j));
+        }
+        expected.sort_unstable();
+        let mut popped: Vec<usize> = Vec::new();
+        let mut last: Option<(SimTime, u64)> = None;
+        while let Some((t, id, v)) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                prop_assert!(id.as_u64() > lseq || t > lt, "FIFO violated among equal times");
+            }
+            last = Some((t, id.as_u64()));
+            popped.push(v);
+        }
+        let expect_payloads: Vec<usize> = expected.iter().map(|&(_, _, v)| v).collect();
+        prop_assert_eq!(popped, expect_payloads);
+        prop_assert!(q.is_empty());
+    }
+
     /// Time arithmetic round-trips: (t + d) − d == t and
     /// (t + d) − t == d.
     #[test]

@@ -101,6 +101,9 @@ pub struct RunResult {
     pub channel_collisions: u64,
     /// Events processed by the engine (for performance reporting).
     pub events_processed: u64,
+    /// High-water mark of the engine's pending-event set (for
+    /// performance reporting — queue pressure at the paper scale).
+    pub peak_queue_depth: u64,
 }
 
 /// Summed MAC counters.
@@ -204,6 +207,7 @@ mod tests {
             channel_transmissions: 0,
             channel_collisions: 0,
             events_processed: 0,
+            peak_queue_depth: 0,
         }
     }
 
@@ -216,10 +220,7 @@ mod tests {
 
     #[test]
     fn duty_by_rank_groups() {
-        let r = result(
-            vec![node(0, 0.1), node(0, 0.2), node(2, 0.5)],
-            vec![],
-        );
+        let r = result(vec![node(0, 0.1), node(0, 0.2), node(2, 0.5)], vec![]);
         let by_rank = r.duty_by_rank();
         assert_eq!(by_rank.len(), 2);
         assert!((by_rank[&0].mean() - 15.0).abs() < 1e-9);

@@ -5,7 +5,11 @@ use essat_query::model::QueryId;
 use essat_sim::time::SimTime;
 
 /// Everything a frame can carry above the link layer.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Deliberately `Copy`: every variant is a few plain-old-data words, so
+/// frames fan out to receivers as bitwise copies with no allocation or
+/// refcount traffic anywhere on the delivery path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Payload {
     /// Nothing (ACK frames and padding).
     #[default]

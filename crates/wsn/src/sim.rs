@@ -274,6 +274,9 @@ pub struct World {
     phase_piggybacks: u64,
     phase_requests: u64,
     reports_sent: u64,
+    /// Recycled `(child, rank)` buffers for [`World::tree_view`], so the
+    /// per-event tree snapshots allocate only until the pool warms up.
+    kid_pool: Vec<Vec<(NodeId, u32)>>,
 }
 
 impl World {
@@ -430,6 +433,7 @@ impl World {
             phase_piggybacks: 0,
             phase_requests: 0,
             reports_sent: 0,
+            kid_pool: Vec::new(),
         };
 
         let mut initial: Vec<(SimTime, Ev)> = Vec::new();
@@ -471,7 +475,10 @@ impl World {
         match world.cfg.protocol {
             Protocol::Sync => {
                 for &m in world.tree.members() {
-                    initial.push((world.sync_schedule.next_edge(SimTime::ZERO), Ev::SyncEdge { node: m }));
+                    initial.push((
+                        world.sync_schedule.next_edge(SimTime::ZERO),
+                        Ev::SyncEdge { node: m },
+                    ));
                 }
             }
             Protocol::Psm => {
@@ -484,7 +491,12 @@ impl World {
 
         // Scripted failures.
         for &(at, node) in &world.cfg.node_failures.clone() {
-            initial.push((at, Ev::NodeFail { node: NodeId::new(node) }));
+            initial.push((
+                at,
+                Ev::NodeFail {
+                    node: NodeId::new(node),
+                },
+            ));
         }
 
         (world, initial)
@@ -500,7 +512,8 @@ impl World {
         }
         engine.run_until(run_end);
         let events = engine.processed();
-        engine.into_model().finalize(run_end, events)
+        let peak = engine.peak_pending() as u64;
+        engine.into_model().finalize(run_end, events, peak)
     }
 
     // ------------------------------------------------------------------
@@ -513,13 +526,18 @@ impl World {
 
     /// `(own_rank, max_rank, own_level, max_level, children-with-ranks)`
     /// for `node`, from the current tree.
-    fn tree_view(&self, node: NodeId) -> (u32, u32, u32, u32, Vec<(NodeId, u32)>) {
-        let kids = self
-            .tree
-            .children(node)
-            .iter()
-            .map(|&c| (c, self.tree.rank(c)))
-            .collect();
+    ///
+    /// The children vector comes from [`World::kid_pool`]; hand it back
+    /// with [`World::put_kids`] when done so steady-state event handling
+    /// does not allocate.
+    fn tree_view(&mut self, node: NodeId) -> (u32, u32, u32, u32, Vec<(NodeId, u32)>) {
+        let mut kids = self.kid_pool.pop().unwrap_or_default();
+        kids.extend(
+            self.tree
+                .children(node)
+                .iter()
+                .map(|&c| (c, self.tree.rank(c))),
+        );
         (
             self.tree.rank(node),
             self.tree.max_rank(),
@@ -527,6 +545,12 @@ impl World {
             self.tree.max_level(),
             kids,
         )
+    }
+
+    /// Returns a [`World::tree_view`] children buffer to the pool.
+    fn put_kids(&mut self, mut kids: Vec<(NodeId, u32)>) {
+        kids.clear();
+        self.kid_pool.push(kids);
     }
 
     fn is_source(&self, node: NodeId, qi: usize) -> bool {
@@ -568,6 +592,7 @@ impl World {
             let exps = shaper.register(&q, &info, is_root);
             apply_expectations(ss, q.id, &exps, is_root);
         }
+        self.put_kids(kid_ranks);
         // First round this node can still run.
         let k0 = if q.phase >= now {
             0
@@ -600,13 +625,15 @@ impl World {
                 }
                 MacAction::StartTx { frame, airtime } => {
                     let start = self.channel.begin_tx(ctx.now(), node, airtime);
-                    for h in start.now_busy {
+                    for i in 0..start.now_busy.len() {
+                        let h = start.now_busy[i];
                         let hn = &mut self.nodes[h.index()];
                         if !hn.dead && hn.radio.is_active() {
                             let acts = hn.mac.carrier_busy(ctx.now());
                             self.exec_mac_actions(h, acts, ctx);
                         }
                     }
+                    self.channel.recycle_nodes(start.now_busy);
                     ctx.schedule_after(
                         airtime,
                         Ev::TxEnd {
@@ -634,7 +661,10 @@ impl World {
 
     fn open_round(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) -> bool {
         let q = self.query(qi);
-        let key = RoundKey { query: q.id, round: k };
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
         {
             let n = &self.nodes[node.index()];
             if n.rounds.contains_key(&key) {
@@ -680,7 +710,7 @@ impl World {
     /// The collection deadline under the node's power manager. ESSAT
     /// modes use their shaper's §4.3 rule; fixed-schedule baselines need
     /// roughly one schedule period per subtree level.
-    fn collection_deadline(&self, node: NodeId, qi: usize, k: u64) -> SimTime {
+    fn collection_deadline(&mut self, node: NodeId, qi: usize, k: u64) -> SimTime {
         let q = self.query(qi);
         let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
         let info = TreeInfo {
@@ -690,7 +720,7 @@ impl World {
             max_level,
             children: &kids,
         };
-        match &self.nodes[node.index()].mode {
+        let deadline = match &self.nodes[node.index()].mode {
             Mode::Essat { shaper, .. } => shaper.collection_deadline(&q, k, &info),
             Mode::Sync => {
                 q.round_start(k)
@@ -706,23 +736,22 @@ impl World {
                 // NTS's rank-proportional rule works for always-on nodes.
                 Nts::new().collection_deadline(&q, k, &info)
             }
-        }
+        };
+        self.put_kids(kids);
+        deadline
     }
 
-    fn handle_round_start(
-        &mut self,
-        node: NodeId,
-        qi: usize,
-        k: u64,
-        ctx: &mut Context<'_, Ev>,
-    ) {
+    fn handle_round_start(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
         let n = &self.nodes[node.index()];
         if n.dead || !n.participating.contains(&qi) {
             return;
         }
         let q = self.query(qi);
         if self.open_round(node, qi, k, ctx) && self.is_source(node, qi) {
-            let key = RoundKey { query: q.id, round: k };
+            let key = RoundKey {
+                query: q.id,
+                round: k,
+            };
             let reading = Self::reading(node, k);
             if let Some(r) = self.nodes[node.index()].rounds.get_mut(&key) {
                 r.agg.add_own(reading);
@@ -747,7 +776,10 @@ impl World {
     /// Checks readiness and plans the release when ready.
     fn maybe_complete(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
         let q = self.query(qi);
-        let key = RoundKey { query: q.id, round: k };
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
         let ready = {
             let n = &self.nodes[node.index()];
             match n.rounds.get(&key) {
@@ -776,7 +808,10 @@ impl World {
         ctx: &mut Context<'_, Ev>,
     ) {
         let q = self.query(qi);
-        let key = RoundKey { query: q.id, round: k };
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
         let now = ctx.now();
         if node == self.root {
             let Some(mut r) = self.nodes[node.index()].rounds.remove(&key) else {
@@ -817,6 +852,7 @@ impl World {
             let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
             let n = &mut self.nodes[node.index()];
             let Some(r) = n.rounds.get_mut(&key) else {
+                self.put_kids(kids);
                 return;
             };
             r.release_planned = true;
@@ -849,6 +885,7 @@ impl World {
                     send_now = true; // PSM buffering happens in do_send
                 }
             }
+            self.put_kids(kids);
         }
         if send_now {
             self.do_send(node, qi, k, ctx);
@@ -867,7 +904,10 @@ impl World {
     /// Seals the round and hands the report towards the parent.
     fn do_send(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
         let q = self.query(qi);
-        let key = RoundKey { query: q.id, round: k };
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
         let Some(parent) = self.tree.parent(node) else {
             // Detached from the tree (declared failed): drop silently.
             self.nodes[node.index()].rounds.remove(&key);
@@ -922,7 +962,10 @@ impl World {
         ctx: &mut Context<'_, Ev>,
     ) {
         let q = self.query(qi);
-        let key = RoundKey { query: q.id, round: k };
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
         let missing = {
             let n = &self.nodes[node.index()];
             match n.rounds.get(&key) {
@@ -952,6 +995,7 @@ impl World {
                 }
             }
         }
+        self.put_kids(kids);
         for c in failed_children {
             if self.tree.is_member(c) && self.tree.parent(c) == Some(node) {
                 self.repair_tree(c, ctx);
@@ -970,7 +1014,7 @@ impl World {
         if self.nodes[node.index()].dead {
             return;
         }
-        match frame.payload.clone() {
+        match frame.payload {
             Payload::Report {
                 query,
                 round,
@@ -1022,8 +1066,7 @@ impl World {
                 kids.push(child);
                 kids.sort_unstable();
             }
-        } else if !self
-            .nodes[node.index()]
+        } else if !self.nodes[node.index()]
             .expected_children
             .get(&qi)
             .map(|v| v.contains(&child))
@@ -1071,6 +1114,7 @@ impl World {
                 ss.update_next_receive(query, child, rnext);
             }
         }
+        self.put_kids(kids);
         // Fold into the round (unless it already finished).
         if self.open_round(node, qi, k, ctx) {
             let key = RoundKey { query, round: k };
@@ -1091,7 +1135,10 @@ impl World {
     /// and reschedules its timeout if it moved.
     fn refresh_deadline(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
         let q = self.query(qi);
-        let key = RoundKey { query: q.id, round: k };
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
         let current = {
             let n = &self.nodes[node.index()];
             match n.rounds.get(&key) {
@@ -1143,6 +1190,7 @@ impl World {
                     ss.update_next_send(query, snext);
                 }
                 n.rounds.remove(&RoundKey { query, round });
+                self.put_kids(kids);
             }
             Payload::Atim => {
                 if let Dest::Unicast(dest) = frame.dest {
@@ -1190,6 +1238,7 @@ impl World {
                         }
                     }
                 }
+                self.put_kids(kids);
                 if let Some(p) = parent_failed {
                     if self.tree.is_member(p) && p != self.root {
                         self.repair_tree(p, ctx);
@@ -1485,7 +1534,7 @@ impl World {
             if confirmed && now >= psm.atim_end(now) && now < psm.adv_end(now) {
                 (false, true) // already cleared for this beacon
             } else {
-                n.psm_pending.entry(dest).or_default().push(frame.clone());
+                n.psm_pending.entry(dest).or_default().push(frame);
                 (psm.in_atim_window(now), false)
             }
         };
@@ -1548,7 +1597,11 @@ impl World {
 
         // Its old parent drops every dependency on it.
         if let Some(p) = old_parent {
-            let qids: Vec<usize> = self.nodes[p.index()].participating.iter().copied().collect();
+            let qids: Vec<usize> = self.nodes[p.index()]
+                .participating
+                .iter()
+                .copied()
+                .collect();
             for qi in qids {
                 let q = self.query(qi);
                 let n = &mut self.nodes[p.index()];
@@ -1569,7 +1622,10 @@ impl World {
                     .map(|(rk, _)| rk.round)
                     .collect();
                 for k in open {
-                    let key = RoundKey { query: q.id, round: k };
+                    let key = RoundKey {
+                        query: q.id,
+                        round: k,
+                    };
                     if let Some(r) = self.nodes[p.index()].rounds.get_mut(&key) {
                         r.agg.remove_child(failed);
                     }
@@ -1602,7 +1658,12 @@ impl World {
         let is_root = node == self.root;
         let kids_now: Vec<NodeId> = self.tree.children(node).to_vec();
         let (own_rank, max_rank, own_level, max_level, kid_ranks) = self.tree_view(node);
-        let qids: Vec<usize> = self.nodes[node.index()].participating.iter().copied().collect();
+        // Returned to the pool at the end of the function.
+        let qids: Vec<usize> = self.nodes[node.index()]
+            .participating
+            .iter()
+            .copied()
+            .collect();
         for qi in qids {
             let q = self.query(qi);
             let n = &mut self.nodes[node.index()];
@@ -1626,10 +1687,8 @@ impl World {
                         // child's first report re-synchronises us"
                         // (phase shifts only ever delay, so an early
                         // expectation is always safe).
-                        let conservative = q
-                            .round_at(now)
-                            .map(|k| q.round_start(k))
-                            .unwrap_or(q.phase);
+                        let conservative =
+                            q.round_at(now).map(|k| q.round_start(k)).unwrap_or(q.phase);
                         for &c in &kids_now {
                             let is_new = old_kids
                                 .as_ref()
@@ -1643,6 +1702,7 @@ impl World {
                 }
             }
         }
+        self.put_kids(kid_ranks);
     }
 
     // ------------------------------------------------------------------
@@ -1739,7 +1799,8 @@ impl World {
     ) {
         let now = ctx.now();
         let end = self.channel.end_tx(now, tx);
-        for h in end.now_idle {
+        for i in 0..end.now_idle.len() {
+            let h = end.now_idle[i];
             let hn = &mut self.nodes[h.index()];
             if !hn.dead && hn.radio.is_active() {
                 let acts = hn.mac.carrier_idle(now);
@@ -1750,7 +1811,8 @@ impl World {
             let acts = self.nodes[sender.index()].mac.tx_ended(now);
             self.exec_mac_actions(sender, acts, ctx);
         }
-        for r in end.clean_receivers {
+        for i in 0..end.clean_receivers.len() {
+            let r = end.clean_receivers[i];
             let n = &self.nodes[r.index()];
             if n.dead {
                 continue;
@@ -1762,15 +1824,20 @@ impl World {
                 .map(|t| t <= end.started)
                 .unwrap_or(false);
             if awake_whole_frame {
-                let acts = self.nodes[r.index()].mac.frame_arrived(frame.clone(), now);
+                // `Frame<Payload>` is `Copy`: the fan-out to receivers
+                // is a bitwise copy, not an allocation.
+                let acts = self.nodes[r.index()].mac.frame_arrived(frame, now);
                 self.exec_mac_actions(r, acts, ctx);
             }
         }
+        self.channel.recycle_nodes(end.now_idle);
+        self.channel.recycle_nodes(end.clean_receivers);
+        self.channel.recycle_nodes(end.corrupted_receivers);
         self.reconsider_sleep(sender, ctx);
     }
 
     /// Collects the run's metrics.
-    fn finalize(mut self, end: SimTime, events_processed: u64) -> RunResult {
+    fn finalize(mut self, end: SimTime, events_processed: u64, peak_queue_depth: u64) -> RunResult {
         let mut node_metrics = Vec::new();
         let mut sleep_hist = Histogram::new(SLEEP_HIST_BIN_S, SLEEP_HIST_BINS);
         let mut mac = MacTotals::default();
@@ -1826,6 +1893,7 @@ impl World {
             channel_transmissions: ch.transmissions,
             channel_collisions: ch.collisions,
             events_processed,
+            peak_queue_depth,
         }
     }
 
@@ -1873,7 +1941,9 @@ impl Model for World {
             }
             Ev::MacTimer { node, kind, gen } => {
                 if !self.nodes[node.index()].dead {
-                    let acts = self.nodes[node.index()].mac.timer_fired(kind, gen, ctx.now());
+                    let acts = self.nodes[node.index()]
+                        .mac
+                        .timer_fired(kind, gen, ctx.now());
                     self.exec_mac_actions(node, acts, ctx);
                     self.reconsider_sleep(node, ctx);
                 }
@@ -1973,7 +2043,10 @@ mod tests {
 
     #[test]
     fn readings_are_deterministic() {
-        assert_eq!(World::reading(NodeId::new(3), 7), World::reading(NodeId::new(3), 7));
+        assert_eq!(
+            World::reading(NodeId::new(3), 7),
+            World::reading(NodeId::new(3), 7)
+        );
         assert_ne!(
             World::reading(NodeId::new(3), 7),
             World::reading(NodeId::new(4), 7)
@@ -1990,10 +2063,7 @@ mod tests {
         let at = world.register_query_at(member, 0, SimTime::ZERO);
         assert!(at.is_some());
         // Non-members never register.
-        let non_member = world
-            .topo
-            .nodes()
-            .find(|&n| !world.tree.is_member(n));
+        let non_member = world.topo.nodes().find(|&n| !world.tree.is_member(n));
         if let Some(nm) = non_member {
             assert!(world.register_query_at(nm, 0, SimTime::ZERO).is_none());
         }

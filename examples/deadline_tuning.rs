@@ -23,8 +23,7 @@ fn main() {
     println!("{:>10}  {:>10}  {:>10}", "D (s)", "duty (%)", "latency (s)");
     let mut best: Option<(f64, f64, f64)> = None;
     for d in [0.02, 0.05, 0.08, 0.12, 0.2, 0.4, 0.8] {
-        let workload =
-            WorkloadSpec::paper(base_rate).with_deadline(SimDuration::from_secs_f64(d));
+        let workload = WorkloadSpec::paper(base_rate).with_deadline(SimDuration::from_secs_f64(d));
         let mut cfg = ExperimentConfig::quick(Protocol::StsSs, workload, seed);
         cfg.duration = SimDuration::from_secs(40);
         let r = runner::run_one(&cfg);
@@ -40,11 +39,7 @@ fn main() {
     let (_, best_d, best_duty) = best.expect("swept");
     println!("\nbest hand-tuned STS deadline ≈ {best_d} s (duty {best_duty:.2}%)");
 
-    let mut cfg = ExperimentConfig::quick(
-        Protocol::DtsSs,
-        WorkloadSpec::paper(base_rate),
-        seed,
-    );
+    let mut cfg = ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(base_rate), seed);
     cfg.duration = SimDuration::from_secs(40);
     let dts = runner::run_one(&cfg);
     println!(

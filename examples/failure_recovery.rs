@@ -11,8 +11,8 @@
 //! ```
 
 use essat::net::ids::NodeId;
-use essat::query::tree::RoutingTree;
 use essat::net::topology::Topology;
+use essat::query::tree::RoutingTree;
 use essat::sim::rng::SimRng;
 use essat::sim::time::{SimDuration, SimTime};
 use essat::wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
@@ -62,7 +62,11 @@ fn main() {
         let mut per_window = Vec::new();
         for (a, b) in windows {
             let (lo, hi) = (SimTime::from_secs(a), SimTime::from_secs(b));
-            let rs: Vec<_> = q.records.iter().filter(|r| r.at >= lo && r.at < hi).collect();
+            let rs: Vec<_> = q
+                .records
+                .iter()
+                .filter(|r| r.at >= lo && r.at < hi)
+                .collect();
             let readings: u64 = rs.iter().map(|r| r.readings).sum();
             let avg = if rs.is_empty() {
                 0.0

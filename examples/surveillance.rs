@@ -56,7 +56,11 @@ fn main() {
             worst,
             within,
             total,
-            if ok { "meets deadline" } else { "MISSES deadline" },
+            if ok {
+                "meets deadline"
+            } else {
+                "MISSES deadline"
+            },
         );
     }
     println!();

@@ -1,7 +1,11 @@
 //! Reproducibility: identical seeds give bit-identical metrics; the
-//! multi-run helper derives distinct seeds; and results are stable
-//! across the threaded runner.
+//! multi-run helper derives distinct seeds; results are stable across
+//! the threaded runner; and the parallel sweep executor produces
+//! byte-identical figure data to the serial path.
 
+use essat::harness::executor::{SweepCell, SweepExecutor};
+use essat::harness::figures;
+use essat::harness::scale::Scale;
 use essat::sim::time::SimDuration;
 use essat::wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
 use essat::wsn::runner;
@@ -26,7 +30,10 @@ fn identical_seeds_identical_runs_all_protocols() {
         let b = runner::run_one(&cfg(protocol, 101));
         assert_eq!(a.events_processed, b.events_processed, "{protocol}");
         assert_eq!(a.reports_sent, b.reports_sent, "{protocol}");
-        assert_eq!(a.channel_transmissions, b.channel_transmissions, "{protocol}");
+        assert_eq!(
+            a.channel_transmissions, b.channel_transmissions,
+            "{protocol}"
+        );
         assert_eq!(a.avg_duty_cycle_pct(), b.avg_duty_cycle_pct(), "{protocol}");
         assert_eq!(a.avg_latency_s(), b.avg_latency_s(), "{protocol}");
         for (qa, qb) in a.queries.iter().zip(&b.queries) {
@@ -64,6 +71,40 @@ fn derived_seeds_are_distinct() {
         rs[0].events_processed != rs[1].events_processed
             || rs[1].events_processed != rs[2].events_processed
     );
+}
+
+/// The work-stealing sweep executor must produce byte-identical figure
+/// data to the serial (1-thread) path for a `Scale::Quick` figure: both
+/// the rendered table and the CSV must match byte for byte, whatever
+/// the thread interleaving.
+#[test]
+fn parallel_executor_matches_serial_byte_identical() {
+    let serial = figures::fig2_deadline(&mut SweepExecutor::with_threads(1), Scale::Quick, 9);
+    let parallel = figures::fig2_deadline(&mut SweepExecutor::with_threads(8), Scale::Quick, 9);
+    assert_eq!(serial.to_csv().into_bytes(), parallel.to_csv().into_bytes());
+    assert_eq!(
+        serial.render_table().into_bytes(),
+        parallel.render_table().into_bytes()
+    );
+}
+
+/// Executor cells reproduce exactly what the per-point runner produced,
+/// so figures keep their historical values across the refactor.
+#[test]
+fn executor_cell_matches_run_many() {
+    let base = cfg(Protocol::StsSs, 512);
+    let via_runner = runner::run_many(&base, 3);
+    let via_exec = SweepExecutor::new()
+        .run(&[SweepCell::new(base, 3)])
+        .remove(0);
+    assert_eq!(via_runner.len(), via_exec.len());
+    for (a, b) in via_runner.iter().zip(&via_exec) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.avg_duty_cycle_pct(), b.avg_duty_cycle_pct());
+        assert_eq!(a.avg_latency_s(), b.avg_latency_s());
+        assert_eq!(a.reports_sent, b.reports_sent);
+    }
 }
 
 #[test]

@@ -61,7 +61,10 @@ fn rank_profile_matches_fig5() {
     let nts = runner::run_one(&cfg(Protocol::NtsSs, w.clone(), 8));
     let by_rank = nts.duty_by_rank();
     let ranks: Vec<u32> = by_rank.keys().copied().collect();
-    assert!(ranks.len() >= 3, "need a tree with depth, got ranks {ranks:?}");
+    assert!(
+        ranks.len() >= 3,
+        "need a tree with depth, got ranks {ranks:?}"
+    );
     let lo = by_rank[ranks.first().unwrap()].mean();
     let hi = by_rank[ranks.last().unwrap()].mean();
     assert!(

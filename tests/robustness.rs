@@ -83,9 +83,7 @@ fn node_failure_recovery() {
         let healthy = runner::run_one(&base);
         // Fail a node mid-run. Node index 1 is an arbitrary member at
         // this seed (the failure machinery tolerates leaves too).
-        let failed = base
-            .clone()
-            .with_node_failure(SimTime::from_secs(20), 1);
+        let failed = base.clone().with_node_failure(SimTime::from_secs(20), 1);
         let wounded = runner::run_one(&failed);
         assert!(
             wounded.delivery_ratio() > healthy.delivery_ratio() - 0.15,
@@ -129,13 +127,16 @@ fn flooded_setup_registers_queries() {
 #[test]
 fn loss_monotonicity() {
     let d0 = runner::run_one(&cfg(Protocol::DtsSs, 53)).delivery_ratio();
-    let d10 = runner::run_one(&cfg(Protocol::DtsSs, 53).with_drop_probability(0.10))
-        .delivery_ratio();
-    let d30 = runner::run_one(&cfg(Protocol::DtsSs, 53).with_drop_probability(0.30))
-        .delivery_ratio();
+    let d10 =
+        runner::run_one(&cfg(Protocol::DtsSs, 53).with_drop_probability(0.10)).delivery_ratio();
+    let d30 =
+        runner::run_one(&cfg(Protocol::DtsSs, 53).with_drop_probability(0.30)).delivery_ratio();
     assert!(d0 > d10 - 0.02, "{d0} vs {d10}");
     assert!(d10 > d30, "{d10} vs {d30}");
-    assert!(d30 > 0.2, "even heavy loss shouldn't zero out delivery: {d30}");
+    assert!(
+        d30 > 0.2,
+        "even heavy loss shouldn't zero out delivery: {d30}"
+    );
 }
 
 /// MAC-level retries mask most single-frame losses: with light loss the

@@ -58,7 +58,11 @@ fn nts_latency_matches_always_on() {
 #[test]
 fn always_on_control_is_clean() {
     let r = runner::run_one(&cfg(Protocol::AlwaysOn, 4, 2.0));
-    assert!(r.avg_duty_cycle_pct() > 99.9, "duty {}", r.avg_duty_cycle_pct());
+    assert!(
+        r.avg_duty_cycle_pct() > 99.9,
+        "duty {}",
+        r.avg_duty_cycle_pct()
+    );
     assert!(r.delivery_ratio() > 0.97, "delivery {}", r.delivery_ratio());
     assert_eq!(r.phase_piggybacks, 0);
 }
