@@ -172,6 +172,27 @@ fn channel_collision_storm(c: &mut Criterion) {
     });
 }
 
+fn gilbert_elliott_step(c: &mut Criterion) {
+    use essat_net::channel::LossModel;
+    use essat_scenario::gilbert::{GilbertElliott, GilbertElliottParams};
+    let params = GilbertElliottParams {
+        mean_good: SimDuration::from_secs(5),
+        mean_bad: SimDuration::from_secs(1),
+        drop_good: 0.0,
+        drop_bad: 0.75,
+    };
+    let mut ge = GilbertElliott::new(80, params, SimRng::seed_from_u64(9));
+    c.bench_function("micro/gilbert_elliott_step", |b| {
+        // Per-reception hot path: one frame copy every ~500 µs on one
+        // warmed link (state transitions amortise in, as in a run).
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 500;
+            black_box(ge.dropped(SimTime::from_micros(t), NodeId::new(3), NodeId::new(17)))
+        })
+    });
+}
+
 fn tree_construction(c: &mut Criterion) {
     let mut rng = SimRng::seed_from_u64(3);
     let topo = Topology::random_paper(&mut rng);
@@ -203,6 +224,7 @@ criterion_group! {
         safe_sleep_decide,
         shaper_round_trip,
         channel_collision_storm,
+        gilbert_elliott_step,
         tree_construction,
         aggregation_merge,
 }

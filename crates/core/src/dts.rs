@@ -172,7 +172,17 @@ impl TrafficShaper for Dts {
             st.s_next += q.period * (k - st.round);
             st.round = k;
         }
-        debug_assert_eq!(st.round, k, "rounds must be released in order");
+        if st.round > k {
+            // A round re-released after churn recovery (the node died
+            // between releasing and sending, then a straggler child
+            // report reopened the round): the schedule already advanced
+            // past it, so send immediately without regressing it.
+            self.reports_sent += 1;
+            return Release {
+                send_at: ready_at,
+                piggyback: None,
+            };
+        }
         self.reports_sent += 1;
         if ready_at <= st.s_next {
             // On time: buffered until s(k); schedules advance silently.
@@ -206,7 +216,22 @@ impl TrafficShaper for Dts {
             .sends
             .get(&q.id)
             .expect("after_send for unregistered query");
-        debug_assert!(st.round == k + 1, "release must precede after_send");
+        debug_assert!(st.round > k, "release must precede after_send");
+        st.s_next
+    }
+
+    fn round_skipped(&mut self, q: &Query, k: u64, _tree: &TreeInfo<'_>) -> SimTime {
+        let st = self.sends.entry(q.id).or_insert(SendSched {
+            round: k,
+            s_next: q.phase + q.period * k,
+            force_piggyback: false,
+        });
+        // Quiet rounds advance the phase-shifted schedule silently,
+        // exactly like an on-time buffered report would.
+        if st.round <= k {
+            st.s_next += q.period * (k + 1 - st.round);
+            st.round = k + 1;
+        }
         st.s_next
     }
 
@@ -521,6 +546,32 @@ mod tests {
             let jitter = if k % 7 == 3 { 260 } else { 190 };
             ready = r.send_at + SimDuration::from_millis(jitter);
         }
+    }
+
+    #[test]
+    fn skipped_rounds_advance_send_schedule_silently() {
+        let mut dts = Dts::new();
+        dts.register(&q(), &leaf_tree(), false);
+        // Rounds 0 and 1 silenced by a traffic phase.
+        assert_eq!(dts.round_skipped(&q(), 0, &leaf_tree()), ms(1200));
+        assert_eq!(dts.round_skipped(&q(), 1, &leaf_tree()), ms(1400));
+        // Round 2 runs on time on the unshifted schedule.
+        let r = dts.release(&q(), 2, ms(1395), &leaf_tree());
+        assert_eq!(r.send_at, ms(1400));
+        assert_eq!(r.piggyback, None, "no phase shift across the gap");
+    }
+
+    #[test]
+    fn re_released_round_sends_immediately_without_regressing() {
+        let mut dts = Dts::new();
+        dts.register(&q(), &leaf_tree(), false);
+        let first = dts.release(&q(), 0, ms(990), &leaf_tree());
+        assert_eq!(first.send_at, ms(1000));
+        // Churn recovery re-opens round 0; the settled schedule stays.
+        let again = dts.release(&q(), 0, ms(1050), &leaf_tree());
+        assert_eq!(again.send_at, ms(1050));
+        assert_eq!(again.piggyback, None);
+        assert_eq!(dts.after_send(&q(), 0, ms(1051), &leaf_tree()), ms(1200));
     }
 
     #[test]

@@ -138,6 +138,18 @@ pub trait TrafficShaper: fmt::Debug + Send {
     /// expected send time `s(k+1)` for Safe Sleep.
     fn after_send(&mut self, q: &Query, k: u64, now: SimTime, tree: &TreeInfo<'_>) -> SimTime;
 
+    /// The node's scheduler decided round `k` will not run locally at
+    /// all (a scenario traffic-phase quiet round: nothing sampled,
+    /// collected, or sent). Advance any send-side state past the round
+    /// and return the send expectation for the next round. The default
+    /// delegates to [`TrafficShaper::after_send`], which is exact for
+    /// shapers whose send schedule is a pure function of the round
+    /// index (NTS, STS, TAG); shapers with stateful release/send
+    /// coupling (DTS) override it.
+    fn round_skipped(&mut self, q: &Query, k: u64, tree: &TreeInfo<'_>) -> SimTime {
+        self.after_send(q, k, q.round_start(k), tree)
+    }
+
     /// A report for round `k` arrived from `child` at `now`, possibly
     /// carrying a piggybacked phase update. Returns the next expected
     /// reception time `r(k+1, child)` for Safe Sleep.

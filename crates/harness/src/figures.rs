@@ -9,6 +9,8 @@
 //! | [`fig8_sleep_hist`] | Fig. 8 | sleep-interval histogram at `t_BE = 0` |
 //! | [`fig9_tbe`] | Fig. 9 | DTS-SS duty vs rate for `t_BE` ∈ {0, 2.5, 10, 40} ms |
 //! | [`headline`] | abstract / §5 | DTS-SS vs SPAN / PSM / SYNC reduction ranges |
+//! | [`lifetime`] | beyond the paper | network lifetime (first death / partition) under `energy_drain` |
+//! | [`robustness`] | beyond the paper | delivery & latency across the scenario presets |
 //!
 //! Figures 3+6 and 4+7 share their underlying simulations (duty cycle
 //! and latency come from the same runs), which halves the sweep cost.
@@ -24,6 +26,8 @@
 //! per-point barrier.
 
 use essat_net::radio::RadioParams;
+use essat_scenario::presets;
+use essat_scenario::spec::Scenario;
 use essat_sim::stats::{Confidence, OnlineStats};
 use essat_sim::time::SimDuration;
 use essat_wsn::config::{Protocol, WorkloadSpec};
@@ -419,6 +423,110 @@ pub fn fig9_tbe_from(grid: &[Vec<RunResult>], scale: Scale) -> FigureData {
             series.push(rate, d, ci);
         }
         fig.series.push(series);
+    }
+    fig
+}
+
+/// Protocols compared in the scenario figures (the paper's full set).
+pub const SCENARIO_PROTOCOLS: [Protocol; 6] = LATENCY_PROTOCOLS;
+
+/// Presets plotted by the `robustness` figure, in x-axis order.
+pub const ROBUSTNESS_PRESETS: [&str; 4] = ["steady", "bursty_links", "diurnal", "churn"];
+
+/// Network-lifetime figure: for every protocol under the
+/// `energy_drain` preset, the time to the first node death and the time
+/// to root partition (right-censored at the run end when the network
+/// survives). The x axis indexes [`SCENARIO_PROTOCOLS`].
+pub fn lifetime(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> FigureData {
+    let grid = exec.run(&lifetime_cells(scale, seed));
+    lifetime_from(&grid)
+}
+
+/// The lifetime figure's job plan: one `energy_drain` cell per protocol.
+pub fn lifetime_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    SCENARIO_PROTOCOLS
+        .iter()
+        .map(|&p| {
+            let mut cfg = scale.config(p, WorkloadSpec::paper(1.0), seed);
+            cfg.scenario = Some(Scenario::Spec(presets::energy_drain(cfg.duration)));
+            SweepCell::new(cfg, scale.runs())
+        })
+        .collect()
+}
+
+/// Assembles the lifetime figure from the results of
+/// [`lifetime_cells`] (same order).
+pub fn lifetime_from(grid: &[Vec<RunResult>]) -> FigureData {
+    let mut fig = FigureData::new(
+        "lifetime",
+        "Network lifetime under the energy_drain scenario (censored at run end)",
+        "protocol_index",
+        "time (s)",
+    );
+    let mut first_death = Series::new("time to first death (s)");
+    let mut partition = Series::new("time to root partition (s)");
+    for (i, results) in grid.iter().enumerate() {
+        let (fd, fd_ci) = stat_over_runs(results, |r| {
+            r.lifetime
+                .time_to_first_death(r.measured_until)
+                .as_secs_f64()
+        });
+        let (pt, pt_ci) = stat_over_runs(results, |r| {
+            r.lifetime.time_to_partition(r.measured_until).as_secs_f64()
+        });
+        first_death.push(i as f64, fd, fd_ci);
+        partition.push(i as f64, pt, pt_ci);
+    }
+    fig.series.push(first_death);
+    fig.series.push(partition);
+    fig
+}
+
+/// Robustness figure: delivery ratio per protocol across the scenario
+/// presets (`steady`, `bursty_links`, `diurnal`, `churn`). The x axis
+/// indexes [`ROBUSTNESS_PRESETS`].
+pub fn robustness(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> FigureData {
+    let grid = exec.run(&robustness_cells(scale, seed));
+    robustness_from(&grid)
+}
+
+/// The robustness figure's job plan: every (preset, protocol) cell.
+pub fn robustness_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for preset in ROBUSTNESS_PRESETS {
+        for protocol in SCENARIO_PROTOCOLS {
+            let mut cfg = scale.config(protocol, WorkloadSpec::paper(1.0), seed);
+            let spec = presets::by_name(preset, cfg.duration).expect("known preset");
+            cfg.scenario = Some(Scenario::Spec(spec));
+            cells.push(SweepCell::new(cfg, scale.runs()));
+        }
+    }
+    cells
+}
+
+/// Assembles the robustness figure from the results of
+/// [`robustness_cells`] (same order).
+pub fn robustness_from(grid: &[Vec<RunResult>]) -> FigureData {
+    let mut fig = FigureData::new(
+        "robustness",
+        "Delivery ratio (%) across scenario presets (steady / bursty_links / diurnal / churn)",
+        "preset_index",
+        "delivery ratio (%)",
+    );
+    for p in SCENARIO_PROTOCOLS {
+        fig.series.push(Series::new(p.label()));
+    }
+    let mut cell = grid.iter();
+    for (xi, _) in ROBUSTNESS_PRESETS.iter().enumerate() {
+        for protocol in SCENARIO_PROTOCOLS {
+            let results = cell.next().expect("one cell per (preset, protocol)");
+            let (d, ci) = stat_over_runs(results, |r| 100.0 * r.delivery_ratio());
+            fig.series
+                .iter_mut()
+                .find(|s| s.label == protocol.label())
+                .expect("series exists")
+                .push(xi as f64, d, ci);
+        }
     }
     fig
 }

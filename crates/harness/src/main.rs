@@ -6,7 +6,7 @@
 //!               [--csv DIR] [--threads N] [--bench-json PATH]
 //!
 //! FIGURES      any of: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!              headline overhead (default: all)
+//!              headline overhead lifetime robustness (default: all)
 //! --scale S    quick (40 nodes, 50 s, 2 runs) or paper (80 nodes,
 //!              200 s, 5 runs; the default). --quick is shorthand for
 //!              --scale quick.
@@ -42,7 +42,18 @@ fn main() {
     let mut bench_json = PathBuf::from("BENCH_harness.json");
 
     let all_figures = [
-        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "headline", "overhead",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "headline",
+        "overhead",
+        "lifetime",
+        "robustness",
     ];
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -85,7 +96,7 @@ fn main() {
                     wanted.insert(f.to_string());
                 }
             }
-            name if name.starts_with("fig") || name == "headline" || name == "overhead" => {
+            name if all_figures.contains(&name) => {
                 wanted.insert(name.to_string());
             }
             other => usage(&format!("unknown argument: {other}")),
@@ -157,6 +168,16 @@ fn main() {
     if wanted.contains("fig9") {
         plan("fig9", figures::fig9_tbe_cells(scale, seed), &mut cells);
     }
+    if wanted.contains("lifetime") {
+        plan("lifetime", figures::lifetime_cells(scale, seed), &mut cells);
+    }
+    if wanted.contains("robustness") {
+        plan(
+            "robustness",
+            figures::robustness_cells(scale, seed),
+            &mut cells,
+        );
+    }
     let total_jobs: u32 = cells
         .iter()
         .map(|c: &essat_harness::executor::SweepCell| c.runs)
@@ -224,6 +245,24 @@ fn main() {
             scale,
         ));
     }
+    if wanted.contains("lifetime") {
+        emit(&figures::lifetime_from(slice("lifetime").expect("planned")));
+        println!("protocol_index legend (energy_drain preset):");
+        for (i, p) in figures::SCENARIO_PROTOCOLS.iter().enumerate() {
+            println!("  {i}: {p}");
+        }
+        println!();
+    }
+    if wanted.contains("robustness") {
+        emit(&figures::robustness_from(
+            slice("robustness").expect("planned"),
+        ));
+        println!("preset_index legend:");
+        for (i, name) in figures::ROBUSTNESS_PRESETS.iter().enumerate() {
+            println!("  {i}: {name}");
+        }
+        println!();
+    }
     if wanted.contains("overhead") {
         let series = &rate.as_ref().expect("computed").dts_overhead_bits;
         println!("== overhead — DTS phase-update overhead (paper: < 1 bit per data report)");
@@ -259,8 +298,8 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: essat-figures [fig2..fig9|headline|overhead|all]… [--scale quick|paper] \
-         [--seed N] [--csv DIR] [--threads N] [--bench-json PATH]"
+        "usage: essat-figures [fig2..fig9|headline|overhead|lifetime|robustness|all]… \
+         [--scale quick|paper] [--seed N] [--csv DIR] [--threads N] [--bench-json PATH]"
     );
     std::process::exit(2);
 }

@@ -58,6 +58,68 @@ fn fig8_builder_shape() {
 }
 
 #[test]
+fn lifetime_builder_shape() {
+    let fig = figures::lifetime(&mut SweepExecutor::new(), Scale::Quick, 23);
+    assert_eq!(fig.id, "lifetime");
+    assert_eq!(fig.series.len(), 2, "first death + partition");
+    let first_death = &fig.series[0];
+    let partition = &fig.series[1];
+    assert_eq!(first_death.points.len(), figures::SCENARIO_PROTOCOLS.len());
+    for (fd, pt) in first_death.points.iter().zip(&partition.points) {
+        assert_eq!(fd.x, pt.x);
+        assert!(fd.y > 0.0 && fd.y <= 50.0, "quick runs last 50 s");
+        assert!(
+            pt.y >= fd.y,
+            "partition cannot precede the first death: {} vs {}",
+            pt.y,
+            fd.y
+        );
+    }
+    // SPAN keeps a backbone always on: under energy_drain it must lose
+    // its first node before the sleepers do.
+    let span_i = figures::SCENARIO_PROTOCOLS
+        .iter()
+        .position(|p| p.label() == "SPAN")
+        .unwrap();
+    let dts_i = figures::SCENARIO_PROTOCOLS
+        .iter()
+        .position(|p| p.label() == "DTS-SS")
+        .unwrap();
+    assert!(
+        first_death.points[span_i].y < first_death.points[dts_i].y,
+        "SPAN ({}) must die before DTS-SS ({})",
+        first_death.points[span_i].y,
+        first_death.points[dts_i].y
+    );
+}
+
+#[test]
+fn robustness_builder_shape() {
+    let fig = figures::robustness(&mut SweepExecutor::new(), Scale::Quick, 29);
+    assert_eq!(fig.id, "robustness");
+    assert_eq!(fig.series.len(), figures::SCENARIO_PROTOCOLS.len());
+    for s in &fig.series {
+        assert_eq!(s.points.len(), figures::ROBUSTNESS_PRESETS.len());
+        for p in &s.points {
+            assert!(
+                (0.0..=100.0).contains(&p.y),
+                "{}: delivery {}%",
+                s.label,
+                p.y
+            );
+        }
+        // Bursty links (index 1) must cost delivery vs steady (index 0).
+        assert!(
+            s.points[1].y <= s.points[0].y + 1e-9,
+            "{}: bursty ({}) above steady ({})",
+            s.label,
+            s.points[1].y,
+            s.points[0].y
+        );
+    }
+}
+
+#[test]
 fn fig2_builder_shape() {
     let fig = figures::fig2_deadline(&mut SweepExecutor::new(), Scale::Quick, 5);
     assert_eq!(fig.id, "fig2");

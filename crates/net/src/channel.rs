@@ -57,6 +57,22 @@ use essat_sim::time::{SimDuration, SimTime};
 use crate::ids::NodeId;
 use crate::topology::Topology;
 
+/// A pluggable per-link loss process consulted once per otherwise-clean
+/// frame copy at [`Channel::end_tx`] time.
+///
+/// Implementations own whatever per-link state they need (e.g. the
+/// scenario engine's Gilbert–Elliott chains) and must be deterministic
+/// for a given construction seed: the channel calls `dropped` in a
+/// deterministic order, so a deterministic model keeps runs
+/// bit-reproducible. When no model is installed the channel falls back
+/// to its static [`Channel::set_drop_probability`] — with both disabled
+/// the per-copy cost is a single branch.
+pub trait LossModel: std::fmt::Debug + Send {
+    /// True if the copy of the frame ending at `now`, sent by `sender`,
+    /// is lost at `receiver`.
+    fn dropped(&mut self, now: SimTime, sender: NodeId, receiver: NodeId) -> bool;
+}
+
 /// Identifier of an in-flight transmission.
 ///
 /// Packs the slab slot (low 32 bits) and a generation counter (high 32
@@ -177,6 +193,8 @@ pub struct Channel {
     /// Recycled receiver-list buffers (see [`Channel::recycle_nodes`]).
     node_pool: Vec<Vec<NodeId>>,
     drop_prob: f64,
+    /// Optional per-link loss process; overrides `drop_prob` when set.
+    loss_model: Option<Box<dyn LossModel>>,
     rng: SimRng,
     stats: ChannelStats,
 }
@@ -201,6 +219,7 @@ impl Channel {
             bool_pool: Vec::new(),
             node_pool: Vec::new(),
             drop_prob: 0.0,
+            loss_model: None,
             rng,
             stats: ChannelStats::default(),
         }
@@ -220,6 +239,18 @@ impl Channel {
     /// Current loss-injection probability.
     pub fn drop_probability(&self) -> f64 {
         self.drop_prob
+    }
+
+    /// Installs a per-link loss process. While set it replaces the
+    /// static drop probability on the delivery path; drops it causes
+    /// are counted as [`ChannelStats::injected_drops`].
+    pub fn set_loss_model(&mut self, model: Box<dyn LossModel>) {
+        self.loss_model = Some(model);
+    }
+
+    /// Removes any installed loss process.
+    pub fn clear_loss_model(&mut self) {
+        self.loss_model = None;
     }
 
     /// True if any in-flight transmission is audible at `node`.
@@ -382,7 +413,6 @@ impl Channel {
     ///
     /// Panics if `id` does not correspond to an in-flight transmission.
     pub fn end_tx(&mut self, now: SimTime, id: TxId) -> TxEnd {
-        let _ = now;
         let slot = id.slot();
         assert!(
             self.slots
@@ -433,9 +463,15 @@ impl Channel {
         for (i, idx) in (h0..h1).enumerate() {
             let h = self.neighbors.flat[idx];
             let mut bad = corrupted[i];
-            if !bad && self.drop_prob > 0.0 && self.rng.chance(self.drop_prob) {
-                bad = true;
-                self.stats.injected_drops += 1;
+            if !bad {
+                let injected = match self.loss_model.as_deref_mut() {
+                    Some(model) => model.dropped(now, sender, h),
+                    None => self.drop_prob > 0.0 && self.rng.chance(self.drop_prob),
+                };
+                if injected {
+                    bad = true;
+                    self.stats.injected_drops += 1;
+                }
             }
             if bad {
                 corrupted_rx.push(h);
@@ -638,6 +674,55 @@ mod tests {
         assert!((frac - 0.3).abs() < 0.05, "drop fraction {frac}");
         assert_eq!(ch.stats().injected_drops, dropped);
         assert_eq!(ch.stats().collisions, 0);
+    }
+
+    /// Drops every copy at one chosen receiver, nothing else.
+    #[derive(Debug)]
+    struct DropAt(NodeId);
+
+    impl LossModel for DropAt {
+        fn dropped(&mut self, _now: SimTime, _sender: NodeId, receiver: NodeId) -> bool {
+            receiver == self.0
+        }
+    }
+
+    #[test]
+    fn loss_model_overrides_static_probability() {
+        let mut ch = line4();
+        ch.set_drop_probability(1.0); // would kill everything…
+        ch.set_loss_model(Box::new(DropAt(n(0)))); // …but the model wins
+        let tx = ch.begin_tx(t_us(0), n(1), us(416));
+        let end = ch.end_tx(t_us(416), tx.id);
+        assert_eq!(end.clean_receivers, vec![n(2)]);
+        assert_eq!(end.corrupted_receivers, vec![n(0)]);
+        assert_eq!(ch.stats().injected_drops, 1);
+        // Removing the model restores the static path.
+        ch.clear_loss_model();
+        let tx = ch.begin_tx(t_us(1_000), n(1), us(416));
+        let end = ch.end_tx(t_us(1_416), tx.id);
+        assert!(end.clean_receivers.is_empty(), "p = 1 drops every copy");
+        assert_eq!(end.corrupted_receivers, vec![n(0), n(2)]);
+    }
+
+    #[test]
+    fn loss_model_sees_frame_end_time_and_endpoints() {
+        #[derive(Debug, Default)]
+        struct Recorder(std::sync::Arc<std::sync::Mutex<Vec<(SimTime, NodeId, NodeId)>>>);
+        impl LossModel for Recorder {
+            fn dropped(&mut self, now: SimTime, sender: NodeId, receiver: NodeId) -> bool {
+                self.0.lock().unwrap().push((now, sender, receiver));
+                false
+            }
+        }
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut ch = line4();
+        ch.set_loss_model(Box::new(Recorder(log.clone())));
+        let tx = ch.begin_tx(t_us(100), n(1), us(416));
+        let _ = ch.end_tx(t_us(516), tx.id);
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![(t_us(516), n(1), n(0)), (t_us(516), n(1), n(2))]
+        );
     }
 
     #[test]

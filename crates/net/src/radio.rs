@@ -388,6 +388,21 @@ impl Radio {
         &self.sleep_intervals
     }
 
+    /// Brings a node's radio back as fresh-`Active` at `now` without
+    /// accounting the interval since the last [`Radio::settle`] — used
+    /// when a churned node recovers: a dead node consumes nothing, so
+    /// the caller settles accounting at the moment of death and revives
+    /// here. Any in-flight transition or partially recorded sleep
+    /// interval is discarded; accumulated time/energy totals are kept
+    /// (a recovered node does not get its battery back).
+    pub fn resurrect(&mut self, now: SimTime) {
+        self.state = RadioState::Active;
+        self.state_since = now;
+        self.active_since = Some(now);
+        self.wake_pending = false;
+        self.sleep_started = None;
+    }
+
     /// Flushes accounting up to `now` (call once at the end of a run
     /// before reading the totals).
     pub fn settle(&mut self, now: SimTime) {
@@ -571,6 +586,37 @@ mod tests {
         let w = r.begin_wake(ms(9)).unwrap();
         r.finish_transition(ms(9) + w);
         assert_eq!(r.active_since(), Some(ms(9)));
+    }
+
+    #[test]
+    fn resurrect_skips_dead_interval_and_keeps_totals() {
+        let mut r = Radio::new(RadioParams::mica2());
+        // Dies (accounting settled) at 10 ms, revived at 60 ms.
+        r.settle(ms(10));
+        let e_at_death = r.energy_j();
+        r.resurrect(ms(60));
+        assert!(r.is_active());
+        assert_eq!(r.active_since(), Some(ms(60)));
+        r.settle(ms(70));
+        // Only the 10 ms alive span after revival is accounted; the
+        // 50 ms dead span cost nothing.
+        assert_eq!(r.active_ns(), 20_000_000);
+        assert!((r.energy_j() - e_at_death - 0.045 * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resurrect_discards_inflight_transition() {
+        let mut r = Radio::new(RadioParams::mica2());
+        let _ = r.begin_sleep(ms(5)).unwrap(); // dies mid-turn-off
+        r.resurrect(ms(50));
+        assert!(r.is_active());
+        // No sleep interval was completed by the aborted cycle.
+        let d = r.begin_sleep(ms(60)).unwrap();
+        r.finish_transition(ms(60) + d);
+        let w = r.begin_wake(ms(80)).unwrap();
+        r.finish_transition(ms(80) + w);
+        assert_eq!(r.sleep_intervals().len(), 1);
+        assert_eq!(r.sleep_intervals()[0].started, ms(60));
     }
 
     #[test]

@@ -299,6 +299,44 @@ impl RoutingTree {
         reattached
     }
 
+    /// Re-admits a recovered node (scenario churn: failure *and*
+    /// recovery). The node attaches as a leaf under its best member
+    /// neighbour — lowest level, ties by lowest id, the same rule
+    /// [`RoutingTree::build`] uses — and levels/ranks are recomputed.
+    ///
+    /// Returns the new parent, or `None` if no member neighbour is in
+    /// range (the node stays outside the tree; a later recovery of a
+    /// bridging node may let it back in). Idempotent: rejoining a
+    /// current member returns its existing parent unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root (the base station never leaves the
+    /// tree).
+    pub fn rejoin_node(&mut self, topology: &Topology, node: NodeId) -> Option<NodeId> {
+        assert!(node != self.root, "the root never leaves the tree");
+        if self.member[node.index()] {
+            return self.parent[node.index()];
+        }
+        let mut best: Option<(u32, NodeId)> = None;
+        for &cand in topology.neighbors(node) {
+            if !self.member[cand.index()] {
+                continue;
+            }
+            if let Some(lvl) = self.level[cand.index()] {
+                let key = (lvl, cand);
+                if best.map(|b| key < b).unwrap_or(true) {
+                    best = Some(key);
+                }
+            }
+        }
+        let (_, new_parent) = best?;
+        self.parent[node.index()] = Some(new_parent);
+        self.recompute_levels();
+        self.rebuild_derived();
+        Some(new_parent)
+    }
+
     /// `is_descendant` that tolerates the broken parent pointers present
     /// mid-failure (stops at `failed`).
     fn is_descendant_via(&self, desc: NodeId, anc: NodeId, failed: NodeId) -> bool {
@@ -506,6 +544,59 @@ mod tests {
         let mut tree = RoutingTree::build(&topo, n(0), None);
         tree.fail_node(&topo, n(1));
         tree.check_invariants();
+    }
+
+    #[test]
+    fn rejoin_after_failure_restores_membership() {
+        let topo = Topology::line(3, 10.0, 12.0);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        tree.fail_node(&topo, n(2));
+        assert!(!tree.is_member(n(2)));
+        let parent = tree.rejoin_node(&topo, n(2));
+        tree.check_invariants();
+        assert_eq!(parent, Some(n(1)));
+        assert!(tree.is_member(n(2)));
+        assert_eq!(tree.level(n(2)), Some(2));
+        assert_eq!(tree.max_rank(), 2, "ranks recomputed on rejoin");
+    }
+
+    #[test]
+    fn rejoin_picks_lowest_level_then_lowest_id() {
+        // 2x2 grid rooted at 0: failing 3 then rejoining must pick 1
+        // (level 1, lower id than 2).
+        let topo = Topology::grid(2, 2, 10.0, 10.5);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        tree.fail_node(&topo, n(3));
+        let parent = tree.rejoin_node(&topo, n(3));
+        tree.check_invariants();
+        assert_eq!(parent, Some(n(1)));
+    }
+
+    #[test]
+    fn rejoin_without_reachable_member_stays_out() {
+        // Failing 1 on a line disconnects 2 and 3; 3 cannot rejoin (its
+        // only neighbour, 2, is not a member), and the call is a no-op.
+        let topo = Topology::line(4, 10.0, 12.0);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        tree.fail_node(&topo, n(1));
+        assert_eq!(tree.rejoin_node(&topo, n(3)), None);
+        tree.check_invariants();
+        assert!(!tree.is_member(n(3)));
+        // Rejoining 1 re-admits it; then 2, then 3 can chain back in.
+        assert_eq!(tree.rejoin_node(&topo, n(1)), Some(n(0)));
+        assert_eq!(tree.rejoin_node(&topo, n(2)), Some(n(1)));
+        assert_eq!(tree.rejoin_node(&topo, n(3)), Some(n(2)));
+        tree.check_invariants();
+        assert_eq!(tree.member_count(), 4);
+    }
+
+    #[test]
+    fn rejoin_of_member_is_idempotent() {
+        let topo = Topology::line(3, 10.0, 12.0);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        let before = tree.clone();
+        assert_eq!(tree.rejoin_node(&topo, n(2)), Some(n(1)));
+        assert_eq!(tree, before);
     }
 
     #[test]

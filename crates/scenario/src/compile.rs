@@ -1,0 +1,401 @@
+//! Compilation: from declarative spec to an explicit event stream.
+//!
+//! A [`CompiledScenario`] is plain data — churn events sorted by
+//! `(time, node, direction)`, traffic phases, and the link/battery
+//! parameter blocks. It is what the simulator consumes, what
+//! [`to_trace`](CompiledScenario::to_trace) records, and what
+//! [`from_trace`](CompiledScenario::from_trace) replays. Compilation is
+//! a pure function of `(spec, nodes, root, duration, seed)`: randomized
+//! churn draws from a derived RNG stream, never from ambient state.
+
+use essat_sim::rng::SimRng;
+use essat_sim::time::{SimDuration, SimTime};
+
+use crate::gilbert::GilbertElliottParams;
+use crate::spec::{BatterySpec, ChurnSpec, ScenarioSpec, TrafficPhase};
+
+/// RNG stream label for churn compilation (disjoint from the
+/// simulator's streams, which use small labels).
+const CHURN_STREAM: u64 = 0x5CE7_A210;
+
+/// One churn event in the compiled stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioEvent {
+    /// When it fires.
+    pub at: SimTime,
+    /// Target node index.
+    pub node: u32,
+    /// `true` = recovery, `false` = failure.
+    pub up: bool,
+}
+
+/// The fully compiled scenario: what a run executes and a trace stores.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledScenario {
+    /// Scenario name (carried into the trace header).
+    pub name: String,
+    /// Node count the stream was compiled for.
+    pub nodes: u32,
+    /// Per-link bursty loss, if enabled.
+    pub link: Option<GilbertElliottParams>,
+    /// Battery model, if enabled.
+    pub battery: Option<BatterySpec>,
+    /// Churn events sorted by `(time, node, up)`.
+    pub events: Vec<ScenarioEvent>,
+    /// Traffic phases sorted by start time.
+    pub traffic: Vec<TrafficPhase>,
+}
+
+impl CompiledScenario {
+    /// The workload rate scale in effect at `t` (1.0 before the first
+    /// phase or when no phases are configured).
+    pub fn traffic_scale_at(&self, t: SimTime) -> f64 {
+        let mut scale = 1.0;
+        for p in &self.traffic {
+            if p.from <= t {
+                scale = p.rate_scale;
+            } else {
+                break;
+            }
+        }
+        scale
+    }
+
+    /// Whether round `k` of a query is active under the phase schedule.
+    ///
+    /// Decimation is Bresenham-style against the scale in effect at the
+    /// round's start: round `k` runs iff `⌊(k+1)·s⌋ > ⌊k·s⌋`. This is a
+    /// pure function of `(schedule, round_start, k)`, so every node —
+    /// source, relay, root — agrees on the active set without any
+    /// signalling.
+    pub fn round_active(&self, round_start: SimTime, k: u64) -> bool {
+        if self.traffic.is_empty() {
+            return true;
+        }
+        let s = self.traffic_scale_at(round_start);
+        if s >= 1.0 {
+            return true;
+        }
+        if s <= 0.0 {
+            return false;
+        }
+        ((k + 1) as f64 * s).floor() > (k as f64 * s).floor()
+    }
+
+    /// Validates this compiled stream against a run's shape — used when
+    /// replaying a recorded (possibly hand-edited) trace, which skips
+    /// the `compile()` checks the `Spec` path gets for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the trace was recorded for a
+    /// different node count, targets an out-of-range node or the
+    /// replay run's root, carries unsorted/out-of-range traffic
+    /// phases, or has nonsensical link/battery parameters.
+    pub fn validate_for(&self, nodes: u32, root: u32) {
+        assert!(
+            self.nodes == nodes,
+            "scenario trace `{}` was recorded for {} nodes, replayed on {}",
+            self.name,
+            self.nodes,
+            nodes
+        );
+        if let Some(ge) = &self.link {
+            ge.validate();
+        }
+        if let Some(b) = &self.battery {
+            assert!(
+                b.capacity_j > 0.0 && b.capacity_j.is_finite(),
+                "trace battery capacity must be positive"
+            );
+            assert!(
+                !b.check_period.is_zero(),
+                "trace battery check period is zero"
+            );
+        }
+        let mut last = SimTime::ZERO;
+        for p in &self.traffic {
+            assert!(
+                (0.0..=1.0).contains(&p.rate_scale),
+                "trace traffic scale out of [0, 1]: {}",
+                p.rate_scale
+            );
+            assert!(p.from >= last, "trace traffic phases must be sorted");
+            last = p.from;
+        }
+        let mut last = (SimTime::ZERO, 0u32, false);
+        for e in &self.events {
+            assert!(e.node < nodes, "trace churn of unknown node {}", e.node);
+            assert!(e.node != root, "trace churn must not target the root");
+            let key = (e.at, e.node, e.up);
+            assert!(key >= last, "trace churn events must be sorted");
+            last = key;
+        }
+    }
+
+    /// Serialises to the plain-text trace format (see [`crate::trace`]).
+    pub fn to_trace(&self) -> String {
+        crate::trace::to_trace(self)
+    }
+
+    /// Parses a recorded trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_trace(trace: &str) -> Result<CompiledScenario, String> {
+        crate::trace::from_trace(trace)
+    }
+}
+
+/// Compiles `spec` for a run of `nodes` nodes rooted at `root` lasting
+/// `duration` under master seed `seed`.
+pub fn compile(
+    spec: &ScenarioSpec,
+    nodes: u32,
+    root: u32,
+    duration: SimDuration,
+    seed: u64,
+) -> CompiledScenario {
+    spec.validate();
+    assert!(nodes > 0 && root < nodes, "root {root} outside 0..{nodes}");
+    let end = SimTime::ZERO + duration;
+    let mut events = Vec::new();
+    match &spec.churn {
+        None => {}
+        Some(ChurnSpec::Scripted(steps)) => {
+            for s in steps {
+                assert!(s.node < nodes, "churn of unknown node {}", s.node);
+                assert!(s.node != root, "churn must not target the root");
+                if s.at <= end {
+                    events.push(ScenarioEvent {
+                        at: s.at,
+                        node: s.node,
+                        up: s.up,
+                    });
+                }
+            }
+        }
+        Some(ChurnSpec::Periodic {
+            first_at,
+            period,
+            down_for,
+        }) => {
+            // Round-robin victims in id order, skipping the root.
+            let mut victim = 0u32;
+            let mut at = *first_at;
+            while at <= end {
+                if victim == root {
+                    victim = (victim + 1) % nodes;
+                }
+                events.push(ScenarioEvent {
+                    at,
+                    node: victim,
+                    up: false,
+                });
+                let back = at + *down_for;
+                if back <= end {
+                    events.push(ScenarioEvent {
+                        at: back,
+                        node: victim,
+                        up: true,
+                    });
+                }
+                victim = (victim + 1) % nodes;
+                at += *period;
+            }
+        }
+        Some(ChurnSpec::Random {
+            mean_uptime,
+            mean_downtime,
+        }) => {
+            let mut rng = SimRng::seed_from_u64(seed).derive(CHURN_STREAM);
+            let mut at = SimTime::ZERO;
+            loop {
+                at += SimDuration::from_secs_f64(rng.exp(mean_uptime.as_secs_f64()));
+                if at > end {
+                    break;
+                }
+                let mut victim = rng.below(nodes as u64) as u32;
+                if victim == root {
+                    victim = (victim + 1) % nodes;
+                }
+                events.push(ScenarioEvent {
+                    at,
+                    node: victim,
+                    up: false,
+                });
+                let back = at + SimDuration::from_secs_f64(rng.exp(mean_downtime.as_secs_f64()));
+                if back <= end {
+                    events.push(ScenarioEvent {
+                        at: back,
+                        node: victim,
+                        up: true,
+                    });
+                }
+            }
+        }
+    }
+    events.sort_unstable_by_key(|e| (e.at, e.node, e.up));
+    CompiledScenario {
+        name: spec.name.clone(),
+        nodes,
+        link: spec.link,
+        battery: spec.battery,
+        events,
+        traffic: spec.traffic.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(v: u64) -> SimTime {
+        SimTime::from_secs(v)
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let mut spec = ScenarioSpec::named("r");
+        spec.churn = Some(ChurnSpec::Random {
+            mean_uptime: SimDuration::from_secs(10),
+            mean_downtime: SimDuration::from_secs(3),
+        });
+        let a = spec.compile(20, 4, SimDuration::from_secs(100), 9);
+        let b = spec.compile(20, 4, SimDuration::from_secs(100), 9);
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty(), "100 s at MTBF 10 s must churn");
+        let c = spec.compile(20, 4, SimDuration::from_secs(100), 10);
+        assert_ne!(a.events, c.events, "different seed, different stream");
+    }
+
+    #[test]
+    fn periodic_churn_pairs_down_with_up_and_skips_root() {
+        let mut spec = ScenarioSpec::named("p");
+        spec.churn = Some(ChurnSpec::Periodic {
+            first_at: secs(10),
+            period: SimDuration::from_secs(10),
+            down_for: SimDuration::from_secs(4),
+        });
+        let c = spec.compile(3, 0, SimDuration::from_secs(40), 1);
+        // Victims rotate 1, 2, 1, 2 (root 0 skipped); each down has an
+        // up 4 s later.
+        let downs: Vec<_> = c.events.iter().filter(|e| !e.up).collect();
+        assert_eq!(downs.len(), 4);
+        assert!(downs.iter().all(|e| e.node != 0));
+        for d in downs {
+            let back = d.at + SimDuration::from_secs(4);
+            if back <= secs(40) {
+                assert!(c
+                    .events
+                    .iter()
+                    .any(|e| e.up && e.node == d.node && e.at == back));
+            }
+        }
+        // Sorted stream.
+        let mut sorted = c.events.clone();
+        sorted.sort_unstable_by_key(|e| (e.at, e.node, e.up));
+        assert_eq!(c.events, sorted);
+    }
+
+    #[test]
+    fn random_churn_never_hits_root() {
+        let mut spec = ScenarioSpec::named("r");
+        spec.churn = Some(ChurnSpec::Random {
+            mean_uptime: SimDuration::from_secs(2),
+            mean_downtime: SimDuration::from_secs(1),
+        });
+        let c = spec.compile(5, 3, SimDuration::from_secs(400), 77);
+        assert!(c.events.iter().all(|e| e.node != 3));
+    }
+
+    #[test]
+    fn traffic_scale_lookup() {
+        let mut spec = ScenarioSpec::named("t");
+        spec.traffic = vec![
+            TrafficPhase {
+                from: secs(10),
+                rate_scale: 0.5,
+            },
+            TrafficPhase {
+                from: secs(20),
+                rate_scale: 1.0,
+            },
+        ];
+        let c = spec.compile(4, 0, SimDuration::from_secs(30), 1);
+        assert_eq!(c.traffic_scale_at(secs(0)), 1.0);
+        assert_eq!(c.traffic_scale_at(secs(10)), 0.5);
+        assert_eq!(c.traffic_scale_at(secs(15)), 0.5);
+        assert_eq!(c.traffic_scale_at(secs(25)), 1.0);
+    }
+
+    #[test]
+    fn round_decimation_matches_scale() {
+        let mut spec = ScenarioSpec::named("t");
+        spec.traffic = vec![TrafficPhase {
+            from: SimTime::ZERO,
+            rate_scale: 0.25,
+        }];
+        let c = spec.compile(4, 0, SimDuration::from_secs(30), 1);
+        let active = (0..100u64).filter(|&k| c.round_active(secs(1), k)).count();
+        assert_eq!(active, 25, "quarter rate keeps a quarter of rounds");
+        // Scale 1 (no phases) keeps everything.
+        let steady = ScenarioSpec::named("s").compile(4, 0, SimDuration::from_secs(30), 1);
+        assert!((0..100u64).all(|k| steady.round_active(secs(1), k)));
+        // Scale 0 silences everything.
+        let mut quiet = ScenarioSpec::named("q");
+        quiet.traffic = vec![TrafficPhase {
+            from: SimTime::ZERO,
+            rate_scale: 0.0,
+        }];
+        let qc = quiet.compile(4, 0, SimDuration::from_secs(30), 1);
+        assert!((0..100u64).all(|k| !qc.round_active(secs(1), k)));
+    }
+
+    #[test]
+    fn validate_for_accepts_matching_shape() {
+        let mut spec = ScenarioSpec::named("p");
+        spec.churn = Some(ChurnSpec::Periodic {
+            first_at: secs(5),
+            period: SimDuration::from_secs(5),
+            down_for: SimDuration::from_secs(2),
+        });
+        let c = spec.compile(8, 3, SimDuration::from_secs(30), 1);
+        c.validate_for(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded for 8 nodes, replayed on 40")]
+    fn validate_for_rejects_node_count_mismatch() {
+        let c = ScenarioSpec::named("s").compile(8, 0, SimDuration::from_secs(10), 1);
+        c.validate_for(40, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace churn must not target the root")]
+    fn validate_for_rejects_churn_of_replay_root() {
+        let mut spec = ScenarioSpec::named("p");
+        spec.churn = Some(ChurnSpec::Scripted(vec![crate::spec::ChurnStep {
+            at: secs(1),
+            node: 4,
+            up: false,
+        }]));
+        let c = spec.compile(8, 0, SimDuration::from_secs(10), 1);
+        // Fine for the recorded root, fatal for a replay rooted at 4.
+        c.validate_for(8, 0);
+        c.validate_for(8, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not target the root")]
+    fn scripted_churn_of_root_rejected() {
+        let mut spec = ScenarioSpec::named("bad");
+        spec.churn = Some(ChurnSpec::Scripted(vec![crate::spec::ChurnStep {
+            at: secs(1),
+            node: 2,
+            up: false,
+        }]));
+        spec.compile(5, 2, SimDuration::from_secs(10), 1);
+    }
+}

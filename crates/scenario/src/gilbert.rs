@@ -1,0 +1,283 @@
+//! Per-link Gilbert–Elliott bursty loss processes.
+//!
+//! Each directed link `(sender, receiver)` carries an independent
+//! two-state continuous-time Markov chain: a **good** state and a
+//! **bad** (burst) state with exponentially distributed sojourn times
+//! and per-state drop probabilities. This replaces the single static
+//! `drop_probability` of the paper's §4.3 loss experiments with the
+//! burst structure real low-power links exhibit — losses cluster, so a
+//! schedule that survives uniform loss can still collapse inside a
+//! burst.
+//!
+//! # Determinism and the hot path
+//!
+//! Link states are advanced **lazily**: a link's chain is only sampled
+//! when a frame copy actually lands on it, from a per-link RNG stream
+//! derived from `(seed, link id)`. The number of draws a link performs
+//! up to simulated time `t` depends only on `t`, so runs are
+//! bit-reproducible regardless of which other links are exercised.
+//! One [`GilbertElliott::dropped`] call in steady state is a couple of
+//! comparisons plus at most the transitions that elapsed since the
+//! link was last sampled (the `micro/gilbert_elliott_step` benchmark
+//! tracks this path).
+
+use essat_net::channel::LossModel;
+use essat_net::ids::NodeId;
+use essat_sim::rng::SimRng;
+use essat_sim::time::{SimDuration, SimTime};
+
+/// Parameters of the two-state loss chain, shared by every link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliottParams {
+    /// Mean sojourn in the good state.
+    pub mean_good: SimDuration,
+    /// Mean sojourn in the bad (burst) state.
+    pub mean_bad: SimDuration,
+    /// Per-copy drop probability while good.
+    pub drop_good: f64,
+    /// Per-copy drop probability while bad.
+    pub drop_bad: f64,
+}
+
+impl GilbertElliottParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sojourn means or probabilities outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(!self.mean_good.is_zero(), "mean good sojourn is zero");
+        assert!(!self.mean_bad.is_zero(), "mean bad sojourn is zero");
+        assert!(
+            (0.0..=1.0).contains(&self.drop_good),
+            "drop_good out of range: {}",
+            self.drop_good
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.drop_bad),
+            "drop_bad out of range: {}",
+            self.drop_bad
+        );
+    }
+
+    /// Stationary probability of the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        let g = self.mean_good.as_secs_f64();
+        let b = self.mean_bad.as_secs_f64();
+        b / (g + b)
+    }
+
+    /// Long-run average drop probability (sanity anchor for tests).
+    pub fn stationary_drop(&self) -> f64 {
+        let pb = self.stationary_bad();
+        pb * self.drop_bad + (1.0 - pb) * self.drop_good
+    }
+}
+
+/// One link's chain, advanced lazily from time zero.
+#[derive(Debug, Clone)]
+struct LinkState {
+    bad: bool,
+    /// When the current sojourn ends.
+    until: SimTime,
+    rng: SimRng,
+}
+
+/// The per-link loss model: `n × n` lazily materialised chains.
+///
+/// Memory is proportional to the number of *exercised* directed links
+/// (a slot per possible link, a chain only where traffic landed),
+/// which at the paper's 80-node scale is a few hundred kilobytes.
+#[derive(Debug)]
+pub struct GilbertElliott {
+    params: GilbertElliottParams,
+    n: usize,
+    links: Vec<Option<LinkState>>,
+    master: SimRng,
+}
+
+impl GilbertElliott {
+    /// A model over `n` nodes, seeded by `master` (derive it from the
+    /// run's master seed so replays reproduce the same bursts).
+    pub fn new(n: usize, params: GilbertElliottParams, master: SimRng) -> Self {
+        params.validate();
+        GilbertElliott {
+            params,
+            n,
+            links: vec![None; n * n],
+            master,
+        }
+    }
+
+    /// The shared chain parameters.
+    pub fn params(&self) -> &GilbertElliottParams {
+        &self.params
+    }
+
+    fn link_index(&self, sender: NodeId, receiver: NodeId) -> usize {
+        sender.index() * self.n + receiver.index()
+    }
+
+    /// Advances the link's chain to `now` and returns whether it is in
+    /// the bad state.
+    fn bad_at(&mut self, now: SimTime, link: usize) -> bool {
+        let params = self.params;
+        let state = self.links[link].get_or_insert_with(|| {
+            let mut rng = self.master.derive(link as u64);
+            // Start from the stationary distribution at time zero.
+            let bad = rng.chance(params.stationary_bad());
+            let mean = if bad {
+                params.mean_bad
+            } else {
+                params.mean_good
+            };
+            let sojourn = SimDuration::from_secs_f64(rng.exp(mean.as_secs_f64()));
+            LinkState {
+                bad,
+                until: SimTime::ZERO + sojourn,
+                rng,
+            }
+        });
+        while state.until <= now {
+            state.bad = !state.bad;
+            let mean = if state.bad {
+                params.mean_bad
+            } else {
+                params.mean_good
+            };
+            let sojourn = SimDuration::from_secs_f64(state.rng.exp(mean.as_secs_f64()));
+            state.until += sojourn;
+        }
+        state.bad
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn dropped(&mut self, now: SimTime, sender: NodeId, receiver: NodeId) -> bool {
+        let link = self.link_index(sender, receiver);
+        let bad = self.bad_at(now, link);
+        let p = if bad {
+            self.params.drop_bad
+        } else {
+            self.params.drop_good
+        };
+        if p <= 0.0 {
+            return false;
+        }
+        let state = self.links[link].as_mut().expect("materialised by bad_at");
+        state.rng.chance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> GilbertElliottParams {
+        GilbertElliottParams {
+            mean_good: SimDuration::from_secs(4),
+            mean_bad: SimDuration::from_secs(1),
+            drop_good: 0.0,
+            drop_bad: 0.8,
+        }
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn stationary_math() {
+        let p = params();
+        assert!((p.stationary_bad() - 0.2).abs() < 1e-12);
+        assert!((p.stationary_drop() - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_drop_rate_near_stationary() {
+        let mut ge = GilbertElliott::new(4, params(), SimRng::seed_from_u64(11));
+        let mut drops = 0u64;
+        let trials = 40_000u64;
+        // One copy every 25 ms for 1000 s of simulated time.
+        for i in 0..trials {
+            if ge.dropped(SimTime::from_millis(i * 25), n(0), n(1)) {
+                drops += 1;
+            }
+        }
+        let frac = drops as f64 / trials as f64;
+        let expect = params().stationary_drop();
+        assert!(
+            (frac - expect).abs() < 0.03,
+            "empirical {frac}, stationary {expect}"
+        );
+    }
+
+    #[test]
+    fn losses_are_bursty_not_uniform() {
+        // With the same long-run drop rate, GE losses must cluster:
+        // the chance that a loss is followed by another loss is much
+        // higher than the marginal loss rate.
+        let mut ge = GilbertElliott::new(2, params(), SimRng::seed_from_u64(5));
+        let mut prev = false;
+        let (mut after_loss, mut loss_after_loss, mut losses) = (0u64, 0u64, 0u64);
+        let trials = 60_000u64;
+        for i in 0..trials {
+            let d = ge.dropped(SimTime::from_millis(i * 20), n(0), n(1));
+            if prev {
+                after_loss += 1;
+                if d {
+                    loss_after_loss += 1;
+                }
+            }
+            if d {
+                losses += 1;
+            }
+            prev = d;
+        }
+        let marginal = losses as f64 / trials as f64;
+        let conditional = loss_after_loss as f64 / after_loss as f64;
+        assert!(
+            conditional > 2.0 * marginal,
+            "losses should cluster: P(loss|loss) = {conditional:.3} vs P(loss) = {marginal:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_link_and_independent_of_other_links() {
+        let run = |touch_other: bool| {
+            let mut ge = GilbertElliott::new(3, params(), SimRng::seed_from_u64(7));
+            let mut out = Vec::new();
+            for i in 0..500u64 {
+                if touch_other {
+                    let _ = ge.dropped(SimTime::from_millis(i * 30), n(1), n(2));
+                }
+                out.push(ge.dropped(SimTime::from_millis(i * 30), n(0), n(1)));
+            }
+            out
+        };
+        assert_eq!(run(false), run(true), "links must not couple");
+    }
+
+    #[test]
+    fn directed_links_are_independent() {
+        let mut ge = GilbertElliott::new(2, params(), SimRng::seed_from_u64(9));
+        let mut fwd = Vec::new();
+        let mut rev = Vec::new();
+        for i in 0..2_000u64 {
+            let t = SimTime::from_millis(i * 40);
+            fwd.push(ge.dropped(t, n(0), n(1)));
+            rev.push(ge.dropped(t, n(1), n(0)));
+        }
+        assert_ne!(fwd, rev, "independent chains should diverge");
+    }
+
+    #[test]
+    #[should_panic(expected = "mean good sojourn is zero")]
+    fn zero_sojourn_rejected() {
+        let p = GilbertElliottParams {
+            mean_good: SimDuration::ZERO,
+            ..params()
+        };
+        GilbertElliott::new(2, p, SimRng::seed_from_u64(1));
+    }
+}

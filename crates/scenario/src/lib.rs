@@ -1,0 +1,65 @@
+//! # essat-scenario — dynamic environments for ESSAT experiments
+//!
+//! The paper evaluates ESSAT under a single static environment: uniform
+//! per-frame loss, a fixed topology, and infinite batteries. This crate
+//! makes the environment *move* while a run executes, which is exactly
+//! where timing-semantics-driven sleeping is stressed hardest:
+//!
+//! * [`gilbert`] — per-link **Gilbert–Elliott** bursty loss processes
+//!   (good/bad Markov states with configurable sojourn times and
+//!   per-state drop probabilities), plugged into the channel through
+//!   `essat-net`'s `LossModel` hook.
+//! * [`spec`] — the declarative [`spec::ScenarioSpec`]: link burstiness,
+//!   a per-node battery (drained by the radio's energy accounting),
+//!   node **churn** schedules (failure *and* recovery, scripted,
+//!   periodic, or randomized), and **traffic phases** that rescale the
+//!   workload rate mid-run (quiet/burst diurnal patterns).
+//! * [`compile`] — [`compile::CompiledScenario`]: every spec compiles —
+//!   deterministically, from the master seed — into an explicit,
+//!   time-sorted event stream plus parameter blocks.
+//! * [`trace`] — the record/replay codec: a compiled scenario
+//!   serialises to a plain-text trace and parses back **byte-
+//!   identically**, so a recorded run can be replayed exactly.
+//! * [`presets`] — the library used by the harness's `lifetime` and
+//!   `robustness` figures: `steady`, `bursty_links`, `diurnal`,
+//!   `churn`, `energy_drain`.
+//!
+//! The simulator (`essat-wsn`) owns the interpretation of the event
+//! stream; this crate holds only pure data and the loss processes, so
+//! it depends on nothing above `essat-net`.
+//!
+//! ## Example
+//!
+//! ```
+//! use essat_scenario::presets;
+//! use essat_scenario::spec::Scenario;
+//! use essat_sim::time::SimDuration;
+//!
+//! let run = SimDuration::from_secs(50);
+//! let spec = presets::by_name("bursty_links", run).unwrap();
+//! let compiled = spec.compile(40, 7, run, 2024);
+//! // Record…
+//! let trace = compiled.to_trace();
+//! // …and replay byte-identically.
+//! let replayed = essat_scenario::compile::CompiledScenario::from_trace(&trace).unwrap();
+//! assert_eq!(compiled, replayed);
+//! assert_eq!(trace, replayed.to_trace());
+//! let _cfg_field = Scenario::Trace(trace);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod gilbert;
+pub mod presets;
+pub mod spec;
+pub mod trace;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::compile::{CompiledScenario, ScenarioEvent};
+    pub use crate::gilbert::{GilbertElliott, GilbertElliottParams};
+    pub use crate::presets;
+    pub use crate::spec::{BatterySpec, ChurnSpec, Scenario, ScenarioSpec, TrafficPhase};
+}

@@ -1,0 +1,149 @@
+//! The preset scenario library used by the harness figures.
+//!
+//! Presets that depend on the run's shape (phase boundaries, battery
+//! sizing) take the run duration and scale themselves to it, so the
+//! same preset name means the same *relative* scenario at `--scale
+//! quick` and `--scale paper`.
+
+use essat_sim::time::{SimDuration, SimTime};
+
+use crate::gilbert::GilbertElliottParams;
+use crate::spec::{BatterySpec, ChurnSpec, ScenarioSpec, TrafficPhase};
+
+/// MICA2 active power draw in watts; used to size `energy_drain`
+/// batteries relative to the run length.
+const ACTIVE_POWER_W: f64 = 0.045;
+
+/// The static environment (a named no-op; useful as the control arm of
+/// robustness comparisons).
+pub fn steady() -> ScenarioSpec {
+    ScenarioSpec::named("steady")
+}
+
+/// Bursty links: Gilbert–Elliott with ~5 s good spells, ~1 s loss
+/// bursts dropping 75% of copies — the long-run loss rate is a modest
+/// 12.5%, but it arrives in bursts that break schedule assumptions.
+pub fn bursty_links() -> ScenarioSpec {
+    ScenarioSpec {
+        link: Some(GilbertElliottParams {
+            mean_good: SimDuration::from_secs(5),
+            mean_bad: SimDuration::from_secs(1),
+            drop_good: 0.0,
+            drop_bad: 0.75,
+        }),
+        ..ScenarioSpec::named("bursty_links")
+    }
+}
+
+/// Diurnal traffic: the run alternates burst (full rate) and quiet
+/// (20% rate) phases, six segments over the run.
+pub fn diurnal(run: SimDuration) -> ScenarioSpec {
+    let seg = SimDuration::from_nanos(run.as_nanos() / 6);
+    let traffic = (0..6u64)
+        .map(|i| TrafficPhase {
+            from: SimTime::ZERO + seg * i,
+            rate_scale: if i % 2 == 0 { 1.0 } else { 0.2 },
+        })
+        .collect();
+    ScenarioSpec {
+        traffic,
+        ..ScenarioSpec::named("diurnal")
+    }
+}
+
+/// Node churn: every fifth of the run a node (round-robin, never the
+/// root) fails and recovers an eighth of the run later — §4.3 repair
+/// plus re-integration, exercised continuously.
+pub fn churn(run: SimDuration) -> ScenarioSpec {
+    let fifth = SimDuration::from_nanos(run.as_nanos() / 5);
+    ScenarioSpec {
+        churn: Some(ChurnSpec::Periodic {
+            first_at: SimTime::ZERO + fifth,
+            period: fifth,
+            down_for: SimDuration::from_nanos(run.as_nanos() / 8),
+        }),
+        ..ScenarioSpec::named("churn")
+    }
+}
+
+/// Battery depletion: each node gets enough charge for ~35% of the run
+/// fully active. Always-on protocols (SPAN cores, SYNC at high duty)
+/// lose nodes mid-run; ESSAT sleepers survive — the network-lifetime
+/// comparison the `lifetime` figure plots.
+pub fn energy_drain(run: SimDuration) -> ScenarioSpec {
+    let capacity_j = ACTIVE_POWER_W * run.as_secs_f64() * 0.35;
+    let check = SimDuration::from_nanos((run.as_nanos() / 200).max(100_000_000));
+    ScenarioSpec {
+        battery: Some(BatterySpec {
+            capacity_j,
+            check_period: check,
+        }),
+        ..ScenarioSpec::named("energy_drain")
+    }
+}
+
+/// All preset names, in presentation order.
+pub const NAMES: [&str; 5] = ["steady", "bursty_links", "diurnal", "churn", "energy_drain"];
+
+/// Looks a preset up by name, scaled to a run of length `run`.
+pub fn by_name(name: &str, run: SimDuration) -> Option<ScenarioSpec> {
+    match name {
+        "steady" => Some(steady()),
+        "bursty_links" => Some(bursty_links()),
+        "diurnal" => Some(diurnal(run)),
+        "churn" => Some(churn(run)),
+        "energy_drain" => Some(energy_drain(run)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_and_validates() {
+        let run = SimDuration::from_secs(50);
+        for name in NAMES {
+            let spec = by_name(name, run).unwrap_or_else(|| panic!("{name} missing"));
+            spec.validate();
+            assert_eq!(spec.name, name);
+            // Every preset compiles for a small run.
+            let c = spec.compile(16, 2, run, 7);
+            assert_eq!(c.name, name);
+        }
+        assert!(by_name("nope", run).is_none());
+    }
+
+    #[test]
+    fn diurnal_alternates_and_spans_run() {
+        let run = SimDuration::from_secs(60);
+        let d = diurnal(run);
+        assert_eq!(d.traffic.len(), 6);
+        assert_eq!(d.traffic[0].from, SimTime::ZERO);
+        assert_eq!(d.traffic[1].from, SimTime::from_secs(10));
+        assert_eq!(d.traffic[0].rate_scale, 1.0);
+        assert_eq!(d.traffic[1].rate_scale, 0.2);
+        assert_eq!(d.traffic[5].rate_scale, 0.2);
+    }
+
+    #[test]
+    fn energy_drain_scales_with_run() {
+        let short = energy_drain(SimDuration::from_secs(50));
+        let long = energy_drain(SimDuration::from_secs(200));
+        let (bs, bl) = (short.battery.unwrap(), long.battery.unwrap());
+        assert!((bl.capacity_j / bs.capacity_j - 4.0).abs() < 1e-9);
+        // 35% of a fully-active run.
+        assert!((bs.capacity_j - 0.045 * 50.0 * 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_preset_produces_paired_events() {
+        let run = SimDuration::from_secs(100);
+        let c = churn(run).compile(10, 0, run, 3);
+        let downs = c.events.iter().filter(|e| !e.up).count();
+        let ups = c.events.iter().filter(|e| e.up).count();
+        assert!(downs >= 3, "several outages over the run");
+        assert!(ups >= downs - 1, "recoveries follow failures");
+    }
+}

@@ -1,0 +1,264 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] describes *what* the environment does over a run;
+//! [`ScenarioSpec::compile`](crate::spec::ScenarioSpec::compile) turns
+//! it into the explicit, seeded event stream
+//! ([`CompiledScenario`](crate::compile::CompiledScenario)) the
+//! simulator consumes and the trace codec records.
+
+use essat_sim::time::{SimDuration, SimTime};
+
+use crate::compile::CompiledScenario;
+use crate::gilbert::GilbertElliottParams;
+
+/// Per-node battery model.
+///
+/// Every node starts with `capacity_j` joules; the simulator drains it
+/// with the radio's exact energy accounting and kills the node when the
+/// charge is gone. Depletion is detected on a periodic sweep, so death
+/// times are quantised to `check_period`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatterySpec {
+    /// Initial charge in joules (MICA2 draws 45 mW while active).
+    pub capacity_j: f64,
+    /// How often depletion is checked.
+    pub check_period: SimDuration,
+}
+
+/// One scripted churn step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnStep {
+    /// When it happens.
+    pub at: SimTime,
+    /// Target node index.
+    pub node: u32,
+    /// `true` = the node recovers, `false` = it fails.
+    pub up: bool,
+}
+
+/// Node churn: failures *and* recoveries over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnSpec {
+    /// An explicit list of steps (generalises the old scripted
+    /// `node_failures`, which could only kill).
+    Scripted(Vec<ChurnStep>),
+    /// Every `period`, the next non-root node in round-robin id order
+    /// goes down and recovers `down_for` later.
+    Periodic {
+        /// First failure time.
+        first_at: SimTime,
+        /// Spacing between failures.
+        period: SimDuration,
+        /// Outage length of each victim.
+        down_for: SimDuration,
+    },
+    /// Victims drawn at random (seeded): failure inter-arrival and
+    /// outage lengths are exponential with the given means.
+    Random {
+        /// Mean time between failures (network-wide).
+        mean_uptime: SimDuration,
+        /// Mean outage length.
+        mean_downtime: SimDuration,
+    },
+}
+
+/// One traffic phase: from `from` onward the workload runs at
+/// `rate_scale` times its configured base rate, until the next phase.
+///
+/// Scales are in `[0, 1]`: bursts are expressed by configuring the
+/// workload at the burst rate and scaling the quiet phases down
+/// (rounds are decimated deterministically, so every node agrees on
+/// which rounds are active without extra signalling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficPhase {
+    /// Phase start.
+    pub from: SimTime,
+    /// Rate multiplier in `[0, 1]` (1 = full rate, 0 = silent).
+    pub rate_scale: f64,
+}
+
+/// A declarative scenario: any combination of link burstiness, battery
+/// depletion, node churn, and traffic phases. Empty parts leave the
+/// corresponding aspect of the environment static.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioSpec {
+    /// Human-readable name (preset name or free-form).
+    pub name: String,
+    /// Per-link Gilbert–Elliott bursty loss.
+    pub link: Option<GilbertElliottParams>,
+    /// Battery model.
+    pub battery: Option<BatterySpec>,
+    /// Node churn schedule.
+    pub churn: Option<ChurnSpec>,
+    /// Traffic phases, sorted by start time (scale 1.0 before the
+    /// first phase).
+    pub traffic: Vec<TrafficPhase>,
+}
+
+impl ScenarioSpec {
+    /// A named, empty scenario (static environment).
+    pub fn named(name: &str) -> Self {
+        ScenarioSpec {
+            name: name.to_string(),
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameters (probabilities outside `[0,1]`,
+    /// zero periods, unsorted phases).
+    pub fn validate(&self) {
+        if let Some(ge) = &self.link {
+            ge.validate();
+        }
+        if let Some(b) = &self.battery {
+            assert!(
+                b.capacity_j > 0.0 && b.capacity_j.is_finite(),
+                "battery capacity must be positive"
+            );
+            assert!(!b.check_period.is_zero(), "battery check period is zero");
+        }
+        match &self.churn {
+            Some(ChurnSpec::Periodic {
+                period, down_for, ..
+            }) => {
+                assert!(!period.is_zero(), "churn period is zero");
+                assert!(!down_for.is_zero(), "churn outage is zero");
+            }
+            Some(ChurnSpec::Random {
+                mean_uptime,
+                mean_downtime,
+            }) => {
+                assert!(!mean_uptime.is_zero(), "churn mean uptime is zero");
+                assert!(!mean_downtime.is_zero(), "churn mean downtime is zero");
+            }
+            Some(ChurnSpec::Scripted(_)) | None => {}
+        }
+        let mut last = SimTime::ZERO;
+        for p in &self.traffic {
+            assert!(
+                (0.0..=1.0).contains(&p.rate_scale),
+                "traffic rate scale out of [0, 1]: {}",
+                p.rate_scale
+            );
+            assert!(p.from >= last, "traffic phases must be sorted by start");
+            last = p.from;
+        }
+    }
+
+    /// Compiles the spec into the deterministic event stream for a run
+    /// of `nodes` nodes rooted at `root`, lasting `duration`, under
+    /// master seed `seed`. Randomized churn draws from a stream derived
+    /// from `seed`, so compilation is a pure function of its arguments.
+    pub fn compile(
+        &self,
+        nodes: u32,
+        root: u32,
+        duration: SimDuration,
+        seed: u64,
+    ) -> CompiledScenario {
+        crate::compile::compile(self, nodes, root, duration, seed)
+    }
+}
+
+/// What `ExperimentConfig` carries: either a spec compiled at run
+/// start, or a recorded trace replayed verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// Compile this spec when the run starts.
+    Spec(ScenarioSpec),
+    /// Replay this recorded trace (see
+    /// [`CompiledScenario::to_trace`](crate::compile::CompiledScenario::to_trace)).
+    Trace(String),
+}
+
+impl Scenario {
+    /// The scenario's name (trace replays carry theirs in the header).
+    pub fn name(&self) -> &str {
+        match self {
+            Scenario::Spec(s) => &s.name,
+            Scenario::Trace(t) => crate::trace::trace_name(t).unwrap_or("trace"),
+        }
+    }
+
+    /// Resolves to the compiled event stream for the given run shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace fails to parse, or if it does not fit the run
+    /// (recorded for a different node count, churns an out-of-range
+    /// node or the root, unsorted phases/events — see
+    /// [`CompiledScenario::validate_for`]).
+    pub fn resolve(
+        &self,
+        nodes: u32,
+        root: u32,
+        duration: SimDuration,
+        seed: u64,
+    ) -> CompiledScenario {
+        match self {
+            Scenario::Spec(s) => s.compile(nodes, root, duration, seed),
+            Scenario::Trace(t) => {
+                let c =
+                    CompiledScenario::from_trace(t).expect("recorded scenario trace must parse");
+                c.validate_for(nodes, root);
+                c
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_valid_and_steady() {
+        let s = ScenarioSpec::named("nothing");
+        s.validate();
+        assert!(s.link.is_none() && s.battery.is_none() && s.churn.is_none());
+        assert!(s.traffic.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by start")]
+    fn unsorted_phases_rejected() {
+        let mut s = ScenarioSpec::named("bad");
+        s.traffic = vec![
+            TrafficPhase {
+                from: SimTime::from_secs(10),
+                rate_scale: 0.5,
+            },
+            TrafficPhase {
+                from: SimTime::from_secs(5),
+                rate_scale: 1.0,
+            },
+        ];
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rate scale out of")]
+    fn overdriven_phase_rejected() {
+        let mut s = ScenarioSpec::named("bad");
+        s.traffic = vec![TrafficPhase {
+            from: SimTime::ZERO,
+            rate_scale: 1.5,
+        }];
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn empty_battery_rejected() {
+        let mut s = ScenarioSpec::named("bad");
+        s.battery = Some(BatterySpec {
+            capacity_j: 0.0,
+            check_period: SimDuration::from_millis(500),
+        });
+        s.validate();
+    }
+}

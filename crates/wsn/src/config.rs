@@ -6,6 +6,7 @@ use essat_net::mac::MacParams;
 use essat_net::radio::RadioParams;
 use essat_net::topology::{PAPER_NODE_COUNT, PAPER_RANGE_M, PAPER_TREE_RADIUS_M};
 use essat_query::aggregate::AggregateOp;
+use essat_scenario::spec::Scenario;
 use essat_sim::time::{SimDuration, SimTime};
 
 /// Which power-management protocol every node runs.
@@ -173,6 +174,10 @@ pub struct ExperimentConfig {
     pub drop_probability: f64,
     /// Scripted node failures: `(time, node_index)`.
     pub node_failures: Vec<(SimTime, u32)>,
+    /// Dynamic environment: bursty links, batteries, churn, traffic
+    /// phases — a spec compiled at run start or a recorded trace
+    /// replayed verbatim. `None` keeps the paper's static environment.
+    pub scenario: Option<Scenario>,
     /// STS tuning (timeout margin, reception granularity ablation).
     pub sts: StsConfig,
     /// DTS tuning (collection timeout margin).
@@ -200,6 +205,7 @@ impl ExperimentConfig {
             setup_mode: SetupMode::Idealized,
             drop_probability: 0.0,
             node_failures: Vec::new(),
+            scenario: None,
             sts: StsConfig::default(),
             dts: DtsConfig::default(),
             seed,
@@ -238,6 +244,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Builder-style scenario attachment.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -253,8 +265,16 @@ impl ExperimentConfig {
         assert!(self.workload.base_rate_hz > 0.0);
         assert!(self.workload.queries_per_class > 0);
         assert!((0.0..=1.0).contains(&self.drop_probability));
-        for &(_, node) in &self.node_failures {
+        let end = SimTime::ZERO + self.duration;
+        for &(at, node) in &self.node_failures {
             assert!(node < self.nodes, "failure of unknown node {node}");
+            assert!(
+                at <= end,
+                "scripted failure of node {node} at {at} is past the run end {end}"
+            );
+        }
+        if let Some(Scenario::Spec(spec)) = &self.scenario {
+            spec.validate();
         }
     }
 }
@@ -313,6 +333,37 @@ mod tests {
         ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 3)
             .with_node_failure(SimTime::from_secs(1), 999)
             .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "past the run end")]
+    fn failure_past_run_end_rejected() {
+        // Quick runs last 50 s; a failure scripted at 60 s can never
+        // fire and previously slipped through validation silently.
+        ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 3)
+            .with_node_failure(SimTime::from_secs(60), 5)
+            .validate();
+    }
+
+    #[test]
+    fn failure_at_run_end_accepted() {
+        ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 3)
+            .with_node_failure(SimTime::from_secs(50), 5)
+            .validate();
+    }
+
+    #[test]
+    fn scenario_attaches_and_validates() {
+        use essat_scenario::presets;
+        use essat_scenario::spec::Scenario;
+        let cfg = ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 3);
+        let run = cfg.duration;
+        let cfg = cfg.with_scenario(Scenario::Spec(presets::bursty_links()));
+        cfg.validate();
+        assert_eq!(cfg.scenario.as_ref().unwrap().name(), "bursty_links");
+        let cfg2 = ExperimentConfig::quick(Protocol::Sync, WorkloadSpec::paper(1.0), 4)
+            .with_scenario(Scenario::Spec(presets::energy_drain(run)));
+        cfg2.validate();
     }
 
     #[test]

@@ -71,6 +71,38 @@ impl QueryMetrics {
     }
 }
 
+/// Network-lifetime outcomes of one run (populated by scenarios with a
+/// battery model and/or churn; empty under the static environment).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LifetimeStats {
+    /// Every node death, in order: `(time, node)`. Battery depletions
+    /// and churn/scripted failures both count; churn recoveries do not
+    /// erase the record.
+    pub deaths: Vec<(SimTime, NodeId)>,
+    /// Time of the first tree-member death.
+    pub first_death: Option<SimTime>,
+    /// First time a live tree member had no path of live nodes to the
+    /// root (or the root itself died) — the paper-style "network
+    /// partition" lifetime mark.
+    pub partition: Option<SimTime>,
+    /// Nodes revived by churn recoveries.
+    pub recoveries: u64,
+}
+
+impl LifetimeStats {
+    /// Time to first death, with `end` standing in when every node
+    /// survived (a right-censored sample for lifetime curves).
+    pub fn time_to_first_death(&self, end: SimTime) -> SimTime {
+        self.first_death.unwrap_or(end)
+    }
+
+    /// Time to root partition, censored at `end` like
+    /// [`LifetimeStats::time_to_first_death`].
+    pub fn time_to_partition(&self, end: SimTime) -> SimTime {
+        self.partition.unwrap_or(end)
+    }
+}
+
 /// Complete result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -95,6 +127,8 @@ pub struct RunResult {
     pub reports_sent: u64,
     /// MAC-level statistics summed over nodes.
     pub mac: MacTotals,
+    /// Network-lifetime outcomes (deaths, partition, recoveries).
+    pub lifetime: LifetimeStats,
     /// Channel statistics.
     pub channel_transmissions: u64,
     /// (transmission, receiver) collision pairs.
@@ -204,6 +238,7 @@ mod tests {
             phase_requests: 0,
             reports_sent: 0,
             mac: MacTotals::default(),
+            lifetime: LifetimeStats::default(),
             channel_transmissions: 0,
             channel_collisions: 0,
             events_processed: 0,
@@ -257,6 +292,19 @@ mod tests {
         assert!((r.phase_overhead_bits_per_report() - 0.5).abs() < 1e-9);
         r.reports_sent = 0;
         assert_eq!(r.phase_overhead_bits_per_report(), 0.0);
+    }
+
+    #[test]
+    fn lifetime_censoring() {
+        let mut lt = LifetimeStats::default();
+        let end = SimTime::from_secs(50);
+        assert_eq!(lt.time_to_first_death(end), end, "survival censors at end");
+        assert_eq!(lt.time_to_partition(end), end);
+        lt.deaths.push((SimTime::from_secs(12), NodeId::new(3)));
+        lt.first_death = Some(SimTime::from_secs(12));
+        lt.partition = Some(SimTime::from_secs(30));
+        assert_eq!(lt.time_to_first_death(end), SimTime::from_secs(12));
+        assert_eq!(lt.time_to_partition(end), SimTime::from_secs(30));
     }
 
     #[test]

@@ -46,13 +46,15 @@ use essat_query::aggregate::AggState;
 use essat_query::model::{Query, QueryId};
 use essat_query::round::{RoundAggregator, RoundKey};
 use essat_query::tree::RoutingTree;
+use essat_scenario::compile::CompiledScenario;
+use essat_scenario::gilbert::GilbertElliott;
 use essat_sim::engine::{Context, Engine, Model};
 use essat_sim::rng::SimRng;
 use essat_sim::stats::{Histogram, OnlineStats};
 use essat_sim::time::{SimDuration, SimTime};
 
 use crate::config::{ExperimentConfig, Protocol, SetupMode};
-use crate::metrics::{MacTotals, NodeMetrics, QueryMetrics, RunResult};
+use crate::metrics::{LifetimeStats, MacTotals, NodeMetrics, QueryMetrics, RunResult};
 use crate::payload::{sizes, Payload};
 
 /// Consecutive collection timeouts before a parent declares a child
@@ -138,11 +140,16 @@ pub enum Ev {
     SyncEdge {
         /// Owning node.
         node: NodeId,
+        /// Schedule-chain staleness guard (churn recovery re-arms the
+        /// chain; the old pending edge must not duplicate it).
+        gen: u64,
     },
     /// PSM beacon boundary.
     PsmBeacon {
         /// Owning node.
         node: NodeId,
+        /// Schedule-chain staleness guard.
+        gen: u64,
     },
     /// End of the PSM ATIM window.
     PsmAtimEnd {
@@ -161,11 +168,18 @@ pub enum Ev {
         /// Confirmed destination.
         dest: NodeId,
     },
-    /// Scripted node failure.
+    /// Scripted or scenario node failure.
     NodeFail {
         /// The failing node.
         node: NodeId,
     },
+    /// Scenario churn recovery: a dead node comes back.
+    NodeRecover {
+        /// The recovering node.
+        node: NodeId,
+    },
+    /// Periodic battery-depletion sweep (scenario battery model).
+    BatteryCheck,
     /// Flooded setup: the root issues a query announcement.
     FloodIssue {
         /// Query index.
@@ -242,6 +256,17 @@ struct NodeState {
     /// `(query, child)` pairs whose DTS phase is suspected stale.
     stale_phase: BTreeSet<(usize, NodeId)>,
     wake_gen: u64,
+    /// Baseline schedule-chain generation (SYNC edges / PSM beacons);
+    /// bumped on churn recovery so stale chain events drop out.
+    sched_gen: u64,
+    /// Next round each query's chain should handle (duplicate-chain
+    /// guard for churn-recovery restarts).
+    next_round: BTreeMap<usize, u64>,
+    /// Times this node has been revived by churn.
+    revivals: u64,
+    /// Set when a skipped round moved expectations while the radio was
+    /// mid-turn-on: re-run checkState once the wake-up completes.
+    recheck_on_wake: bool,
     /// PSM: frames buffered per destination awaiting announcement.
     psm_pending: BTreeMap<NodeId, Vec<Frame<Payload>>>,
     psm_beacon: PsmBeaconState,
@@ -256,10 +281,15 @@ struct NodeState {
 #[derive(Debug)]
 pub struct World {
     cfg: ExperimentConfig,
+    /// Master RNG (kept for deriving fresh per-node streams mid-run,
+    /// e.g. the MAC of a churn-revived node).
+    master: SimRng,
     topo: Topology,
     tree: RoutingTree,
     root: NodeId,
     channel: Channel,
+    /// Compiled dynamic-environment scenario, if any.
+    scenario: Option<CompiledScenario>,
     queries: Vec<Query>,
     source_count: Vec<u64>,
     nodes: Vec<NodeState>,
@@ -274,6 +304,11 @@ pub struct World {
     phase_piggybacks: u64,
     phase_requests: u64,
     reports_sent: u64,
+    /// Deaths / partition / recovery marks for the lifetime figures.
+    lifetime: LifetimeStats,
+    /// MAC counters of MACs replaced by churn revivals (so totals keep
+    /// the pre-death traffic).
+    mac_lost: MacTotals,
     /// Recycled `(child, rank)` buffers for [`World::tree_view`], so the
     /// per-event tree snapshots allocate only until the pool warms up.
     kid_pool: Vec<Vec<(NodeId, u32)>>,
@@ -298,6 +333,20 @@ impl World {
 
         let mut channel = Channel::new(&topo, channel_rng);
         channel.set_drop_probability(cfg.drop_probability);
+
+        // Dynamic environment: compile the scenario (or replay its
+        // recorded trace) and install the bursty-link process.
+        let scenario = cfg
+            .scenario
+            .as_ref()
+            .map(|s| s.resolve(cfg.nodes, root.as_u32(), cfg.duration, cfg.seed));
+        if let Some(ge) = scenario.as_ref().and_then(|s| s.link) {
+            channel.set_loss_model(Box::new(GilbertElliott::new(
+                topo.node_count(),
+                ge,
+                master.derive(7),
+            )));
+        }
 
         // Queries: three classes at rate ratio 6:3:2.
         let rates = cfg.workload.class_rates();
@@ -379,6 +428,10 @@ impl World {
                     parent_fail: FailureDetector::new(PARENT_FAIL_THRESHOLD),
                     stale_phase: BTreeSet::new(),
                     wake_gen: 0,
+                    sched_gen: 0,
+                    next_round: BTreeMap::new(),
+                    revivals: 0,
+                    recheck_on_wake: false,
                     psm_pending: BTreeMap::new(),
                     psm_beacon: PsmBeaconState::new(),
                     registered: BTreeSet::new(),
@@ -416,10 +469,12 @@ impl World {
 
         let mut world = World {
             cfg,
+            master,
             topo,
             tree,
             root,
             channel,
+            scenario,
             queries,
             source_count,
             nodes,
@@ -433,6 +488,8 @@ impl World {
             phase_piggybacks: 0,
             phase_requests: 0,
             reports_sent: 0,
+            lifetime: LifetimeStats::default(),
+            mac_lost: MacTotals::default(),
             kid_pool: Vec::new(),
         };
 
@@ -444,13 +501,14 @@ impl World {
                 // Pre-register every query at every relevant node.
                 for qi in 0..world.queries.len() {
                     for node in world.tree.members().to_vec() {
-                        if let Some(at) = world.register_query_at(node, qi, SimTime::ZERO) {
+                        if let Some((round, at)) = world.register_query_at(node, qi, SimTime::ZERO)
+                        {
                             initial.push((
                                 at,
                                 Ev::RoundStart {
                                     node,
                                     query: qi,
-                                    round: 0,
+                                    round,
                                 },
                             ));
                         }
@@ -477,13 +535,13 @@ impl World {
                 for &m in world.tree.members() {
                     initial.push((
                         world.sync_schedule.next_edge(SimTime::ZERO),
-                        Ev::SyncEdge { node: m },
+                        Ev::SyncEdge { node: m, gen: 0 },
                     ));
                 }
             }
             Protocol::Psm => {
                 for &m in world.tree.members() {
-                    initial.push((SimTime::ZERO, Ev::PsmBeacon { node: m }));
+                    initial.push((SimTime::ZERO, Ev::PsmBeacon { node: m, gen: 0 }));
                 }
             }
             _ => {}
@@ -497,6 +555,22 @@ impl World {
                     node: NodeId::new(node),
                 },
             ));
+        }
+
+        // Scenario event stream: churn + the battery sweep chain.
+        if let Some(s) = &world.scenario {
+            for e in &s.events {
+                let node = NodeId::new(e.node);
+                let ev = if e.up {
+                    Ev::NodeRecover { node }
+                } else {
+                    Ev::NodeFail { node }
+                };
+                initial.push((e.at, ev));
+            }
+            if let Some(b) = s.battery {
+                initial.push((SimTime::ZERO + b.check_period, Ev::BatteryCheck));
+            }
         }
 
         (world, initial)
@@ -563,9 +637,14 @@ impl World {
             .any(|&(s, e)| now >= s && now < e)
     }
 
-    /// Registers query `qi` at `node`. Returns the time of the node's
-    /// first round if the node participates.
-    fn register_query_at(&mut self, node: NodeId, qi: usize, now: SimTime) -> Option<SimTime> {
+    /// Registers query `qi` at `node`. Returns the node's first round
+    /// `(index, start time)` if the node participates.
+    fn register_query_at(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        now: SimTime,
+    ) -> Option<(u64, SimTime)> {
         if !self.tree.is_member(node) || self.nodes[node.index()].dead {
             return None;
         }
@@ -594,13 +673,28 @@ impl World {
         }
         self.put_kids(kid_ranks);
         // First round this node can still run.
-        let k0 = if q.phase >= now {
+        let k0 = Self::next_round_at(&q, now);
+        let at = q.round_start(k0);
+        (at < self.run_end).then_some((k0, at))
+    }
+
+    /// The first round of `q` starting at or after `now`.
+    fn next_round_at(q: &Query, now: SimTime) -> u64 {
+        if q.phase >= now {
             0
         } else {
             q.round_at(now).map(|k| k + 1).unwrap_or(0)
-        };
-        let at = q.round_start(k0);
-        (at < self.run_end).then_some(at)
+        }
+    }
+
+    /// Whether round `k` of `q` is active under the scenario's traffic
+    /// phases (always, without a scenario). A pure function of the
+    /// compiled schedule, so every node agrees without signalling.
+    fn round_is_active(&self, q: &Query, k: u64) -> bool {
+        match &self.scenario {
+            Some(s) => s.round_active(q.round_start(k), k),
+            None => true,
+        }
     }
 
     /// Deterministic synthetic sensor reading.
@@ -742,22 +836,38 @@ impl World {
     }
 
     fn handle_round_start(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
-        let n = &self.nodes[node.index()];
-        if n.dead || !n.participating.contains(&qi) {
-            return;
-        }
-        let q = self.query(qi);
-        if self.open_round(node, qi, k, ctx) && self.is_source(node, qi) {
-            let key = RoundKey {
-                query: q.id,
-                round: k,
-            };
-            let reading = Self::reading(node, k);
-            if let Some(r) = self.nodes[node.index()].rounds.get_mut(&key) {
-                r.agg.add_own(reading);
+        {
+            let n = &self.nodes[node.index()];
+            if n.dead || !n.participating.contains(&qi) {
+                return;
             }
         }
-        self.maybe_complete(node, qi, k, ctx);
+        {
+            // Churn recovery can re-arm a chain whose old event is
+            // still pending; the per-query cursor drops duplicates.
+            let n = &mut self.nodes[node.index()];
+            let next = n.next_round.entry(qi).or_insert(0);
+            if k < *next {
+                return;
+            }
+            *next = k + 1;
+        }
+        let q = self.query(qi);
+        if self.round_is_active(&q, k) {
+            if self.open_round(node, qi, k, ctx) && self.is_source(node, qi) {
+                let key = RoundKey {
+                    query: q.id,
+                    round: k,
+                };
+                let reading = Self::reading(node, k);
+                if let Some(r) = self.nodes[node.index()].rounds.get_mut(&key) {
+                    r.agg.add_own(reading);
+                }
+            }
+            self.maybe_complete(node, qi, k, ctx);
+        } else {
+            self.skip_round(node, qi, k, ctx);
+        }
         // Chain the next round.
         let next = q.round_start(k + 1);
         if next < self.run_end {
@@ -771,6 +881,51 @@ impl World {
             );
         }
         self.reconsider_sleep(node, ctx);
+    }
+
+    /// A traffic-phase-silenced round: nothing is sampled, collected,
+    /// or sent — but ESSAT expectations must still advance past the
+    /// round, or Safe Sleep would pin the node awake on a stale past
+    /// expectation for the rest of the quiet phase.
+    fn skip_round(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
+        let q = self.query(qi);
+        let is_root = node == self.root;
+        let expected = self.nodes[node.index()]
+            .expected_children
+            .get(&qi)
+            .cloned()
+            .unwrap_or_default();
+        let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+        let _ = ctx;
+        let n = &mut self.nodes[node.index()];
+        // Mark the round finished so a straggler report cannot reopen it.
+        n.done
+            .entry(qi)
+            .and_modify(|d| *d = (*d).max(k))
+            .or_insert(k);
+        if let Mode::Essat { shaper, ss } = &mut n.mode {
+            let info = TreeInfo {
+                own_rank,
+                max_rank,
+                own_level,
+                max_level,
+                children: &kids,
+            };
+            for &c in &expected {
+                let rnext = shaper.child_timed_out(&q, c, k, &info);
+                ss.update_next_receive(q.id, c, rnext);
+            }
+            if !is_root {
+                let snext = shaper.round_skipped(&q, k, &info);
+                ss.update_next_send(q.id, snext);
+            }
+        }
+        if !n.dead && !n.radio.is_active() {
+            // The radio is mid-turn-on for the expectation we just
+            // moved; have the wake-up completion re-run checkState.
+            n.recheck_on_wake = true;
+        }
+        self.put_kids(kids);
     }
 
     /// Checks readiness and plans the release when ready.
@@ -1262,13 +1417,13 @@ impl World {
         if n.dead || !n.member || n.registered.contains(&qi) {
             return;
         }
-        if let Some(at) = self.register_query_at(node, qi, ctx.now()) {
+        if let Some((round, at)) = self.register_query_at(node, qi, ctx.now()) {
             ctx.schedule_at(
                 at.max(ctx.now()),
                 Ev::RoundStart {
                     node,
                     query: qi,
-                    round: 0,
+                    round,
                 },
             );
         } else {
@@ -1385,6 +1540,15 @@ impl World {
                 let busy = self.channel.carrier_busy(node);
                 let actions = self.nodes[node.index()].mac.radio_woke(now, busy);
                 self.exec_mac_actions(node, actions, ctx);
+                // A traffic-phase-skipped round advanced this node's
+                // expectations while the radio was still turning on for
+                // them; re-run checkState now that it is active so the
+                // node sleeps through the quiet round instead of idling
+                // until the next event.
+                if self.nodes[node.index()].recheck_on_wake {
+                    self.nodes[node.index()].recheck_on_wake = false;
+                    self.reconsider_sleep(node, ctx);
+                }
             }
             TransitionOutcome::OffWakeQueued => {
                 let n = &mut self.nodes[node.index()];
@@ -1440,9 +1604,12 @@ impl World {
     // SYNC / PSM schedules
     // ------------------------------------------------------------------
 
-    fn handle_sync_edge(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
-        if self.nodes[node.index()].dead {
-            return;
+    fn handle_sync_edge(&mut self, node: NodeId, gen: u64, ctx: &mut Context<'_, Ev>) {
+        {
+            let n = &self.nodes[node.index()];
+            if n.dead || gen != n.sched_gen {
+                return;
+            }
         }
         let now = ctx.now();
         if self.sync_schedule.is_active(now) {
@@ -1452,13 +1619,16 @@ impl World {
         }
         let next = self.sync_schedule.next_edge(now);
         if next < self.run_end {
-            ctx.schedule_at(next, Ev::SyncEdge { node });
+            ctx.schedule_at(next, Ev::SyncEdge { node, gen });
         }
     }
 
-    fn handle_psm_beacon(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
-        if self.nodes[node.index()].dead {
-            return;
+    fn handle_psm_beacon(&mut self, node: NodeId, gen: u64, ctx: &mut Context<'_, Ev>) {
+        {
+            let n = &self.nodes[node.index()];
+            if n.dead || gen != n.sched_gen {
+                return;
+            }
         }
         let now = ctx.now();
         self.wake_radio(node, ctx);
@@ -1473,7 +1643,7 @@ impl World {
         ctx.schedule_at(self.psm_schedule.atim_end(now), Ev::PsmAtimEnd { node });
         let next = self.psm_schedule.next_beacon(now);
         if next < self.run_end {
-            ctx.schedule_at(next, Ev::PsmBeacon { node });
+            ctx.schedule_at(next, Ev::PsmBeacon { node, gen });
         }
     }
 
@@ -1550,15 +1720,248 @@ impl World {
     // ------------------------------------------------------------------
 
     fn handle_node_fail(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        self.kill_node(node, ctx.now());
+        // Detectors at the neighbours drive the repair.
+    }
+
+    /// Marks `node` dead at `now` (scripted failure, churn, or battery
+    /// depletion), settles its energy accounting, and records the
+    /// network-lifetime marks.
+    fn kill_node(&mut self, node: NodeId, now: SimTime) {
+        {
+            let n = &mut self.nodes[node.index()];
+            if n.dead {
+                return;
+            }
+            n.dead = true;
+            n.died_at = Some(now);
+            n.radio.settle(now);
+        }
+        if self.nodes[node.index()].member {
+            self.lifetime.deaths.push((now, node));
+            if self.lifetime.first_death.is_none() {
+                self.lifetime.first_death = Some(now);
+            }
+            if self.lifetime.partition.is_none() && self.is_partitioned() {
+                self.lifetime.partition = Some(now);
+            }
+        }
+    }
+
+    /// True once some live tree member has no path of live nodes to the
+    /// root (or the root itself is dead) — the lifetime figure's
+    /// "time to partition" mark. Only evaluated on deaths, so the BFS
+    /// cost is negligible.
+    fn is_partitioned(&self) -> bool {
+        if self.nodes[self.root.index()].dead {
+            return true;
+        }
+        let alive: Vec<NodeId> = self
+            .topo
+            .nodes()
+            .filter(|&m| self.nodes[m.index()].member && !self.nodes[m.index()].dead)
+            .collect();
+        !self.topo.is_connected_subset(self.root, &alive)
+    }
+
+    /// Scenario churn recovery. The node comes back with a fresh MAC
+    /// and an `Active` radio (its spent battery is *not* refilled) and
+    /// re-enters the tree: in place if the failure detectors never
+    /// removed it, otherwise as a leaf under its best live neighbour
+    /// (an idealised re-join — §4.3 only specifies departure repair).
+    fn handle_node_recover(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
-        let n = &mut self.nodes[node.index()];
-        if n.dead {
+        if !self.nodes[node.index()].dead {
             return;
         }
-        n.dead = true;
-        n.died_at = Some(now);
-        n.radio.settle(now);
-        let _ = ctx; // detectors at the neighbours drive the repair
+        // Fresh lower layers; the MAC RNG gets a new derived stream per
+        // revival so replays stay deterministic.
+        let mac_rng = {
+            let revival = self.nodes[node.index()].revivals + 1;
+            let stream = node.as_u32() as u64 + self.cfg.nodes as u64 * revival;
+            self.master.derive2(4, stream)
+        };
+        {
+            let n = &mut self.nodes[node.index()];
+            n.dead = false;
+            n.died_at = None;
+            n.revivals += 1;
+            n.radio.resurrect(now);
+            let old = std::mem::replace(&mut n.mac, Mac::new(node, self.cfg.mac, mac_rng));
+            let ms = old.stats();
+            self.mac_lost.enqueued += ms.enqueued;
+            self.mac_lost.data_tx += ms.data_tx;
+            self.mac_lost.delivered += ms.delivered;
+            self.mac_lost.failed += ms.failed;
+            self.mac_lost.retries += ms.retries;
+            n.rounds.clear();
+            n.psm_pending.clear();
+            n.psm_beacon = PsmBeaconState::new();
+            n.loss = LossDetector::new();
+            n.child_fail = FailureDetector::new(CHILD_FAIL_THRESHOLD);
+            n.parent_fail = FailureDetector::new(PARENT_FAIL_THRESHOLD);
+            n.stale_phase.clear();
+            n.recheck_on_wake = false;
+        }
+        self.lifetime.recoveries += 1;
+        if self.nodes[node.index()].member {
+            if self.tree.is_member(node) {
+                // Still in the tree: resume schedules where they stand.
+                self.refresh_node_schedule(node, now);
+                self.restart_round_chains(node, ctx);
+            } else {
+                self.rejoin_tree(node, ctx);
+            }
+        }
+        // Re-arm the baseline schedule chain (it stopped at death).
+        {
+            let n = &mut self.nodes[node.index()];
+            n.sched_gen += 1;
+            let gen = n.sched_gen;
+            match n.mode {
+                Mode::Sync => {
+                    ctx.schedule_at(
+                        self.sync_schedule.next_edge(now),
+                        Ev::SyncEdge { node, gen },
+                    );
+                }
+                Mode::Psm => {
+                    ctx.schedule_at(
+                        self.psm_schedule.next_beacon(now),
+                        Ev::PsmBeacon { node, gen },
+                    );
+                }
+                _ => {}
+            }
+        }
+        if !self.nodes[node.index()].member {
+            // Never part of the tree: revive and go straight back to
+            // sleep, as after setup.
+            let n = &mut self.nodes[node.index()];
+            if self.setup_over && n.radio.is_active() && n.mac.can_suspend() {
+                n.mac.radio_slept(now);
+                let d = n.radio.begin_sleep(now).expect("active");
+                ctx.schedule_after(d, Ev::RadioDone { node });
+            }
+            return;
+        }
+        self.reconsider_sleep(node, ctx);
+    }
+
+    /// Restarts the per-query round chains of a revived node from the
+    /// next round boundary (the chains break while a node is dead).
+    fn restart_round_chains(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let qis: Vec<usize> = self.nodes[node.index()]
+            .participating
+            .iter()
+            .copied()
+            .collect();
+        for qi in qis {
+            let q = self.query(qi);
+            let k0 = Self::next_round_at(&q, now);
+            self.refuse_rounds_before(node, qi, k0);
+            let at = q.round_start(k0);
+            if at < self.run_end {
+                ctx.schedule_at(
+                    at.max(now),
+                    Ev::RoundStart {
+                        node,
+                        query: qi,
+                        round: k0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A revived node has no data for rounds that began while it was
+    /// dead: mark them done so straggler reports cannot reopen them
+    /// (which would re-release rounds the shaper already advanced past).
+    fn refuse_rounds_before(&mut self, node: NodeId, qi: usize, k0: u64) {
+        if k0 == 0 {
+            return;
+        }
+        self.nodes[node.index()]
+            .done
+            .entry(qi)
+            .and_modify(|d| *d = (*d).max(k0 - 1))
+            .or_insert(k0 - 1);
+    }
+
+    /// Re-attaches a recovered node that the repair machinery had
+    /// removed from the tree, then re-registers its queries and
+    /// refreshes every node whose schedule the rank changes touch
+    /// (mirrors [`World::repair_tree`]).
+    fn rejoin_tree(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let old_rank: Vec<u32> = self.topo.nodes().map(|n| self.tree.rank(n)).collect();
+        let old_max = self.tree.max_rank();
+        let Some(parent) = self.tree.rejoin_node(&self.topo, node) else {
+            return; // still cut off; a later recovery may bridge it back
+        };
+        {
+            let n = &mut self.nodes[node.index()];
+            n.participating.clear();
+            n.expected_children.clear();
+            if let Mode::Essat { ss, .. } = &mut n.mode {
+                for qi in 0..self.queries.len() {
+                    ss.remove_query(QueryId::new(qi as u32));
+                }
+            }
+        }
+        for qi in 0..self.queries.len() {
+            if let Some((round, at)) = self.register_query_at(node, qi, now) {
+                self.refuse_rounds_before(node, qi, round);
+                ctx.schedule_at(
+                    at.max(now),
+                    Ev::RoundStart {
+                        node,
+                        query: qi,
+                        round,
+                    },
+                );
+            }
+        }
+        let max_changed = self.tree.max_rank() != old_max;
+        for m in self.topo.nodes() {
+            if m == node || !self.tree.is_member(m) {
+                continue;
+            }
+            let rank_changed = self.tree.rank(m) != old_rank[m.index()];
+            let gained_child = parent == m;
+            if rank_changed || gained_child || max_changed {
+                self.refresh_node_schedule(m, now);
+                self.refresh_wake(m, ctx);
+            }
+        }
+    }
+
+    /// The periodic battery sweep: settle accounting and kill nodes
+    /// whose cumulative radio energy exceeds the scenario's capacity.
+    fn handle_battery_check(&mut self, ctx: &mut Context<'_, Ev>) {
+        let Some(b) = self.scenario.as_ref().and_then(|s| s.battery) else {
+            return;
+        };
+        let now = ctx.now();
+        let mut depleted = Vec::new();
+        for node in self.topo.nodes() {
+            let n = &mut self.nodes[node.index()];
+            if n.dead {
+                continue;
+            }
+            n.radio.settle(now);
+            if n.radio.energy_j() >= b.capacity_j {
+                depleted.push(node);
+            }
+        }
+        for node in depleted {
+            self.kill_node(node, now);
+        }
+        let next = now + b.check_period;
+        if next < self.run_end {
+            ctx.schedule_at(next, Ev::BatteryCheck);
+        }
     }
 
     /// Routing-layer repair after `failed` is declared dead: re-parent
@@ -1712,10 +2115,13 @@ impl World {
     fn handle_setup_end(&mut self, ctx: &mut Context<'_, Ev>) {
         self.setup_over = true;
         let now = ctx.now();
-        // Metrics snapshot.
+        // Metrics snapshot (dead radios were settled at death; settling
+        // them again would bill the dead span).
         for i in 0..self.nodes.len() {
             let n = &mut self.nodes[i];
-            n.radio.settle(now);
+            if !n.dead {
+                n.radio.settle(now);
+            }
             n.snap = RadioSnapshot {
                 active: n.radio.active_ns(),
                 off: n.radio.off_ns(),
@@ -1762,13 +2168,13 @@ impl World {
 
     fn handle_flood_issue(&mut self, qi: usize, ctx: &mut Context<'_, Ev>) {
         let root = self.root;
-        if let Some(at) = self.register_query_at(root, qi, ctx.now()) {
+        if let Some((round, at)) = self.register_query_at(root, qi, ctx.now()) {
             ctx.schedule_at(
                 at.max(ctx.now()),
                 Ev::RoundStart {
                     node: root,
                     query: qi,
-                    round: 0,
+                    round,
                 },
             );
         }
@@ -1878,6 +2284,12 @@ impl World {
             mac.failed += ms.failed;
             mac.retries += ms.retries;
         }
+        // MACs replaced by churn revivals contributed traffic too.
+        mac.enqueued += self.mac_lost.enqueued;
+        mac.data_tx += self.mac_lost.data_tx;
+        mac.delivered += self.mac_lost.delivered;
+        mac.failed += self.mac_lost.failed;
+        mac.retries += self.mac_lost.retries;
         let ch = self.channel.stats();
         RunResult {
             seed: self.cfg.seed,
@@ -1890,6 +2302,7 @@ impl World {
             phase_requests: self.phase_requests,
             reports_sent: self.reports_sent,
             mac,
+            lifetime: std::mem::take(&mut self.lifetime),
             channel_transmissions: ch.transmissions,
             channel_collisions: ch.collisions,
             events_processed,
@@ -1905,6 +2318,12 @@ impl World {
     /// The topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The compiled scenario driving this run, if any (tests record its
+    /// trace for replay).
+    pub fn scenario(&self) -> Option<&CompiledScenario> {
+        self.scenario.as_ref()
     }
 }
 
@@ -1951,8 +2370,8 @@ impl Model for World {
             Ev::TxEnd { sender, tx, frame } => self.handle_tx_end(sender, tx, frame, ctx),
             Ev::RadioDone { node } => self.handle_radio_done(node, ctx),
             Ev::RadioWake { node, gen } => self.handle_radio_wake(node, gen, ctx),
-            Ev::SyncEdge { node } => self.handle_sync_edge(node, ctx),
-            Ev::PsmBeacon { node } => self.handle_psm_beacon(node, ctx),
+            Ev::SyncEdge { node, gen } => self.handle_sync_edge(node, gen, ctx),
+            Ev::PsmBeacon { node, gen } => self.handle_psm_beacon(node, gen, ctx),
             Ev::PsmAtimEnd { node } => {
                 let stay = self.nodes[node.index()].psm_beacon.must_stay_awake();
                 if stay {
@@ -1964,6 +2383,8 @@ impl Model for World {
             Ev::PsmAdvEnd { node } => self.try_mode_sleep(node, ctx),
             Ev::PsmRelease { node, dest } => self.psm_release(node, dest, ctx),
             Ev::NodeFail { node } => self.handle_node_fail(node, ctx),
+            Ev::NodeRecover { node } => self.handle_node_recover(node, ctx),
+            Ev::BatteryCheck => self.handle_battery_check(ctx),
             Ev::FloodIssue { query } => self.handle_flood_issue(query, ctx),
             Ev::ForceWake { node } => self.wake_radio(node, ctx),
         }

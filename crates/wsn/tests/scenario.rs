@@ -1,0 +1,228 @@
+//! Scenario engine integration: bursty links, battery lifetime, churn
+//! recovery, and traffic phases, driven through full simulation runs.
+
+use essat_scenario::presets;
+use essat_scenario::spec::{
+    BatterySpec, ChurnSpec, ChurnStep, Scenario, ScenarioSpec, TrafficPhase,
+};
+use essat_sim::time::{SimDuration, SimTime};
+use essat_wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
+use essat_wsn::runner;
+
+fn cfg(protocol: Protocol, seed: u64, secs: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(protocol, WorkloadSpec::paper(1.0), seed);
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg
+}
+
+#[test]
+fn bursty_links_inject_bursty_loss() {
+    let base = cfg(Protocol::DtsSs, 11, 30);
+    let steady = runner::run_one(&base);
+    let bursty = runner::run_one(
+        &base
+            .clone()
+            .with_scenario(Scenario::Spec(presets::bursty_links())),
+    );
+    assert!(
+        bursty.delivery_ratio() < steady.delivery_ratio(),
+        "bursty links must lose readings: bursty {} vs steady {}",
+        bursty.delivery_ratio(),
+        steady.delivery_ratio()
+    );
+    // Loss shows up as MAC retries/failures, not as vanished traffic.
+    assert!(bursty.mac.retries > steady.mac.retries);
+}
+
+#[test]
+fn energy_drain_kills_always_on_first_and_marks_lifetime() {
+    let secs = 30;
+    let scen = || Scenario::Spec(presets::energy_drain(SimDuration::from_secs(secs)));
+    let always_on = runner::run_one(&cfg(Protocol::AlwaysOn, 21, secs).with_scenario(scen()));
+    let dts = runner::run_one(&cfg(Protocol::DtsSs, 21, secs).with_scenario(scen()));
+    let end = SimTime::from_secs(secs);
+
+    // Always-on burns 45 mW continuously: the 35%-of-run battery dies
+    // at ~35% of the run, and with every node dying the network
+    // partitions.
+    let ao = &always_on.lifetime;
+    assert!(!ao.deaths.is_empty(), "always-on must deplete");
+    let ttfd = ao.time_to_first_death(end);
+    assert!(
+        ttfd < SimTime::from_secs(secs / 2),
+        "always-on first death at {ttfd}"
+    );
+    assert!(ao.partition.is_some(), "all nodes dying must partition");
+
+    // DTS sleeps most of the time: it must outlive always-on.
+    assert!(
+        dts.lifetime.time_to_first_death(end) > ttfd,
+        "DTS-SS ({}) must outlive ALWAYS-ON ({ttfd})",
+        dts.lifetime.time_to_first_death(end)
+    );
+}
+
+#[test]
+fn churn_recovers_nodes_and_counts_recoveries() {
+    let base = cfg(Protocol::DtsSs, 31, 40);
+    let run = base.duration;
+    let r = runner::run_one(&base.with_scenario(Scenario::Spec(presets::churn(run))));
+    assert!(!r.lifetime.deaths.is_empty(), "churn must fail nodes");
+    assert!(r.lifetime.recoveries > 0, "churn must revive nodes");
+    // The network keeps answering queries through the churn.
+    assert!(r.queries.iter().all(|q| q.rounds_completed > 0));
+    assert!(
+        r.delivery_ratio() > 0.5,
+        "churn should not collapse delivery"
+    );
+}
+
+#[test]
+fn scripted_churn_step_down_and_up() {
+    // Kill one specific node and bring it back; the run must record
+    // exactly that death and that recovery.
+    let mut spec = ScenarioSpec::named("one_blip");
+    spec.churn = Some(ChurnSpec::Scripted(vec![
+        ChurnStep {
+            at: SimTime::from_secs(10),
+            node: 5,
+            up: false,
+        },
+        ChurnStep {
+            at: SimTime::from_secs(18),
+            node: 5,
+            up: true,
+        },
+    ]));
+    let r = runner::run_one(&cfg(Protocol::NtsSs, 41, 30).with_scenario(Scenario::Spec(spec)));
+    assert_eq!(r.lifetime.recoveries, 1);
+    let member_deaths = r.lifetime.deaths.len();
+    assert!(member_deaths <= 1, "only node 5 was scripted");
+    if member_deaths == 1 {
+        assert_eq!(r.lifetime.deaths[0].0, SimTime::from_secs(10));
+        assert_eq!(r.lifetime.first_death, Some(SimTime::from_secs(10)));
+    }
+}
+
+#[test]
+fn quiet_traffic_phase_decimates_rounds() {
+    let base = cfg(Protocol::DtsSs, 51, 30);
+    let full = runner::run_one(&base);
+    let mut spec = ScenarioSpec::named("quarter");
+    spec.traffic = vec![TrafficPhase {
+        from: SimTime::ZERO,
+        rate_scale: 0.25,
+    }];
+    let quiet = runner::run_one(&base.clone().with_scenario(Scenario::Spec(spec)));
+    let full_rounds: u64 = full.queries.iter().map(|q| q.rounds_completed).sum();
+    let quiet_rounds: u64 = quiet.queries.iter().map(|q| q.rounds_completed).sum();
+    let ratio = quiet_rounds as f64 / full_rounds as f64;
+    assert!(
+        (0.15..=0.35).contains(&ratio),
+        "quarter-rate phase should complete ~25% of rounds, got {ratio:.2} \
+         ({quiet_rounds}/{full_rounds})"
+    );
+    // Decimated rounds that do run still deliver everything.
+    assert!(quiet.delivery_ratio() > 0.95);
+    // Less traffic must not cost energy: the duty cycle may only drop.
+    assert!(quiet.avg_duty_cycle_pct() <= full.avg_duty_cycle_pct() * 1.05);
+}
+
+#[test]
+fn diurnal_preset_runs_all_essat_protocols() {
+    for protocol in Protocol::essat_set() {
+        let base = cfg(protocol, 61, 24);
+        let run = base.duration;
+        let r = runner::run_one(&base.with_scenario(Scenario::Spec(presets::diurnal(run))));
+        assert!(
+            r.queries.iter().any(|q| q.rounds_completed > 0),
+            "{protocol}: diurnal run answered no rounds"
+        );
+        assert!(
+            (0.0..=100.0).contains(&r.avg_duty_cycle_pct()),
+            "{protocol}"
+        );
+    }
+}
+
+#[test]
+fn battery_depletion_is_gradual_not_instant() {
+    // A battery big enough for the whole run changes nothing.
+    let mut spec = ScenarioSpec::named("huge_battery");
+    spec.battery = Some(BatterySpec {
+        capacity_j: 1e6,
+        check_period: SimDuration::from_millis(500),
+    });
+    let base = cfg(Protocol::DtsSs, 71, 20);
+    let plain = runner::run_one(&base);
+    let batt = runner::run_one(&base.clone().with_scenario(Scenario::Spec(spec)));
+    assert!(batt.lifetime.deaths.is_empty());
+    assert_eq!(plain.avg_duty_cycle_pct(), batt.avg_duty_cycle_pct());
+    assert_eq!(plain.events_processed + count_battery_checks(20, 500), {
+        batt.events_processed
+    });
+}
+
+fn count_battery_checks(secs: u64, period_ms: u64) -> u64 {
+    // Checks fire at period, 2·period, … strictly before run end.
+    (secs * 1000).div_ceil(period_ms) - 1
+}
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    let mk = || {
+        let base = cfg(Protocol::StsSs, 81, 25);
+        let run = base.duration;
+        let mut spec = presets::churn(run);
+        spec.link = presets::bursty_links().link;
+        base.with_scenario(Scenario::Spec(spec))
+    };
+    let a = runner::run_one(&mk());
+    let b = runner::run_one(&mk());
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.avg_duty_cycle_pct(), b.avg_duty_cycle_pct());
+    assert_eq!(a.avg_latency_s(), b.avg_latency_s());
+    assert_eq!(a.lifetime, b.lifetime);
+    for (qa, qb) in a.queries.iter().zip(&b.queries) {
+        assert_eq!(qa.records, qb.records);
+    }
+}
+
+#[test]
+fn trace_replay_reproduces_live_run_exactly() {
+    let base = cfg(Protocol::DtsSs, 91, 25);
+    let run = base.duration;
+    let mut spec = presets::churn(run);
+    spec.link = presets::bursty_links().link;
+    spec.traffic = presets::diurnal(run).traffic;
+    let live_cfg = base.clone().with_scenario(Scenario::Spec(spec.clone()));
+
+    // Record: compile exactly as the run will and serialise the trace.
+    let compiled = spec.compile(
+        base.nodes,
+        {
+            let (world, _) = essat_wsn::sim::World::new(live_cfg.clone());
+            world.tree().root().as_u32()
+        },
+        base.duration,
+        base.seed,
+    );
+    let trace = compiled.to_trace();
+
+    // Replay: the trace-driven run must match the live run exactly.
+    let live = runner::run_one(&live_cfg);
+    let replay_cfg = base.with_scenario(Scenario::Trace(trace));
+    let replayed = runner::run_one(&replay_cfg);
+    assert_eq!(live.events_processed, replayed.events_processed);
+    assert_eq!(live.avg_duty_cycle_pct(), replayed.avg_duty_cycle_pct());
+    assert_eq!(live.avg_latency_s(), replayed.avg_latency_s());
+    assert_eq!(live.delivery_ratio(), replayed.delivery_ratio());
+    assert_eq!(live.lifetime, replayed.lifetime);
+    for (ql, qr) in live.queries.iter().zip(&replayed.queries) {
+        assert_eq!(ql.records, qr.records);
+    }
+    for (nl, nr) in live.nodes.iter().zip(&replayed.nodes) {
+        assert_eq!(nl.duty_cycle, nr.duty_cycle);
+        assert_eq!(nl.energy_j, nr.energy_j);
+    }
+}

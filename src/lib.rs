@@ -11,6 +11,9 @@
 //! * [`core`] — the paper's contribution: the Safe Sleep scheduler and the
 //!   NTS / STS / DTS traffic shapers plus protocol maintenance.
 //! * [`baselines`] — SYNC, PSM, and SPAN comparison protocols.
+//! * [`scenario`] — dynamic environments: Gilbert–Elliott bursty links,
+//!   battery depletion, node churn, traffic phases, and deterministic
+//!   record/replay of scenario event streams.
 //! * [`wsn`] — the integrated node stack, simulator, metrics, and
 //!   experiment runner.
 //! * [`harness`] — ready-made experiments regenerating every figure of the
@@ -25,5 +28,6 @@ pub use essat_core as core;
 pub use essat_harness as harness;
 pub use essat_net as net;
 pub use essat_query as query;
+pub use essat_scenario as scenario;
 pub use essat_sim as sim;
 pub use essat_wsn as wsn;

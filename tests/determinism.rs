@@ -107,6 +107,71 @@ fn executor_cell_matches_run_many() {
     }
 }
 
+/// A scenario-driven sweep (bursty links + churn + diurnal phases) is
+/// byte-identical whatever the `--threads` setting: scenario
+/// compilation and all scenario randomness derive from the per-run
+/// seed, never from execution order.
+#[test]
+fn scenario_runs_byte_identical_across_thread_counts() {
+    use essat::scenario::presets;
+    use essat::scenario::spec::Scenario;
+
+    let mk_cells = || {
+        let mut cells = Vec::new();
+        for (seed, preset) in [(640u64, "bursty_links"), (650, "churn"), (660, "diurnal")] {
+            let mut c = cfg(Protocol::DtsSs, seed);
+            let spec = presets::by_name(preset, c.duration).expect("known preset");
+            c.scenario = Some(Scenario::Spec(spec));
+            cells.push(SweepCell::new(c, 2));
+        }
+        cells
+    };
+    let serial = SweepExecutor::with_threads(1).run(&mk_cells());
+    let parallel = SweepExecutor::with_threads(8).run(&mk_cells());
+    for (s_cell, p_cell) in serial.iter().zip(&parallel) {
+        for (s, p) in s_cell.iter().zip(p_cell) {
+            assert_eq!(s.seed, p.seed);
+            assert_eq!(s.events_processed, p.events_processed);
+            assert_eq!(s.avg_duty_cycle_pct(), p.avg_duty_cycle_pct());
+            assert_eq!(s.avg_latency_s(), p.avg_latency_s());
+            assert_eq!(s.delivery_ratio(), p.delivery_ratio());
+            assert_eq!(s.lifetime, p.lifetime);
+            for (qs, qp) in s.queries.iter().zip(&p.queries) {
+                assert_eq!(qs.records, qp.records);
+            }
+        }
+    }
+}
+
+/// Record/replay: a compiled scenario's trace round-trips byte-
+/// identically, and a run driven by the replayed trace reproduces the
+/// live run's metrics exactly.
+#[test]
+fn scenario_trace_replay_is_exact() {
+    use essat::scenario::compile::CompiledScenario;
+    use essat::scenario::presets;
+    use essat::scenario::spec::Scenario;
+    use essat::wsn::sim::World;
+
+    let base = cfg(Protocol::StsSs, 777);
+    let mut spec = presets::churn(base.duration);
+    spec.link = presets::bursty_links().link;
+    let live_cfg = base.clone().with_scenario(Scenario::Spec(spec));
+
+    // Record the compiled stream off the live world…
+    let (world, _) = World::new(live_cfg.clone());
+    let trace = world.scenario().expect("scenario attached").to_trace();
+    // …check the codec round-trips byte-identically…
+    let parsed = CompiledScenario::from_trace(&trace).expect("parses");
+    assert_eq!(parsed.to_trace(), trace);
+    // …and replay it.
+    let live = runner::run_one(&live_cfg);
+    let replayed = runner::run_one(&base.with_scenario(Scenario::Trace(trace)));
+    assert_eq!(live.events_processed, replayed.events_processed);
+    assert_eq!(live.avg_duty_cycle_pct(), replayed.avg_duty_cycle_pct());
+    assert_eq!(live.lifetime, replayed.lifetime);
+}
+
 #[test]
 fn run_summary_aggregates() {
     let s = runner::run_summary(&cfg(Protocol::DtsSs, 400), 3);
