@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod policy;
 pub mod psm;
 pub mod span;
 pub mod sync;
@@ -27,6 +28,7 @@ pub mod tag;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::policy::{AlwaysOnPolicy, PsmPolicy, SyncPolicy};
     pub use crate::psm::{PsmBeaconState, PsmSchedule, ATIM_BYTES};
     pub use crate::span::{SpanBackbone, SpanElection};
     pub use crate::sync::SyncSchedule;

@@ -1,0 +1,568 @@
+//! [`PowerPolicy`] implementations for the comparison baselines.
+//!
+//! Where the ESSAT protocols are one policy parameterised by a traffic
+//! shaper ([`essat_core::policy::EssatPolicy`]), the baselines each
+//! bring their own sleep discipline:
+//!
+//! * [`SyncPolicy`] — the global 20%-duty schedule: wake at every
+//!   active-window start, sleep at its end, quantise report releases
+//!   to active windows.
+//! * [`PsmPolicy`] — 802.11 PSM: wake at every beacon, announce
+//!   buffered traffic in the ATIM window, exchange announced data in
+//!   the advertisement window, sleep the rest of the interval.
+//! * [`AlwaysOnPolicy`] — the radio never sleeps (SPAN's coordinator
+//!   backbone, and the ALWAYS-ON sanity baseline).
+//!
+//! All three drive the same protocol-agnostic executor through typed
+//! [`PolicyAction`]s; none of them is special-cased in the simulator.
+
+use std::collections::BTreeMap;
+
+use essat_core::nts::Nts;
+use essat_core::policy::{NodeView, PolicyAction, PolicyTimer, PowerPolicy, SleepTrigger};
+use essat_core::shaper::{Release, TrafficShaper, TreeInfo};
+use essat_net::frame::Frame;
+use essat_net::ids::NodeId;
+use essat_query::model::Query;
+use essat_sim::time::{SimDuration, SimTime};
+
+use crate::psm::{PsmBeaconState, PsmSchedule};
+use crate::sync::SyncSchedule;
+
+/// Grace added to the fixed-schedule baselines' collection deadlines
+/// (they need roughly one schedule period per subtree level).
+const SCHEDULE_DEADLINE_GRACE: SimDuration = SimDuration::from_millis(50);
+
+/// SYNC: the globally synchronised fixed duty-cycle schedule.
+#[derive(Debug)]
+pub struct SyncPolicy {
+    schedule: SyncSchedule,
+    run_end: SimTime,
+}
+
+impl SyncPolicy {
+    /// A policy following `schedule`, with its edge chain stopping at
+    /// `run_end`.
+    pub fn new(schedule: SyncSchedule, run_end: SimTime) -> Self {
+        SyncPolicy { schedule, run_end }
+    }
+
+    fn try_sleep<P>(&self, view: &NodeView, out: &mut Vec<PolicyAction<P>>) {
+        if !view.may_sleep || view.dead || !view.radio_active || !view.mac_can_suspend {
+            return;
+        }
+        if !self.schedule.is_active(view.now) {
+            out.push(PolicyAction::Suspend);
+        }
+    }
+}
+
+impl<P> PowerPolicy<P> for SyncPolicy {
+    fn name(&self) -> &'static str {
+        "SYNC"
+    }
+
+    fn collection_deadline(&self, q: &Query, k: u64, tree: &TreeInfo<'_>) -> SimTime {
+        q.round_start(k)
+            + self.schedule.period() * (tree.own_rank as u64 + 1)
+            + SCHEDULE_DEADLINE_GRACE
+    }
+
+    fn plan_release(
+        &mut self,
+        _q: &Query,
+        _k: u64,
+        ready_at: SimTime,
+        _tree: &TreeInfo<'_>,
+    ) -> Release {
+        // Transmissions are quantised to active windows — the latency
+        // penalty the paper measures.
+        Release {
+            send_at: self.schedule.next_active_start(ready_at),
+            piggyback: None,
+        }
+    }
+
+    fn sleep_decision(
+        &mut self,
+        trigger: SleepTrigger,
+        view: &NodeView,
+        out: &mut Vec<PolicyAction<P>>,
+    ) {
+        if trigger == SleepTrigger::Boundary {
+            self.try_sleep(view, out);
+        }
+    }
+
+    fn initial_actions(&mut self, out: &mut Vec<PolicyAction<P>>) {
+        out.push(PolicyAction::SetTimer {
+            timer: PolicyTimer::SyncEdge,
+            at: self.schedule.next_edge(SimTime::ZERO),
+        });
+    }
+
+    fn on_timer(&mut self, timer: PolicyTimer, view: &NodeView, out: &mut Vec<PolicyAction<P>>) {
+        if timer != PolicyTimer::SyncEdge {
+            return;
+        }
+        if self.schedule.is_active(view.now) {
+            out.push(PolicyAction::WakeRadio);
+        } else {
+            self.try_sleep(view, out);
+        }
+        let next = self.schedule.next_edge(view.now);
+        if next < self.run_end {
+            out.push(PolicyAction::SetTimer {
+                timer: PolicyTimer::SyncEdge,
+                at: next,
+            });
+        }
+    }
+
+    fn on_revive(&mut self, now: SimTime, out: &mut Vec<PolicyAction<P>>) {
+        out.push(PolicyAction::SetTimer {
+            timer: PolicyTimer::SyncEdge,
+            at: self.schedule.next_edge(now),
+        });
+    }
+}
+
+/// 802.11 PSM with traffic-advertisement windows.
+#[derive(Debug)]
+pub struct PsmPolicy<P> {
+    schedule: PsmSchedule,
+    run_end: SimTime,
+    beacon: PsmBeaconState,
+    /// Frames buffered per destination awaiting announcement.
+    pending: BTreeMap<NodeId, Vec<Frame<P>>>,
+}
+
+impl<P> PsmPolicy<P> {
+    /// A policy following `schedule`, with its beacon chain stopping at
+    /// `run_end`.
+    pub fn new(schedule: PsmSchedule, run_end: SimTime) -> Self {
+        PsmPolicy {
+            schedule,
+            run_end,
+            beacon: PsmBeaconState::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Frames currently buffered for `dest` (tests inspect buffering).
+    pub fn pending_for(&self, dest: NodeId) -> usize {
+        self.pending.get(&dest).map(Vec::len).unwrap_or(0)
+    }
+
+    fn try_sleep(&self, view: &NodeView, out: &mut Vec<PolicyAction<P>>) {
+        if !view.may_sleep || view.dead || !view.radio_active || !view.mac_can_suspend {
+            return;
+        }
+        let now = view.now;
+        let may_sleep = if self.schedule.in_atim_window(now) {
+            false
+        } else if self.schedule.in_adv_window(now) {
+            !self.beacon.must_stay_awake()
+        } else {
+            true
+        };
+        if may_sleep {
+            out.push(PolicyAction::Suspend);
+        }
+    }
+
+    fn release_to(&mut self, dest: NodeId, view: &NodeView, out: &mut Vec<PolicyAction<P>>) {
+        if view.dead || !self.beacon.may_send_to(dest) {
+            return;
+        }
+        for frame in self.pending.remove(&dest).unwrap_or_default() {
+            out.push(PolicyAction::Enqueue(frame));
+        }
+    }
+}
+
+impl<P: std::fmt::Debug + Send> PowerPolicy<P> for PsmPolicy<P> {
+    fn name(&self) -> &'static str {
+        "PSM"
+    }
+
+    fn collection_deadline(&self, q: &Query, k: u64, tree: &TreeInfo<'_>) -> SimTime {
+        q.round_start(k)
+            + self.schedule.beacon_period() * (tree.own_rank as u64 + 1)
+            + SCHEDULE_DEADLINE_GRACE
+    }
+
+    fn plan_release(
+        &mut self,
+        _q: &Query,
+        _k: u64,
+        ready_at: SimTime,
+        _tree: &TreeInfo<'_>,
+    ) -> Release {
+        // Ready reports go straight to dispatch; buffering happens
+        // there.
+        Release {
+            send_at: ready_at,
+            piggyback: None,
+        }
+    }
+
+    fn dispatch_report(
+        &mut self,
+        frame: Frame<P>,
+        dest: NodeId,
+        view: &NodeView,
+        out: &mut Vec<PolicyAction<P>>,
+    ) {
+        let now = view.now;
+        let confirmed = self.beacon.may_send_to(dest);
+        if confirmed && now >= self.schedule.atim_end(now) && now < self.schedule.adv_end(now) {
+            // Already cleared for this beacon interval.
+            out.push(PolicyAction::Enqueue(frame));
+            return;
+        }
+        self.pending.entry(dest).or_default().push(frame);
+        if self.schedule.in_atim_window(now) && self.beacon.announce(dest) {
+            out.push(PolicyAction::SendAtim { dest });
+        }
+    }
+
+    fn on_atim_received(&mut self, src: NodeId) {
+        self.beacon.atim_received(src);
+    }
+
+    fn on_atim_sent(&mut self, dest: NodeId, view: &NodeView, out: &mut Vec<PolicyAction<P>>) {
+        self.beacon.announce_confirmed(dest);
+        let atim_end = self.schedule.atim_end(view.now);
+        if view.now >= atim_end {
+            self.release_to(dest, view, out);
+        } else {
+            out.push(PolicyAction::SetTimer {
+                timer: PolicyTimer::PsmRelease { dest },
+                at: atim_end,
+            });
+        }
+    }
+
+    fn sleep_decision(
+        &mut self,
+        trigger: SleepTrigger,
+        view: &NodeView,
+        out: &mut Vec<PolicyAction<P>>,
+    ) {
+        if trigger == SleepTrigger::Boundary {
+            self.try_sleep(view, out);
+        }
+    }
+
+    fn initial_actions(&mut self, out: &mut Vec<PolicyAction<P>>) {
+        out.push(PolicyAction::SetTimer {
+            timer: PolicyTimer::PsmBeacon,
+            at: SimTime::ZERO,
+        });
+    }
+
+    fn on_timer(&mut self, timer: PolicyTimer, view: &NodeView, out: &mut Vec<PolicyAction<P>>) {
+        let now = view.now;
+        match timer {
+            PolicyTimer::PsmBeacon => {
+                out.push(PolicyAction::WakeRadio);
+                self.beacon.reset();
+                let dests: Vec<NodeId> = self.pending.keys().copied().collect();
+                for dest in dests {
+                    if self.beacon.announce(dest) {
+                        out.push(PolicyAction::SendAtim { dest });
+                    }
+                }
+                out.push(PolicyAction::SetTimer {
+                    timer: PolicyTimer::PsmAtimEnd,
+                    at: self.schedule.atim_end(now),
+                });
+                let next = self.schedule.next_beacon(now);
+                if next < self.run_end {
+                    out.push(PolicyAction::SetTimer {
+                        timer: PolicyTimer::PsmBeacon,
+                        at: next,
+                    });
+                }
+            }
+            PolicyTimer::PsmAtimEnd => {
+                if self.beacon.must_stay_awake() {
+                    out.push(PolicyAction::SetTimer {
+                        timer: PolicyTimer::PsmAdvEnd,
+                        at: self.schedule.adv_end(now),
+                    });
+                } else {
+                    self.try_sleep(view, out);
+                }
+            }
+            PolicyTimer::PsmAdvEnd => self.try_sleep(view, out),
+            PolicyTimer::PsmRelease { dest } => self.release_to(dest, view, out),
+            PolicyTimer::SyncEdge | PolicyTimer::Custom { .. } => {}
+        }
+    }
+
+    fn on_revive(&mut self, now: SimTime, out: &mut Vec<PolicyAction<P>>) {
+        self.pending.clear();
+        self.beacon = PsmBeaconState::new();
+        out.push(PolicyAction::SetTimer {
+            timer: PolicyTimer::PsmBeacon,
+            at: self.schedule.next_beacon(now),
+        });
+    }
+}
+
+/// The radio never sleeps: SPAN coordinators and the ALWAYS-ON
+/// baseline. `name` distinguishes the two uses in figures and tests.
+#[derive(Debug)]
+pub struct AlwaysOnPolicy {
+    name: &'static str,
+}
+
+impl AlwaysOnPolicy {
+    /// An always-on policy labelled `name` (`"ALWAYS-ON"` or `"SPAN"`).
+    pub fn new(name: &'static str) -> Self {
+        AlwaysOnPolicy { name }
+    }
+}
+
+impl<P> PowerPolicy<P> for AlwaysOnPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn collection_deadline(&self, q: &Query, k: u64, tree: &TreeInfo<'_>) -> SimTime {
+        // NTS's rank-proportional rule works for always-on nodes.
+        Nts::new().collection_deadline(q, k, tree)
+    }
+
+    fn plan_release(
+        &mut self,
+        _q: &Query,
+        _k: u64,
+        ready_at: SimTime,
+        _tree: &TreeInfo<'_>,
+    ) -> Release {
+        Release {
+            send_at: ready_at,
+            piggyback: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essat_net::frame::{Dest, FrameKind};
+    use essat_query::aggregate::AggregateOp;
+    use essat_query::model::QueryId;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn view(now: SimTime) -> NodeView {
+        NodeView {
+            now,
+            dead: false,
+            radio_active: true,
+            mac_quiescent: true,
+            mac_can_suspend: true,
+            may_sleep: true,
+            turn_off: SimDuration::from_micros(1_250),
+        }
+    }
+
+    fn query() -> Query {
+        Query::periodic(
+            QueryId::new(0),
+            SimDuration::from_millis(1_000),
+            SimTime::ZERO,
+            AggregateOp::Avg,
+        )
+    }
+
+    fn frame(dest: NodeId) -> Frame<u8> {
+        Frame {
+            id: essat_net::frame::FrameId::new(1),
+            src: NodeId::new(0),
+            dest: Dest::Unicast(dest),
+            kind: FrameKind::Data,
+            bytes: 52,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn sync_sleeps_only_outside_active_windows() {
+        let mut p = SyncPolicy::new(SyncSchedule::paper(), SimTime::from_secs(100));
+        let mut out: Vec<PolicyAction<u8>> = Vec::new();
+        // Inside the active window (paper schedule: first 40 ms): stay.
+        p.sleep_decision(SleepTrigger::Boundary, &view(ms(10)), &mut out);
+        assert!(out.is_empty());
+        // Outside: suspend.
+        p.sleep_decision(SleepTrigger::Boundary, &view(ms(60)), &mut out);
+        assert!(matches!(out[..], [PolicyAction::Suspend]));
+        // Quiesce triggers never put a SYNC node to sleep mid-window.
+        out.clear();
+        p.sleep_decision(SleepTrigger::Quiesce, &view(ms(60)), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sync_edge_wakes_and_rechains() {
+        let mut p = SyncPolicy::new(SyncSchedule::paper(), SimTime::from_secs(100));
+        let mut out: Vec<PolicyAction<u8>> = Vec::new();
+        // An edge at a window start wakes the radio and re-arms.
+        p.on_timer(PolicyTimer::SyncEdge, &view(ms(200)), &mut out);
+        assert!(matches!(out[0], PolicyAction::WakeRadio));
+        assert!(matches!(
+            out[1],
+            PolicyAction::SetTimer {
+                timer: PolicyTimer::SyncEdge,
+                at
+            } if at == ms(240)
+        ));
+        // The chain stops at the run end.
+        let mut p_end = SyncPolicy::new(SyncSchedule::paper(), ms(250));
+        out.clear();
+        p_end.on_timer(PolicyTimer::SyncEdge, &view(ms(240)), &mut out);
+        assert!(
+            !out.iter()
+                .any(|a| matches!(a, PolicyAction::SetTimer { .. })),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn sync_release_quantised_to_active_window() {
+        let mut p = SyncPolicy::new(SyncSchedule::paper(), SimTime::from_secs(100));
+        let q = query();
+        let rel = PowerPolicy::<u8>::plan_release(&mut p, &q, 0, ms(60), &TreeInfo::leaf(2));
+        assert_eq!(rel.send_at, ms(200), "waits out the sleep window");
+        let rel2 = PowerPolicy::<u8>::plan_release(&mut p, &q, 0, ms(10), &TreeInfo::leaf(2));
+        assert_eq!(rel2.send_at, ms(10), "already active: send immediately");
+    }
+
+    #[test]
+    fn psm_buffers_then_announces_in_atim_window() {
+        let mut p = PsmPolicy::new(PsmSchedule::paper(), SimTime::from_secs(100));
+        let dest = NodeId::new(7);
+        let mut out = Vec::new();
+        // Report ready inside the ATIM window: buffer + announce.
+        p.dispatch_report(frame(dest), dest, &view(ms(10)), &mut out);
+        assert!(matches!(out[..], [PolicyAction::SendAtim { dest: d }] if d == dest));
+        assert_eq!(p.pending_for(dest), 1);
+        // A second report for the same dest does not re-announce.
+        out.clear();
+        p.dispatch_report(frame(dest), dest, &view(ms(12)), &mut out);
+        assert!(out.is_empty(), "duplicate announcement suppressed");
+        assert_eq!(p.pending_for(dest), 2);
+    }
+
+    #[test]
+    fn psm_confirmed_announcement_releases_after_atim_end() {
+        let mut p = PsmPolicy::new(PsmSchedule::paper(), SimTime::from_secs(100));
+        let dest = NodeId::new(7);
+        let mut out = Vec::new();
+        p.dispatch_report(frame(dest), dest, &view(ms(10)), &mut out);
+        out.clear();
+        // ACK arrives still inside the ATIM window: arm the release
+        // timer for the window's end.
+        p.on_atim_sent(dest, &view(ms(20)), &mut out);
+        assert!(matches!(
+            out[..],
+            [PolicyAction::SetTimer {
+                timer: PolicyTimer::PsmRelease { dest: d },
+                at
+            }] if d == dest && at == ms(25)
+        ));
+        // The timer fires: buffered data flows.
+        out.clear();
+        p.on_timer(PolicyTimer::PsmRelease { dest }, &view(ms(25)), &mut out);
+        assert!(matches!(out[..], [PolicyAction::Enqueue(_)]));
+        assert_eq!(p.pending_for(dest), 0);
+    }
+
+    #[test]
+    fn psm_beacon_wakes_announces_and_rechains() {
+        let mut p = PsmPolicy::new(PsmSchedule::paper(), SimTime::from_secs(100));
+        let dest = NodeId::new(3);
+        let mut out = Vec::new();
+        // Buffer outside the ATIM window (no announcement possible).
+        p.dispatch_report(frame(dest), dest, &view(ms(150)), &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        // The next beacon announces it.
+        p.on_timer(PolicyTimer::PsmBeacon, &view(ms(200)), &mut out);
+        assert!(matches!(out[0], PolicyAction::WakeRadio));
+        assert!(matches!(out[1], PolicyAction::SendAtim { dest: d } if d == dest));
+        assert!(matches!(
+            out[2],
+            PolicyAction::SetTimer {
+                timer: PolicyTimer::PsmAtimEnd,
+                at
+            } if at == ms(225)
+        ));
+        assert!(matches!(
+            out[3],
+            PolicyAction::SetTimer {
+                timer: PolicyTimer::PsmBeacon,
+                at
+            } if at == ms(400)
+        ));
+    }
+
+    #[test]
+    fn psm_idle_node_sleeps_at_atim_end() {
+        let mut p = PsmPolicy::new(PsmSchedule::paper(), SimTime::from_secs(100));
+        let mut out: Vec<PolicyAction<u8>> = Vec::new();
+        p.on_timer(PolicyTimer::PsmAtimEnd, &view(ms(25)), &mut out);
+        assert!(
+            matches!(out[..], [PolicyAction::Suspend]),
+            "idle node sleeps through the advertisement window: {out:?}"
+        );
+        // A node that heard an announcement stays awake until AdvEnd.
+        let mut busy = PsmPolicy::new(PsmSchedule::paper(), SimTime::from_secs(100));
+        PowerPolicy::<u8>::on_atim_received(&mut busy, NodeId::new(9));
+        out.clear();
+        busy.on_timer(PolicyTimer::PsmAtimEnd, &view(ms(25)), &mut out);
+        assert!(matches!(
+            out[..],
+            [PolicyAction::SetTimer {
+                timer: PolicyTimer::PsmAdvEnd,
+                at
+            }] if at == ms(125)
+        ));
+    }
+
+    #[test]
+    fn psm_revival_resets_interval_state() {
+        let mut p = PsmPolicy::new(PsmSchedule::paper(), SimTime::from_secs(100));
+        let dest = NodeId::new(3);
+        let mut out = Vec::new();
+        p.dispatch_report(frame(dest), dest, &view(ms(10)), &mut out);
+        out.clear();
+        p.on_revive(ms(310), &mut out);
+        assert_eq!(p.pending_for(dest), 0, "buffered frames dropped at death");
+        assert!(matches!(
+            out[..],
+            [PolicyAction::SetTimer {
+                timer: PolicyTimer::PsmBeacon,
+                at
+            }] if at == ms(400)
+        ));
+    }
+
+    #[test]
+    fn always_on_never_sleeps() {
+        let mut p = AlwaysOnPolicy::new("ALWAYS-ON");
+        let mut out: Vec<PolicyAction<u8>> = Vec::new();
+        p.sleep_decision(SleepTrigger::Boundary, &view(ms(60)), &mut out);
+        p.sleep_decision(SleepTrigger::Quiesce, &view(ms(60)), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(PowerPolicy::<u8>::name(&p), "ALWAYS-ON");
+        let rel = PowerPolicy::<u8>::plan_release(&mut p, &query(), 0, ms(60), &TreeInfo::leaf(2));
+        assert_eq!(rel.send_at, ms(60), "greedy forwarding");
+    }
+}

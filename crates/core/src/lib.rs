@@ -20,6 +20,12 @@
 //! * [`maintenance`] — §4.3 robustness: loss detection, DTS phase
 //!   resynchronisation, and failure detection for parents/children.
 //!
+//! The [`policy`] module packages the combination behind the pluggable
+//! [`policy::PowerPolicy`] trait — the seam between the simulator's
+//! protocol-agnostic executor and any power-management protocol
+//! (ESSAT variants here, baselines in `essat-baselines`, custom
+//! policies out of tree).
+//!
 //! The crate is engine-free: every type is a deterministic state machine
 //! driven by the `essat-wsn` node stack and unit-testable in isolation.
 
@@ -29,6 +35,7 @@
 pub mod dts;
 pub mod maintenance;
 pub mod nts;
+pub mod policy;
 pub mod safe_sleep;
 pub mod shaper;
 pub mod sts;
@@ -38,6 +45,9 @@ pub mod prelude {
     pub use crate::dts::{Dts, DtsConfig};
     pub use crate::maintenance::{FailureDetector, LossDetector, LossObservation, ResyncPolicy};
     pub use crate::nts::Nts;
+    pub use crate::policy::{
+        EssatPolicy, NodeView, PolicyAction, PolicyTimer, PowerPolicy, SleepTrigger,
+    };
     pub use crate::safe_sleep::{SafeSleep, SleepDecision};
     pub use crate::shaper::{Expectations, Release, ShaperKind, TrafficShaper, TreeInfo};
     pub use crate::sts::{Sts, StsConfig};

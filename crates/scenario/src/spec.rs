@@ -1,9 +1,8 @@
 //! Declarative scenario specifications.
 //!
 //! A [`ScenarioSpec`] describes *what* the environment does over a run;
-//! [`ScenarioSpec::compile`](crate::spec::ScenarioSpec::compile) turns
-//! it into the explicit, seeded event stream
-//! ([`CompiledScenario`](crate::compile::CompiledScenario)) the
+//! [`ScenarioSpec::compile`] turns it into the explicit, seeded event
+//! stream ([`CompiledScenario`]) the
 //! simulator consumes and the trace codec records.
 
 use essat_sim::time::{SimDuration, SimTime};

@@ -9,66 +9,7 @@ use essat_query::aggregate::AggregateOp;
 use essat_scenario::spec::Scenario;
 use essat_sim::time::{SimDuration, SimTime};
 
-/// Which power-management protocol every node runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Protocol {
-    /// ESSAT with no traffic shaping (NTS-SS).
-    NtsSs,
-    /// ESSAT with the static traffic shaper (STS-SS).
-    StsSs,
-    /// ESSAT with the dynamic traffic shaper (DTS-SS).
-    DtsSs,
-    /// Fixed 20%-duty synchronous wakeup.
-    Sync,
-    /// 802.11 PSM with advertisement windows.
-    Psm,
-    /// SPAN backbone (tree non-leaves always on, leaves run NTS-SS).
-    Span,
-    /// TinyDB/TAG level-slot scheduling under Safe Sleep (related-work
-    /// comparison, not in the paper's figures).
-    TagSs,
-    /// Radios never sleep (sanity baseline, not in the paper's figures).
-    AlwaysOn,
-}
-
-impl Protocol {
-    /// All protocols the paper plots (Figures 3–7).
-    pub fn paper_set() -> [Protocol; 6] {
-        [
-            Protocol::DtsSs,
-            Protocol::StsSs,
-            Protocol::NtsSs,
-            Protocol::Psm,
-            Protocol::Span,
-            Protocol::Sync,
-        ]
-    }
-
-    /// The three ESSAT variants.
-    pub fn essat_set() -> [Protocol; 3] {
-        [Protocol::DtsSs, Protocol::StsSs, Protocol::NtsSs]
-    }
-
-    /// Display name as used in the paper's figures.
-    pub fn label(self) -> &'static str {
-        match self {
-            Protocol::NtsSs => "NTS-SS",
-            Protocol::StsSs => "STS-SS",
-            Protocol::DtsSs => "DTS-SS",
-            Protocol::Sync => "SYNC",
-            Protocol::Psm => "PSM",
-            Protocol::Span => "SPAN",
-            Protocol::TagSs => "TAG-SS",
-            Protocol::AlwaysOn => "ALWAYS-ON",
-        }
-    }
-}
-
-impl std::fmt::Display for Protocol {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
+pub use crate::protocol::Protocol;
 
 /// Specification of the periodic query workload.
 ///
@@ -364,14 +305,6 @@ mod tests {
         let cfg2 = ExperimentConfig::quick(Protocol::Sync, WorkloadSpec::paper(1.0), 4)
             .with_scenario(Scenario::Spec(presets::energy_drain(run)));
         cfg2.validate();
-    }
-
-    #[test]
-    fn protocol_labels() {
-        assert_eq!(Protocol::DtsSs.to_string(), "DTS-SS");
-        assert_eq!(Protocol::Span.label(), "SPAN");
-        assert_eq!(Protocol::paper_set().len(), 6);
-        assert_eq!(Protocol::essat_set().len(), 3);
     }
 
     #[test]

@@ -7,8 +7,13 @@
 //! * [`config`] — the paper's §5 experimental setup as data
 //!   ([`config::ExperimentConfig::paper`]) plus a reduced
 //!   [`config::ExperimentConfig::quick`] scale for tests and benches.
-//! * [`sim`] — the [`sim::World`]: per-node stacks (radio + CSMA/CA MAC +
-//!   power manager + query agent) over the deterministic engine.
+//! * [`protocol`] — the protocol catalogue: naming (display/parse) and
+//!   the [`protocol::Protocol::build_policy`] factory, the one place a
+//!   protocol choice becomes behaviour.
+//! * [`sim`] — the [`sim::World`]: a protocol-agnostic executor driving
+//!   per-node stacks (radio + CSMA/CA MAC + pluggable
+//!   [`essat_core::policy::PowerPolicy`] + query agent) over the
+//!   deterministic engine.
 //! * [`metrics`] — duty cycles (per node / per rank), query latencies,
 //!   sleep-interval histograms, phase-update overhead.
 //! * [`runner`] — the paper's five-runs-with-90%-CI protocol, threaded.
@@ -34,6 +39,7 @@
 pub mod config;
 pub mod metrics;
 pub mod payload;
+pub mod protocol;
 pub mod runner;
 pub mod sim;
 
@@ -42,6 +48,7 @@ pub mod prelude {
     pub use crate::config::{ExperimentConfig, Protocol, SetupMode, WorkloadSpec};
     pub use crate::metrics::{MacTotals, NodeMetrics, QueryMetrics, RunResult};
     pub use crate::payload::Payload;
+    pub use crate::protocol::{PolicyEnv, PolicyFactory};
     pub use crate::runner::{run_many, run_one, run_summary, Summary};
     pub use crate::sim::{Ev, World};
 }

@@ -210,6 +210,107 @@ impl RunResult {
     pub fn window(&self) -> SimDuration {
         self.measured_until - self.measured_from
     }
+
+    /// A 64-bit FNV-1a digest over every metric of the run, including
+    /// per-round traces, per-node duty/energy bit patterns, the
+    /// sleep-interval histogram, and the engine's event count.
+    ///
+    /// Two runs digest equal iff they produced byte-identical metrics,
+    /// so committed golden digests pin the simulator's observable
+    /// behaviour across refactors (see `tests/golden_digests.rs`).
+    pub fn digest(&self) -> String {
+        let mut h = Fnv1a::new();
+        h.u64(self.seed);
+        h.u64(self.measured_from.as_nanos());
+        h.u64(self.measured_until.as_nanos());
+        h.u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            h.u64(n.node.as_u32() as u64);
+            h.u64(n.rank as u64);
+            h.u64(n.level as u64);
+            h.u64(n.duty_cycle.to_bits());
+            h.u64(n.energy_j.to_bits());
+        }
+        h.u64(self.queries.len() as u64);
+        for q in &self.queries {
+            h.u64(q.query.as_u32() as u64);
+            h.u64(q.rate_hz.to_bits());
+            h.u64(q.latency.count());
+            if !q.latency.is_empty() {
+                h.u64(q.latency.mean().to_bits());
+                h.u64(q.latency.min().to_bits());
+                h.u64(q.latency.max().to_bits());
+            }
+            h.u64(q.rounds_completed);
+            h.u64(q.rounds_full);
+            h.u64(q.delivered_readings);
+            h.u64(q.expected_readings);
+            h.u64(q.records.len() as u64);
+            for r in &q.records {
+                h.u64(r.round);
+                h.u64(r.at.as_nanos());
+                h.u64(r.latency_s.to_bits());
+                h.u64(r.full as u64);
+                h.u64(r.readings);
+            }
+        }
+        h.u64(self.sleep_intervals.total());
+        h.u64(self.sleep_intervals.overflow());
+        for (_, count) in self.sleep_intervals.iter() {
+            h.u64(count);
+        }
+        h.u64(self.phase_piggybacks);
+        h.u64(self.phase_requests);
+        h.u64(self.reports_sent);
+        h.u64(self.mac.enqueued);
+        h.u64(self.mac.data_tx);
+        h.u64(self.mac.delivered);
+        h.u64(self.mac.failed);
+        h.u64(self.mac.retries);
+        h.u64(self.lifetime.deaths.len() as u64);
+        for &(at, node) in &self.lifetime.deaths {
+            h.u64(at.as_nanos());
+            h.u64(node.as_u32() as u64);
+        }
+        h.u64(
+            self.lifetime
+                .first_death
+                .map(|t| t.as_nanos())
+                .unwrap_or(u64::MAX),
+        );
+        h.u64(
+            self.lifetime
+                .partition
+                .map(|t| t.as_nanos())
+                .unwrap_or(u64::MAX),
+        );
+        h.u64(self.lifetime.recoveries);
+        h.u64(self.channel_transmissions);
+        h.u64(self.channel_collisions);
+        h.u64(self.events_processed);
+        h.u64(self.peak_queue_depth);
+        format!("{:016x}", h.finish())
+    }
+}
+
+/// Minimal streaming FNV-1a (64-bit) over little-endian words.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]

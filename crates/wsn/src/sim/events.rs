@@ -1,0 +1,116 @@
+//! The simulator's event alphabet.
+//!
+//! Everything the engine can deliver to the [`super::World`]. Protocol
+//! behaviour never adds variants here: policies arm [`PolicyTimer`]s
+//! through the generic [`Ev::Policy`] event, so the alphabet is closed
+//! over the executor's own machinery (rounds, MAC, radio, lifecycle).
+
+use essat_core::policy::PolicyTimer;
+use essat_net::channel::TxId;
+use essat_net::frame::Frame;
+use essat_net::ids::NodeId;
+use essat_net::mac::MacTimer;
+
+use crate::payload::Payload;
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Ev {
+    /// End of the setup slot: metrics snapshot + first sleep decisions.
+    SetupEnd,
+    /// A forced-awake window (flooded query dissemination) closed.
+    ForcedWindowEnd,
+    /// Round `round` of query `query` begins at `node` (local sampling).
+    RoundStart {
+        /// Sampling node.
+        node: NodeId,
+        /// Query index.
+        query: usize,
+        /// Round number.
+        round: u64,
+    },
+    /// Collection timeout for `(node, query, round)`.
+    CollectionTimeout {
+        /// Aggregating node.
+        node: NodeId,
+        /// Query index.
+        query: usize,
+        /// Round number.
+        round: u64,
+        /// Staleness guard.
+        gen: u64,
+    },
+    /// A buffered report reaches its policy release time.
+    ReleaseReport {
+        /// Sending node.
+        node: NodeId,
+        /// Query index.
+        query: usize,
+        /// Round number.
+        round: u64,
+    },
+    /// MAC timer expiry.
+    MacTimer {
+        /// Owning node.
+        node: NodeId,
+        /// Timer class.
+        kind: MacTimer,
+        /// Generation echo.
+        gen: u64,
+    },
+    /// A transmission leaves the air.
+    TxEnd {
+        /// Transmitting node.
+        sender: NodeId,
+        /// Channel handle.
+        tx: TxId,
+        /// The frame (delivered to clean receivers).
+        frame: Frame<Payload>,
+    },
+    /// A radio power transition completes.
+    RadioDone {
+        /// Owning node.
+        node: NodeId,
+    },
+    /// Safe-Sleep-scheduled wake-up (`t_wakeup − t_OFF→ON`).
+    RadioWake {
+        /// Owning node.
+        node: NodeId,
+        /// Staleness guard.
+        gen: u64,
+    },
+    /// A policy timer expired (SYNC edges, PSM windows, …).
+    Policy {
+        /// Owning node.
+        node: NodeId,
+        /// Which timer.
+        timer: PolicyTimer,
+        /// Schedule-chain staleness guard (churn recovery re-arms
+        /// chains; a stale pending chain event must not duplicate the
+        /// fresh one). Checked only for [`PolicyTimer::is_chain`]
+        /// timers.
+        gen: u64,
+    },
+    /// Scripted or scenario node failure.
+    NodeFail {
+        /// The failing node.
+        node: NodeId,
+    },
+    /// Scenario churn recovery: a dead node comes back.
+    NodeRecover {
+        /// The recovering node.
+        node: NodeId,
+    },
+    /// Periodic battery-depletion sweep (scenario battery model).
+    BatteryCheck,
+    /// Flooded setup: the root issues a query announcement.
+    FloodIssue {
+        /// Query index.
+        query: usize,
+    },
+    /// Flooded setup: wake everyone for the setup window.
+    ForceWake {
+        /// Node to wake.
+        node: NodeId,
+    },
+}

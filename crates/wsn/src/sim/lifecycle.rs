@@ -1,0 +1,360 @@
+//! Node lifecycle: failures, churn recovery, battery depletion, and
+//! the §4.3 routing-tree repair.
+
+use essat_core::policy::SleepTrigger;
+use essat_core::shaper::TreeInfo;
+use essat_net::ids::NodeId;
+use essat_net::mac::Mac;
+use essat_query::model::QueryId;
+use essat_sim::engine::Context;
+use essat_sim::time::SimTime;
+
+use super::events::Ev;
+use super::world::World;
+
+impl World {
+    pub(crate) fn handle_node_fail(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        self.kill_node(node, ctx.now());
+        // Detectors at the neighbours drive the repair.
+    }
+
+    /// Marks `node` dead at `now` (scripted failure, churn, or battery
+    /// depletion), settles its energy accounting, and records the
+    /// network-lifetime marks.
+    pub(crate) fn kill_node(&mut self, node: NodeId, now: SimTime) {
+        {
+            let n = &mut self.nodes[node.index()];
+            if n.dead {
+                return;
+            }
+            n.dead = true;
+            n.died_at = Some(now);
+            n.radio.settle(now);
+        }
+        if self.nodes[node.index()].member {
+            self.lifetime.deaths.push((now, node));
+            if self.lifetime.first_death.is_none() {
+                self.lifetime.first_death = Some(now);
+            }
+            if self.lifetime.partition.is_none() && self.is_partitioned() {
+                self.lifetime.partition = Some(now);
+            }
+        }
+    }
+
+    /// True once some live tree member has no path of live nodes to the
+    /// root (or the root itself is dead) — the lifetime figure's
+    /// "time to partition" mark. Only evaluated on deaths, so the BFS
+    /// cost is negligible.
+    pub(crate) fn is_partitioned(&self) -> bool {
+        if self.nodes[self.root.index()].dead {
+            return true;
+        }
+        let alive: Vec<NodeId> = self
+            .topo
+            .nodes()
+            .filter(|&m| self.nodes[m.index()].member && !self.nodes[m.index()].dead)
+            .collect();
+        !self.topo.is_connected_subset(self.root, &alive)
+    }
+
+    /// Scenario churn recovery. The node comes back with a fresh MAC
+    /// and an `Active` radio (its spent battery is *not* refilled) and
+    /// re-enters the tree: in place if the failure detectors never
+    /// removed it, otherwise as a leaf under its best live neighbour
+    /// (an idealised re-join — §4.3 only specifies departure repair).
+    pub(crate) fn handle_node_recover(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        if !self.nodes[node.index()].dead {
+            return;
+        }
+        // Fresh lower layers; the MAC RNG gets a new derived stream per
+        // revival so replays stay deterministic.
+        let mac_rng = {
+            let revival = self.nodes[node.index()].revivals + 1;
+            let stream = node.as_u32() as u64 + self.cfg.nodes as u64 * revival;
+            self.master.derive2(4, stream)
+        };
+        {
+            let n = &mut self.nodes[node.index()];
+            n.dead = false;
+            n.died_at = None;
+            n.revivals += 1;
+            n.radio.resurrect(now);
+            let old = std::mem::replace(&mut n.mac, Mac::new(node, self.cfg.mac, mac_rng));
+            let ms = old.stats();
+            self.mac_lost.enqueued += ms.enqueued;
+            self.mac_lost.data_tx += ms.data_tx;
+            self.mac_lost.delivered += ms.delivered;
+            self.mac_lost.failed += ms.failed;
+            self.mac_lost.retries += ms.retries;
+            n.rounds.clear();
+            n.loss = essat_core::maintenance::LossDetector::new();
+            n.child_fail =
+                essat_core::maintenance::FailureDetector::new(super::node::CHILD_FAIL_THRESHOLD);
+            n.parent_fail =
+                essat_core::maintenance::FailureDetector::new(super::node::PARENT_FAIL_THRESHOLD);
+            n.stale_phase.clear();
+            n.recheck_on_wake = false;
+        }
+        self.lifetime.recoveries += 1;
+        if self.nodes[node.index()].member {
+            if self.tree.is_member(node) {
+                // Still in the tree: resume schedules where they stand.
+                self.refresh_node_schedule(node, now);
+                self.restart_round_chains(node, ctx);
+            } else {
+                self.rejoin_tree(node, ctx);
+            }
+        }
+        // Re-arm the policy's schedule chain (it stopped at death) and
+        // reset its per-interval state; the bumped generation drops any
+        // stale pending chain events.
+        {
+            self.nodes[node.index()].sched_gen += 1;
+            let mut acts = self.take_acts();
+            self.nodes[node.index()].policy.on_revive(now, &mut acts);
+            self.exec_policy_actions(node, &mut acts, ctx);
+            self.put_acts(acts);
+        }
+        if !self.nodes[node.index()].member {
+            // Never part of the tree: revive and go straight back to
+            // sleep, as after setup.
+            let n = &self.nodes[node.index()];
+            if self.setup_over && n.radio.is_active() && n.mac.can_suspend() {
+                self.suspend_radio(node, ctx);
+            }
+            return;
+        }
+        self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+    }
+
+    /// Restarts the per-query round chains of a revived node from the
+    /// next round boundary (the chains break while a node is dead).
+    pub(crate) fn restart_round_chains(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let qis: Vec<usize> = self.nodes[node.index()]
+            .participating
+            .iter()
+            .copied()
+            .collect();
+        for qi in qis {
+            let q = self.query(qi);
+            let k0 = Self::next_round_at(&q, now);
+            self.refuse_rounds_before(node, qi, k0);
+            let at = q.round_start(k0);
+            if at < self.run_end {
+                ctx.schedule_at(
+                    at.max(now),
+                    Ev::RoundStart {
+                        node,
+                        query: qi,
+                        round: k0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A revived node has no data for rounds that began while it was
+    /// dead: mark them done so straggler reports cannot reopen them
+    /// (which would re-release rounds the policy already advanced past).
+    pub(crate) fn refuse_rounds_before(&mut self, node: NodeId, qi: usize, k0: u64) {
+        if k0 == 0 {
+            return;
+        }
+        self.nodes[node.index()]
+            .done
+            .entry(qi)
+            .and_modify(|d| *d = (*d).max(k0 - 1))
+            .or_insert(k0 - 1);
+    }
+
+    /// Re-attaches a recovered node that the repair machinery had
+    /// removed from the tree, then re-registers its queries and
+    /// refreshes every node whose schedule the rank changes touch
+    /// (mirrors [`World::repair_tree`]).
+    pub(crate) fn rejoin_tree(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let old_rank: Vec<u32> = self.topo.nodes().map(|n| self.tree.rank(n)).collect();
+        let old_max = self.tree.max_rank();
+        let Some(parent) = self.tree.rejoin_node(&self.topo, node) else {
+            return; // still cut off; a later recovery may bridge it back
+        };
+        {
+            let n = &mut self.nodes[node.index()];
+            n.participating.clear();
+            n.expected_children.clear();
+            for qi in 0..self.queries.len() {
+                n.policy.forget_query(QueryId::new(qi as u32));
+            }
+        }
+        for qi in 0..self.queries.len() {
+            if let Some((round, at)) = self.register_query_at(node, qi, now) {
+                self.refuse_rounds_before(node, qi, round);
+                ctx.schedule_at(
+                    at.max(now),
+                    Ev::RoundStart {
+                        node,
+                        query: qi,
+                        round,
+                    },
+                );
+            }
+        }
+        let max_changed = self.tree.max_rank() != old_max;
+        for m in self.topo.nodes() {
+            if m == node || !self.tree.is_member(m) {
+                continue;
+            }
+            let rank_changed = self.tree.rank(m) != old_rank[m.index()];
+            let gained_child = parent == m;
+            if rank_changed || gained_child || max_changed {
+                self.refresh_node_schedule(m, now);
+                self.refresh_wake(m, ctx);
+            }
+        }
+    }
+
+    /// The periodic battery sweep: settle accounting and kill nodes
+    /// whose cumulative radio energy exceeds the scenario's capacity.
+    pub(crate) fn handle_battery_check(&mut self, ctx: &mut Context<'_, Ev>) {
+        let Some(b) = self.scenario.as_ref().and_then(|s| s.battery) else {
+            return;
+        };
+        let now = ctx.now();
+        let mut depleted = Vec::new();
+        for node in self.topo.nodes() {
+            let n = &mut self.nodes[node.index()];
+            if n.dead {
+                continue;
+            }
+            n.radio.settle(now);
+            if n.radio.energy_j() >= b.capacity_j {
+                depleted.push(node);
+            }
+        }
+        for node in depleted {
+            self.kill_node(node, now);
+        }
+        let next = now + b.check_period;
+        if next < self.run_end {
+            ctx.schedule_at(next, Ev::BatteryCheck);
+        }
+    }
+
+    /// Routing-layer repair after `failed` is declared dead: re-parent
+    /// orphans, recompute ranks, and notify every node whose schedule
+    /// depends on the topology (§4.3).
+    pub(crate) fn repair_tree(&mut self, failed: NodeId, ctx: &mut Context<'_, Ev>) {
+        if !self.tree.is_member(failed) || failed == self.root {
+            return;
+        }
+        let now = ctx.now();
+        let old_parent = self.tree.parent(failed);
+        let old_rank: Vec<u32> = self.topo.nodes().map(|n| self.tree.rank(n)).collect();
+        let old_max = self.tree.max_rank();
+        let was_member: Vec<bool> = self.topo.nodes().map(|n| self.tree.is_member(n)).collect();
+        let moved = self.tree.fail_node(&self.topo, failed);
+
+        // The failed node — and any orphan subtree that could not
+        // re-attach and therefore dropped out of the tree — stops
+        // participating entirely. Without this, dropped nodes keep
+        // running their query machinery against a tree that no longer
+        // contains them (or their children).
+        for m in self.topo.nodes() {
+            if !was_member[m.index()] || self.tree.is_member(m) {
+                continue;
+            }
+            let n = &mut self.nodes[m.index()];
+            n.participating.clear();
+            n.rounds.clear();
+            n.expected_children.clear();
+            for qi in 0..self.queries.len() {
+                n.policy.forget_query(QueryId::new(qi as u32));
+            }
+        }
+
+        // Its old parent drops every dependency on it.
+        if let Some(p) = old_parent {
+            let qids: Vec<usize> = self.nodes[p.index()]
+                .participating
+                .iter()
+                .copied()
+                .collect();
+            for qi in qids {
+                let q = self.query(qi);
+                let n = &mut self.nodes[p.index()];
+                if let Some(kids) = n.expected_children.get_mut(&qi) {
+                    kids.retain(|&c| c != failed);
+                }
+                n.policy.on_child_removed(&q, failed);
+                n.loss.remove_child(failed);
+                n.child_fail.remove(failed);
+                // Unblock open rounds that waited on the failed child.
+                let open: Vec<u64> = n
+                    .rounds
+                    .iter()
+                    .filter(|(rk, _)| rk.query == q.id)
+                    .map(|(rk, _)| rk.round)
+                    .collect();
+                for k in open {
+                    let key = essat_query::round::RoundKey {
+                        query: q.id,
+                        round: k,
+                    };
+                    if let Some(r) = self.nodes[p.index()].rounds.get_mut(&key) {
+                        r.agg.remove_child(failed);
+                    }
+                    self.maybe_complete(p, qi, k, ctx);
+                }
+            }
+        }
+
+        // Nodes affected by rank changes or re-parenting refresh their
+        // schedules.
+        let max_changed = self.tree.max_rank() != old_max;
+        for m in self.topo.nodes() {
+            if !self.tree.is_member(m) {
+                continue;
+            }
+            let rank_changed = self.tree.rank(m) != old_rank[m.index()];
+            let reparented = moved.contains(&m);
+            let gained_child = moved.iter().any(|&o| self.tree.parent(o) == Some(m));
+            if !(rank_changed || reparented || gained_child || max_changed) {
+                continue;
+            }
+            self.refresh_node_schedule(m, now);
+            self.refresh_wake(m, ctx);
+        }
+    }
+
+    /// Re-derives a node's expected-children lists and policy schedule
+    /// state from the current tree.
+    pub(crate) fn refresh_node_schedule(&mut self, node: NodeId, now: SimTime) {
+        let is_root = node == self.root;
+        let kids_now: Vec<NodeId> = self.tree.children(node).to_vec();
+        let (own_rank, max_rank, own_level, max_level, kid_ranks) = self.tree_view(node);
+        // Returned to the pool at the end of the function.
+        let qids: Vec<usize> = self.nodes[node.index()]
+            .participating
+            .iter()
+            .copied()
+            .collect();
+        for qi in qids {
+            let q = self.query(qi);
+            let n = &mut self.nodes[node.index()];
+            let old_kids = n.expected_children.insert(qi, kids_now.clone());
+            let info = TreeInfo {
+                own_rank,
+                max_rank,
+                own_level,
+                max_level,
+                children: &kid_ranks,
+            };
+            n.policy
+                .on_topology_change(&q, &info, is_root, now, &kids_now, old_kids.as_deref());
+        }
+        self.put_kids(kid_ranks);
+    }
+}

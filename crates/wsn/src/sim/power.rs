@@ -1,0 +1,326 @@
+//! Power and link-layer plumbing: executing policy actions, MAC action
+//! fan-out, radio transitions, and the sleep checkpoints.
+//!
+//! This is where [`PolicyAction`]s become engine events. The executor
+//! applies whatever the node's [`essat_core::policy::PowerPolicy`]
+//! emitted, strictly in order, and never decides protocol behaviour on
+//! its own.
+
+use essat_baselines::psm::ATIM_BYTES;
+use essat_core::policy::{NodeView, PolicyAction, PolicyTimer, SleepTrigger};
+use essat_net::channel::TxId;
+use essat_net::frame::{Dest, Frame, FrameKind};
+use essat_net::ids::NodeId;
+use essat_net::mac::MacAction;
+use essat_net::radio::TransitionOutcome;
+use essat_sim::engine::Context;
+use essat_sim::time::SimTime;
+
+use super::events::Ev;
+use super::world::World;
+use crate::payload::Payload;
+
+impl World {
+    /// Snapshot of a node's lower layers for a policy call.
+    pub(crate) fn node_view(&self, node: NodeId, now: SimTime) -> NodeView {
+        let n = &self.nodes[node.index()];
+        NodeView {
+            now,
+            dead: n.dead,
+            radio_active: n.radio.is_active(),
+            mac_quiescent: n.mac.is_quiescent(),
+            mac_can_suspend: n.mac.can_suspend(),
+            may_sleep: self.setup_over && !self.in_forced_window(now),
+            turn_off: n.radio.params().turn_off,
+        }
+    }
+
+    /// A recycled action buffer (policies run on every event; steady-
+    /// state execution must not allocate).
+    pub(crate) fn take_acts(&mut self) -> Vec<PolicyAction<Payload>> {
+        self.act_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns an action buffer to the pool.
+    pub(crate) fn put_acts(&mut self, mut acts: Vec<PolicyAction<Payload>>) {
+        acts.clear();
+        self.act_pool.push(acts);
+    }
+
+    /// Applies policy actions in emission order.
+    pub(crate) fn exec_policy_actions(
+        &mut self,
+        node: NodeId,
+        acts: &mut Vec<PolicyAction<Payload>>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        for action in acts.drain(..) {
+            match action {
+                PolicyAction::WakeRadio => self.wake_radio(node, ctx),
+                PolicyAction::SetTimer { timer, at } => {
+                    let gen = self.nodes[node.index()].sched_gen;
+                    ctx.schedule_at(at, Ev::Policy { node, timer, gen });
+                }
+                PolicyAction::SendAtim { dest } => {
+                    let frame = {
+                        let n = &mut self.nodes[node.index()];
+                        Frame {
+                            id: n.mac.alloc_frame_id(),
+                            src: node,
+                            dest: Dest::Unicast(dest),
+                            kind: FrameKind::Data,
+                            bytes: ATIM_BYTES,
+                            payload: Payload::Atim,
+                        }
+                    };
+                    self.enqueue_frame(node, frame, ctx);
+                }
+                PolicyAction::Enqueue(frame) => self.enqueue_frame(node, frame, ctx),
+                PolicyAction::Sleep { wake_at } => {
+                    self.suspend_radio(node, ctx);
+                    let n = &mut self.nodes[node.index()];
+                    n.wake_gen += 1;
+                    if let Some(at) = wake_at {
+                        let gen = n.wake_gen;
+                        ctx.schedule_at(at, Ev::RadioWake { node, gen });
+                    }
+                }
+                PolicyAction::Suspend => self.suspend_radio(node, ctx),
+            }
+        }
+    }
+
+    /// The radio-suspend handshake shared by every sleep path: park
+    /// the MAC, start the ON→OFF transition, and schedule its
+    /// completion. Callers are responsible for the guards (the radio
+    /// must be active).
+    pub(crate) fn suspend_radio(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let n = &mut self.nodes[node.index()];
+        n.mac.radio_slept(now);
+        let d = n.radio.begin_sleep(now).expect("radio is active");
+        ctx.schedule_after(d, Ev::RadioDone { node });
+    }
+
+    /// Gives the node's policy a chance to sleep (`checkState` call
+    /// sites and protocol-agnostic boundaries).
+    pub(crate) fn sleep_checkpoint(
+        &mut self,
+        node: NodeId,
+        trigger: SleepTrigger,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let view = self.node_view(node, ctx.now());
+        let mut acts = self.take_acts();
+        self.nodes[node.index()]
+            .policy
+            .sleep_decision(trigger, &view, &mut acts);
+        self.exec_policy_actions(node, &mut acts, ctx);
+        self.put_acts(acts);
+    }
+
+    /// A policy timer expired: route it back into the policy. Chain
+    /// timers (SYNC edges, PSM beacons) are generation-guarded so a
+    /// churn-revived node's re-armed chain is not duplicated by a stale
+    /// pending expiry.
+    pub(crate) fn handle_policy_timer(
+        &mut self,
+        node: NodeId,
+        timer: PolicyTimer,
+        gen: u64,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        {
+            let n = &self.nodes[node.index()];
+            if timer.is_chain() && (n.dead || gen != n.sched_gen) {
+                return;
+            }
+        }
+        let view = self.node_view(node, ctx.now());
+        let mut acts = self.take_acts();
+        self.nodes[node.index()]
+            .policy
+            .on_timer(timer, &view, &mut acts);
+        self.exec_policy_actions(node, &mut acts, ctx);
+        self.put_acts(acts);
+    }
+
+    // ------------------------------------------------------------------
+    // MAC plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn exec_mac_actions(
+        &mut self,
+        node: NodeId,
+        actions: Vec<MacAction<Payload>>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        for action in actions {
+            match action {
+                MacAction::SetTimer { kind, gen, after } => {
+                    ctx.schedule_after(after, Ev::MacTimer { node, kind, gen });
+                }
+                MacAction::StartTx { frame, airtime } => {
+                    let start = self.channel.begin_tx(ctx.now(), node, airtime);
+                    for i in 0..start.now_busy.len() {
+                        let h = start.now_busy[i];
+                        let hn = &mut self.nodes[h.index()];
+                        if !hn.dead && hn.radio.is_active() {
+                            let acts = hn.mac.carrier_busy(ctx.now());
+                            self.exec_mac_actions(h, acts, ctx);
+                        }
+                    }
+                    self.channel.recycle_nodes(start.now_busy);
+                    ctx.schedule_after(
+                        airtime,
+                        Ev::TxEnd {
+                            sender: node,
+                            tx: start.id,
+                            frame,
+                        },
+                    );
+                }
+                MacAction::Deliver { frame } => self.handle_delivery(node, frame, ctx),
+                MacAction::TxDone { frame, .. } => self.handle_tx_done(node, frame, ctx),
+                MacAction::TxFailed { frame, .. } => self.handle_tx_failed(node, frame, ctx),
+            }
+        }
+    }
+
+    pub(crate) fn enqueue_frame(
+        &mut self,
+        node: NodeId,
+        frame: Frame<Payload>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let actions = self.nodes[node.index()].mac.enqueue(frame, ctx.now());
+        self.exec_mac_actions(node, actions, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Radio control
+    // ------------------------------------------------------------------
+
+    /// After a repair touched a sleeping node's expectations, re-arm
+    /// its wake-up from the policy's earliest commitment.
+    pub(crate) fn refresh_wake(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let n = &mut self.nodes[node.index()];
+        if n.dead {
+            return;
+        }
+        if n.radio.is_active() {
+            return; // awake: normal event flow handles it
+        }
+        let Some(earliest) = n.policy.earliest_commitment() else {
+            return;
+        };
+        n.wake_gen += 1;
+        let gen = n.wake_gen;
+        let at = earliest.saturating_sub(n.radio.params().turn_on).max(now);
+        ctx.schedule_at(at, Ev::RadioWake { node, gen });
+    }
+
+    /// Begin waking the radio if it is off (or queue the wake if it is
+    /// mid-transition).
+    pub(crate) fn wake_radio(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let n = &mut self.nodes[node.index()];
+        if n.dead {
+            return;
+        }
+        if n.radio.is_off() {
+            let d = n.radio.begin_wake(now).expect("radio is off");
+            ctx.schedule_after(d, Ev::RadioDone { node });
+        } else {
+            // Active / turning on: nothing. Turning off: queue the wake.
+            let _ = n.radio.begin_wake(now);
+        }
+    }
+
+    pub(crate) fn handle_radio_done(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        if self.nodes[node.index()].dead {
+            return;
+        }
+        let outcome = self.nodes[node.index()].radio.finish_transition(now);
+        match outcome {
+            TransitionOutcome::NowOff => {}
+            TransitionOutcome::NowActive => {
+                let busy = self.channel.carrier_busy(node);
+                let actions = self.nodes[node.index()].mac.radio_woke(now, busy);
+                self.exec_mac_actions(node, actions, ctx);
+                // A traffic-phase-skipped round advanced this node's
+                // expectations while the radio was still turning on for
+                // them; re-run the checkpoint now that it is active so
+                // the node sleeps through the quiet round instead of
+                // idling until the next event.
+                if self.nodes[node.index()].recheck_on_wake {
+                    self.nodes[node.index()].recheck_on_wake = false;
+                    self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+                }
+            }
+            TransitionOutcome::OffWakeQueued => {
+                let n = &mut self.nodes[node.index()];
+                let d = n.radio.begin_wake(now).expect("just turned off");
+                ctx.schedule_after(d, Ev::RadioDone { node });
+            }
+        }
+    }
+
+    pub(crate) fn handle_radio_wake(&mut self, node: NodeId, gen: u64, ctx: &mut Context<'_, Ev>) {
+        {
+            let n = &self.nodes[node.index()];
+            if n.dead || gen != n.wake_gen {
+                return;
+            }
+        }
+        self.wake_radio(node, ctx);
+    }
+
+    pub(crate) fn handle_tx_end(
+        &mut self,
+        sender: NodeId,
+        tx: TxId,
+        frame: Frame<Payload>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let now = ctx.now();
+        let end = self.channel.end_tx(now, tx);
+        for i in 0..end.now_idle.len() {
+            let h = end.now_idle[i];
+            let hn = &mut self.nodes[h.index()];
+            if !hn.dead && hn.radio.is_active() {
+                let acts = hn.mac.carrier_idle(now);
+                self.exec_mac_actions(h, acts, ctx);
+            }
+        }
+        if !self.nodes[sender.index()].dead {
+            let acts = self.nodes[sender.index()].mac.tx_ended(now);
+            self.exec_mac_actions(sender, acts, ctx);
+        }
+        for i in 0..end.clean_receivers.len() {
+            let r = end.clean_receivers[i];
+            let n = &self.nodes[r.index()];
+            if n.dead {
+                continue;
+            }
+            // The receiver must have been awake for the entire frame.
+            let awake_whole_frame = n
+                .radio
+                .active_since()
+                .map(|t| t <= end.started)
+                .unwrap_or(false);
+            if awake_whole_frame {
+                // `Frame<Payload>` is `Copy`: the fan-out to receivers
+                // is a bitwise copy, not an allocation.
+                let acts = self.nodes[r.index()].mac.frame_arrived(frame, now);
+                self.exec_mac_actions(r, acts, ctx);
+            }
+        }
+        self.channel.recycle_nodes(end.now_idle);
+        self.channel.recycle_nodes(end.clean_receivers);
+        self.channel.recycle_nodes(end.corrupted_receivers);
+        self.sleep_checkpoint(sender, SleepTrigger::Quiesce, ctx);
+    }
+}

@@ -1,0 +1,757 @@
+//! The query agent: round lifecycle, aggregation, and report handling.
+//!
+//! Every protocol shares this service: per-round aggregation with
+//! per-policy collection timeouts, loss detection, and the §4.3
+//! failure recovery. Timing decisions (deadlines, release instants,
+//! buffering) are delegated to the node's
+//! [`essat_core::policy::PowerPolicy`].
+
+use essat_core::maintenance::LossObservation;
+use essat_core::policy::SleepTrigger;
+use essat_core::shaper::TreeInfo;
+use essat_net::frame::{Dest, Frame, FrameKind, PAPER_REPORT_BYTES};
+use essat_net::ids::NodeId;
+use essat_query::aggregate::AggState;
+use essat_query::model::{Query, QueryId};
+use essat_query::round::RoundKey;
+use essat_sim::engine::Context;
+use essat_sim::time::SimTime;
+
+use super::events::Ev;
+use super::node::RoundState;
+use super::world::World;
+use crate::payload::{sizes, Payload};
+
+impl World {
+    /// Registers query `qi` at `node`. Returns the node's first round
+    /// `(index, start time)` if the node participates.
+    pub(crate) fn register_query_at(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        now: SimTime,
+    ) -> Option<(u64, SimTime)> {
+        if !self.tree.is_member(node) || self.nodes[node.index()].dead {
+            return None;
+        }
+        let q = self.query(qi);
+        let kids: Vec<NodeId> = self.tree.children(node).to_vec();
+        let is_src = self.is_source(node, qi);
+        if !is_src && kids.is_empty() {
+            return None; // nothing to sample, nothing to relay
+        }
+        let is_root = node == self.root;
+        let (own_rank, max_rank, own_level, max_level, kid_ranks) = self.tree_view(node);
+        let n = &mut self.nodes[node.index()];
+        n.participating.insert(qi);
+        n.registered.insert(qi);
+        n.expected_children.insert(qi, kids);
+        let info = TreeInfo {
+            own_rank,
+            max_rank,
+            own_level,
+            max_level,
+            children: &kid_ranks,
+        };
+        n.policy.on_register(&q, &info, is_root);
+        self.put_kids(kid_ranks);
+        // First round this node can still run.
+        let k0 = Self::next_round_at(&q, now);
+        let at = q.round_start(k0);
+        (at < self.run_end).then_some((k0, at))
+    }
+
+    /// The first round of `q` starting at or after `now`.
+    pub(crate) fn next_round_at(q: &Query, now: SimTime) -> u64 {
+        if q.phase >= now {
+            0
+        } else {
+            q.round_at(now).map(|k| k + 1).unwrap_or(0)
+        }
+    }
+
+    /// Checks staleness and opens the round's collection state.
+    pub(crate) fn open_round(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        ctx: &mut Context<'_, Ev>,
+    ) -> bool {
+        let q = self.query(qi);
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
+        {
+            let n = &self.nodes[node.index()];
+            if n.rounds.contains_key(&key) {
+                return true;
+            }
+            if n.done.get(&qi).map(|&d| k <= d).unwrap_or(false) {
+                return false; // round already finished
+            }
+        }
+        let expected = self.nodes[node.index()]
+            .expected_children
+            .get(&qi)
+            .cloned()
+            .unwrap_or_default();
+        let deadline = if expected.is_empty() {
+            None
+        } else {
+            Some(self.collection_deadline(node, qi, k))
+        };
+        let n = &mut self.nodes[node.index()];
+        let state = RoundState {
+            agg: essat_query::round::RoundAggregator::new(&expected),
+            timeout_gen: 0,
+            deadline,
+            piggyback: None,
+            release_planned: false,
+        };
+        n.rounds.insert(key, state);
+        if let Some(d) = deadline {
+            ctx.schedule_at(
+                d.max(ctx.now()),
+                Ev::CollectionTimeout {
+                    node,
+                    query: qi,
+                    round: k,
+                    gen: 0,
+                },
+            );
+        }
+        true
+    }
+
+    /// The collection deadline under the node's power policy.
+    pub(crate) fn collection_deadline(&mut self, node: NodeId, qi: usize, k: u64) -> SimTime {
+        let q = self.query(qi);
+        let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+        let info = TreeInfo {
+            own_rank,
+            max_rank,
+            own_level,
+            max_level,
+            children: &kids,
+        };
+        let deadline = self.nodes[node.index()]
+            .policy
+            .collection_deadline(&q, k, &info);
+        self.put_kids(kids);
+        deadline
+    }
+
+    pub(crate) fn handle_round_start(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        {
+            let n = &self.nodes[node.index()];
+            if n.dead || !n.participating.contains(&qi) {
+                return;
+            }
+        }
+        {
+            // Churn recovery can re-arm a chain whose old event is
+            // still pending; the per-query cursor drops duplicates.
+            let n = &mut self.nodes[node.index()];
+            let next = n.next_round.entry(qi).or_insert(0);
+            if k < *next {
+                return;
+            }
+            *next = k + 1;
+        }
+        let q = self.query(qi);
+        if self.round_is_active(&q, k) {
+            if self.open_round(node, qi, k, ctx) && self.is_source(node, qi) {
+                let key = RoundKey {
+                    query: q.id,
+                    round: k,
+                };
+                let reading = Self::reading(node, k);
+                if let Some(r) = self.nodes[node.index()].rounds.get_mut(&key) {
+                    r.agg.add_own(reading);
+                }
+            }
+            self.maybe_complete(node, qi, k, ctx);
+        } else {
+            self.skip_round(node, qi, k, ctx);
+        }
+        // Chain the next round.
+        let next = q.round_start(k + 1);
+        if next < self.run_end {
+            ctx.schedule_at(
+                next,
+                Ev::RoundStart {
+                    node,
+                    query: qi,
+                    round: k + 1,
+                },
+            );
+        }
+        self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+    }
+
+    /// A traffic-phase-silenced round: nothing is sampled, collected,
+    /// or sent — but the policy's expectations must still advance past
+    /// the round, or Safe Sleep would pin the node awake on a stale
+    /// past expectation for the rest of the quiet phase.
+    pub(crate) fn skip_round(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let q = self.query(qi);
+        let is_root = node == self.root;
+        let expected = self.nodes[node.index()]
+            .expected_children
+            .get(&qi)
+            .cloned()
+            .unwrap_or_default();
+        let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+        let _ = ctx;
+        let n = &mut self.nodes[node.index()];
+        // Mark the round finished so a straggler report cannot reopen it.
+        n.done
+            .entry(qi)
+            .and_modify(|d| *d = (*d).max(k))
+            .or_insert(k);
+        let info = TreeInfo {
+            own_rank,
+            max_rank,
+            own_level,
+            max_level,
+            children: &kids,
+        };
+        n.policy.on_round_skipped(&q, k, &expected, is_root, &info);
+        if !n.dead && !n.radio.is_active() {
+            // The radio is mid-turn-on for the expectation we just
+            // moved; have the wake-up completion re-run the checkpoint.
+            n.recheck_on_wake = true;
+        }
+        self.put_kids(kids);
+    }
+
+    /// Checks readiness and plans the release when ready.
+    pub(crate) fn maybe_complete(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let q = self.query(qi);
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
+        let ready = {
+            let n = &self.nodes[node.index()];
+            match n.rounds.get(&key) {
+                None => false,
+                Some(r) => {
+                    !r.release_planned
+                        && r.agg.children_complete()
+                        && (!self.is_source(node, qi) || r.agg.own_added())
+                }
+            }
+        };
+        if !ready {
+            return;
+        }
+        self.finish_round(node, qi, k, true, ctx);
+    }
+
+    /// Completes a round: at the root, record metrics; elsewhere, plan
+    /// the report release. `full` is false on the timeout path.
+    pub(crate) fn finish_round(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        full: bool,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let q = self.query(qi);
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
+        let now = ctx.now();
+        if node == self.root {
+            let Some(mut r) = self.nodes[node.index()].rounds.remove(&key) else {
+                return;
+            };
+            let agg = r.agg.seal();
+            let n = &mut self.nodes[node.index()];
+            n.done
+                .entry(qi)
+                .and_modify(|d| *d = (*d).max(k))
+                .or_insert(k);
+            // "Full" means every expected source reading arrived — the
+            // root's children being complete is not enough, since their
+            // aggregates may themselves be partial.
+            let full = full && agg.count() == self.source_count[qi];
+            let latency_s = (now - q.round_start(k)).as_secs_f64().max(0.0);
+            let qm = &mut self.qmetrics[qi];
+            qm.latency.add(latency_s);
+            qm.rounds_completed += 1;
+            if full {
+                qm.rounds_full += 1;
+            }
+            qm.delivered_readings += agg.count();
+            qm.expected_readings += self.source_count[qi];
+            qm.records.push(crate::metrics::RoundRecord {
+                round: k,
+                at: now,
+                latency_s,
+                full,
+                readings: agg.count(),
+            });
+            return;
+        }
+        // Non-root: plan the release according to the power policy.
+        let mut send_now = false;
+        let mut send_at = now;
+        {
+            let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+            let info = TreeInfo {
+                own_rank,
+                max_rank,
+                own_level,
+                max_level,
+                children: &kids,
+            };
+            let n = &mut self.nodes[node.index()];
+            let Some(r) = n.rounds.get_mut(&key) else {
+                self.put_kids(kids);
+                return;
+            };
+            r.release_planned = true;
+            let rel = n.policy.plan_release(&q, k, now, &info);
+            r.piggyback = rel.piggyback;
+            if rel.send_at <= now {
+                send_now = true;
+            } else {
+                send_at = rel.send_at;
+            }
+            self.put_kids(kids);
+        }
+        if send_now {
+            self.do_send(node, qi, k, ctx);
+        } else {
+            ctx.schedule_at(
+                send_at,
+                Ev::ReleaseReport {
+                    node,
+                    query: qi,
+                    round: k,
+                },
+            );
+        }
+    }
+
+    /// Seals the round and hands the report towards the parent through
+    /// the policy's dispatch seam (PSM buffers, everyone else
+    /// forwards).
+    pub(crate) fn do_send(&mut self, node: NodeId, qi: usize, k: u64, ctx: &mut Context<'_, Ev>) {
+        let q = self.query(qi);
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
+        let Some(parent) = self.tree.parent(node) else {
+            // Detached from the tree (declared failed): drop silently.
+            self.nodes[node.index()].rounds.remove(&key);
+            return;
+        };
+        let (agg, piggyback) = {
+            let n = &mut self.nodes[node.index()];
+            let Some(r) = n.rounds.get_mut(&key) else {
+                return;
+            };
+            (r.agg.seal(), r.piggyback)
+        };
+        {
+            let n = &mut self.nodes[node.index()];
+            n.done
+                .entry(qi)
+                .and_modify(|d| *d = (*d).max(k))
+                .or_insert(k);
+        }
+        if piggyback.is_some() {
+            self.phase_piggybacks += 1;
+        }
+        let frame = {
+            let n = &mut self.nodes[node.index()];
+            Frame {
+                id: n.mac.alloc_frame_id(),
+                src: node,
+                dest: Dest::Unicast(parent),
+                kind: FrameKind::Data,
+                bytes: PAPER_REPORT_BYTES,
+                payload: Payload::Report {
+                    query: q.id,
+                    round: k,
+                    agg,
+                    piggyback,
+                },
+            }
+        };
+        let view = self.node_view(node, ctx.now());
+        let mut acts = self.take_acts();
+        self.nodes[node.index()]
+            .policy
+            .dispatch_report(frame, parent, &view, &mut acts);
+        self.exec_policy_actions(node, &mut acts, ctx);
+        self.put_acts(acts);
+    }
+
+    pub(crate) fn handle_collection_timeout(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        gen: u64,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let q = self.query(qi);
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
+        let missing = {
+            let n = &self.nodes[node.index()];
+            match n.rounds.get(&key) {
+                None => return,
+                Some(r) if r.timeout_gen != gen || r.release_planned => return,
+                Some(r) => r.agg.missing(),
+            }
+        };
+        let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+        let mut failed_children = Vec::new();
+        {
+            let info = TreeInfo {
+                own_rank,
+                max_rank,
+                own_level,
+                max_level,
+                children: &kids,
+            };
+            let n = &mut self.nodes[node.index()];
+            for &c in &missing {
+                n.policy.on_child_timeout(&q, c, k, &info);
+                if n.child_fail.miss(c) {
+                    failed_children.push(c);
+                }
+            }
+        }
+        self.put_kids(kids);
+        for c in failed_children {
+            if self.tree.is_member(c) && self.tree.parent(c) == Some(node) {
+                self.repair_tree(c, ctx);
+            }
+        }
+        // Forward the partial aggregate (§4.3).
+        self.finish_round(node, qi, k, false, ctx);
+        self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Frame handling
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_delivery(
+        &mut self,
+        node: NodeId,
+        frame: Frame<Payload>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        if self.nodes[node.index()].dead {
+            return;
+        }
+        match frame.payload {
+            Payload::Report {
+                query,
+                round,
+                agg,
+                piggyback,
+            } => {
+                self.handle_report(node, frame.src, query, round, agg, piggyback, ctx);
+            }
+            Payload::PhaseUpdateRequest { query } => {
+                let qi = query.index();
+                let q = self.query(qi);
+                self.nodes[node.index()].policy.on_phase_update_request(&q);
+            }
+            Payload::Atim => {
+                self.nodes[node.index()].policy.on_atim_received(frame.src);
+            }
+            Payload::QuerySetup { query, hops } => {
+                self.handle_query_setup(node, query.index(), hops, ctx);
+            }
+            Payload::Empty => {}
+        }
+        self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_report(
+        &mut self,
+        node: NodeId,
+        child: NodeId,
+        query: QueryId,
+        k: u64,
+        agg: AggState,
+        piggyback: Option<SimTime>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let qi = query.index();
+        let q = self.query(qi);
+        if !self.nodes[node.index()].participating.contains(&qi) {
+            return;
+        }
+        // Resurrection: a child we removed is still alive — restore it.
+        if self.tree.children(node).contains(&child) {
+            let n = &mut self.nodes[node.index()];
+            let kids = n.expected_children.entry(qi).or_default();
+            if !kids.contains(&child) {
+                kids.push(child);
+                kids.sort_unstable();
+            }
+        } else if !self.nodes[node.index()]
+            .expected_children
+            .get(&qi)
+            .map(|v| v.contains(&child))
+            .unwrap_or(false)
+        {
+            return; // stranger (stale sender after re-parenting)
+        }
+
+        let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+        let now = ctx.now();
+        {
+            let n = &mut self.nodes[node.index()];
+            let obs = n.loss.observe(query, child, k);
+            n.child_fail.heard_from(child);
+            // §4.3 phase resynchronisation bookkeeping.
+            if piggyback.is_some() {
+                n.stale_phase.remove(&(qi, child));
+            }
+            if n.policy.wants_phase_resync() {
+                let gap = matches!(obs, LossObservation::Gap { .. });
+                if gap && piggyback.is_none() {
+                    n.stale_phase.insert((qi, child));
+                }
+                if n.stale_phase.contains(&(qi, child)) {
+                    // Ask for a phase update on the ACK we are about to
+                    // send (the paper's piggyback-in-ACK mechanism).
+                    n.mac
+                        .prime_ack_note(child, Payload::PhaseUpdateRequest { query });
+                    self.phase_requests += 1;
+                }
+            }
+            let info = TreeInfo {
+                own_rank,
+                max_rank,
+                own_level,
+                max_level,
+                children: &kids,
+            };
+            n.policy
+                .on_report_received(&q, child, k, now, piggyback, &info);
+        }
+        self.put_kids(kids);
+        // Fold into the round (unless it already finished).
+        if self.open_round(node, qi, k, ctx) {
+            let key = RoundKey { query, round: k };
+            let n = &mut self.nodes[node.index()];
+            if let Some(r) = n.rounds.get_mut(&key) {
+                r.agg.add_child(child, agg);
+            }
+        }
+        // A fresher expectation may move open collection deadlines
+        // (DTS learns child phases): re-derive for k and k+1.
+        for kk in [k, k + 1] {
+            self.refresh_deadline(node, qi, kk, ctx);
+        }
+        self.maybe_complete(node, qi, k, ctx);
+    }
+
+    /// Re-derives the collection deadline of an open, unreleased round
+    /// and reschedules its timeout if it moved.
+    pub(crate) fn refresh_deadline(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        k: u64,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let q = self.query(qi);
+        let key = RoundKey {
+            query: q.id,
+            round: k,
+        };
+        let current = {
+            let n = &self.nodes[node.index()];
+            match n.rounds.get(&key) {
+                Some(r) if !r.release_planned && r.deadline.is_some() => r.deadline,
+                _ => return,
+            }
+        };
+        let fresh = self.collection_deadline(node, qi, k);
+        if Some(fresh) != current {
+            let n = &mut self.nodes[node.index()];
+            let r = n.rounds.get_mut(&key).expect("checked above");
+            r.deadline = Some(fresh);
+            r.timeout_gen += 1;
+            let gen = r.timeout_gen;
+            ctx.schedule_at(
+                fresh.max(ctx.now()),
+                Ev::CollectionTimeout {
+                    node,
+                    query: qi,
+                    round: k,
+                    gen,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn handle_tx_done(
+        &mut self,
+        node: NodeId,
+        frame: Frame<Payload>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        match frame.payload {
+            Payload::Report { query, round, .. } => {
+                self.reports_sent += 1;
+                let qi = query.index();
+                let q = self.query(qi);
+                let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+                let parent = self.tree.parent(node);
+                let now = ctx.now();
+                let n = &mut self.nodes[node.index()];
+                if let Some(p) = parent {
+                    n.parent_fail.heard_from(p);
+                }
+                let info = TreeInfo {
+                    own_rank,
+                    max_rank,
+                    own_level,
+                    max_level,
+                    children: &kids,
+                };
+                n.policy.on_report_sent(&q, round, now, &info);
+                n.rounds.remove(&RoundKey { query, round });
+                self.put_kids(kids);
+            }
+            Payload::Atim => {
+                if let Dest::Unicast(dest) = frame.dest {
+                    let view = self.node_view(node, ctx.now());
+                    let mut acts = self.take_acts();
+                    self.nodes[node.index()]
+                        .policy
+                        .on_atim_sent(dest, &view, &mut acts);
+                    self.exec_policy_actions(node, &mut acts, ctx);
+                    self.put_acts(acts);
+                }
+            }
+            _ => {}
+        }
+        self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+    }
+
+    pub(crate) fn handle_tx_failed(
+        &mut self,
+        node: NodeId,
+        frame: Frame<Payload>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        match frame.payload {
+            Payload::Report { query, round, .. } => {
+                let qi = query.index();
+                let q = self.query(qi);
+                let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
+                let now = ctx.now();
+                let mut parent_failed = None;
+                {
+                    let info = TreeInfo {
+                        own_rank,
+                        max_rank,
+                        own_level,
+                        max_level,
+                        children: &kids,
+                    };
+                    let n = &mut self.nodes[node.index()];
+                    n.policy.on_report_failed(&q, round, now, &info);
+                    n.rounds.remove(&RoundKey { query, round });
+                    if let Dest::Unicast(p) = frame.dest {
+                        if n.parent_fail.miss(p) {
+                            parent_failed = Some(p);
+                        }
+                    }
+                }
+                self.put_kids(kids);
+                if let Some(p) = parent_failed {
+                    if self.tree.is_member(p) && p != self.root {
+                        self.repair_tree(p, ctx);
+                    }
+                }
+            }
+            Payload::Atim => { /* re-announced next beacon */ }
+            _ => {}
+        }
+        self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+    }
+
+    pub(crate) fn handle_query_setup(
+        &mut self,
+        node: NodeId,
+        qi: usize,
+        hops: u32,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let n = &self.nodes[node.index()];
+        if n.dead || !n.member || n.registered.contains(&qi) {
+            return;
+        }
+        if let Some((round, at)) = self.register_query_at(node, qi, ctx.now()) {
+            ctx.schedule_at(
+                at.max(ctx.now()),
+                Ev::RoundStart {
+                    node,
+                    query: qi,
+                    round,
+                },
+            );
+        } else {
+            // Still mark as seen so we only rebroadcast once.
+            self.nodes[node.index()].registered.insert(qi);
+        }
+        // Re-flood once.
+        let frame = {
+            let n = &mut self.nodes[node.index()];
+            Frame {
+                id: n.mac.alloc_frame_id(),
+                src: node,
+                dest: Dest::Broadcast,
+                kind: FrameKind::Data,
+                bytes: sizes::QUERY_SETUP_BYTES,
+                payload: Payload::QuerySetup {
+                    query: QueryId::new(qi as u32),
+                    hops: hops + 1,
+                },
+            }
+        };
+        self.enqueue_frame(node, frame, ctx);
+    }
+}

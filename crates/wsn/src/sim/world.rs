@@ -1,0 +1,603 @@
+//! The [`World`]: one simulation run over the discrete-event engine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use essat_core::policy::{PolicyAction, SleepTrigger};
+use essat_net::channel::Channel;
+use essat_net::geometry::Area;
+use essat_net::ids::NodeId;
+use essat_net::mac::Mac;
+use essat_net::radio::Radio;
+use essat_net::topology::Topology;
+use essat_query::aggregate::AggState;
+use essat_query::model::{Query, QueryId};
+use essat_query::tree::RoutingTree;
+use essat_scenario::compile::CompiledScenario;
+use essat_scenario::gilbert::GilbertElliott;
+use essat_sim::engine::{Context, Engine, Model};
+use essat_sim::rng::SimRng;
+use essat_sim::stats::{Histogram, OnlineStats};
+use essat_sim::time::SimTime;
+
+use super::events::Ev;
+use super::node::{NodeState, RadioSnapshot, CHILD_FAIL_THRESHOLD, PARENT_FAIL_THRESHOLD};
+use crate::config::{ExperimentConfig, SetupMode};
+use crate::metrics::{LifetimeStats, MacTotals, NodeMetrics, QueryMetrics, RunResult};
+use crate::payload::Payload;
+use crate::protocol::{PolicyEnv, PolicyFactory, Protocol};
+
+/// Fine-grained sleep-interval histogram: 0.5 ms bins up to 1 s.
+const SLEEP_HIST_BIN_S: f64 = 0.0005;
+const SLEEP_HIST_BINS: usize = 2000;
+
+/// One simulation run: the [`Model`] driven by the engine.
+///
+/// The `World` owns the topology, the routing tree, the shared channel,
+/// and a per-node stack (radio + MAC + power policy + query agent). It
+/// is a protocol-agnostic executor: all power-management behaviour
+/// lives behind each node's [`essat_core::policy::PowerPolicy`], built
+/// once per run by the policy factory (default:
+/// [`Protocol::build_policy`]).
+#[derive(Debug)]
+pub struct World {
+    pub(crate) cfg: ExperimentConfig,
+    /// Master RNG (kept for deriving fresh per-node streams mid-run,
+    /// e.g. the MAC of a churn-revived node).
+    pub(crate) master: SimRng,
+    pub(crate) topo: Topology,
+    pub(crate) tree: RoutingTree,
+    pub(crate) root: NodeId,
+    pub(crate) channel: Channel,
+    /// Compiled dynamic-environment scenario, if any.
+    pub(crate) scenario: Option<CompiledScenario>,
+    pub(crate) queries: Vec<Query>,
+    pub(crate) source_count: Vec<u64>,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) setup_over: bool,
+    pub(crate) forced_windows: Vec<(SimTime, SimTime)>,
+    pub(crate) run_end: SimTime,
+    pub(crate) measure_from: SimTime,
+    // accumulated metrics
+    pub(crate) qmetrics: Vec<QueryMetrics>,
+    pub(crate) phase_piggybacks: u64,
+    pub(crate) phase_requests: u64,
+    pub(crate) reports_sent: u64,
+    /// Deaths / partition / recovery marks for the lifetime figures.
+    pub(crate) lifetime: LifetimeStats,
+    /// MAC counters of MACs replaced by churn revivals (so totals keep
+    /// the pre-death traffic).
+    pub(crate) mac_lost: MacTotals,
+    /// Recycled `(child, rank)` buffers for [`World::tree_view`], so the
+    /// per-event tree snapshots allocate only until the pool warms up.
+    pub(crate) kid_pool: Vec<Vec<(NodeId, u32)>>,
+    /// Recycled policy-action buffers (same purpose as `kid_pool`).
+    pub(crate) act_pool: Vec<Vec<PolicyAction<Payload>>>,
+}
+
+impl World {
+    /// Builds the world and the initial event list for `cfg`, with the
+    /// default policy factory ([`Protocol::build_policy`]).
+    pub fn new(cfg: ExperimentConfig) -> (World, Vec<(SimTime, Ev)>) {
+        Self::new_with(cfg, &Protocol::build_policy)
+    }
+
+    /// Builds the world with a custom policy factory — the plugin seam:
+    /// the factory is consulted once per node and may return any
+    /// [`essat_core::policy::PowerPolicy`] implementation, including
+    /// ones defined outside this workspace.
+    pub fn new_with(
+        cfg: ExperimentConfig,
+        factory: &PolicyFactory<'_>,
+    ) -> (World, Vec<(SimTime, Ev)>) {
+        cfg.validate();
+        let master = SimRng::seed_from_u64(cfg.seed);
+        let mut topo_rng = master.derive(1);
+        let mut phase_rng = master.derive(2);
+        let channel_rng = master.derive(3);
+
+        let area = Area::new(cfg.area_side, cfg.area_side);
+        let mut topo = Topology::random(cfg.nodes, area, cfg.range, &mut topo_rng);
+        if let Some(ir) = cfg.interference_range {
+            topo = topo.with_interference_range(ir);
+        }
+        let root = topo.closest_to_center();
+        let tree = RoutingTree::build(&topo, root, Some(cfg.tree_radius));
+
+        let mut channel = Channel::new(&topo, channel_rng);
+        channel.set_drop_probability(cfg.drop_probability);
+
+        // Dynamic environment: compile the scenario (or replay its
+        // recorded trace) and install the bursty-link process.
+        let scenario = cfg
+            .scenario
+            .as_ref()
+            .map(|s| s.resolve(cfg.nodes, root.as_u32(), cfg.duration, cfg.seed));
+        if let Some(ge) = scenario.as_ref().and_then(|s| s.link) {
+            channel.set_loss_model(Box::new(GilbertElliott::new(
+                topo.node_count(),
+                ge,
+                master.derive(7),
+            )));
+        }
+
+        // Queries: three classes at rate ratio 6:3:2.
+        let rates = cfg.workload.class_rates();
+        let mut queries = Vec::new();
+        for &rate in &rates {
+            for _ in 0..cfg.workload.queries_per_class {
+                let id = QueryId::new(queries.len() as u32);
+                let period = essat_sim::time::SimDuration::from_rate_hz(rate);
+                let phase = SimTime::from_secs_f64(
+                    phase_rng.range_f64(0.0, cfg.workload.phase_window.as_secs_f64()),
+                );
+                let mut q = Query::periodic(id, period, phase, cfg.workload.op);
+                if let Some(d) = cfg.workload.deadline {
+                    q = q.with_deadline(d);
+                }
+                queries.push(q);
+            }
+        }
+        let member_count = tree.member_count() as u64;
+        let source_count = queries.iter().map(|_| member_count).collect();
+
+        let run_end = SimTime::ZERO + cfg.duration;
+        let measure_from = SimTime::ZERO + cfg.setup_slot;
+
+        // The policy factory sees the finished tree (SPAN derives its
+        // backbone from it) and builds one policy per node.
+        let env = PolicyEnv::new(&cfg, &tree, topo.node_count(), run_end);
+        let nodes = topo
+            .nodes()
+            .map(|id| NodeState {
+                policy: factory(&cfg, id, &env),
+                radio: Radio::new(cfg.radio),
+                mac: Mac::new(id, cfg.mac, master.derive2(4, id.as_u32() as u64)),
+                member: tree.is_member(id),
+                dead: false,
+                died_at: None,
+                participating: BTreeSet::new(),
+                expected_children: BTreeMap::new(),
+                rounds: BTreeMap::new(),
+                done: BTreeMap::new(),
+                loss: essat_core::maintenance::LossDetector::new(),
+                child_fail: essat_core::maintenance::FailureDetector::new(CHILD_FAIL_THRESHOLD),
+                parent_fail: essat_core::maintenance::FailureDetector::new(PARENT_FAIL_THRESHOLD),
+                stale_phase: BTreeSet::new(),
+                wake_gen: 0,
+                sched_gen: 0,
+                next_round: BTreeMap::new(),
+                revivals: 0,
+                recheck_on_wake: false,
+                registered: BTreeSet::new(),
+                snap: RadioSnapshot::default(),
+                rank0: tree.rank(id),
+                level0: tree.level(id).unwrap_or(0),
+            })
+            .collect();
+
+        let qmetrics = queries
+            .iter()
+            .map(|q| QueryMetrics {
+                query: q.id,
+                rate_hz: q.rate_hz(),
+                latency: OnlineStats::new(),
+                rounds_completed: 0,
+                rounds_full: 0,
+                delivered_readings: 0,
+                expected_readings: 0,
+                records: Vec::new(),
+            })
+            .collect();
+
+        let mut forced_windows = Vec::new();
+        if cfg.setup_mode == SetupMode::Flooded {
+            for q in &queries {
+                let start = q.phase.saturating_sub(cfg.setup_slot);
+                forced_windows.push((start, start + cfg.setup_slot));
+            }
+        }
+
+        let mut world = World {
+            cfg,
+            master,
+            topo,
+            tree,
+            root,
+            channel,
+            scenario,
+            queries,
+            source_count,
+            nodes,
+            setup_over: false,
+            forced_windows,
+            run_end,
+            measure_from,
+            qmetrics,
+            phase_piggybacks: 0,
+            phase_requests: 0,
+            reports_sent: 0,
+            lifetime: LifetimeStats::default(),
+            mac_lost: MacTotals::default(),
+            kid_pool: Vec::new(),
+            act_pool: Vec::new(),
+        };
+
+        let mut initial: Vec<(SimTime, Ev)> = Vec::new();
+        initial.push((world.measure_from, Ev::SetupEnd));
+
+        match world.cfg.setup_mode {
+            SetupMode::Idealized => {
+                // Pre-register every query at every relevant node.
+                for qi in 0..world.queries.len() {
+                    for node in world.tree.members().to_vec() {
+                        if let Some((round, at)) = world.register_query_at(node, qi, SimTime::ZERO)
+                        {
+                            initial.push((
+                                at,
+                                Ev::RoundStart {
+                                    node,
+                                    query: qi,
+                                    round,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            SetupMode::Flooded => {
+                for (qi, q) in world.queries.iter().enumerate() {
+                    let issue = q.phase.saturating_sub(world.cfg.setup_slot);
+                    initial.push((issue, Ev::FloodIssue { query: qi }));
+                    for node in world.tree.members() {
+                        initial.push((issue, Ev::ForceWake { node: *node }));
+                    }
+                }
+                for &(_, end) in &world.forced_windows.clone() {
+                    initial.push((end, Ev::ForcedWindowEnd));
+                }
+            }
+        }
+
+        // Policy schedule chains (SYNC edges / PSM beacons, …): each
+        // member's policy may arm its initial timers.
+        {
+            let mut acts = Vec::new();
+            for m in world.tree.members().to_vec() {
+                world.nodes[m.index()].policy.initial_actions(&mut acts);
+                for a in acts.drain(..) {
+                    match a {
+                        PolicyAction::SetTimer { timer, at } => {
+                            initial.push((
+                                at,
+                                Ev::Policy {
+                                    node: m,
+                                    timer,
+                                    gen: 0,
+                                },
+                            ));
+                        }
+                        other => panic!("initial_actions may only arm timers, got {other:?}"),
+                    }
+                }
+            }
+        }
+
+        // Scripted failures.
+        for &(at, node) in &world.cfg.node_failures.clone() {
+            initial.push((
+                at,
+                Ev::NodeFail {
+                    node: NodeId::new(node),
+                },
+            ));
+        }
+
+        // Scenario event stream: churn + the battery sweep chain.
+        if let Some(s) = &world.scenario {
+            for e in &s.events {
+                let node = NodeId::new(e.node);
+                let ev = if e.up {
+                    Ev::NodeRecover { node }
+                } else {
+                    Ev::NodeFail { node }
+                };
+                initial.push((e.at, ev));
+            }
+            if let Some(b) = s.battery {
+                initial.push((SimTime::ZERO + b.check_period, Ev::BatteryCheck));
+            }
+        }
+
+        (world, initial)
+    }
+
+    /// Runs a full experiment and returns its metrics.
+    pub fn run(cfg: &ExperimentConfig) -> RunResult {
+        Self::run_with(cfg, &Protocol::build_policy)
+    }
+
+    /// Runs a full experiment with a custom policy factory.
+    pub fn run_with(cfg: &ExperimentConfig, factory: &PolicyFactory<'_>) -> RunResult {
+        let (world, initial) = World::new_with(cfg.clone(), factory);
+        let run_end = world.run_end;
+        let mut engine = Engine::new(world);
+        for (at, ev) in initial {
+            engine.schedule_at(at, ev);
+        }
+        engine.run_until(run_end);
+        let events = engine.processed();
+        let peak = engine.peak_pending() as u64;
+        engine.into_model().finalize(run_end, events, peak)
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn query(&self, qi: usize) -> Query {
+        self.queries[qi].clone()
+    }
+
+    /// `(own_rank, max_rank, own_level, max_level, children-with-ranks)`
+    /// for `node`, from the current tree.
+    ///
+    /// The children vector comes from [`World::kid_pool`]; hand it back
+    /// with [`World::put_kids`] when done so steady-state event handling
+    /// does not allocate.
+    pub(crate) fn tree_view(&mut self, node: NodeId) -> (u32, u32, u32, u32, Vec<(NodeId, u32)>) {
+        let mut kids = self.kid_pool.pop().unwrap_or_default();
+        kids.extend(
+            self.tree
+                .children(node)
+                .iter()
+                .map(|&c| (c, self.tree.rank(c))),
+        );
+        (
+            self.tree.rank(node),
+            self.tree.max_rank(),
+            self.tree.level(node).unwrap_or(0),
+            self.tree.max_level(),
+            kids,
+        )
+    }
+
+    /// Returns a [`World::tree_view`] children buffer to the pool.
+    pub(crate) fn put_kids(&mut self, mut kids: Vec<(NodeId, u32)>) {
+        kids.clear();
+        self.kid_pool.push(kids);
+    }
+
+    pub(crate) fn is_source(&self, node: NodeId, qi: usize) -> bool {
+        self.tree.is_member(node) && self.queries[qi].sources.contains(node)
+    }
+
+    pub(crate) fn in_forced_window(&self, now: SimTime) -> bool {
+        self.forced_windows
+            .iter()
+            .any(|&(s, e)| now >= s && now < e)
+    }
+
+    /// Whether round `k` of `q` is active under the scenario's traffic
+    /// phases (always, without a scenario). A pure function of the
+    /// compiled schedule, so every node agrees without signalling.
+    pub(crate) fn round_is_active(&self, q: &Query, k: u64) -> bool {
+        match &self.scenario {
+            Some(s) => s.round_active(q.round_start(k), k),
+            None => true,
+        }
+    }
+
+    /// Deterministic synthetic sensor reading.
+    pub(crate) fn reading(node: NodeId, k: u64) -> AggState {
+        AggState::from_reading(((node.index() as u64 * 31 + k * 7) % 101) as f64)
+    }
+
+    // ------------------------------------------------------------------
+    // Setup & finalisation
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_setup_end(&mut self, ctx: &mut Context<'_, Ev>) {
+        self.setup_over = true;
+        let now = ctx.now();
+        // Metrics snapshot (dead radios were settled at death; settling
+        // them again would bill the dead span).
+        for i in 0..self.nodes.len() {
+            let n = &mut self.nodes[i];
+            if !n.dead {
+                n.radio.settle(now);
+            }
+            n.snap = RadioSnapshot {
+                active: n.radio.active_ns(),
+                off: n.radio.off_ns(),
+                trans: n.radio.transition_ns(),
+                energy: n.radio.energy_j(),
+            };
+        }
+        // First sleep decisions.
+        for node in self.topo.nodes().collect::<Vec<_>>() {
+            let n = &self.nodes[node.index()];
+            if n.dead {
+                continue;
+            }
+            if !n.member {
+                // Outside the tree: sleep for the rest of the run.
+                if n.radio.is_active() && n.mac.can_suspend() {
+                    self.suspend_radio(node, ctx);
+                }
+                continue;
+            }
+            self.sleep_checkpoint(node, SleepTrigger::Boundary, ctx);
+        }
+    }
+
+    pub(crate) fn handle_forced_window_end(&mut self, ctx: &mut Context<'_, Ev>) {
+        if !self.setup_over {
+            return;
+        }
+        for node in self.topo.nodes().collect::<Vec<_>>() {
+            self.sleep_checkpoint(node, SleepTrigger::Boundary, ctx);
+        }
+    }
+
+    pub(crate) fn handle_flood_issue(&mut self, qi: usize, ctx: &mut Context<'_, Ev>) {
+        let root = self.root;
+        if let Some((round, at)) = self.register_query_at(root, qi, ctx.now()) {
+            ctx.schedule_at(
+                at.max(ctx.now()),
+                Ev::RoundStart {
+                    node: root,
+                    query: qi,
+                    round,
+                },
+            );
+        }
+        self.nodes[root.index()].registered.insert(qi);
+        let frame = {
+            let n = &mut self.nodes[root.index()];
+            essat_net::frame::Frame {
+                id: n.mac.alloc_frame_id(),
+                src: root,
+                dest: essat_net::frame::Dest::Broadcast,
+                kind: essat_net::frame::FrameKind::Data,
+                bytes: crate::payload::sizes::QUERY_SETUP_BYTES,
+                payload: Payload::QuerySetup {
+                    query: QueryId::new(qi as u32),
+                    hops: 0,
+                },
+            }
+        };
+        self.enqueue_frame(root, frame, ctx);
+    }
+
+    /// Collects the run's metrics.
+    pub(crate) fn finalize(
+        mut self,
+        end: SimTime,
+        events_processed: u64,
+        peak_queue_depth: u64,
+    ) -> RunResult {
+        let mut node_metrics = Vec::new();
+        let mut sleep_hist = Histogram::new(SLEEP_HIST_BIN_S, SLEEP_HIST_BINS);
+        let mut mac = MacTotals::default();
+        for i in 0..self.nodes.len() {
+            let id = NodeId::new(i as u32);
+            let n = &mut self.nodes[i];
+            if !n.dead {
+                n.radio.settle(end);
+            }
+            if !n.member {
+                continue;
+            }
+            let active = n.radio.active_ns() - n.snap.active;
+            let off = n.radio.off_ns() - n.snap.off;
+            let trans = n.radio.transition_ns() - n.snap.trans;
+            let total = active + off + trans;
+            let duty = if total == 0 {
+                1.0
+            } else {
+                (active + trans) as f64 / total as f64
+            };
+            node_metrics.push(NodeMetrics {
+                node: id,
+                rank: n.rank0,
+                level: n.level0,
+                duty_cycle: duty,
+                energy_j: n.radio.energy_j() - n.snap.energy,
+            });
+            for si in n.radio.sleep_intervals() {
+                if si.started >= self.measure_from {
+                    sleep_hist.add(si.length().as_secs_f64());
+                }
+            }
+            let ms = n.mac.stats();
+            mac.enqueued += ms.enqueued;
+            mac.data_tx += ms.data_tx;
+            mac.delivered += ms.delivered;
+            mac.failed += ms.failed;
+            mac.retries += ms.retries;
+        }
+        // MACs replaced by churn revivals contributed traffic too.
+        mac.enqueued += self.mac_lost.enqueued;
+        mac.data_tx += self.mac_lost.data_tx;
+        mac.delivered += self.mac_lost.delivered;
+        mac.failed += self.mac_lost.failed;
+        mac.retries += self.mac_lost.retries;
+        let ch = self.channel.stats();
+        RunResult {
+            seed: self.cfg.seed,
+            measured_from: self.measure_from,
+            measured_until: end,
+            nodes: node_metrics,
+            queries: std::mem::take(&mut self.qmetrics),
+            sleep_intervals: sleep_hist,
+            phase_piggybacks: self.phase_piggybacks,
+            phase_requests: self.phase_requests,
+            reports_sent: self.reports_sent,
+            mac,
+            lifetime: std::mem::take(&mut self.lifetime),
+            channel_transmissions: ch.transmissions,
+            channel_collisions: ch.collisions,
+            events_processed,
+            peak_queue_depth,
+        }
+    }
+
+    /// The routing tree (tests & examples inspect structure).
+    pub fn tree(&self) -> &RoutingTree {
+        &self.tree
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The compiled scenario driving this run, if any (tests record its
+    /// trace for replay).
+    pub fn scenario(&self) -> Option<&CompiledScenario> {
+        self.scenario.as_ref()
+    }
+}
+
+impl Model for World {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        match event {
+            Ev::SetupEnd => self.handle_setup_end(ctx),
+            Ev::ForcedWindowEnd => self.handle_forced_window_end(ctx),
+            Ev::RoundStart { node, query, round } => {
+                self.handle_round_start(node, query, round, ctx)
+            }
+            Ev::CollectionTimeout {
+                node,
+                query,
+                round,
+                gen,
+            } => self.handle_collection_timeout(node, query, round, gen, ctx),
+            Ev::ReleaseReport { node, query, round } => {
+                if !self.nodes[node.index()].dead {
+                    self.do_send(node, query, round, ctx);
+                }
+            }
+            Ev::MacTimer { node, kind, gen } => {
+                if !self.nodes[node.index()].dead {
+                    let acts = self.nodes[node.index()]
+                        .mac
+                        .timer_fired(kind, gen, ctx.now());
+                    self.exec_mac_actions(node, acts, ctx);
+                    self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+                }
+            }
+            Ev::TxEnd { sender, tx, frame } => self.handle_tx_end(sender, tx, frame, ctx),
+            Ev::RadioDone { node } => self.handle_radio_done(node, ctx),
+            Ev::RadioWake { node, gen } => self.handle_radio_wake(node, gen, ctx),
+            Ev::Policy { node, timer, gen } => self.handle_policy_timer(node, timer, gen, ctx),
+            Ev::NodeFail { node } => self.handle_node_fail(node, ctx),
+            Ev::NodeRecover { node } => self.handle_node_recover(node, ctx),
+            Ev::BatteryCheck => self.handle_battery_check(ctx),
+            Ev::FloodIssue { query } => self.handle_flood_issue(query, ctx),
+            Ev::ForceWake { node } => self.wake_radio(node, ctx),
+        }
+    }
+}

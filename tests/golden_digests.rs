@@ -1,0 +1,76 @@
+//! Equivalence guard for the layered node-stack refactor: every
+//! protocol's `Scale::Quick` metrics must digest to exactly the values
+//! recorded before the `World` monolith was decomposed into the
+//! `PowerPolicy` stack. A mismatch means the refactor changed
+//! observable behaviour — event ordering, an RNG stream, a metric — and
+//! is a bug, not a baseline to re-record.
+//!
+//! Regenerate (only for *intentional* behaviour changes) with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_digests -- --nocapture
+//! ```
+
+use essat::harness::scale::Scale;
+use essat::wsn::config::{Protocol, WorkloadSpec};
+use essat::wsn::runner;
+
+const GOLDEN_PATH: &str = "tests/golden/quick_digests.txt";
+const GOLDEN: &str = include_str!("golden/quick_digests.txt");
+const SEED: u64 = 2025;
+
+/// All eight protocols, in the order the golden file records them.
+const ALL: [Protocol; 8] = [
+    Protocol::DtsSs,
+    Protocol::StsSs,
+    Protocol::NtsSs,
+    Protocol::TagSs,
+    Protocol::Sync,
+    Protocol::Psm,
+    Protocol::Span,
+    Protocol::AlwaysOn,
+];
+
+fn current_digests() -> Vec<(Protocol, String)> {
+    ALL.iter()
+        .map(|&p| {
+            let cfg = Scale::Quick.config(p, WorkloadSpec::paper(1.0), SEED);
+            (p, runner::run_one(&cfg).digest())
+        })
+        .collect()
+}
+
+#[test]
+fn quick_scale_digests_match_pre_refactor_goldens() {
+    let current = current_digests();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        let mut out = String::from(
+            "# Per-protocol RunResult::digest() at Scale::Quick, seed 2025.\n\
+             # Every run must reproduce these byte-identically; regenerate\n\
+             # (UPDATE_GOLDENS=1) only for intentional behaviour changes,\n\
+             # and say why in the commit that rewrites this file.\n",
+        );
+        for (p, d) in &current {
+            out.push_str(&format!("{p} {d}\n"));
+        }
+        std::fs::write(GOLDEN_PATH, out).expect("write goldens");
+        eprintln!("goldens updated at {GOLDEN_PATH}");
+        return;
+    }
+    let golden: Vec<(String, String)> = GOLDEN
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (name, digest) = l.rsplit_once(' ').expect("`<protocol> <digest>` lines");
+            (name.to_string(), digest.to_string())
+        })
+        .collect();
+    assert_eq!(golden.len(), ALL.len(), "golden file covers all protocols");
+    for ((p, current), (name, expected)) in current.iter().zip(&golden) {
+        assert_eq!(&p.to_string(), name, "golden file order matches ALL");
+        assert_eq!(
+            current, expected,
+            "{p}: Quick-scale metrics diverged from the pre-refactor golden digest"
+        );
+    }
+}
