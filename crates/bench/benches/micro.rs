@@ -62,6 +62,81 @@ fn event_queue_churn_with_cancel(c: &mut Criterion) {
     });
 }
 
+fn timer_wheel_push_pop(c: &mut Criterion) {
+    c.bench_function("micro/timer_wheel_push_pop", |b| {
+        // The simulator's dominant workload: MAC-slot-granularity timers
+        // (DIFS ≈ 50 µs, backoff slots, SIFS, airtimes) armed a few
+        // bucket-widths ahead of the cursor and popped almost
+        // immediately — the regime the wheel makes O(1) where a
+        // comparison heap pays O(log n) per event.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::seed_from_u64(5);
+            let mut sum = 0u64;
+            // Keep ~64 timers in flight, fire them in time order.
+            for i in 0..64u64 {
+                q.push(SimTime::from_nanos(10_000 + rng.next_u64() % 500_000), i);
+            }
+            for i in 64..10_000u64 {
+                let (t, _, e) = q.pop().expect("queue is primed");
+                let now = t.as_nanos();
+                sum = sum.wrapping_add(e);
+                // Re-arm: mostly slot-scale delays, occasionally a
+                // collection-timeout-scale one.
+                let delay = if i % 37 == 0 {
+                    5_000_000 + rng.next_u64() % 45_000_000
+                } else {
+                    10_000 + rng.next_u64() % 500_000
+                };
+                q.push(SimTime::from_nanos(now + delay), i);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn timer_wheel_cancel_churn(c: &mut Criterion) {
+    c.bench_function("micro/timer_wheel_cancel_churn", |b| {
+        // The MAC's disarm pattern: timers are frequently cancelled and
+        // re-armed (carrier busy/idle interruptions), and a slice of
+        // them live past the wheel horizon in the overflow heap before
+        // migrating back. Cancel must stay O(1) and stale entries must
+        // drain cheaply.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::seed_from_u64(6);
+            let mut now = 0u64;
+            let mut pending = Vec::with_capacity(128);
+            let mut sum = 0u64;
+            for step in 0..6_000u64 {
+                // Arm two timers: one near, one far (overflow-bound).
+                pending.push(q.push(
+                    SimTime::from_nanos(now + 20_000 + rng.next_u64() % 200_000),
+                    step,
+                ));
+                pending.push(q.push(
+                    SimTime::from_nanos(now + 70_000_000 + rng.next_u64() % 200_000_000),
+                    step,
+                ));
+                // Cancel one pending timer in three (MAC disarm churn).
+                if step % 3 == 0 {
+                    let idx = (rng.next_u64() as usize) % pending.len();
+                    q.cancel(pending.swap_remove(idx));
+                }
+                // Fire the earliest.
+                if let Some((t, _, e)) = q.pop() {
+                    now = t.as_nanos();
+                    sum = sum.wrapping_add(e);
+                }
+            }
+            while let Some((_, _, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
 fn channel_start_end_tx(c: &mut Criterion) {
     let mut rng = SimRng::seed_from_u64(42);
     let topo = Topology::random_paper(&mut rng);
@@ -220,6 +295,8 @@ criterion_group! {
     targets =
         event_queue_churn,
         event_queue_churn_with_cancel,
+        timer_wheel_push_pop,
+        timer_wheel_cancel_churn,
         channel_start_end_tx,
         safe_sleep_decide,
         shaper_round_trip,

@@ -81,6 +81,11 @@ pub struct SafeSleep {
     t_off_on: SimDuration,
     snext: BTreeMap<QueryId, SimTime>,
     rnext: BTreeMap<(QueryId, NodeId), SimTime>,
+    /// Cached `min` over both expectation maps. `decide()` runs at every
+    /// sleep checkpoint — several times per round per node — while the
+    /// maps mutate only on round boundaries and topology changes, so the
+    /// minimum is recomputed on mutation, not on read.
+    min: Option<SimTime>,
 }
 
 impl SafeSleep {
@@ -92,6 +97,7 @@ impl SafeSleep {
             t_off_on,
             snext: BTreeMap::new(),
             rnext: BTreeMap::new(),
+            min: None,
         }
     }
 
@@ -105,37 +111,67 @@ impl SafeSleep {
         self.t_off_on
     }
 
+    /// Recomputes the cached minimum after a mutation.
+    fn rescan(&mut self) {
+        let s = self.snext.values().min().copied();
+        let r = self.rnext.values().min().copied();
+        self.min = match (s, r) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+    }
+
+    /// Folds an inserted expectation into the cached minimum.
+    ///
+    /// O(1) unless the insert *replaced* an entry that may have been
+    /// the minimum with a later time (the per-round advance case) —
+    /// only then can the minimum rise, requiring a rescan.
+    fn fold_min(&mut self, replaced: Option<SimTime>, at: SimTime) {
+        match replaced {
+            Some(old) if Some(old) == self.min && at > old => self.rescan(),
+            _ => self.min = Some(self.min.map_or(at, |m| m.min(at))),
+        }
+    }
+
     /// `updateNextSend(q, s(k+1))` from Figure 1.
     pub fn update_next_send(&mut self, q: QueryId, at: SimTime) {
-        self.snext.insert(q, at);
+        let replaced = self.snext.insert(q, at);
+        self.fold_min(replaced, at);
     }
 
     /// `updateNextReceive(q, c, r(q, k+1, c))` from Figure 1.
     pub fn update_next_receive(&mut self, q: QueryId, child: NodeId, at: SimTime) {
-        self.rnext.insert((q, child), at);
+        let replaced = self.rnext.insert((q, child), at);
+        self.fold_min(replaced, at);
     }
 
     /// Removes the send expectation for `q` (e.g. the root never sends).
     pub fn clear_send(&mut self, q: QueryId) {
         self.snext.remove(&q);
+        self.rescan();
     }
 
     /// Removes a child's reception expectation (child failed or was
     /// re-parented away, §4.3).
     pub fn clear_receive(&mut self, q: QueryId, child: NodeId) {
         self.rnext.remove(&(q, child));
+        self.rescan();
     }
 
     /// Drops every expectation related to `q` (query deregistered).
     pub fn remove_query(&mut self, q: QueryId) {
         self.snext.remove(&q);
         self.rnext.retain(|&(qq, _), _| qq != q);
+        self.rescan();
     }
 
     /// Drops every expectation involving `child` across all queries
     /// (the child failed, §4.3).
     pub fn remove_child(&mut self, child: NodeId) {
         self.rnext.retain(|&(_, c), _| c != child);
+        self.rescan();
     }
 
     /// Keeps only the reception expectations of `q` whose child appears
@@ -143,18 +179,13 @@ impl SafeSleep {
     pub fn retain_children(&mut self, q: QueryId, keep: &[NodeId]) {
         self.rnext
             .retain(|&(qq, c), _| qq != q || keep.contains(&c));
+        self.rescan();
     }
 
     /// The earliest registered expectation, if any (`t_wakeup`).
+    /// O(1): the minimum is maintained across mutations.
     pub fn earliest(&self) -> Option<SimTime> {
-        let s = self.snext.values().min().copied();
-        let r = self.rnext.values().min().copied();
-        match (s, r) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (Some(a), None) => Some(a),
-            (None, Some(b)) => Some(b),
-            (None, None) => None,
-        }
+        self.min
     }
 
     /// Number of registered expectations (the paper's storage-cost

@@ -25,9 +25,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use essat_wsn::config::ExperimentConfig;
+use essat_wsn::config::{ExperimentConfig, Protocol};
 use essat_wsn::metrics::RunResult;
-use essat_wsn::sim::World;
+use essat_wsn::sim::{BuildCache, World, WorldScratch};
 
 /// One sweep cell: a configuration to repeat `runs` times with derived
 /// seeds (`seed, seed+1, …` — the paper's repetition protocol).
@@ -145,15 +145,31 @@ impl SweepExecutor {
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<RunResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(jobs.len()).max(1);
+        // Shared immutable build cache: every job at the same
+        // (topology, seed) sweep point — all protocols, all repetitions
+        // with the same derived seed — reuses one topology + routing
+        // tree + channel adjacency instead of rebuilding them per job.
+        let cache = BuildCache::new();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some((_, cfg)) = jobs.get(i) else {
-                        break;
-                    };
-                    let result = World::run(cfg);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                scope.spawn(|| {
+                    // Worker-local scratch: the event-queue slab, channel
+                    // buffer pools and action buffers warmed by one job
+                    // are recycled into the next.
+                    let mut scratch = WorldScratch::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((_, cfg)) = jobs.get(i) else {
+                            break;
+                        };
+                        let result = World::run_pooled(
+                            cfg,
+                            &Protocol::build_policy,
+                            Some(&cache),
+                            &mut scratch,
+                        );
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    }
                 });
             }
         });

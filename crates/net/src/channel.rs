@@ -51,6 +51,8 @@
 //! assert_eq!(end.clean_receivers, vec![NodeId::new(1)]);
 //! ```
 
+use std::sync::Arc;
+
 use essat_sim::rng::SimRng;
 use essat_sim::time::{SimDuration, SimTime};
 
@@ -64,9 +66,11 @@ use crate::topology::Topology;
 /// scenario engine's Gilbert–Elliott chains) and must be deterministic
 /// for a given construction seed: the channel calls `dropped` in a
 /// deterministic order, so a deterministic model keeps runs
-/// bit-reproducible. When no model is installed the channel falls back
-/// to its static [`Channel::set_drop_probability`] — with both disabled
-/// the per-copy cost is a single branch.
+/// bit-reproducible. The model **composes** with the static
+/// [`Channel::set_drop_probability`]: a copy is lost if the model drops
+/// it *or* the baseline random loss fires (the baseline draw is skipped
+/// when the model already dropped the copy). With both disabled the
+/// per-copy cost is a single branch.
 pub trait LossModel: std::fmt::Debug + Send {
     /// True if the copy of the frame ending at `now`, sent by `sender`,
     /// is lost at `receiver`.
@@ -90,8 +94,16 @@ impl TxId {
         TxId((seq as u64) << 32 | slot as u64)
     }
 
-    fn slot(self) -> usize {
+    /// The dense slab-slot index of this transmission while in flight.
+    /// Unique among concurrent transmissions; reused (with a bumped
+    /// generation) after the transmission ends. Callers can use it to
+    /// key small side tables of per-transmission state.
+    pub fn slot_index(self) -> usize {
         (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn slot(self) -> usize {
+        self.slot_index()
     }
 
     fn seq(self) -> u32 {
@@ -176,11 +188,47 @@ impl Csr {
     }
 }
 
+/// The immutable adjacency block a channel consults on every
+/// transmission: communication- and interference-range CSR indexes over
+/// a fixed topology.
+///
+/// Building it walks the whole topology, so sweep harnesses share one
+/// instance (`Arc`) across every run at the same `(topology, seed)`
+/// point instead of rebuilding it per job — see
+/// [`Channel::with_adjacency`].
+#[derive(Debug)]
+pub struct ChannelAdjacency {
+    neighbors: Csr,
+    interference: Csr,
+    nodes: usize,
+}
+
+impl ChannelAdjacency {
+    /// Builds the CSR indexes for `topology`.
+    pub fn build(topology: &Topology) -> ChannelAdjacency {
+        let n = topology.node_count();
+        ChannelAdjacency {
+            neighbors: Csr::from_lists(n, |i| topology.neighbors(NodeId::new(i as u32))),
+            interference: Csr::from_lists(n, |i| {
+                topology.interference_neighbors(NodeId::new(i as u32))
+            }),
+            nodes: n,
+        }
+    }
+}
+
+/// Recycled channel buffers (receiver lists, corruption flags) carried
+/// across runs by a world pool so a fresh channel starts warm.
+#[derive(Debug, Default)]
+pub struct ChannelPools {
+    nodes: Vec<Vec<NodeId>>,
+    bools: Vec<Vec<bool>>,
+}
+
 /// The shared medium. One instance per simulation.
 #[derive(Debug)]
 pub struct Channel {
-    neighbors: Csr,
-    interference: Csr,
+    adj: Arc<ChannelAdjacency>,
     carrier_count: Vec<u32>,
     transmitting: Vec<bool>,
     /// Transmission slab; `active` lists the live slot ids.
@@ -193,7 +241,7 @@ pub struct Channel {
     /// Recycled receiver-list buffers (see [`Channel::recycle_nodes`]).
     node_pool: Vec<Vec<NodeId>>,
     drop_prob: f64,
-    /// Optional per-link loss process; overrides `drop_prob` when set.
+    /// Optional per-link loss process; composes with `drop_prob`.
     loss_model: Option<Box<dyn LossModel>>,
     rng: SimRng,
     stats: ChannelStats,
@@ -202,14 +250,15 @@ pub struct Channel {
 impl Channel {
     /// Creates a channel over the given topology with no loss injection.
     pub fn new(topology: &Topology, rng: SimRng) -> Self {
-        let n = topology.node_count();
-        let neighbors = Csr::from_lists(n, |i| topology.neighbors(NodeId::new(i as u32)));
-        let interference = Csr::from_lists(n, |i| {
-            topology.interference_neighbors(NodeId::new(i as u32))
-        });
+        Self::with_adjacency(Arc::new(ChannelAdjacency::build(topology)), rng)
+    }
+
+    /// Creates a channel over a pre-built (possibly shared) adjacency
+    /// block — the sweep executor's build-cache path.
+    pub fn with_adjacency(adj: Arc<ChannelAdjacency>, rng: SimRng) -> Self {
+        let n = adj.nodes;
         Channel {
-            neighbors,
-            interference,
+            adj,
             carrier_count: vec![0; n],
             transmitting: vec![false; n],
             slots: Vec::new(),
@@ -241,9 +290,10 @@ impl Channel {
         self.drop_prob
     }
 
-    /// Installs a per-link loss process. While set it replaces the
-    /// static drop probability on the delivery path; drops it causes
-    /// are counted as [`ChannelStats::injected_drops`].
+    /// Installs a per-link loss process. It runs on every otherwise-
+    /// clean copy and **composes** with the static drop probability
+    /// (either source of loss kills the copy); drops from both are
+    /// counted as [`ChannelStats::injected_drops`].
     pub fn set_loss_model(&mut self, model: Box<dyn LossModel>) {
         self.loss_model = Some(model);
     }
@@ -266,6 +316,19 @@ impl Channel {
     /// Run counters.
     pub fn stats(&self) -> ChannelStats {
         self.stats
+    }
+
+    /// Moves the channel's warmed buffer pools into `pools` (called at
+    /// the end of a pooled run so the next run's channel starts warm).
+    pub fn harvest_pools(&mut self, pools: &mut ChannelPools) {
+        pools.nodes.append(&mut self.node_pool);
+        pools.bools.append(&mut self.bool_pool);
+    }
+
+    /// Adopts previously harvested buffer pools.
+    pub fn adopt_pools(&mut self, pools: &mut ChannelPools) {
+        self.node_pool.append(&mut pools.nodes);
+        self.bool_pool.append(&mut pools.bools);
     }
 
     /// Returns a receiver-list vector to the channel's buffer pool.
@@ -296,8 +359,8 @@ impl Channel {
         for i in 0..self.active.len() {
             let slot = self.active[i] as usize;
             let s = self.slots[slot].sender.index();
-            let hearers = &self.neighbors.flat
-                [self.neighbors.off[s] as usize..self.neighbors.off[s + 1] as usize];
+            let hearers = &self.adj.neighbors.flat
+                [self.adj.neighbors.off[s] as usize..self.adj.neighbors.off[s + 1] as usize];
             if let Some(pos) = hearers.iter().position(|&h| h == node) {
                 Self::corrupt_at(&mut self.stats, &mut self.slots[slot], pos);
             }
@@ -327,7 +390,7 @@ impl Channel {
         self.corrupt_copies_at(sender);
 
         let si = sender.index();
-        let hearer_count = (self.neighbors.off[si + 1] - self.neighbors.off[si]) as usize;
+        let hearer_count = (self.adj.neighbors.off[si + 1] - self.adj.neighbors.off[si]) as usize;
         let mut corrupted = self.bool_pool.pop().unwrap_or_default();
         corrupted.clear();
         corrupted.resize(hearer_count, false);
@@ -337,11 +400,11 @@ impl Channel {
         // the interference range; only communication-range hearers can
         // decode the frame itself.
         let (i0, i1) = (
-            self.interference.off[si] as usize,
-            self.interference.off[si + 1] as usize,
+            self.adj.interference.off[si] as usize,
+            self.adj.interference.off[si + 1] as usize,
         );
         for idx in i0..i1 {
-            let h = self.interference.flat[idx];
+            let h = self.adj.interference.flat[idx];
             let cc = &mut self.carrier_count[h.index()];
             *cc += 1;
             let cc = *cc;
@@ -355,11 +418,11 @@ impl Channel {
             }
         }
         let (h0, h1) = (
-            self.neighbors.off[si] as usize,
-            self.neighbors.off[si + 1] as usize,
+            self.adj.neighbors.off[si] as usize,
+            self.adj.neighbors.off[si + 1] as usize,
         );
         for (i, idx) in (h0..h1).enumerate() {
-            let h = self.neighbors.flat[idx];
+            let h = self.adj.neighbors.flat[idx];
             // Half-duplex: a transmitting hearer cannot receive.
             if self.transmitting[h.index()] {
                 corrupted[i] = true;
@@ -444,11 +507,11 @@ impl Channel {
         let mut now_idle = self.take_nodes();
         let si = sender.index();
         let (i0, i1) = (
-            self.interference.off[si] as usize,
-            self.interference.off[si + 1] as usize,
+            self.adj.interference.off[si] as usize,
+            self.adj.interference.off[si + 1] as usize,
         );
         for idx in i0..i1 {
-            let h = self.interference.flat[idx];
+            let h = self.adj.interference.flat[idx];
             let cc = &mut self.carrier_count[h.index()];
             debug_assert!(*cc > 0, "carrier count underflow at {h}");
             *cc -= 1;
@@ -457,17 +520,20 @@ impl Channel {
             }
         }
         let (h0, h1) = (
-            self.neighbors.off[si] as usize,
-            self.neighbors.off[si + 1] as usize,
+            self.adj.neighbors.off[si] as usize,
+            self.adj.neighbors.off[si + 1] as usize,
         );
         for (i, idx) in (h0..h1).enumerate() {
-            let h = self.neighbors.flat[idx];
+            let h = self.adj.neighbors.flat[idx];
             let mut bad = corrupted[i];
             if !bad {
+                // Loss sources compose: the per-link model (if any) OR
+                // the configured baseline probability. An installed
+                // model used to silently override the baseline.
                 let injected = match self.loss_model.as_deref_mut() {
                     Some(model) => model.dropped(now, sender, h),
-                    None => self.drop_prob > 0.0 && self.rng.chance(self.drop_prob),
-                };
+                    None => false,
+                } || (self.drop_prob > 0.0 && self.rng.chance(self.drop_prob));
                 if injected {
                     bad = true;
                     self.stats.injected_drops += 1;
@@ -687,19 +753,28 @@ mod tests {
     }
 
     #[test]
-    fn loss_model_overrides_static_probability() {
+    fn loss_model_composes_with_static_probability() {
+        // Model alone: only its chosen receiver loses copies.
         let mut ch = line4();
-        ch.set_drop_probability(1.0); // would kill everything…
-        ch.set_loss_model(Box::new(DropAt(n(0)))); // …but the model wins
+        ch.set_loss_model(Box::new(DropAt(n(0))));
         let tx = ch.begin_tx(t_us(0), n(1), us(416));
         let end = ch.end_tx(t_us(416), tx.id);
         assert_eq!(end.clean_receivers, vec![n(2)]);
         assert_eq!(end.corrupted_receivers, vec![n(0)]);
         assert_eq!(ch.stats().injected_drops, 1);
-        // Removing the model restores the static path.
-        ch.clear_loss_model();
+        // Baseline composes on top of the model instead of being
+        // silently overridden (the PR 3 review bug): with p = 1 every
+        // copy the model spared is still dropped by the baseline.
+        ch.set_drop_probability(1.0);
         let tx = ch.begin_tx(t_us(1_000), n(1), us(416));
         let end = ch.end_tx(t_us(1_416), tx.id);
+        assert!(end.clean_receivers.is_empty(), "baseline must still fire");
+        assert_eq!(end.corrupted_receivers, vec![n(0), n(2)]);
+        assert_eq!(ch.stats().injected_drops, 3);
+        // Removing the model keeps the static path.
+        ch.clear_loss_model();
+        let tx = ch.begin_tx(t_us(2_000), n(1), us(416));
+        let end = ch.end_tx(t_us(2_416), tx.id);
         assert!(end.clean_receivers.is_empty(), "p = 1 drops every copy");
         assert_eq!(end.corrupted_receivers, vec![n(0), n(2)]);
     }

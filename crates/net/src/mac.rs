@@ -339,6 +339,14 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
     /// Panics if the frame is not a data frame or claims a different
     /// source.
     pub fn enqueue(&mut self, frame: Frame<P>, now: SimTime) -> Vec<MacAction<P>> {
+        let mut out = Vec::new();
+        self.enqueue_into(frame, now, &mut out);
+        out
+    }
+
+    /// [`Mac::enqueue`], appending actions to a caller-recycled buffer
+    /// (the simulator's allocation-free hot path).
+    pub fn enqueue_into(&mut self, frame: Frame<P>, now: SimTime, out: &mut Vec<MacAction<P>>) {
         assert_eq!(
             frame.kind,
             FrameKind::Data,
@@ -347,11 +355,9 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
         assert_eq!(frame.src, self.node, "frame source must be this node");
         self.stats.enqueued += 1;
         self.queue.push_back(frame);
-        let mut out = Vec::new();
         if self.state == State::Idle {
-            self.begin_access(now, &mut out);
+            self.begin_access(now, out);
         }
-        out
     }
 
     /// Starts the medium-access cycle for the head frame. State must
@@ -388,8 +394,9 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
         out.push(MacAction::StartTx { frame, airtime });
     }
 
-    /// The medium became busy at this node.
-    pub fn carrier_busy(&mut self, now: SimTime) -> Vec<MacAction<P>> {
+    /// The medium became busy at this node. Never produces actions (the
+    /// MAC only freezes timers), so there is no buffer to fill.
+    pub fn carrier_busy(&mut self, now: SimTime) {
         self.medium_busy = true;
         match self.state {
             State::Difs => {
@@ -410,29 +417,45 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
             }
             _ => {}
         }
-        Vec::new()
     }
 
     /// The medium became idle at this node.
-    pub fn carrier_idle(&mut self, _now: SimTime) -> Vec<MacAction<P>> {
-        self.medium_busy = false;
+    pub fn carrier_idle(&mut self, now: SimTime) -> Vec<MacAction<P>> {
         let mut out = Vec::new();
+        self.carrier_idle_into(now, &mut out);
+        out
+    }
+
+    /// [`Mac::carrier_idle`] into a caller-recycled buffer.
+    pub fn carrier_idle_into(&mut self, _now: SimTime, out: &mut Vec<MacAction<P>>) {
+        self.medium_busy = false;
         if self.state == State::WaitIdle {
             self.state = State::Difs;
-            self.arm(MacTimer::Difs, self.params.difs, &mut out);
+            self.arm(MacTimer::Difs, self.params.difs, out);
         }
-        out
     }
 
     /// A timer armed through [`MacAction::SetTimer`] expired.
     /// Stale generations are ignored.
     pub fn timer_fired(&mut self, kind: MacTimer, gen: u64, now: SimTime) -> Vec<MacAction<P>> {
+        let mut out = Vec::new();
+        self.timer_fired_into(kind, gen, now, &mut out);
+        out
+    }
+
+    /// [`Mac::timer_fired`] into a caller-recycled buffer.
+    pub fn timer_fired_into(
+        &mut self,
+        kind: MacTimer,
+        gen: u64,
+        now: SimTime,
+        out: &mut Vec<MacAction<P>>,
+    ) {
         let i = kind.idx();
         if !self.timer_armed[i] || self.timer_gen[i] != gen {
-            return Vec::new();
+            return;
         }
         self.timer_armed[i] = false;
-        let mut out = Vec::new();
         match kind {
             MacTimer::Difs => {
                 debug_assert_eq!(self.state, State::Difs);
@@ -440,31 +463,31 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                     // Resume a frozen backoff.
                     self.state = State::Backoff;
                     self.backoff_deadline = now + rem;
-                    self.arm(MacTimer::Backoff, rem, &mut out);
+                    self.arm(MacTimer::Backoff, rem, out);
                 } else if self.cw_pending {
                     self.cw_pending = false;
                     let slots = self.rng.below(self.cw as u64);
                     let rem = self.params.slot * slots;
                     if rem.is_zero() {
-                        self.start_data_tx(&mut out);
+                        self.start_data_tx(out);
                     } else {
                         self.state = State::Backoff;
                         self.backoff_deadline = now + rem;
-                        self.arm(MacTimer::Backoff, rem, &mut out);
+                        self.arm(MacTimer::Backoff, rem, out);
                     }
                 } else {
                     // Fresh frame, idle DIFS: transmit immediately.
-                    self.start_data_tx(&mut out);
+                    self.start_data_tx(out);
                 }
             }
             MacTimer::Backoff => {
                 debug_assert_eq!(self.state, State::Backoff);
                 self.backoff_remaining = None;
-                self.start_data_tx(&mut out);
+                self.start_data_tx(out);
             }
             MacTimer::AckTimeout => match self.state {
                 State::WaitAck => {
-                    self.handle_retry(now, &mut out);
+                    self.handle_retry(now, out);
                 }
                 State::TxAck => {
                     // Retry once our ACK transmission completes.
@@ -478,7 +501,7 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                 match self.state {
                     State::TxData | State::TxAck => {
                         // Extremely rare; retry the delay shortly after.
-                        self.arm(MacTimer::AckDelay, self.params.sifs, &mut out);
+                        self.arm(MacTimer::AckDelay, self.params.sifs, out);
                     }
                     _ => {
                         if let Some((dest, of)) = self.pending_acks.pop_front() {
@@ -512,7 +535,6 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                 }
             }
         }
-        out
     }
 
     /// Interrupts a Difs/Backoff cycle in preparation for an ACK
@@ -574,6 +596,12 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
     /// fires.
     pub fn tx_ended(&mut self, now: SimTime) -> Vec<MacAction<P>> {
         let mut out = Vec::new();
+        self.tx_ended_into(now, &mut out);
+        out
+    }
+
+    /// [`Mac::tx_ended`] into a caller-recycled buffer.
+    pub fn tx_ended_into(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
         match self.state {
             State::TxData => {
                 let head = self.queue.front().expect("tx ended without frame");
@@ -584,11 +612,11 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                         self.stats.delivered += 1;
                         self.reset_contention();
                         out.push(MacAction::TxDone { frame, attempts });
-                        self.next_frame_or_idle(&mut out);
+                        self.next_frame_or_idle(out);
                     }
                     Dest::Unicast(_) => {
                         self.state = State::WaitAck;
-                        self.arm(MacTimer::AckTimeout, self.params.ack_timeout(), &mut out);
+                        self.arm(MacTimer::AckTimeout, self.params.ack_timeout(), out);
                     }
                 }
             }
@@ -599,31 +627,41 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                         // AckTimeout may still be armed; nothing to do.
                     }
                     AfterAck::RetryNow => {
-                        self.handle_retry(now, &mut out);
+                        self.handle_retry(now, out);
                     }
                     AfterAck::AccessCycle => {
                         if self.queue.is_empty() {
                             self.state = State::Idle;
                         } else {
-                            self.resume_access(&mut out);
+                            self.resume_access(out);
                         }
                     }
                 }
                 // More ACKs owed? Queue the next one after SIFS.
                 if !self.pending_acks.is_empty() {
-                    self.arm(MacTimer::AckDelay, self.params.sifs, &mut out);
+                    self.arm(MacTimer::AckDelay, self.params.sifs, out);
                 }
             }
             s => panic!("tx_ended in state {s:?}"),
         }
-        out
     }
 
     /// A frame arrived intact at this node (clean on the channel and the
     /// radio was active for its whole airtime).
-    pub fn frame_arrived(&mut self, frame: Frame<P>, _now: SimTime) -> Vec<MacAction<P>> {
-        debug_assert_ne!(self.state, State::Suspended, "delivery to sleeping node");
+    pub fn frame_arrived(&mut self, frame: Frame<P>, now: SimTime) -> Vec<MacAction<P>> {
         let mut out = Vec::new();
+        self.frame_arrived_into(frame, now, &mut out);
+        out
+    }
+
+    /// [`Mac::frame_arrived`] into a caller-recycled buffer.
+    pub fn frame_arrived_into(
+        &mut self,
+        frame: Frame<P>,
+        _now: SimTime,
+        out: &mut Vec<MacAction<P>>,
+    ) {
+        debug_assert_ne!(self.state, State::Suspended, "delivery to sleeping node");
         match frame.kind {
             FrameKind::Ack(of) => {
                 if self.state == State::WaitAck {
@@ -642,7 +680,7 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                             frame: done,
                             attempts,
                         });
-                        self.next_frame_or_idle(&mut out);
+                        self.next_frame_or_idle(out);
                     }
                 }
                 // ACKs carrying a piggybacked upper-layer note are also
@@ -654,7 +692,7 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
             }
             FrameKind::Data => {
                 if !frame.dest.accepts(self.node) {
-                    return out; // overheard unicast for someone else
+                    return; // overheard unicast for someone else
                 }
                 if let Dest::Unicast(_) = frame.dest {
                     // Always (re-)ACK; deliver only the first copy. The
@@ -670,14 +708,13 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
                         out.push(MacAction::Deliver { frame });
                     }
                     if first_ack && self.state != State::TxAck && self.state != State::TxData {
-                        self.arm(MacTimer::AckDelay, self.params.sifs, &mut out);
+                        self.arm(MacTimer::AckDelay, self.params.sifs, out);
                     }
                 } else {
                     out.push(MacAction::Deliver { frame });
                 }
             }
         }
-        out
     }
 
     /// Attaches `note` to the next ACK this MAC sends to `dest`
@@ -717,20 +754,30 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
     /// The node's radio is active again. `medium_busy` is the channel's
     /// current carrier state at this node.
     pub fn radio_woke(&mut self, now: SimTime, medium_busy: bool) -> Vec<MacAction<P>> {
+        let mut out = Vec::new();
+        self.radio_woke_into(now, medium_busy, &mut out);
+        out
+    }
+
+    /// [`Mac::radio_woke`] into a caller-recycled buffer.
+    pub fn radio_woke_into(
+        &mut self,
+        now: SimTime,
+        medium_busy: bool,
+        out: &mut Vec<MacAction<P>>,
+    ) {
         debug_assert_eq!(
             self.state,
             State::Suspended,
             "radio_woke while not suspended"
         );
         self.medium_busy = medium_busy;
-        let mut out = Vec::new();
         if self.queue.is_empty() {
             self.state = State::Idle;
         } else {
             self.state = State::Idle;
-            self.begin_access(now, &mut out);
+            self.begin_access(now, out);
         }
-        out
     }
 }
 
@@ -931,7 +978,7 @@ mod tests {
     #[test]
     fn busy_medium_defers_then_backoff() {
         let mut mac = mk(0);
-        let _ = mac.carrier_busy(t(0));
+        mac.carrier_busy(t(0));
         let f = data(&mut mac, Dest::Broadcast, 1);
         let a1 = mac.enqueue(f, t(1));
         assert!(a1.is_empty(), "no access while busy");
@@ -963,7 +1010,7 @@ mod tests {
     fn backoff_freezes_and_resumes() {
         // Force a known backoff by trying seeds until a nonzero draw.
         let mut mac = mk(3);
-        let _ = mac.carrier_busy(t(0));
+        mac.carrier_busy(t(0));
         let f = data(&mut mac, Dest::Broadcast, 1);
         let _ = mac.enqueue(f, t(1));
         let a2 = mac.carrier_idle(t(100));
@@ -983,7 +1030,7 @@ mod tests {
             return;
         };
         // Freeze partway through.
-        let _ = mac.carrier_busy(t(160));
+        mac.carrier_busy(t(160));
         let rem = mac.backoff_remaining.expect("frozen remainder");
         assert!(rem <= backoff);
         assert!(
@@ -1063,7 +1110,7 @@ mod tests {
             panic!("expected timer");
         };
         // Busy cancels the DIFS.
-        let _ = mac.carrier_busy(t(10));
+        mac.carrier_busy(t(10));
         let out = mac.timer_fired(kind, gen, t(50));
         assert!(out.is_empty(), "stale DIFS must be ignored");
     }

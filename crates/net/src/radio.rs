@@ -270,23 +270,25 @@ impl Radio {
         self.params.break_even()
     }
 
+    /// Power drawn in the current state — the single state→power
+    /// mapping shared by the mutating accounting ([`Radio::settle`])
+    /// and the read-only projection ([`Radio::energy_j_at`]).
+    fn power_w(&self) -> f64 {
+        match self.state {
+            RadioState::Active => self.params.active_power_w,
+            RadioState::Off => self.params.sleep_power_w,
+            RadioState::TurningOff | RadioState::TurningOn => self.params.transition_power_w,
+        }
+    }
+
     fn account(&mut self, until: SimTime) {
         let span = until.saturating_duration_since(self.state_since).as_nanos();
-        let power = match self.state {
-            RadioState::Active => {
-                self.active_ns += span;
-                self.params.active_power_w
-            }
-            RadioState::Off => {
-                self.off_ns += span;
-                self.params.sleep_power_w
-            }
-            RadioState::TurningOff | RadioState::TurningOn => {
-                self.transition_ns += span;
-                self.params.transition_power_w
-            }
-        };
-        self.energy_j += power * span as f64 / 1e9;
+        match self.state {
+            RadioState::Active => self.active_ns += span,
+            RadioState::Off => self.off_ns += span,
+            RadioState::TurningOff | RadioState::TurningOn => self.transition_ns += span,
+        }
+        self.energy_j += self.power_w() * span as f64 / 1e9;
         self.state_since = until;
     }
 
@@ -407,6 +409,16 @@ impl Radio {
     /// before reading the totals).
     pub fn settle(&mut self, now: SimTime) {
         self.account(now);
+    }
+
+    /// Energy consumed up to `now`, **without** mutating the books: the
+    /// settled total plus the span since the last state change at the
+    /// current state's power draw. The battery-depletion sweep reads
+    /// every live node through this each period, so the whole-network
+    /// scan stays read-only.
+    pub fn energy_j_at(&self, now: SimTime) -> f64 {
+        let span = now.saturating_duration_since(self.state_since).as_nanos();
+        self.energy_j + self.power_w() * span as f64 / 1e9
     }
 
     /// Nanoseconds spent `Active` (after [`Radio::settle`]).

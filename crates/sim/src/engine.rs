@@ -132,12 +132,32 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Creates an engine at time zero with an empty event set.
     pub fn new(model: M) -> Self {
+        Self::with_queue(model, EventQueue::new())
+    }
+
+    /// Creates an engine at time zero reusing a recycled queue's
+    /// allocations (the caller obtained it from [`Engine::into_parts`]
+    /// of a previous run and must have [`EventQueue::clear`]ed it, or it
+    /// must otherwise be empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue still holds pending events.
+    pub fn with_queue(model: M, queue: EventQueue<M::Event>) -> Self {
+        assert!(queue.is_empty(), "recycled queue must be empty");
         Engine {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue,
             model,
             processed: 0,
         }
+    }
+
+    /// Consumes the engine, returning the model and the queue (whose
+    /// slab/bucket allocations a pool can recycle into the next run via
+    /// [`Engine::with_queue`] after clearing it).
+    pub fn into_parts(self) -> (M, EventQueue<M::Event>) {
+        (self.model, self.queue)
     }
 
     /// Current simulation time (the time of the last processed event, or
@@ -203,19 +223,26 @@ impl<M: Model> Engine<M> {
         self.queue.cancel(id)
     }
 
+    /// Advances the clock to `time` and hands `event` to the model —
+    /// the single dispatch path shared by [`Engine::step`] and
+    /// [`Engine::run_until`].
+    fn dispatch(&mut self, time: SimTime, event: M::Event) {
+        debug_assert!(time >= self.now, "event queue violated monotonicity");
+        self.now = time;
+        self.processed += 1;
+        let mut ctx = Context {
+            now: time,
+            queue: &mut self.queue,
+        };
+        self.model.handle(event, &mut ctx);
+    }
+
     /// Processes the single earliest pending event. Returns `false` if the
     /// queue was empty.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             Some((time, _id, event)) => {
-                debug_assert!(time >= self.now, "event queue violated monotonicity");
-                self.now = time;
-                self.processed += 1;
-                let mut ctx = Context {
-                    now: time,
-                    queue: &mut self.queue,
-                };
-                self.model.handle(event, &mut ctx);
+                self.dispatch(time, event);
                 true
             }
             None => false,
@@ -237,11 +264,8 @@ impl<M: Model> Engine<M> {
     /// Returns the number of events processed by this call.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.processed;
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
+        while let Some((time, _id, event)) = self.queue.pop_before(deadline) {
+            self.dispatch(time, event);
         }
         if self.now < deadline {
             self.now = deadline;

@@ -7,15 +7,36 @@
 //!
 //! # Implementation
 //!
-//! Events live in a **slab** (a vector of reusable slots with a free
-//! list); the heap holds only small `Copy` entries `(time, seq, slot)`.
-//! The insertion sequence number doubles as a **generation tag**: a slot
-//! is live for exactly one sequence number, so a heap entry is stale iff
-//! its sequence no longer matches its slot. Cancellation
-//! ([`EventQueue::cancel`]) is O(1): drop the payload, free the slot,
-//! and leave the heap entry to be skipped at pop time by the sequence
-//! check — no hashing anywhere on the push/pop/cancel paths (the
-//! previous implementation consulted a `HashSet` on every pop).
+//! Event payloads live in a **slab** (a vector of reusable slots with a
+//! free list); the ordering structure holds only small `Copy` entries
+//! `(time, seq, slot)`. The insertion sequence number doubles as a
+//! **generation tag**: a slot is live for exactly one sequence number, so
+//! an entry is stale iff its sequence no longer matches its slot.
+//! Cancellation ([`EventQueue::cancel`]) is O(1): drop the payload, free
+//! the slot, and leave the ordering entry to be skipped at pop time by
+//! the sequence check — no hashing anywhere on the push/pop/cancel paths.
+//!
+//! The ordering structure is a **timer wheel** rather than a binary
+//! heap: the dominant simulation workload is timers at MAC-slot
+//! granularity (backoffs, DIFS/SIFS, airtimes, radio transitions), for
+//! which a comparison heap pays `O(log n)` pointer-chasing per event. The
+//! wheel is a ring of `BUCKET_COUNT` (4096) buckets of `2^BUCKET_SHIFT`
+//! ns each (16.384 µs ≈ one 802.11 20 µs slot), covering a ≈67 ms
+//! near-future window:
+//!
+//! * **push** within the window appends to the target bucket — O(1);
+//! * **pop** drains the *current* bucket, which is sorted by
+//!   `(time, seq)` once when the cursor reaches it (so the exact global
+//!   order is preserved, including FIFO among same-instant events);
+//! * an occupancy **bitmap** (one bit per bucket) finds the next
+//!   non-empty bucket with a couple of word scans, so sparse stretches
+//!   cost nothing;
+//! * events beyond the window go to a small **overflow heap** and
+//!   migrate into the wheel as the cursor advances past their horizon.
+//!
+//! Pushes at or before the cursor's bucket (e.g. `schedule_now` chains)
+//! insert into the current bucket at their sorted position, which keeps
+//! the total order exact even while the bucket is being drained.
 //!
 //! # Examples
 //!
@@ -40,6 +61,20 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// log2 of the bucket width in nanoseconds: 2^14 ns = 16.384 µs, the
+/// MAC slot granularity (802.11 uses 20 µs slots; backoffs, DIFS and
+/// airtimes are all small multiples of it).
+const BUCKET_SHIFT: u32 = 14;
+/// Number of buckets in the ring (must be a power of two). With
+/// [`BUCKET_SHIFT`] this spans ≈67 ms of near future — wide enough that
+/// collection timeouts and radio wake-ups land in the wheel directly;
+/// only round-period chains (hundreds of ms and up) take the overflow
+/// heap.
+const BUCKET_COUNT: usize = 4096;
+const BUCKET_MASK: u64 = (BUCKET_COUNT as u64) - 1;
+/// Occupancy bitmap words.
+const OCC_WORDS: usize = BUCKET_COUNT / 64;
+
 /// Opaque handle to a scheduled event, usable to cancel it later.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId {
@@ -62,25 +97,25 @@ impl EventId {
 #[derive(Debug)]
 struct Slot<E> {
     seq: u64,
-    time: SimTime,
     event: Option<E>,
 }
 
-/// A heap entry: everything needed for ordering and staleness detection,
-/// but not the event payload itself (which stays in the slab).
+/// One ordering entry: everything needed for ordering and staleness
+/// detection, but not the event payload itself (which stays in the
+/// slab). Used both in wheel buckets and in the overflow heap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct HeapEntry {
+struct Entry {
     time: SimTime,
     seq: u64,
     slot: u32,
 }
 
-impl PartialOrd for HeapEntry {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapEntry {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
@@ -92,12 +127,29 @@ impl Ord for HeapEntry {
 /// semantics.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<HeapEntry>>,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     live: usize,
     peak_live: usize,
     next_seq: u64,
+    /// The bucket ring; `wheel[abs & BUCKET_MASK]` holds entries whose
+    /// absolute bucket number is `abs ∈ (cur_abs, cur_abs + BUCKET_COUNT)`,
+    /// plus — at ring position `cur_abs & BUCKET_MASK` — the current
+    /// bucket being drained (which may also hold earlier-time entries
+    /// pushed after the cursor passed their nominal bucket).
+    wheel: Vec<Vec<Entry>>,
+    /// One bit per ring position: set iff a non-current bucket holds
+    /// entries (possibly stale).
+    occ: [u64; OCC_WORDS],
+    /// Absolute bucket number (`time >> BUCKET_SHIFT`) of the cursor.
+    cur_abs: u64,
+    /// Drained prefix of the current bucket.
+    drain: usize,
+    /// Whether the current bucket's `[drain..]` suffix is sorted by
+    /// `(time, seq)`.
+    sorted: bool,
+    /// Events at or beyond the wheel horizon, ordered by `(time, seq)`.
+    overflow: BinaryHeap<Reverse<Entry>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -110,12 +162,82 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
             peak_live: 0,
             next_seq: 0,
+            wheel: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
+            occ: [0; OCC_WORDS],
+            cur_abs: 0,
+            drain: 0,
+            sorted: false,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn occ_set(&mut self, ring: usize) {
+        self.occ[ring >> 6] |= 1u64 << (ring & 63);
+    }
+
+    #[inline]
+    fn occ_clear(&mut self, ring: usize) {
+        self.occ[ring >> 6] &= !(1u64 << (ring & 63));
+    }
+
+    /// The smallest absolute bucket number `> cur_abs` (within one ring
+    /// revolution) whose bucket is marked occupied.
+    fn next_occupied(&self) -> Option<u64> {
+        let start = ((self.cur_abs + 1) & BUCKET_MASK) as usize;
+        let mut w = start >> 6;
+        let mut word = self.occ[w] & (!0u64 << (start & 63));
+        for _ in 0..=OCC_WORDS {
+            if word != 0 {
+                let ring = (w << 6) + word.trailing_zeros() as usize;
+                let delta = (ring + BUCKET_COUNT - start) as u64 & BUCKET_MASK;
+                return Some(self.cur_abs + 1 + delta);
+            }
+            w = (w + 1) % OCC_WORDS;
+            word = self.occ[w];
+        }
+        None
+    }
+
+    /// Files an ordering entry into the wheel or the overflow heap.
+    fn insert_entry(&mut self, e: Entry) {
+        let abs = e.time.as_nanos() >> BUCKET_SHIFT;
+        if self.live == 1 && abs > self.cur_abs {
+            // The queue was empty: jump the cursor straight to the new
+            // event's bucket so an idle stretch never routes the next
+            // event through the overflow heap. Any leftover entries in
+            // the old current bucket are stale (live was 0) and can mix
+            // harmlessly with future occupants of the reused ring slot.
+            let ring = (self.cur_abs & BUCKET_MASK) as usize;
+            self.wheel[ring].clear();
+            self.drain = 0;
+            self.sorted = false;
+            self.cur_abs = abs;
+            self.occ_clear((abs & BUCKET_MASK) as usize);
+        }
+        if abs <= self.cur_abs {
+            // Current bucket (or the past — the engine forbids that, but
+            // the queue keeps exact order regardless): keep the drained
+            // suffix sorted.
+            let ring = (self.cur_abs & BUCKET_MASK) as usize;
+            if self.sorted {
+                let tail = &self.wheel[ring][self.drain..];
+                let pos = tail.partition_point(|x| (x.time, x.seq) <= (e.time, e.seq));
+                self.wheel[ring].insert(self.drain + pos, e);
+            } else {
+                self.wheel[ring].push(e);
+            }
+        } else if abs - self.cur_abs < BUCKET_COUNT as u64 {
+            let ring = (abs & BUCKET_MASK) as usize;
+            self.wheel[ring].push(e);
+            self.occ_set(ring);
+        } else {
+            self.overflow.push(Reverse(e));
         }
     }
 
@@ -132,7 +254,6 @@ impl<E> EventQueue<E> {
             Some(s) => {
                 let sl = &mut self.slots[s as usize];
                 sl.seq = seq;
-                sl.time = time;
                 sl.event = Some(event);
                 s
             }
@@ -140,17 +261,16 @@ impl<E> EventQueue<E> {
                 let s = self.slots.len() as u32;
                 self.slots.push(Slot {
                     seq,
-                    time,
                     event: Some(event),
                 });
                 s
             }
         };
-        self.heap.push(Reverse(HeapEntry { time, seq, slot }));
         self.live += 1;
         if self.live > self.peak_live {
             self.peak_live = self.live;
         }
+        self.insert_entry(Entry { time, seq, slot });
         EventId { seq, slot }
     }
 
@@ -180,42 +300,112 @@ impl<E> EventQueue<E> {
         self.is_live(id)
     }
 
+    /// Migrates overflow entries that now fall inside the wheel window.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cur_abs + BUCKET_COUNT as u64;
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if e.time.as_nanos() >> BUCKET_SHIFT >= horizon {
+                break;
+            }
+            let Some(Reverse(e)) = self.overflow.pop() else {
+                unreachable!()
+            };
+            let abs = e.time.as_nanos() >> BUCKET_SHIFT;
+            let ring = (abs & BUCKET_MASK) as usize;
+            self.wheel[ring].push(e);
+            if abs != self.cur_abs {
+                self.occ_set(ring);
+            }
+        }
+    }
+
+    /// Advances the cursor to the next bucket holding entries (wheel or
+    /// overflow). The current bucket must be fully drained. Returns
+    /// `false` when nothing is pending anywhere.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.drain >= self.wheel[(self.cur_abs & BUCKET_MASK) as usize].len());
+        let ring = (self.cur_abs & BUCKET_MASK) as usize;
+        self.wheel[ring].clear();
+        self.drain = 0;
+        self.sorted = false;
+        // Wheel entries always precede overflow entries (the overflow
+        // holds only times at or beyond the horizon), so a non-empty
+        // wheel decides the next cursor position by itself.
+        let target = match self.next_occupied() {
+            Some(abs) => abs,
+            None => match self.overflow.peek() {
+                Some(Reverse(e)) => e.time.as_nanos() >> BUCKET_SHIFT,
+                None => return false,
+            },
+        };
+        self.cur_abs = target;
+        self.occ_clear((target & BUCKET_MASK) as usize);
+        self.migrate_overflow();
+        true
+    }
+
+    /// Positions `drain` at the earliest live entry, advancing buckets
+    /// as needed, and returns it (without consuming).
+    fn settle_head(&mut self) -> Option<Entry> {
+        loop {
+            let ring = (self.cur_abs & BUCKET_MASK) as usize;
+            if !self.sorted {
+                self.drain = 0;
+                self.wheel[ring].sort_unstable();
+                self.sorted = true;
+            }
+            while self.drain < self.wheel[ring].len() {
+                let e = self.wheel[ring][self.drain];
+                let sl = &self.slots[e.slot as usize];
+                if sl.seq == e.seq && sl.event.is_some() {
+                    return Some(e);
+                }
+                self.drain += 1; // stale: cancelled (slot possibly reused)
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Consumes the entry [`EventQueue::settle_head`] just positioned.
+    fn consume_head(&mut self, e: Entry) -> (SimTime, EventId, E) {
+        self.drain += 1;
+        let sl = &mut self.slots[e.slot as usize];
+        let event = sl.event.take().expect("settled head is live");
+        self.free.push(e.slot);
+        self.live -= 1;
+        (
+            e.time,
+            EventId {
+                seq: e.seq,
+                slot: e.slot,
+            },
+            event,
+        )
+    }
+
     /// Removes and returns the earliest pending event as
     /// `(time, id, event)`, skipping cancelled entries.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            let sl = &mut self.slots[entry.slot as usize];
-            if sl.seq != entry.seq {
-                continue; // stale: cancelled and possibly reused
-            }
-            let Some(event) = sl.event.take() else {
-                continue; // stale: cancelled, slot not yet reused
-            };
-            self.free.push(entry.slot);
-            self.live -= 1;
-            return Some((
-                entry.time,
-                EventId {
-                    seq: entry.seq,
-                    slot: entry.slot,
-                },
-                event,
-            ));
-        }
-        None
+        let e = self.settle_head()?;
+        Some(self.consume_head(e))
     }
 
     /// The fire time of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop cancelled heads so the answer reflects a live event.
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            let sl = &self.slots[entry.slot as usize];
-            if sl.seq == entry.seq && sl.event.is_some() {
-                return Some(entry.time);
-            }
-            self.heap.pop();
+        self.settle_head().map(|e| e.time)
+    }
+
+    /// [`EventQueue::pop`], but only if the earliest pending event fires
+    /// at or before `deadline` — the engine's bounded-run loop in one
+    /// cursor pass instead of a peek followed by a pop.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, EventId, E)> {
+        let e = self.settle_head()?;
+        if e.time > deadline {
+            return None;
         }
-        None
+        Some(self.consume_head(e))
     }
 
     /// Number of live (non-cancelled) pending events.
@@ -238,13 +428,24 @@ impl<E> EventQueue<E> {
         self.next_seq
     }
 
-    /// Removes all pending events and resets the high-water mark.
+    /// Removes all pending events and resets the high-water mark and the
+    /// cursor (the next push may be at any time, including before
+    /// previously popped events). Bucket, slab and overflow capacity is
+    /// retained, so a recycled queue reaches steady state without
+    /// reallocating.
     pub fn clear(&mut self) {
-        self.heap.clear();
         self.slots.clear();
         self.free.clear();
         self.live = 0;
         self.peak_live = 0;
+        for b in &mut self.wheel {
+            b.clear();
+        }
+        self.occ = [0; OCC_WORDS];
+        self.cur_abs = 0;
+        self.drain = 0;
+        self.sorted = false;
+        self.overflow.clear();
     }
 }
 
@@ -391,5 +592,82 @@ mod tests {
         assert_eq!(q.peak_len(), 0, "clear resets the high-water mark");
         q.push(t(1), 1);
         assert_eq!(q.peak_len(), 1);
+    }
+
+    /// Events far beyond the wheel horizon (≈67 ms) take the overflow
+    /// path and must still interleave exactly with near-future events.
+    #[test]
+    fn far_future_overflow_keeps_order() {
+        let mut q = EventQueue::new();
+        // Seconds apart: every push lands in the overflow heap relative
+        // to the first bucket, then migrates as the cursor advances.
+        q.push(SimTime::from_secs(3), 3);
+        q.push(SimTime::from_micros(10), 0);
+        q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    /// Same-instant FIFO survives the overflow → wheel migration.
+    #[test]
+    fn overflow_migration_preserves_fifo() {
+        let mut q = EventQueue::new();
+        let far = SimTime::from_secs(5);
+        for i in 0..50 {
+            q.push(far, i);
+        }
+        q.push(SimTime::from_micros(1), -1);
+        assert_eq!(q.pop().unwrap().2, -1);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    /// A push earlier than the cursor's bucket (the engine never does
+    /// this, but the queue's contract allows it) still pops first.
+    #[test]
+    fn past_push_pops_first() {
+        let mut q = EventQueue::new();
+        q.push(t(100), 100);
+        assert_eq!(q.pop().unwrap().2, 100); // cursor now at 100 ms
+        q.push(t(50), 50);
+        q.push(t(200), 200);
+        q.push(t(40), 40);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![40, 50, 200]);
+    }
+
+    /// Pushes into the bucket currently being drained keep exact order
+    /// relative to its remaining entries.
+    #[test]
+    fn push_into_draining_bucket_keeps_order() {
+        let mut q = EventQueue::new();
+        let base = SimTime::from_micros(100);
+        q.push(base, 0);
+        q.push(base + SimDuration::from_micros(4), 2);
+        assert_eq!(q.pop().unwrap().2, 0);
+        // Same bucket (16.384 µs wide), between the popped head and the
+        // remaining entry.
+        q.push(base + SimDuration::from_micros(2), 1);
+        q.push(base + SimDuration::from_micros(4), 3); // FIFO after 2
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    /// Pushing after an idle (empty) stretch jumps the cursor instead of
+    /// walking every intermediate bucket.
+    #[test]
+    fn empty_queue_jump_then_earlier_push() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 1);
+        assert_eq!(q.pop().unwrap().2, 1);
+        assert!(q.is_empty());
+        // Jump far ahead, then schedule something earlier than the jump
+        // target (but after everything already popped).
+        q.push(SimTime::from_secs(40), 40);
+        q.push(SimTime::from_secs(20), 20);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(20)));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![20, 40]);
     }
 }

@@ -230,3 +230,130 @@ fn queue_stress_is_stable() {
     };
     assert_eq!(build(), build());
 }
+
+/// Differential test of the timer-wheel queue against a reference
+/// binary-heap model over random interleaved push / pop / cancel
+/// workloads. Times span three regimes relative to the wheel's ≈67 ms
+/// near-future window — current-bucket inserts, in-window buckets, and
+/// far-future overflow (which must migrate back into the wheel as the
+/// cursor advances) — and pops interleave with pushes so earlier-than-
+/// cursor pushes are exercised too.
+mod wheel_vs_reference {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    use essat_sim::queue::EventQueue;
+    use essat_sim::time::SimTime;
+    use proptest::prelude::*;
+
+    /// Reference model: a plain `(time, seq)` min-heap plus a cancelled
+    /// set, with the exact contract the wheel must honour.
+    #[derive(Default)]
+    struct RefQueue {
+        heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+        cancelled: Vec<bool>,
+        next_seq: u64,
+        live: usize,
+    }
+
+    impl RefQueue {
+        fn push(&mut self, t: u64, payload: usize) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Reverse((t, seq, payload)));
+            self.cancelled.push(false);
+            self.live += 1;
+            seq
+        }
+        fn cancel(&mut self, seq: u64) -> bool {
+            let c = &mut self.cancelled[seq as usize];
+            if *c {
+                return false;
+            }
+            *c = true;
+            self.live -= 1;
+            true
+        }
+        fn pop(&mut self) -> Option<(u64, usize)> {
+            while let Some(Reverse((t, seq, p))) = self.heap.pop() {
+                if std::mem::replace(&mut self.cancelled[seq as usize], true) {
+                    continue;
+                }
+                self.live -= 1;
+                return Some((t, p));
+            }
+            None
+        }
+    }
+
+    /// One scripted operation: 0 = push, 1 = pop, 2 = cancel.
+    fn op_strategy() -> impl Strategy<Value = (u8, u64, u16)> {
+        (
+            0u8..3,
+            // Mix µs-scale (current bucket), ms-scale (in-window) and
+            // 100 ms-scale (overflow) times.
+            prop_oneof![0u64..20_000, 0u64..5_000_000, 0u64..150_000_000],
+            any::<u16>(),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn wheel_matches_reference_heap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+            let mut q = EventQueue::new();
+            let mut r = RefQueue::default();
+            let mut ids = Vec::new(); // wheel ids by ref seq
+            let mut payload = 0usize;
+            for (op, t, pick) in ops {
+                match op {
+                    0 => {
+                        let id = q.push(SimTime::from_nanos(t), payload);
+                        let seq = r.push(t, payload);
+                        prop_assert_eq!(id.as_u64(), seq, "seq numbering agrees");
+                        ids.push(id);
+                        payload += 1;
+                    }
+                    1 => {
+                        let got = q.pop().map(|(t, _, p)| (t.as_nanos(), p));
+                        prop_assert_eq!(got, r.pop(), "pop order diverged");
+                    }
+                    _ if !ids.is_empty() => {
+                        let id = ids[pick as usize % ids.len()];
+                        prop_assert_eq!(q.cancel(id), r.cancel(id.as_u64()), "cancel outcome diverged");
+                    }
+                    _ => {}
+                }
+                prop_assert_eq!(q.len(), r.live, "live count diverged");
+            }
+            // Drain: the survivors must agree exactly, in order.
+            loop {
+                let got = q.pop().map(|(t, _, p)| (t.as_nanos(), p));
+                let want = r.pop();
+                prop_assert_eq!(got, want, "drain order diverged");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// Same-instant FIFO across the overflow → wheel migration: a
+        /// burst scheduled far in the future pops in insertion order
+        /// even though it reaches the wheel via the overflow heap.
+        #[test]
+        fn far_future_fifo_survives_migration(
+            far in 67_000_000u64..1_000_000_000,
+            burst in 2usize..60,
+        ) {
+            let mut q = EventQueue::new();
+            q.push(SimTime::from_nanos(1), usize::MAX);
+            for i in 0..burst {
+                q.push(SimTime::from_nanos(far), i);
+            }
+            assert_eq!(q.pop().unwrap().2, usize::MAX);
+            for i in 0..burst {
+                prop_assert_eq!(q.pop().unwrap().2, i, "FIFO broken after migration");
+            }
+            prop_assert!(q.pop().is_none());
+        }
+    }
+}

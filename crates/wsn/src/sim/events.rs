@@ -7,11 +7,8 @@
 
 use essat_core::policy::PolicyTimer;
 use essat_net::channel::TxId;
-use essat_net::frame::Frame;
 use essat_net::ids::NodeId;
 use essat_net::mac::MacTimer;
-
-use crate::payload::Payload;
 
 /// Simulation events.
 #[derive(Debug)]
@@ -58,14 +55,15 @@ pub enum Ev {
         /// Generation echo.
         gen: u64,
     },
-    /// A transmission leaves the air.
+    /// A transmission leaves the air. The frame body is parked in the
+    /// world's `tx_frames` side table (indexed by the transmission
+    /// slot) rather than carried here, so the whole event alphabet
+    /// stays small enough that queue slots are cheap to copy.
     TxEnd {
         /// Transmitting node.
         sender: NodeId,
         /// Channel handle.
         tx: TxId,
-        /// The frame (delivered to clean receivers).
-        frame: Frame<Payload>,
     },
     /// A radio power transition completes.
     RadioDone {

@@ -23,15 +23,16 @@ impl World {
     /// network-lifetime marks.
     pub(crate) fn kill_node(&mut self, node: NodeId, now: SimTime) {
         {
-            let n = &mut self.nodes[node.index()];
-            if n.dead {
+            let i = node.index();
+            if self.hot.dead[i] {
                 return;
             }
-            n.dead = true;
+            self.hot.dead[i] = true;
+            let n = &mut self.nodes[i];
             n.died_at = Some(now);
             n.radio.settle(now);
         }
-        if self.nodes[node.index()].member {
+        if self.hot.member[node.index()] {
             self.lifetime.deaths.push((now, node));
             if self.lifetime.first_death.is_none() {
                 self.lifetime.first_death = Some(now);
@@ -47,13 +48,13 @@ impl World {
     /// "time to partition" mark. Only evaluated on deaths, so the BFS
     /// cost is negligible.
     pub(crate) fn is_partitioned(&self) -> bool {
-        if self.nodes[self.root.index()].dead {
+        if self.hot.dead[self.root.index()] {
             return true;
         }
         let alive: Vec<NodeId> = self
             .topo
             .nodes()
-            .filter(|&m| self.nodes[m.index()].member && !self.nodes[m.index()].dead)
+            .filter(|&m| self.hot.member[m.index()] && !self.hot.dead[m.index()])
             .collect();
         !self.topo.is_connected_subset(self.root, &alive)
     }
@@ -63,9 +64,14 @@ impl World {
     /// re-enters the tree: in place if the failure detectors never
     /// removed it, otherwise as a leaf under its best live neighbour
     /// (an idealised re-join — §4.3 only specifies departure repair).
+    ///
+    /// A node whose death was caused by **battery depletion** stays
+    /// dead: churn models transient outages (reboots, interference),
+    /// not battery swaps, and a revived flat battery would just re-die
+    /// at the next `BatteryCheck` after a zombie interval of activity.
     pub(crate) fn handle_node_recover(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
-        if !self.nodes[node.index()].dead {
+        if !self.hot.dead[node.index()] || self.hot.battery_dead[node.index()] {
             return;
         }
         // Fresh lower layers; the MAC RNG gets a new derived stream per
@@ -76,8 +82,11 @@ impl World {
             self.master.derive2(4, stream)
         };
         {
-            let n = &mut self.nodes[node.index()];
-            n.dead = false;
+            let i = node.index();
+            self.hot.dead[i] = false;
+            self.hot.radio_active[i] = true;
+            self.hot.active_since[i] = now;
+            let n = &mut self.nodes[i];
             n.died_at = None;
             n.revivals += 1;
             n.radio.resurrect(now);
@@ -98,7 +107,7 @@ impl World {
             n.recheck_on_wake = false;
         }
         self.lifetime.recoveries += 1;
-        if self.nodes[node.index()].member {
+        if self.hot.member[node.index()] {
             if self.tree.is_member(node) {
                 // Still in the tree: resume schedules where they stand.
                 self.refresh_node_schedule(node, now);
@@ -111,17 +120,17 @@ impl World {
         // reset its per-interval state; the bumped generation drops any
         // stale pending chain events.
         {
-            self.nodes[node.index()].sched_gen += 1;
+            self.hot.sched_gen[node.index()] += 1;
             let mut acts = self.take_acts();
             self.nodes[node.index()].policy.on_revive(now, &mut acts);
             self.exec_policy_actions(node, &mut acts, ctx);
             self.put_acts(acts);
         }
-        if !self.nodes[node.index()].member {
+        if !self.hot.member[node.index()] {
             // Never part of the tree: revive and go straight back to
             // sleep, as after setup.
-            let n = &self.nodes[node.index()];
-            if self.setup_over && n.radio.is_active() && n.mac.can_suspend() {
+            let i = node.index();
+            if self.setup_over && self.hot.radio_active[i] && self.nodes[i].mac.can_suspend() {
                 self.suspend_radio(node, ctx);
             }
             return;
@@ -216,26 +225,29 @@ impl World {
         }
     }
 
-    /// The periodic battery sweep: settle accounting and kill nodes
-    /// whose cumulative radio energy exceeds the scenario's capacity.
+    /// The periodic battery sweep: kill nodes whose cumulative radio
+    /// energy exceeds the scenario's capacity.
+    ///
+    /// The scan walks the structure-of-arrays `dead` flags (cache-
+    /// linear) and reads each live node's energy through the
+    /// non-mutating [`essat_net::radio::Radio::energy_j_at`], so the
+    /// periodic sweep no longer rewrites every radio's accounting; a
+    /// node's books are settled exactly once, at death or run end.
     pub(crate) fn handle_battery_check(&mut self, ctx: &mut Context<'_, Ev>) {
         let Some(b) = self.scenario.as_ref().and_then(|s| s.battery) else {
             return;
         };
         let now = ctx.now();
-        let mut depleted = Vec::new();
-        for node in self.topo.nodes() {
-            let n = &mut self.nodes[node.index()];
-            if n.dead {
+        for i in 0..self.hot.dead.len() {
+            if self.hot.dead[i] {
                 continue;
             }
-            n.radio.settle(now);
-            if n.radio.energy_j() >= b.capacity_j {
-                depleted.push(node);
+            if self.nodes[i].radio.energy_j_at(now) >= b.capacity_j {
+                // Battery deaths are permanent: churn recovery must not
+                // resurrect a node with an empty battery.
+                self.hot.battery_dead[i] = true;
+                self.kill_node(NodeId::new(i as u32), now);
             }
-        }
-        for node in depleted {
-            self.kill_node(node, now);
         }
         let next = now + b.check_period;
         if next < self.run_end {

@@ -27,11 +27,13 @@
 mod events;
 mod lifecycle;
 mod node;
+mod pool;
 mod power;
 mod rounds;
 mod world;
 
 pub use events::Ev;
+pub use pool::{BuildCache, WorldScratch};
 pub use world::World;
 
 #[cfg(test)]

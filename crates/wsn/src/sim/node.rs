@@ -49,14 +49,19 @@ pub(crate) struct RadioSnapshot {
 }
 
 /// Per-node simulation state: the layered stack the executor drives.
+///
+/// The scalar flags consulted on (nearly) every event — liveness, tree
+/// membership, radio mode, timer generations — do **not** live here:
+/// they are flattened into the structure-of-arrays
+/// [`Hot`](super::world::Hot) block on the `World`, so per-event guard
+/// checks and whole-network sweeps stay cache-linear instead of striding
+/// across these ~half-KB node records.
 #[derive(Debug)]
 pub(crate) struct NodeState {
     /// The pluggable power-management layer.
     pub(crate) policy: Box<dyn PowerPolicy<Payload>>,
     pub(crate) radio: Radio,
     pub(crate) mac: Mac<Payload>,
-    pub(crate) member: bool,
-    pub(crate) dead: bool,
     pub(crate) died_at: Option<SimTime>,
     pub(crate) participating: BTreeSet<usize>,
     pub(crate) expected_children: BTreeMap<usize, Vec<NodeId>>,
@@ -68,10 +73,6 @@ pub(crate) struct NodeState {
     pub(crate) parent_fail: FailureDetector,
     /// `(query, child)` pairs whose DTS phase is suspected stale.
     pub(crate) stale_phase: BTreeSet<(usize, NodeId)>,
-    pub(crate) wake_gen: u64,
-    /// Policy chain generation (SYNC edges / PSM beacons); bumped on
-    /// churn recovery so stale chain events drop out.
-    pub(crate) sched_gen: u64,
     /// Next round each query's chain should handle (duplicate-chain
     /// guard for churn-recovery restarts).
     pub(crate) next_round: BTreeMap<usize, u64>,

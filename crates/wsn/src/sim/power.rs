@@ -23,11 +23,12 @@ use crate::payload::Payload;
 impl World {
     /// Snapshot of a node's lower layers for a policy call.
     pub(crate) fn node_view(&self, node: NodeId, now: SimTime) -> NodeView {
-        let n = &self.nodes[node.index()];
+        let i = node.index();
+        let n = &self.nodes[i];
         NodeView {
             now,
-            dead: n.dead,
-            radio_active: n.radio.is_active(),
+            dead: self.hot.dead[i],
+            radio_active: self.hot.radio_active[i],
             mac_quiescent: n.mac.is_quiescent(),
             mac_can_suspend: n.mac.can_suspend(),
             may_sleep: self.setup_over && !self.in_forced_window(now),
@@ -58,7 +59,7 @@ impl World {
             match action {
                 PolicyAction::WakeRadio => self.wake_radio(node, ctx),
                 PolicyAction::SetTimer { timer, at } => {
-                    let gen = self.nodes[node.index()].sched_gen;
+                    let gen = self.hot.sched_gen[node.index()];
                     ctx.schedule_at(at, Ev::Policy { node, timer, gen });
                 }
                 PolicyAction::SendAtim { dest } => {
@@ -78,10 +79,10 @@ impl World {
                 PolicyAction::Enqueue(frame) => self.enqueue_frame(node, frame, ctx),
                 PolicyAction::Sleep { wake_at } => {
                     self.suspend_radio(node, ctx);
-                    let n = &mut self.nodes[node.index()];
-                    n.wake_gen += 1;
+                    let gen = &mut self.hot.wake_gen[node.index()];
+                    *gen += 1;
+                    let gen = *gen;
                     if let Some(at) = wake_at {
-                        let gen = n.wake_gen;
                         ctx.schedule_at(at, Ev::RadioWake { node, gen });
                     }
                 }
@@ -96,9 +97,12 @@ impl World {
     /// must be active).
     pub(crate) fn suspend_radio(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
-        let n = &mut self.nodes[node.index()];
+        let i = node.index();
+        let n = &mut self.nodes[i];
         n.mac.radio_slept(now);
         let d = n.radio.begin_sleep(now).expect("radio is active");
+        self.hot.radio_active[i] = false;
+        self.hot.active_since[i] = SimTime::MAX;
         ctx.schedule_after(d, Ev::RadioDone { node });
     }
 
@@ -131,8 +135,8 @@ impl World {
         ctx: &mut Context<'_, Ev>,
     ) {
         {
-            let n = &self.nodes[node.index()];
-            if timer.is_chain() && (n.dead || gen != n.sched_gen) {
+            let i = node.index();
+            if timer.is_chain() && (self.hot.dead[i] || gen != self.hot.sched_gen[i]) {
                 return;
             }
         }
@@ -149,13 +153,25 @@ impl World {
     // MAC plumbing
     // ------------------------------------------------------------------
 
+    /// A recycled MAC-action buffer (every MAC entry point on the event
+    /// path writes into one of these; steady state must not allocate).
+    pub(crate) fn take_macts(&mut self) -> Vec<MacAction<Payload>> {
+        self.mact_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a MAC-action buffer to the pool.
+    pub(crate) fn put_macts(&mut self, mut acts: Vec<MacAction<Payload>>) {
+        acts.clear();
+        self.mact_pool.push(acts);
+    }
+
     pub(crate) fn exec_mac_actions(
         &mut self,
         node: NodeId,
-        actions: Vec<MacAction<Payload>>,
+        actions: &mut Vec<MacAction<Payload>>,
         ctx: &mut Context<'_, Ev>,
     ) {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 MacAction::SetTimer { kind, gen, after } => {
                     ctx.schedule_after(after, Ev::MacTimer { node, kind, gen });
@@ -163,20 +179,25 @@ impl World {
                 MacAction::StartTx { frame, airtime } => {
                     let start = self.channel.begin_tx(ctx.now(), node, airtime);
                     for i in 0..start.now_busy.len() {
-                        let h = start.now_busy[i];
-                        let hn = &mut self.nodes[h.index()];
-                        if !hn.dead && hn.radio.is_active() {
-                            let acts = hn.mac.carrier_busy(ctx.now());
-                            self.exec_mac_actions(h, acts, ctx);
+                        let h = start.now_busy[i].index();
+                        if !self.hot.dead[h] && self.hot.radio_active[h] {
+                            // carrier_busy never emits actions.
+                            self.nodes[h].mac.carrier_busy(ctx.now());
                         }
                     }
                     self.channel.recycle_nodes(start.now_busy);
+                    // Park the frame beside the in-flight transmission;
+                    // `handle_tx_end` reclaims it by slot.
+                    let si = start.id.slot_index();
+                    if si >= self.tx_frames.len() {
+                        self.tx_frames.resize_with(si + 1, || None);
+                    }
+                    self.tx_frames[si] = Some(frame);
                     ctx.schedule_after(
                         airtime,
                         Ev::TxEnd {
                             sender: node,
                             tx: start.id,
-                            frame,
                         },
                     );
                 }
@@ -193,8 +214,12 @@ impl World {
         frame: Frame<Payload>,
         ctx: &mut Context<'_, Ev>,
     ) {
-        let actions = self.nodes[node.index()].mac.enqueue(frame, ctx.now());
-        self.exec_mac_actions(node, actions, ctx);
+        let mut acts = self.take_macts();
+        self.nodes[node.index()]
+            .mac
+            .enqueue_into(frame, ctx.now(), &mut acts);
+        self.exec_mac_actions(node, &mut acts, ctx);
+        self.put_macts(acts);
     }
 
     // ------------------------------------------------------------------
@@ -205,19 +230,20 @@ impl World {
     /// its wake-up from the policy's earliest commitment.
     pub(crate) fn refresh_wake(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
-        let n = &mut self.nodes[node.index()];
-        if n.dead {
+        let i = node.index();
+        if self.hot.dead[i] {
             return;
         }
-        if n.radio.is_active() {
+        if self.hot.radio_active[i] {
             return; // awake: normal event flow handles it
         }
+        let n = &self.nodes[i];
         let Some(earliest) = n.policy.earliest_commitment() else {
             return;
         };
-        n.wake_gen += 1;
-        let gen = n.wake_gen;
         let at = earliest.saturating_sub(n.radio.params().turn_on).max(now);
+        self.hot.wake_gen[i] += 1;
+        let gen = self.hot.wake_gen[i];
         ctx.schedule_at(at, Ev::RadioWake { node, gen });
     }
 
@@ -225,10 +251,10 @@ impl World {
     /// mid-transition).
     pub(crate) fn wake_radio(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
-        let n = &mut self.nodes[node.index()];
-        if n.dead {
+        if self.hot.dead[node.index()] {
             return;
         }
+        let n = &mut self.nodes[node.index()];
         if n.radio.is_off() {
             let d = n.radio.begin_wake(now).expect("radio is off");
             ctx.schedule_after(d, Ev::RadioDone { node });
@@ -240,16 +266,22 @@ impl World {
 
     pub(crate) fn handle_radio_done(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
-        if self.nodes[node.index()].dead {
+        if self.hot.dead[node.index()] {
             return;
         }
         let outcome = self.nodes[node.index()].radio.finish_transition(now);
         match outcome {
             TransitionOutcome::NowOff => {}
             TransitionOutcome::NowActive => {
+                self.hot.radio_active[node.index()] = true;
+                self.hot.active_since[node.index()] = now;
                 let busy = self.channel.carrier_busy(node);
-                let actions = self.nodes[node.index()].mac.radio_woke(now, busy);
-                self.exec_mac_actions(node, actions, ctx);
+                let mut acts = self.take_macts();
+                self.nodes[node.index()]
+                    .mac
+                    .radio_woke_into(now, busy, &mut acts);
+                self.exec_mac_actions(node, &mut acts, ctx);
+                self.put_macts(acts);
                 // A traffic-phase-skipped round advanced this node's
                 // expectations while the radio was still turning on for
                 // them; re-run the checkpoint now that it is active so
@@ -269,55 +301,48 @@ impl World {
     }
 
     pub(crate) fn handle_radio_wake(&mut self, node: NodeId, gen: u64, ctx: &mut Context<'_, Ev>) {
-        {
-            let n = &self.nodes[node.index()];
-            if n.dead || gen != n.wake_gen {
-                return;
-            }
+        let i = node.index();
+        if self.hot.dead[i] || gen != self.hot.wake_gen[i] {
+            return;
         }
         self.wake_radio(node, ctx);
     }
 
-    pub(crate) fn handle_tx_end(
-        &mut self,
-        sender: NodeId,
-        tx: TxId,
-        frame: Frame<Payload>,
-        ctx: &mut Context<'_, Ev>,
-    ) {
+    pub(crate) fn handle_tx_end(&mut self, sender: NodeId, tx: TxId, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
+        let frame = self.tx_frames[tx.slot_index()]
+            .take()
+            .expect("in-flight transmission has a parked frame");
         let end = self.channel.end_tx(now, tx);
+        let mut acts = self.take_macts();
         for i in 0..end.now_idle.len() {
             let h = end.now_idle[i];
-            let hn = &mut self.nodes[h.index()];
-            if !hn.dead && hn.radio.is_active() {
-                let acts = hn.mac.carrier_idle(now);
-                self.exec_mac_actions(h, acts, ctx);
+            let hi = h.index();
+            if !self.hot.dead[hi] && self.hot.radio_active[hi] {
+                self.nodes[hi].mac.carrier_idle_into(now, &mut acts);
+                self.exec_mac_actions(h, &mut acts, ctx);
             }
         }
-        if !self.nodes[sender.index()].dead {
-            let acts = self.nodes[sender.index()].mac.tx_ended(now);
-            self.exec_mac_actions(sender, acts, ctx);
+        if !self.hot.dead[sender.index()] {
+            self.nodes[sender.index()].mac.tx_ended_into(now, &mut acts);
+            self.exec_mac_actions(sender, &mut acts, ctx);
         }
         for i in 0..end.clean_receivers.len() {
             let r = end.clean_receivers[i];
-            let n = &self.nodes[r.index()];
-            if n.dead {
+            let ri = r.index();
+            if self.hot.dead[ri] {
                 continue;
             }
-            // The receiver must have been awake for the entire frame.
-            let awake_whole_frame = n
-                .radio
-                .active_since()
-                .map(|t| t <= end.started)
-                .unwrap_or(false);
-            if awake_whole_frame {
+            // The receiver must have been awake for the entire frame
+            // (`active_since` is `SimTime::MAX` while not fully active).
+            if self.hot.active_since[ri] <= end.started {
                 // `Frame<Payload>` is `Copy`: the fan-out to receivers
                 // is a bitwise copy, not an allocation.
-                let acts = self.nodes[r.index()].mac.frame_arrived(frame, now);
-                self.exec_mac_actions(r, acts, ctx);
+                self.nodes[ri].mac.frame_arrived_into(frame, now, &mut acts);
+                self.exec_mac_actions(r, &mut acts, ctx);
             }
         }
+        self.put_macts(acts);
         self.channel.recycle_nodes(end.now_idle);
         self.channel.recycle_nodes(end.clean_receivers);
         self.channel.recycle_nodes(end.corrupted_receivers);

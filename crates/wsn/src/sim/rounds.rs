@@ -31,7 +31,7 @@ impl World {
         qi: usize,
         now: SimTime,
     ) -> Option<(u64, SimTime)> {
-        if !self.tree.is_member(node) || self.nodes[node.index()].dead {
+        if !self.tree.is_member(node) || self.hot.dead[node.index()] {
             return None;
         }
         let q = self.query(qi);
@@ -151,8 +151,8 @@ impl World {
         ctx: &mut Context<'_, Ev>,
     ) {
         {
-            let n = &self.nodes[node.index()];
-            if n.dead || !n.participating.contains(&qi) {
+            if self.hot.dead[node.index()] || !self.nodes[node.index()].participating.contains(&qi)
+            {
                 return;
             }
         }
@@ -231,7 +231,7 @@ impl World {
             children: &kids,
         };
         n.policy.on_round_skipped(&q, k, &expected, is_root, &info);
-        if !n.dead && !n.radio.is_active() {
+        if !self.hot.dead[node.index()] && !self.hot.radio_active[node.index()] {
             // The radio is mid-turn-on for the expectation we just
             // moved; have the wake-up completion re-run the checkpoint.
             n.recheck_on_wake = true;
@@ -474,7 +474,7 @@ impl World {
         frame: Frame<Payload>,
         ctx: &mut Context<'_, Ev>,
     ) {
-        if self.nodes[node.index()].dead {
+        if self.hot.dead[node.index()] {
             return;
         }
         match frame.payload {
@@ -720,8 +720,8 @@ impl World {
         hops: u32,
         ctx: &mut Context<'_, Ev>,
     ) {
-        let n = &self.nodes[node.index()];
-        if n.dead || !n.member || n.registered.contains(&qi) {
+        let i = node.index();
+        if self.hot.dead[i] || !self.hot.member[i] || self.nodes[i].registered.contains(&qi) {
             return;
         }
         if let Some((round, at)) = self.register_query_at(node, qi, ctx.now()) {

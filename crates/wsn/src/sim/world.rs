@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use essat_core::policy::{PolicyAction, SleepTrigger};
 use essat_net::channel::Channel;
-use essat_net::geometry::Area;
+use essat_net::frame::Frame;
 use essat_net::ids::NodeId;
 use essat_net::mac::Mac;
 use essat_net::radio::Radio;
@@ -21,6 +21,7 @@ use essat_sim::time::SimTime;
 
 use super::events::Ev;
 use super::node::{NodeState, RadioSnapshot, CHILD_FAIL_THRESHOLD, PARENT_FAIL_THRESHOLD};
+use super::pool::{BuildCache, Prebuilt, WorldScratch};
 use crate::config::{ExperimentConfig, SetupMode};
 use crate::metrics::{LifetimeStats, MacTotals, NodeMetrics, QueryMetrics, RunResult};
 use crate::payload::Payload;
@@ -29,6 +30,58 @@ use crate::protocol::{PolicyEnv, PolicyFactory, Protocol};
 /// Fine-grained sleep-interval histogram: 0.5 ms bins up to 1 s.
 const SLEEP_HIST_BIN_S: f64 = 0.0005;
 const SLEEP_HIST_BINS: usize = 2000;
+
+/// Cache-linear per-node hot state, structure-of-arrays.
+///
+/// These are the scalars consulted by (nearly) every event — the dead /
+/// member guards, the radio-mode test in the per-receiver transmission
+/// fan-out, the wake/schedule generation fences — plus the flags the
+/// periodic `BatteryCheck` sweep scans. Keeping them in flat arrays
+/// indexed by node keeps those whole-network walks inside a handful of
+/// cache lines instead of striding across the ~half-KB
+/// [`NodeState`](super::node::NodeState) records.
+///
+/// `radio_active` / `active_since` mirror the per-node
+/// [`essat_net::radio::Radio`] state machine exactly; every transition
+/// goes through a `World` method (`suspend_radio`, `wake_radio`,
+/// `handle_radio_done`, churn revival), which updates the mirror in the
+/// same breath.
+#[derive(Debug, Default)]
+pub(crate) struct Hot {
+    /// Node is dead (scripted failure, churn, or battery depletion).
+    pub(crate) dead: Vec<bool>,
+    /// Node joined the routing tree at build time.
+    pub(crate) member: Vec<bool>,
+    /// Mirror of `radio.is_active()`.
+    pub(crate) radio_active: Vec<bool>,
+    /// Mirror of `radio.active_since()`; `SimTime::MAX` while the radio
+    /// is not fully active.
+    pub(crate) active_since: Vec<SimTime>,
+    /// Safe-Sleep wake-up staleness fence.
+    pub(crate) wake_gen: Vec<u64>,
+    /// Policy chain generation (SYNC edges / PSM beacons); bumped on
+    /// churn recovery so stale chain events drop out.
+    pub(crate) sched_gen: Vec<u64>,
+    /// Death was caused by battery depletion: permanent — churn
+    /// `resurrect` events must not revive a node with an empty battery.
+    pub(crate) battery_dead: Vec<bool>,
+}
+
+impl Hot {
+    fn new(n: usize, tree: &RoutingTree) -> Hot {
+        Hot {
+            dead: vec![false; n],
+            member: (0..n)
+                .map(|i| tree.is_member(NodeId::new(i as u32)))
+                .collect(),
+            radio_active: vec![true; n],
+            active_since: vec![SimTime::ZERO; n],
+            wake_gen: vec![0; n],
+            sched_gen: vec![0; n],
+            battery_dead: vec![false; n],
+        }
+    }
+}
 
 /// One simulation run: the [`Model`] driven by the engine.
 ///
@@ -44,7 +97,9 @@ pub struct World {
     /// Master RNG (kept for deriving fresh per-node streams mid-run,
     /// e.g. the MAC of a churn-revived node).
     pub(crate) master: SimRng,
-    pub(crate) topo: Topology,
+    /// Immutable for the whole run; shared across jobs by the sweep
+    /// executor's build cache.
+    pub(crate) topo: std::sync::Arc<Topology>,
     pub(crate) tree: RoutingTree,
     pub(crate) root: NodeId,
     pub(crate) channel: Channel,
@@ -53,6 +108,8 @@ pub struct World {
     pub(crate) queries: Vec<Query>,
     pub(crate) source_count: Vec<u64>,
     pub(crate) nodes: Vec<NodeState>,
+    /// Structure-of-arrays hot node state (see [`Hot`]).
+    pub(crate) hot: Hot,
     pub(crate) setup_over: bool,
     pub(crate) forced_windows: Vec<(SimTime, SimTime)>,
     pub(crate) run_end: SimTime,
@@ -72,6 +129,15 @@ pub struct World {
     pub(crate) kid_pool: Vec<Vec<(NodeId, u32)>>,
     /// Recycled policy-action buffers (same purpose as `kid_pool`).
     pub(crate) act_pool: Vec<Vec<PolicyAction<Payload>>>,
+    /// Recycled MAC-action buffers (same purpose as `kid_pool`).
+    pub(crate) mact_pool: Vec<Vec<essat_net::mac::MacAction<Payload>>>,
+    /// In-flight frames, indexed by the channel's transmission slot.
+    ///
+    /// The frame body used to travel inside `Ev::TxEnd`, which made
+    /// every queue slot as large as the fattest frame (120 B) and every
+    /// push/pop copy it; parking frames here keeps the event alphabet
+    /// at pointer-ish sizes for the 40M-event runs.
+    pub(crate) tx_frames: Vec<Option<Frame<Payload>>>,
 }
 
 impl World {
@@ -89,21 +155,39 @@ impl World {
         cfg: ExperimentConfig,
         factory: &PolicyFactory<'_>,
     ) -> (World, Vec<(SimTime, Ev)>) {
+        let mut initial = Vec::new();
+        let world = Self::new_prebuilt(cfg, factory, None, &mut initial);
+        (world, initial)
+    }
+
+    /// [`World::new_with`] over an optional cached build block,
+    /// appending the initial event list to a caller-recycled buffer —
+    /// the sweep executor's construction path.
+    pub(crate) fn new_prebuilt(
+        cfg: ExperimentConfig,
+        factory: &PolicyFactory<'_>,
+        pre: Option<std::sync::Arc<Prebuilt>>,
+        initial: &mut Vec<(SimTime, Ev)>,
+    ) -> World {
         cfg.validate();
         let master = SimRng::seed_from_u64(cfg.seed);
-        let mut topo_rng = master.derive(1);
         let mut phase_rng = master.derive(2);
         let channel_rng = master.derive(3);
 
-        let area = Area::new(cfg.area_side, cfg.area_side);
-        let mut topo = Topology::random(cfg.nodes, area, cfg.range, &mut topo_rng);
-        if let Some(ir) = cfg.interference_range {
-            topo = topo.with_interference_range(ir);
-        }
-        let root = topo.closest_to_center();
-        let tree = RoutingTree::build(&topo, root, Some(cfg.tree_radius));
+        // The topology, pristine routing tree and channel adjacency are
+        // pure functions of (cfg shape, seed); take them from the cache
+        // when the executor provides one, else build them here (the
+        // builder consumes the same `master.derive(1)` stream either
+        // way, so cached and fresh construction are indistinguishable).
+        let pre = match pre {
+            Some(p) => p,
+            None => std::sync::Arc::new(Prebuilt::build(&cfg)),
+        };
+        let topo = std::sync::Arc::clone(&pre.topo);
+        let root = pre.root;
+        let tree = pre.tree.clone();
 
-        let mut channel = Channel::new(&topo, channel_rng);
+        let mut channel = Channel::with_adjacency(std::sync::Arc::clone(&pre.adj), channel_rng);
         channel.set_drop_probability(cfg.drop_probability);
 
         // Dynamic environment: compile the scenario (or replay its
@@ -146,14 +230,13 @@ impl World {
         // The policy factory sees the finished tree (SPAN derives its
         // backbone from it) and builds one policy per node.
         let env = PolicyEnv::new(&cfg, &tree, topo.node_count(), run_end);
+        let hot = Hot::new(topo.node_count(), &tree);
         let nodes = topo
             .nodes()
             .map(|id| NodeState {
                 policy: factory(&cfg, id, &env),
                 radio: Radio::new(cfg.radio),
                 mac: Mac::new(id, cfg.mac, master.derive2(4, id.as_u32() as u64)),
-                member: tree.is_member(id),
-                dead: false,
                 died_at: None,
                 participating: BTreeSet::new(),
                 expected_children: BTreeMap::new(),
@@ -163,8 +246,6 @@ impl World {
                 child_fail: essat_core::maintenance::FailureDetector::new(CHILD_FAIL_THRESHOLD),
                 parent_fail: essat_core::maintenance::FailureDetector::new(PARENT_FAIL_THRESHOLD),
                 stale_phase: BTreeSet::new(),
-                wake_gen: 0,
-                sched_gen: 0,
                 next_round: BTreeMap::new(),
                 revivals: 0,
                 recheck_on_wake: false,
@@ -208,6 +289,7 @@ impl World {
             queries,
             source_count,
             nodes,
+            hot,
             setup_over: false,
             forced_windows,
             run_end,
@@ -220,9 +302,10 @@ impl World {
             mac_lost: MacTotals::default(),
             kid_pool: Vec::new(),
             act_pool: Vec::new(),
+            mact_pool: Vec::new(),
+            tx_frames: Vec::new(),
         };
 
-        let mut initial: Vec<(SimTime, Ev)> = Vec::new();
         initial.push((world.measure_from, Ev::SetupEnd));
 
         match world.cfg.setup_mode {
@@ -308,7 +391,7 @@ impl World {
             }
         }
 
-        (world, initial)
+        world
     }
 
     /// Runs a full experiment and returns its metrics.
@@ -318,16 +401,48 @@ impl World {
 
     /// Runs a full experiment with a custom policy factory.
     pub fn run_with(cfg: &ExperimentConfig, factory: &PolicyFactory<'_>) -> RunResult {
-        let (world, initial) = World::new_with(cfg.clone(), factory);
+        let mut scratch = WorldScratch::new();
+        Self::run_pooled(cfg, factory, None, &mut scratch)
+    }
+
+    /// Runs a full experiment recycling a worker's scratch allocations
+    /// across calls and (optionally) sharing immutable build products
+    /// through a [`BuildCache`] — the sweep executor's hot path. The
+    /// result is byte-identical to [`World::run_with`] (pinned by
+    /// `tests/determinism.rs`); only the allocator traffic differs.
+    pub fn run_pooled(
+        cfg: &ExperimentConfig,
+        factory: &PolicyFactory<'_>,
+        cache: Option<&BuildCache>,
+        scratch: &mut WorldScratch,
+    ) -> RunResult {
+        let pre = cache.map(|c| c.get_or_build(cfg));
+        let mut initial = std::mem::take(&mut scratch.initial);
+        initial.clear();
+        let mut world = World::new_prebuilt(cfg.clone(), factory, pre, &mut initial);
+        world.adopt_scratch(scratch);
         let run_end = world.run_end;
-        let mut engine = Engine::new(world);
-        for (at, ev) in initial {
+        let mut engine = Engine::with_queue(world, std::mem::take(&mut scratch.queue));
+        for (at, ev) in initial.drain(..) {
             engine.schedule_at(at, ev);
         }
+        scratch.initial = initial;
         engine.run_until(run_end);
         let events = engine.processed();
         let peak = engine.peak_pending() as u64;
-        engine.into_model().finalize(run_end, events, peak)
+        let (world, mut queue) = engine.into_parts();
+        queue.clear();
+        scratch.queue = queue;
+        world.finalize_into(run_end, events, peak, Some(scratch))
+    }
+
+    /// Moves a scratch's warmed buffer pools into this (fresh) world.
+    pub(crate) fn adopt_scratch(&mut self, scratch: &mut WorldScratch) {
+        std::mem::swap(&mut self.kid_pool, &mut scratch.kid_pool);
+        std::mem::swap(&mut self.act_pool, &mut scratch.act_pool);
+        std::mem::swap(&mut self.mact_pool, &mut scratch.mact_pool);
+        std::mem::swap(&mut self.tx_frames, &mut scratch.tx_frames);
+        self.channel.adopt_pools(&mut scratch.channel);
     }
 
     // ------------------------------------------------------------------
@@ -403,7 +518,7 @@ impl World {
         // them again would bill the dead span).
         for i in 0..self.nodes.len() {
             let n = &mut self.nodes[i];
-            if !n.dead {
+            if !self.hot.dead[i] {
                 n.radio.settle(now);
             }
             n.snap = RadioSnapshot {
@@ -415,13 +530,13 @@ impl World {
         }
         // First sleep decisions.
         for node in self.topo.nodes().collect::<Vec<_>>() {
-            let n = &self.nodes[node.index()];
-            if n.dead {
+            let i = node.index();
+            if self.hot.dead[i] {
                 continue;
             }
-            if !n.member {
+            if !self.hot.member[i] {
                 // Outside the tree: sleep for the rest of the run.
-                if n.radio.is_active() && n.mac.can_suspend() {
+                if self.hot.radio_active[i] && self.nodes[i].mac.can_suspend() {
                     self.suspend_radio(node, ctx);
                 }
                 continue;
@@ -469,23 +584,33 @@ impl World {
         self.enqueue_frame(root, frame, ctx);
     }
 
-    /// Collects the run's metrics.
-    pub(crate) fn finalize(
+    /// Collects the run's metrics; with a scratch, salvages the world's
+    /// warmed buffer pools into it for the worker's next run.
+    pub(crate) fn finalize_into(
         mut self,
         end: SimTime,
         events_processed: u64,
         peak_queue_depth: u64,
+        scratch: Option<&mut WorldScratch>,
     ) -> RunResult {
+        if let Some(s) = scratch {
+            s.kid_pool.append(&mut self.kid_pool);
+            s.act_pool.append(&mut self.act_pool);
+            s.mact_pool.append(&mut self.mact_pool);
+            self.tx_frames.clear();
+            std::mem::swap(&mut self.tx_frames, &mut s.tx_frames);
+            self.channel.harvest_pools(&mut s.channel);
+        }
         let mut node_metrics = Vec::new();
         let mut sleep_hist = Histogram::new(SLEEP_HIST_BIN_S, SLEEP_HIST_BINS);
         let mut mac = MacTotals::default();
         for i in 0..self.nodes.len() {
             let id = NodeId::new(i as u32);
             let n = &mut self.nodes[i];
-            if !n.dead {
+            if !self.hot.dead[i] {
                 n.radio.settle(end);
             }
-            if !n.member {
+            if !self.hot.member[i] {
                 continue;
             }
             let active = n.radio.active_ns() - n.snap.active;
@@ -576,20 +701,22 @@ impl Model for World {
                 gen,
             } => self.handle_collection_timeout(node, query, round, gen, ctx),
             Ev::ReleaseReport { node, query, round } => {
-                if !self.nodes[node.index()].dead {
+                if !self.hot.dead[node.index()] {
                     self.do_send(node, query, round, ctx);
                 }
             }
             Ev::MacTimer { node, kind, gen } => {
-                if !self.nodes[node.index()].dead {
-                    let acts = self.nodes[node.index()]
+                if !self.hot.dead[node.index()] {
+                    let mut acts = self.take_macts();
+                    self.nodes[node.index()]
                         .mac
-                        .timer_fired(kind, gen, ctx.now());
-                    self.exec_mac_actions(node, acts, ctx);
+                        .timer_fired_into(kind, gen, ctx.now(), &mut acts);
+                    self.exec_mac_actions(node, &mut acts, ctx);
+                    self.put_macts(acts);
                     self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
                 }
             }
-            Ev::TxEnd { sender, tx, frame } => self.handle_tx_end(sender, tx, frame, ctx),
+            Ev::TxEnd { sender, tx } => self.handle_tx_end(sender, tx, ctx),
             Ev::RadioDone { node } => self.handle_radio_done(node, ctx),
             Ev::RadioWake { node, gen } => self.handle_radio_wake(node, gen, ctx),
             Ev::Policy { node, timer, gen } => self.handle_policy_timer(node, timer, gen, ctx),

@@ -182,3 +182,57 @@ fn run_summary_aggregates() {
     assert!(s.latency_ci90() >= 0.0);
     assert!(s.delivery.mean() > 0.5);
 }
+
+/// Sweep-wide reuse must be invisible in the results: a run through a
+/// **warmed** worker scratch (recycled event-queue slab, channel buffer
+/// pools, action buffers) sharing a [`BuildCache`]d topology/tree/CSR
+/// block produces a byte-identical `RunResult::digest()` to fresh
+/// construction — including under scenarios (churn revivals, battery
+/// deaths) and across protocols interleaved on the same scratch.
+#[test]
+fn pooled_worlds_and_build_cache_match_fresh_construction() {
+    use essat::scenario::presets;
+    use essat::scenario::spec::Scenario;
+    use essat::wsn::sim::{BuildCache, World, WorldScratch};
+
+    let cache = BuildCache::new();
+    let mut scratch = WorldScratch::new();
+    let mut configs = Vec::new();
+    for protocol in [
+        Protocol::DtsSs,
+        Protocol::Sync,
+        Protocol::Psm,
+        Protocol::Span,
+    ] {
+        // Same seed across protocols: all four share one cached build.
+        configs.push(cfg(protocol, 4242));
+    }
+    let mut churny = cfg(Protocol::StsSs, 4242);
+    churny.scenario = Some(Scenario::Spec(
+        presets::by_name("churn", churny.duration).unwrap(),
+    ));
+    configs.push(churny);
+    let mut draining = cfg(Protocol::NtsSs, 4242);
+    draining.scenario = Some(Scenario::Spec(presets::energy_drain(draining.duration)));
+    configs.push(draining);
+
+    // Two passes: the second reuses a scratch warmed by *every* config
+    // of the first (cross-protocol contamination would show up here).
+    for pass in 0..2 {
+        for c in &configs {
+            let fresh = runner::run_one(c).digest();
+            let pooled =
+                World::run_pooled(c, &Protocol::build_policy, Some(&cache), &mut scratch).digest();
+            assert_eq!(
+                fresh, pooled,
+                "pass {pass}: pooled run diverged for {} (seed {})",
+                c.protocol, c.seed
+            );
+        }
+    }
+    assert_eq!(
+        cache.len(),
+        1,
+        "all configs share one (topology, seed) build-cache entry"
+    );
+}

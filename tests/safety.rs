@@ -106,3 +106,58 @@ fn energy_tracks_duty() {
         lo.energy_j
     );
 }
+
+/// A node whose battery ran flat is dead for good: churn `resurrect`
+/// events must not bring it back (churn models transient outages, not
+/// battery swaps — and a revived flat battery would just zombie along
+/// until the next depletion sweep). Flagged in the PR 3 review.
+#[test]
+fn battery_dead_nodes_ignore_churn_resurrect() {
+    use essat::scenario::spec::{BatterySpec, ChurnSpec, ChurnStep, Scenario, ScenarioSpec};
+    use essat::sim::time::SimTime;
+
+    let mut config = cfg(Protocol::NtsSs, 9, 1.0);
+    // The root is a function of (seed, topology parameters) only, so it
+    // can be read off a scenario-free world before scripting churn.
+    let (world, _) = essat::wsn::sim::World::new(config.clone());
+    let root = world.topology().closest_to_center();
+
+    // A battery so small that every node depletes at the first sweep,
+    // then scripted recoveries for a handful of (non-root) victims.
+    let mut spec = ScenarioSpec::named("battery_then_churn");
+    spec.battery = Some(BatterySpec {
+        capacity_j: 0.02, // ≈ 0.44 s active at the MICA2's 45 mW
+        check_period: SimDuration::from_millis(500),
+    });
+    let victims: Vec<u32> = (0..config.nodes)
+        .filter(|&n| n != root.as_u32())
+        .take(5)
+        .collect();
+    assert_eq!(victims.len(), 5);
+    spec.churn = Some(ChurnSpec::Scripted(
+        victims
+            .iter()
+            .map(|&node| ChurnStep {
+                at: SimTime::from_secs(20),
+                node,
+                up: true,
+            })
+            .collect(),
+    ));
+    config.scenario = Some(Scenario::Spec(spec));
+
+    let r = runner::run_one(&config);
+    assert!(
+        r.lifetime.deaths.len() >= victims.len(),
+        "the tiny battery must deplete the network: {} deaths",
+        r.lifetime.deaths.len()
+    );
+    assert!(
+        r.lifetime.first_death.is_some(),
+        "first death must be recorded"
+    );
+    assert_eq!(
+        r.lifetime.recoveries, 0,
+        "churn resurrect must not revive battery-depleted nodes"
+    );
+}
