@@ -21,13 +21,23 @@
 //! wall-clock, events processed, events/second, peak event-queue depth —
 //! that the `essat-figures` binary writes to `BENCH_harness.json`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use essat_net::ids::NodeId;
 use essat_wsn::config::{ExperimentConfig, Protocol};
 use essat_wsn::metrics::RunResult;
+use essat_wsn::payload::Payload;
+use essat_wsn::protocol::{PolicyEnv, PowerPolicy};
 use essat_wsn::sim::{BuildCache, World, WorldScratch};
+
+/// A thread-safe per-node policy constructor — the executor's variant
+/// of [`essat_wsn::protocol::PolicyFactory`] (workers on several
+/// threads consult it concurrently, hence the extra `Sync` bound).
+pub type SyncPolicyFactory<'f> =
+    dyn Fn(&ExperimentConfig, NodeId, &PolicyEnv<'_>) -> Box<dyn PowerPolicy<Payload>> + Sync + 'f;
 
 /// One sweep cell: a configuration to repeat `runs` times with derived
 /// seeds (`seed, seed+1, …` — the paper's repetition protocol).
@@ -86,12 +96,77 @@ impl ExecutorStats {
     }
 }
 
+/// One job that did not produce a result: which cell and repetition,
+/// how it died, and whether the retry was spent. The sweep keeps
+/// going — every other `(protocol, point, rep)` still completes — and
+/// the failure surfaces here instead of aborting the grid.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Index into the `cells` slice passed to the run.
+    pub cell: usize,
+    /// Repetition index within the cell.
+    pub rep: u32,
+    /// Protocol label of the failed job's configuration.
+    pub protocol: String,
+    /// The repetition's derived seed.
+    pub seed: u64,
+    /// Panic message, or the budget-exhaustion note.
+    pub reason: String,
+    /// True if the job was retried once (panics are retried on a fresh
+    /// scratch; deterministic budget exhaustion is not — it would fail
+    /// identically).
+    pub retried: bool,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {} rep {} ({}, seed {}){}: {}",
+            self.cell,
+            self.rep,
+            self.protocol,
+            self.seed,
+            if self.retried { ", after retry" } else { "" },
+            self.reason
+        )
+    }
+}
+
+/// What a checked sweep produced: per-cell results (failed repetitions
+/// simply absent, so a cell may hold fewer runs than requested — or
+/// none) plus the structured failure list, ordered by job.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per cell, the completed repetition results ordered by seed.
+    pub results: Vec<Vec<RunResult>>,
+    /// Every job that produced no result.
+    pub failures: Vec<JobFailure>,
+}
+
+impl SweepOutcome {
+    /// A human-readable failure report, `None` when everything ran.
+    pub fn failure_summary(&self) -> Option<String> {
+        if self.failures.is_empty() {
+            return None;
+        }
+        let mut s = format!("{} sweep job(s) failed:\n", self.failures.len());
+        for f in &self.failures {
+            s.push_str("  ");
+            s.push_str(&f.to_string());
+            s.push('\n');
+        }
+        Some(s)
+    }
+}
+
 /// Work-stealing executor over sweep grids. Reusable: statistics
 /// accumulate across [`SweepExecutor::run`] calls.
 #[derive(Debug)]
 pub struct SweepExecutor {
     threads: usize,
     stats: ExecutorStats,
+    event_budget: Option<u64>,
 }
 
 impl Default for SweepExecutor {
@@ -116,7 +191,19 @@ impl SweepExecutor {
         SweepExecutor {
             threads: threads.max(1),
             stats: ExecutorStats::default(),
+            event_budget: None,
         }
+    }
+
+    /// Caps every job at `budget` processed events. A job that has not
+    /// reached its configured duration by then is abandoned and
+    /// reported as a [`JobFailure`] — a deterministic runaway guard
+    /// (event counts, unlike wall clocks, are identical across
+    /// machines, thread counts, and replays).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        assert!(budget > 0, "an event budget of zero would fail every job");
+        self.event_budget = Some(budget);
+        self
     }
 
     /// The worker count.
@@ -131,20 +218,52 @@ impl SweepExecutor {
 
     /// Runs every `(cell, repetition)` job across the worker pool and
     /// returns, per cell, its repetition results ordered by seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the aggregated failure report if any job failed —
+    /// the strict entry point for callers that treat a failed job as a
+    /// bug. Figure builders use [`SweepExecutor::run_checked`] and emit
+    /// partial results instead.
     pub fn run(&mut self, cells: &[SweepCell]) -> Vec<Vec<RunResult>> {
+        let out = self.run_checked(cells);
+        if let Some(report) = out.failure_summary() {
+            panic!("{report}");
+        }
+        out.results
+    }
+
+    /// [`SweepExecutor::run`] with panic isolation: each job runs under
+    /// `catch_unwind` (with one retry on a fresh scratch) and an
+    /// optional deterministic event budget; jobs that still fail become
+    /// [`JobFailure`] records while the rest of the grid completes.
+    pub fn run_checked(&mut self, cells: &[SweepCell]) -> SweepOutcome {
+        self.run_checked_with(cells, &Protocol::build_policy)
+    }
+
+    /// [`SweepExecutor::run_checked`] over a custom policy factory —
+    /// the out-of-tree-policy seam, panic-isolated: a factory (or
+    /// policy) that panics takes down its own job, not the sweep.
+    pub fn run_checked_with(
+        &mut self,
+        cells: &[SweepCell],
+        factory: &SyncPolicyFactory<'_>,
+    ) -> SweepOutcome {
         let t0 = Instant::now();
         // Flatten the grid into one deterministic job list.
-        let mut jobs: Vec<(usize, ExperimentConfig)> = Vec::new();
+        let mut jobs: Vec<(usize, u32, ExperimentConfig)> = Vec::new();
         for (ci, cell) in cells.iter().enumerate() {
             for rep in 0..cell.runs {
                 let mut cfg = cell.cfg.clone();
                 cfg.seed = cell.cfg.seed.wrapping_add(rep as u64);
-                jobs.push((ci, cfg));
+                jobs.push((ci, rep, cfg));
             }
         }
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        type Slot = Mutex<Option<Result<RunResult, JobFailure>>>;
+        let slots: Vec<Slot> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(jobs.len()).max(1);
+        let budget = self.event_budget;
         // Shared immutable build cache: every job at the same
         // (topology, seed) sweep point — all protocols, all repetitions
         // with the same derived seed — reuses one topology + routing
@@ -159,37 +278,114 @@ impl SweepExecutor {
                     let mut scratch = WorldScratch::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some((_, cfg)) = jobs.get(i) else {
+                        let Some((ci, rep, cfg)) = jobs.get(i) else {
                             break;
                         };
-                        let result = World::run_pooled(
-                            cfg,
-                            &Protocol::build_policy,
-                            Some(&cache),
-                            &mut scratch,
-                        );
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                        let outcome =
+                            Self::run_job(cfg, factory, &cache, &mut scratch, budget, *ci, *rep);
+                        *slots[i].lock().expect("result slot poisoned") = Some(outcome);
                     }
                 });
             }
         });
         // Deterministic assembly: slot order == job order == cell order.
-        let mut out: Vec<Vec<RunResult>> = cells
+        let mut results: Vec<Vec<RunResult>> = cells
             .iter()
             .map(|c| Vec::with_capacity(c.runs as usize))
             .collect();
-        for ((ci, _), slot) in jobs.iter().zip(slots) {
-            let r = slot
+        let mut failures = Vec::new();
+        for ((ci, _, _), slot) in jobs.iter().zip(slots) {
+            let outcome = slot
                 .into_inner()
                 .expect("result slot poisoned")
                 .expect("worker filled every claimed slot");
-            self.stats.jobs += 1;
-            self.stats.events += r.events_processed;
-            self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(r.peak_queue_depth);
-            out[*ci].push(r);
+            match outcome {
+                Ok(r) => {
+                    self.stats.jobs += 1;
+                    self.stats.events += r.events_processed;
+                    self.stats.peak_queue_depth =
+                        self.stats.peak_queue_depth.max(r.peak_queue_depth);
+                    results[*ci].push(r);
+                }
+                Err(f) => failures.push(f),
+            }
         }
         self.stats.wall += t0.elapsed();
-        out
+        SweepOutcome { results, failures }
+    }
+
+    /// One panic-isolated job: run, retry once on panic (with a fresh
+    /// scratch — a panic can leave the recycled buffers inconsistent),
+    /// and turn whatever is left into a structured failure.
+    fn run_job(
+        cfg: &ExperimentConfig,
+        factory: &SyncPolicyFactory<'_>,
+        cache: &BuildCache,
+        scratch: &mut WorldScratch,
+        budget: Option<u64>,
+        cell: usize,
+        rep: u32,
+    ) -> Result<RunResult, JobFailure> {
+        let fail = |reason: String, retried: bool| JobFailure {
+            cell,
+            rep,
+            protocol: cfg.protocol.to_string(),
+            seed: cfg.seed,
+            reason,
+            retried,
+        };
+        let budget_reason = || {
+            format!(
+                "event budget exhausted ({} events) before the configured duration",
+                budget.unwrap_or(0)
+            )
+        };
+        let attempt = |scratch: &mut WorldScratch| {
+            catch_unwind(AssertUnwindSafe(|| {
+                World::run_pooled_capped(
+                    cfg,
+                    &|c, n, e| factory(c, n, e),
+                    Some(cache),
+                    scratch,
+                    budget,
+                )
+            }))
+        };
+        match attempt(scratch) {
+            Ok(Some(r)) => Ok(r),
+            // Budget exhaustion is deterministic: a retry would burn
+            // the same events to the same end. Fail immediately.
+            Ok(None) => Err(fail(budget_reason(), false)),
+            Err(payload) => {
+                let first = panic_message(payload);
+                *scratch = WorldScratch::new();
+                match attempt(scratch) {
+                    Ok(Some(r)) => Ok(r),
+                    Ok(None) => Err(fail(budget_reason(), true)),
+                    Err(payload2) => {
+                        *scratch = WorldScratch::new();
+                        let second = panic_message(payload2);
+                        let reason = if first == second {
+                            format!("panicked twice: {second}")
+                        } else {
+                            format!("panicked: {first}; then on retry: {second}")
+                        };
+                        Err(fail(reason, true))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -11,6 +11,7 @@
 //! | [`headline`] | abstract / §5 | DTS-SS vs SPAN / PSM / SYNC reduction ranges |
 //! | [`lifetime`] | beyond the paper | network lifetime (first death / partition) under `energy_drain` |
 //! | [`robustness`] | beyond the paper | delivery & latency across the scenario presets |
+//! | [`drift`] | beyond the paper | delivery & missed-round rate vs clock skew/drift |
 //!
 //! Figures 3+6 and 4+7 share their underlying simulations (duty cycle
 //! and latency come from the same runs), which halves the sweep cost.
@@ -119,6 +120,9 @@ pub fn rate_sweep_from(grid: &[Vec<RunResult>], scale: Scale) -> RateSweepData {
     for &rate in &rates {
         for protocol in LATENCY_PROTOCOLS {
             let results = cell.next().expect("one cell per (rate, protocol)");
+            if results.is_empty() {
+                continue;
+            }
             let (lat, lat_ci) = stat_over_runs(results, RunResult::avg_latency_s);
             latency
                 .series
@@ -201,6 +205,9 @@ pub fn query_sweep_from(grid: &[Vec<RunResult>], scale: Scale) -> QuerySweepData
     for &qpc in &qpcs {
         for protocol in LATENCY_PROTOCOLS {
             let results = cell.next().expect("one cell per (qpc, protocol)");
+            if results.is_empty() {
+                continue;
+            }
             let (lat, lat_ci) = stat_over_runs(results, RunResult::avg_latency_s);
             latency
                 .series
@@ -253,6 +260,9 @@ pub fn fig2_deadline_from(grid: &[Vec<RunResult>], scale: Scale) -> FigureData {
     let mut lat = Series::new("Query latency (s)");
     let deadlines = scale.deadline_sweep();
     for (&d, results) in deadlines.iter().zip(grid) {
+        if results.is_empty() {
+            continue;
+        }
         let (dy, dy_ci) = stat_over_runs(results, RunResult::avg_duty_cycle_pct);
         let (ly, ly_ci) = stat_over_runs(results, RunResult::avg_latency_s);
         duty.push(d, dy, dy_ci);
@@ -289,7 +299,9 @@ pub fn fig5_rank_profile_from(grid: &[Vec<RunResult>]) -> FigureData {
     );
     let protocols = Protocol::essat_set();
     for (protocol, results) in protocols.iter().zip(grid) {
-        let result = &results[0];
+        let Some(result) = results.first() else {
+            continue;
+        };
         let mut series = Series::new(protocol.label());
         for (rank, stats) in result.duty_by_rank() {
             series.push(
@@ -344,6 +356,9 @@ pub fn fig8_sleep_hist_from(grid: &[Vec<RunResult>]) -> Fig8Data {
     let mut below = Vec::new();
     let protocols = Protocol::essat_set();
     for (protocol, results) in protocols.iter().zip(grid) {
+        if results.is_empty() {
+            continue;
+        }
         let mut series = Series::new(protocol.label());
         // Re-bin the fine histograms (0.5 ms) into the paper's 25 ms
         // bins up to 200 ms; counts are averaged over runs.
@@ -419,6 +434,9 @@ pub fn fig9_tbe_from(grid: &[Vec<RunResult>], scale: Scale) -> FigureData {
         let mut series = Series::new(format!("TBE={tbe_ms}ms"));
         for &rate in &rates {
             let results = cell.next().expect("one cell per (tbe, rate)");
+            if results.is_empty() {
+                continue;
+            }
             let (d, ci) = stat_over_runs(results, RunResult::avg_duty_cycle_pct);
             series.push(rate, d, ci);
         }
@@ -466,6 +484,9 @@ pub fn lifetime_from(grid: &[Vec<RunResult>]) -> FigureData {
     let mut first_death = Series::new("time to first death (s)");
     let mut partition = Series::new("time to root partition (s)");
     for (i, results) in grid.iter().enumerate() {
+        if results.is_empty() {
+            continue;
+        }
         let (fd, fd_ci) = stat_over_runs(results, |r| {
             r.lifetime
                 .time_to_first_death(r.measured_until)
@@ -520,6 +541,9 @@ pub fn robustness_from(grid: &[Vec<RunResult>]) -> FigureData {
     for (xi, _) in ROBUSTNESS_PRESETS.iter().enumerate() {
         for protocol in SCENARIO_PROTOCOLS {
             let results = cell.next().expect("one cell per (preset, protocol)");
+            if results.is_empty() {
+                continue;
+            }
             let (d, ci) = stat_over_runs(results, |r| 100.0 * r.delivery_ratio());
             fig.series
                 .iter_mut()
@@ -529,6 +553,86 @@ pub fn robustness_from(grid: &[Vec<RunResult>]) -> FigureData {
         }
     }
     fig
+}
+
+/// Drift figure output: behaviour under clock faults.
+#[derive(Debug, Clone)]
+pub struct DriftData {
+    /// Delivery ratio (%) vs clock-skew magnitude (ppm), all protocols.
+    pub delivery: FigureData,
+    /// Missed-round rate (%) vs clock-skew magnitude (ppm).
+    pub missed: FigureData,
+}
+
+/// Drift figure: every protocol under the `clock_drift` preset across
+/// skew magnitudes, with the adaptive guard time scaled to match. The
+/// zero-ppm point runs fault-free (no scenario, no guard) as control.
+pub fn drift(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> DriftData {
+    let grid = exec.run(&drift_cells(scale, seed));
+    drift_from(&grid, scale)
+}
+
+/// The drift figure's job plan: every (skew ppm, protocol) cell.
+pub fn drift_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for ppm in scale.drift_sweep_ppm() {
+        for protocol in Protocol::all() {
+            let mut cfg = scale.config(protocol, WorkloadSpec::paper(1.0), seed);
+            if ppm > 0 {
+                cfg.scenario = Some(Scenario::Spec(presets::clock_drift(ppm)));
+                cfg = cfg.with_clock_guard(SimDuration::from_millis(1), ppm);
+            }
+            cells.push(SweepCell::new(cfg, scale.runs()));
+        }
+    }
+    cells
+}
+
+/// Assembles the drift figure from the results of [`drift_cells`]
+/// (same order). Cells whose every repetition failed are skipped, so a
+/// partial sweep still yields a figure.
+pub fn drift_from(grid: &[Vec<RunResult>], scale: Scale) -> DriftData {
+    let mut delivery = FigureData::new(
+        "drift_delivery",
+        "Delivery ratio under clock skew + drift (guard time scaled to skew)",
+        "skew_ppm",
+        "delivery ratio (%)",
+    );
+    let mut missed = FigureData::new(
+        "drift_missed",
+        "Missed-round rate under clock skew + drift (guard time scaled to skew)",
+        "skew_ppm",
+        "missed-round rate (%)",
+    );
+    for p in Protocol::all() {
+        delivery.series.push(Series::new(p.label()));
+        missed.series.push(Series::new(p.label()));
+    }
+    let ppms = scale.drift_sweep_ppm();
+    let mut cell = grid.iter();
+    for &ppm in &ppms {
+        for protocol in Protocol::all() {
+            let results = cell.next().expect("one cell per (ppm, protocol)");
+            if results.is_empty() {
+                continue;
+            }
+            let (d, d_ci) = stat_over_runs(results, |r| 100.0 * r.delivery_ratio());
+            delivery
+                .series
+                .iter_mut()
+                .find(|s| s.label == protocol.label())
+                .expect("series exists")
+                .push(ppm as f64, d, d_ci);
+            let (m, m_ci) = stat_over_runs(results, |r| 100.0 * r.missed_round_rate());
+            missed
+                .series
+                .iter_mut()
+                .find(|s| s.label == protocol.label())
+                .expect("series exists")
+                .push(ppm as f64, m, m_ci);
+        }
+    }
+    DriftData { delivery, missed }
 }
 
 /// The paper's headline claims, computed from the shared sweeps.

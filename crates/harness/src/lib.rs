@@ -24,11 +24,13 @@ pub mod table;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::executor::{ExecutorStats, SweepCell, SweepExecutor};
+    pub use crate::executor::{
+        ExecutorStats, JobFailure, SweepCell, SweepExecutor, SweepOutcome, SyncPolicyFactory,
+    };
     pub use crate::figures::{
-        fig2_deadline, fig5_rank_profile, fig8_sleep_hist, fig9_tbe, headline, lifetime,
-        query_sweep, rate_sweep, robustness, Fig8Data, Headline, QuerySweepData, RateSweepData,
-        DUTY_PROTOCOLS, LATENCY_PROTOCOLS, ROBUSTNESS_PRESETS, SCENARIO_PROTOCOLS,
+        drift, fig2_deadline, fig5_rank_profile, fig8_sleep_hist, fig9_tbe, headline, lifetime,
+        query_sweep, rate_sweep, robustness, DriftData, Fig8Data, Headline, QuerySweepData,
+        RateSweepData, DUTY_PROTOCOLS, LATENCY_PROTOCOLS, ROBUSTNESS_PRESETS, SCENARIO_PROTOCOLS,
     };
     pub use crate::scale::Scale;
     pub use crate::table::{FigureData, Point, Series};

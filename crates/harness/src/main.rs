@@ -6,7 +6,8 @@
 //!               [--csv DIR] [--threads N] [--bench-json PATH]
 //!
 //! FIGURES      any of: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!              headline overhead lifetime robustness (default: all)
+//!              headline overhead lifetime robustness drift
+//!              (default: all)
 //! --scale S    quick (40 nodes, 50 s, 2 runs) or paper (80 nodes,
 //!              200 s, 5 runs; the default). --quick is shorthand for
 //!              --scale quick.
@@ -54,6 +55,7 @@ fn main() {
         "overhead",
         "lifetime",
         "robustness",
+        "drift",
     ];
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -178,6 +180,9 @@ fn main() {
             &mut cells,
         );
     }
+    if wanted.contains("drift") {
+        plan("drift", figures::drift_cells(scale, seed), &mut cells);
+    }
     let total_jobs: u32 = cells
         .iter()
         .map(|c: &essat_harness::executor::SweepCell| c.runs)
@@ -187,7 +192,15 @@ fn main() {
         total_jobs,
         cells.len()
     );
-    let grid = exec.run(&cells);
+    // Panic-isolated execution: a failing job (a policy panic or an
+    // exhausted event budget) becomes a failure report while every
+    // other cell completes, and the figures below render from whatever
+    // repetitions survived.
+    let outcome = exec.run_checked(&cells);
+    if let Some(report) = outcome.failure_summary() {
+        eprintln!("{report}");
+    }
+    let grid = outcome.results;
     let slice = |key: &str| {
         spans
             .iter()
@@ -263,6 +276,11 @@ fn main() {
         }
         println!();
     }
+    if wanted.contains("drift") {
+        let data = figures::drift_from(slice("drift").expect("planned"), scale);
+        emit(&data.delivery);
+        emit(&data.missed);
+    }
     if wanted.contains("overhead") {
         let series = &rate.as_ref().expect("computed").dts_overhead_bits;
         println!("== overhead — DTS phase-update overhead (paper: < 1 bit per data report)");
@@ -298,7 +316,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: essat-figures [fig2..fig9|headline|overhead|lifetime|robustness|all]… \
+        "usage: essat-figures [fig2..fig9|headline|overhead|lifetime|robustness|drift|all]… \
          [--scale quick|paper] [--seed N] [--csv DIR] [--threads N] [--bench-json PATH]"
     );
     std::process::exit(2);

@@ -53,6 +53,16 @@ impl Scale {
         vec![0.0, 2.5, 10.0, 40.0]
     }
 
+    /// The clock-skew sweep of the `drift` figure (parts per million).
+    /// Zero is the fault-free control; the top points are far beyond
+    /// crystal reality (~50 ppm) to expose degradation shape.
+    pub fn drift_sweep_ppm(self) -> Vec<u32> {
+        match self {
+            Scale::Paper => vec![0, 100, 500, 1000, 5000],
+            Scale::Quick => vec![0, 200, 5000],
+        }
+    }
+
     /// Builds the base configuration for a protocol and workload at this
     /// scale.
     pub fn config(self, protocol: Protocol, workload: WorkloadSpec, seed: u64) -> ExperimentConfig {

@@ -12,11 +12,14 @@ use essat_sim::rng::SimRng;
 use essat_sim::time::{SimDuration, SimTime};
 
 use crate::gilbert::GilbertElliottParams;
-use crate::spec::{BatterySpec, ChurnSpec, ScenarioSpec, TrafficPhase};
+use crate::spec::{BatterySpec, ChurnSpec, GlitchStep, ScenarioSpec, TrafficPhase};
 
 /// RNG stream label for churn compilation (disjoint from the
 /// simulator's streams, which use small labels).
 const CHURN_STREAM: u64 = 0x5CE7_A210;
+
+/// RNG stream label for per-node clock-fault compilation.
+const CLOCK_STREAM: u64 = 0xC10C_FA17;
 
 /// One churn event in the compiled stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +30,18 @@ pub struct ScenarioEvent {
     pub node: u32,
     /// `true` = recovery, `false` = failure.
     pub up: bool,
+}
+
+/// One node's compiled clock personality: a constant frequency skew
+/// plus a linearly growing drift-rate, both in integer parts-per-
+/// billion so the trace codec round-trips exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeClock {
+    /// Constant frequency error in ppb (positive = the clock runs
+    /// fast).
+    pub skew_ppb: i64,
+    /// Rate-error growth in ppb per second (the oscillator ages).
+    pub drift_ppb_per_s: i64,
 }
 
 /// The fully compiled scenario: what a run executes and a trace stores.
@@ -44,6 +59,11 @@ pub struct CompiledScenario {
     pub events: Vec<ScenarioEvent>,
     /// Traffic phases sorted by start time.
     pub traffic: Vec<TrafficPhase>,
+    /// Per-node clocks (empty = every clock is perfect). When
+    /// non-empty the vector has exactly [`Self::nodes`] entries.
+    pub clocks: Vec<NodeClock>,
+    /// Scripted clock steps sorted by `(at, node)`.
+    pub glitches: Vec<GlitchStep>,
 }
 
 impl CompiledScenario {
@@ -80,6 +100,42 @@ impl CompiledScenario {
             return false;
         }
         ((k + 1) as f64 * s).floor() > (k as f64 * s).floor()
+    }
+
+    /// The signed local-clock error of `node` at wall time `t`, in
+    /// nanoseconds: `skew·t + drift·t²/2` plus every scripted glitch at
+    /// or before `t`. Pure integer arithmetic (i128 intermediates), so
+    /// live runs and trace replays agree bit for bit.
+    ///
+    /// Returns 0 when clock faults are not enabled.
+    pub fn clock_err_ns(&self, node: u32, t: SimTime) -> i64 {
+        if self.clocks.is_empty() {
+            return 0;
+        }
+        let c = self.clocks[node as usize];
+        let tn = t.as_nanos() as i128;
+        // skew ppb over tn nanoseconds.
+        let mut err = c.skew_ppb as i128 * tn / 1_000_000_000;
+        // Rate error grows by `drift` ppb each second: accumulated
+        // error is drift · t²/2 with t in seconds, i.e. d·tn²/(2·10¹⁸)
+        // nanoseconds. tn ≤ ~10¹² and |d| ≤ ~10⁹ keep this well inside
+        // i128.
+        err += c.drift_ppb_per_s as i128 * tn * tn / 2_000_000_000_000_000_000;
+        for g in &self.glitches {
+            if g.at > t {
+                break;
+            }
+            if g.node == node {
+                err += g.delta_ns as i128;
+            }
+        }
+        err.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+    }
+
+    /// Whether this scenario carries per-node clock faults (the
+    /// fault-free fast path skips the error arithmetic entirely).
+    pub fn has_clock_faults(&self) -> bool {
+        !self.clocks.is_empty()
     }
 
     /// Validates this compiled stream against a run's shape — used when
@@ -129,6 +185,24 @@ impl CompiledScenario {
             assert!(e.node != root, "trace churn must not target the root");
             let key = (e.at, e.node, e.up);
             assert!(key >= last, "trace churn events must be sorted");
+            last = key;
+        }
+        assert!(
+            self.clocks.is_empty() || self.clocks.len() == nodes as usize,
+            "trace has {} clock lines for {} nodes",
+            self.clocks.len(),
+            nodes
+        );
+        let mut last = (SimTime::ZERO, 0u32);
+        for g in &self.glitches {
+            assert!(g.node < nodes, "trace glitch of unknown node {}", g.node);
+            assert!(
+                !self.clocks.is_empty(),
+                "trace glitch without clock lines (node {})",
+                g.node
+            );
+            let key = (g.at, g.node);
+            assert!(key >= last, "trace glitches must be sorted");
             last = key;
         }
     }
@@ -182,61 +256,76 @@ pub fn compile(
             down_for,
         }) => {
             // Round-robin victims in id order, skipping the root.
+            let mut intervals = Vec::new();
             let mut victim = 0u32;
             let mut at = *first_at;
             while at <= end {
                 if victim == root {
                     victim = (victim + 1) % nodes;
                 }
-                events.push(ScenarioEvent {
-                    at,
-                    node: victim,
-                    up: false,
-                });
-                let back = at + *down_for;
-                if back <= end {
-                    events.push(ScenarioEvent {
-                        at: back,
-                        node: victim,
-                        up: true,
-                    });
-                }
+                intervals.push((victim, at, at + *down_for));
                 victim = (victim + 1) % nodes;
                 at += *period;
             }
+            push_merged(&mut events, intervals, end);
         }
         Some(ChurnSpec::Random {
             mean_uptime,
             mean_downtime,
         }) => {
             let mut rng = SimRng::seed_from_u64(seed).derive(CHURN_STREAM);
+            let mut intervals = Vec::new();
             let mut at = SimTime::ZERO;
             loop {
                 at += SimDuration::from_secs_f64(rng.exp(mean_uptime.as_secs_f64()));
                 if at > end {
                     break;
                 }
-                let mut victim = rng.below(nodes as u64) as u32;
-                if victim == root {
-                    victim = (victim + 1) % nodes;
-                }
-                events.push(ScenarioEvent {
-                    at,
-                    node: victim,
-                    up: false,
-                });
+                // Draw uniformly over the `nodes - 1` non-root ids.
+                // (Mapping a root draw to `root + 1` would give that
+                // node twice the victim probability.)
+                let draw = rng.below(nodes as u64 - 1) as u32;
+                let victim = if draw >= root { draw + 1 } else { draw };
                 let back = at + SimDuration::from_secs_f64(rng.exp(mean_downtime.as_secs_f64()));
-                if back <= end {
-                    events.push(ScenarioEvent {
-                        at: back,
-                        node: victim,
-                        up: true,
-                    });
-                }
+                intervals.push((victim, at, back));
             }
+            push_merged(&mut events, intervals, end);
         }
     }
     events.sort_unstable_by_key(|e| (e.at, e.node, e.up));
+    let (clocks, glitches) = match &spec.clock {
+        None => (Vec::new(), Vec::new()),
+        Some(c) => {
+            let mut rng = SimRng::seed_from_u64(seed).derive(CLOCK_STREAM);
+            let skew_bound = (c.skew_ppm * 1000.0).round() as u64;
+            let drift_bound = (c.drift_ppm_per_s * 1000.0).round() as u64;
+            let mut draw = |bound: u64| {
+                if bound == 0 {
+                    0
+                } else {
+                    rng.below(2 * bound + 1) as i64 - bound as i64
+                }
+            };
+            let clocks = (0..nodes)
+                .map(|_| NodeClock {
+                    skew_ppb: draw(skew_bound),
+                    drift_ppb_per_s: draw(drift_bound),
+                })
+                .collect();
+            let mut glitches = c.glitches.clone();
+            for g in &glitches {
+                assert!(g.node < nodes, "clock glitch of unknown node {}", g.node);
+            }
+            glitches.retain(|g| g.at <= end);
+            // A zero-magnitude spec (the control arm) compiles to no
+            // clock table at all, so it takes the fault-free fast path.
+            let mut clocks: Vec<NodeClock> = clocks;
+            if glitches.is_empty() && clocks.iter().all(|k| k == &NodeClock::default()) {
+                clocks.clear();
+            }
+            (clocks, glitches)
+        }
+    };
     CompiledScenario {
         name: spec.name.clone(),
         nodes,
@@ -244,6 +333,41 @@ pub fn compile(
         battery: spec.battery,
         events,
         traffic: spec.traffic.clone(),
+        clocks,
+        glitches,
+    }
+}
+
+/// Turns per-victim down-intervals into down/up event pairs, merging
+/// intervals of the same node that overlap or touch: a victim hit again
+/// while still down stays down until the *latest* recovery, instead of
+/// the earlier recovery silently truncating the later outage.
+fn push_merged(
+    events: &mut Vec<ScenarioEvent>,
+    mut intervals: Vec<(u32, SimTime, SimTime)>,
+    end: SimTime,
+) {
+    intervals.sort_unstable_by_key(|&(node, down, up)| (node, down, up));
+    let mut i = 0;
+    while i < intervals.len() {
+        let (node, down, mut up) = intervals[i];
+        i += 1;
+        while i < intervals.len() && intervals[i].0 == node && intervals[i].1 <= up {
+            up = up.max(intervals[i].2);
+            i += 1;
+        }
+        events.push(ScenarioEvent {
+            at: down,
+            node,
+            up: false,
+        });
+        if up <= end {
+            events.push(ScenarioEvent {
+                at: up,
+                node,
+                up: true,
+            });
+        }
     }
 }
 
@@ -308,6 +432,129 @@ mod tests {
         });
         let c = spec.compile(5, 3, SimDuration::from_secs(400), 77);
         assert!(c.events.iter().all(|e| e.node != 3));
+    }
+
+    /// PR 3 review leftover: mapping a root draw to `root + 1` gave
+    /// that node double the victim probability. Victims must now be
+    /// uniform over the non-root ids.
+    #[test]
+    fn random_churn_victims_are_uniform() {
+        let mut spec = ScenarioSpec::named("r");
+        spec.churn = Some(ChurnSpec::Random {
+            mean_uptime: SimDuration::from_secs(1),
+            mean_downtime: SimDuration::from_millis(100),
+        });
+        let root = 2u32;
+        let c = spec.compile(5, root, SimDuration::from_secs(4000), 11);
+        let mut hits = [0usize; 5];
+        for e in c.events.iter().filter(|e| !e.up) {
+            hits[e.node as usize] += 1;
+        }
+        assert_eq!(hits[root as usize], 0, "root is never a victim");
+        let non_root: Vec<usize> = (0..5).filter(|&n| n != root as usize).collect();
+        let total: usize = non_root.iter().map(|&n| hits[n]).sum();
+        assert!(total > 2000, "enough samples for the distribution check");
+        let expected = total as f64 / non_root.len() as f64;
+        for &n in &non_root {
+            let ratio = hits[n] as f64 / expected;
+            // The old wrap bias put node (root+1) at ratio ≈ 2.0.
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "victim {n} hit {} times, {ratio:.2}x the uniform share",
+                hits[n]
+            );
+        }
+    }
+
+    /// PR 3 review leftover: when an outage outlives the churn period,
+    /// a victim's next down-interval used to get truncated by the
+    /// earlier interval's recovery. Overlapping intervals now merge.
+    #[test]
+    fn periodic_churn_overlapping_outages_merge() {
+        let mut spec = ScenarioSpec::named("p");
+        spec.churn = Some(ChurnSpec::Periodic {
+            first_at: secs(10),
+            period: SimDuration::from_secs(10),
+            down_for: SimDuration::from_secs(15),
+        });
+        // Two nodes, root 0: every interval hits node 1, and each
+        // outage [at, at+15] overlaps the next (period 10): one merged
+        // outage from 10 s to past the end of the run.
+        let c = spec.compile(2, 0, SimDuration::from_secs(40), 1);
+        assert_eq!(
+            c.events,
+            vec![ScenarioEvent {
+                at: secs(10),
+                node: 1,
+                up: false,
+            }],
+            "one down, no mid-outage revival"
+        );
+        // Disjoint intervals keep their individual pairs.
+        spec.churn = Some(ChurnSpec::Periodic {
+            first_at: secs(10),
+            period: SimDuration::from_secs(10),
+            down_for: SimDuration::from_secs(4),
+        });
+        let c = spec.compile(2, 0, SimDuration::from_secs(35), 1);
+        assert_eq!(c.events.iter().filter(|e| !e.up).count(), 3);
+        assert_eq!(c.events.iter().filter(|e| e.up).count(), 3);
+    }
+
+    #[test]
+    fn clock_compilation_is_deterministic_and_bounded() {
+        use crate::spec::ClockSpec;
+        let mut spec = ScenarioSpec::named("c");
+        spec.clock = Some(ClockSpec::uniform(50.0, 2.0));
+        let a = spec.compile(30, 0, SimDuration::from_secs(60), 7);
+        let b = spec.compile(30, 0, SimDuration::from_secs(60), 7);
+        assert_eq!(a, b);
+        assert_eq!(a.clocks.len(), 30);
+        assert!(a.clocks.iter().all(|c| c.skew_ppb.abs() <= 50_000));
+        assert!(a.clocks.iter().all(|c| c.drift_ppb_per_s.abs() <= 2_000));
+        assert!(
+            a.clocks.iter().any(|c| c.skew_ppb != 0),
+            "a 50 ppm bound over 30 nodes draws nonzero skews"
+        );
+        let c = spec.compile(30, 0, SimDuration::from_secs(60), 8);
+        assert_ne!(a.clocks, c.clocks, "different seed, different clocks");
+    }
+
+    #[test]
+    fn clock_error_accumulates_and_steps() {
+        use crate::spec::{ClockSpec, GlitchStep};
+        let mut spec = ScenarioSpec::named("c");
+        spec.clock = Some(ClockSpec {
+            skew_ppm: 0.0,
+            drift_ppm_per_s: 0.0,
+            glitches: vec![GlitchStep {
+                at: secs(10),
+                node: 1,
+                delta_ns: -500_000,
+            }],
+        });
+        let mut c = spec.compile(3, 0, SimDuration::from_secs(30), 1);
+        // Hand-set clocks to make the arithmetic checkable.
+        c.clocks[1] = NodeClock {
+            skew_ppb: 20_000, // 20 ppm fast
+            drift_ppb_per_s: 0,
+        };
+        c.clocks[2] = NodeClock {
+            skew_ppb: 0,
+            drift_ppb_per_s: 1_000, // +1 ppm/s rate growth
+        };
+        // 20 ppm over 10 s = 200 µs, minus the scripted 500 µs step.
+        assert_eq!(c.clock_err_ns(1, secs(10)), 200_000 - 500_000);
+        assert_eq!(
+            c.clock_err_ns(1, secs(10) - SimDuration::from_nanos(1)),
+            199_999
+        );
+        // Quadratic drift: 1 ppm/s for 20 s → 10⁻⁶·20²/2 s = 200 µs.
+        assert_eq!(c.clock_err_ns(2, secs(20)), 200_000);
+        // Perfect clock elsewhere; disabled spec reports zero.
+        assert_eq!(c.clock_err_ns(0, secs(20)), 0);
+        let steady = ScenarioSpec::named("s").compile(3, 0, SimDuration::from_secs(30), 1);
+        assert_eq!(steady.clock_err_ns(1, secs(20)), 0);
     }
 
     #[test]

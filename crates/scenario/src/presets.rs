@@ -8,7 +8,7 @@
 use essat_sim::time::{SimDuration, SimTime};
 
 use crate::gilbert::GilbertElliottParams;
-use crate::spec::{BatterySpec, ChurnSpec, ScenarioSpec, TrafficPhase};
+use crate::spec::{BatterySpec, ChurnSpec, ClockSpec, ScenarioSpec, TrafficPhase};
 
 /// MICA2 active power draw in watts; used to size `energy_drain`
 /// batteries relative to the run length.
@@ -82,6 +82,18 @@ pub fn energy_drain(run: SimDuration) -> ScenarioSpec {
     }
 }
 
+/// Clock drift at magnitude `ppm`: per-node skews drawn in `±ppm` and
+/// drift-rates in `±ppm/100` per second, so the rate error roughly
+/// doubles over a 200 s paper-scale run. The `drift` figure sweeps this
+/// preset's magnitude; `ppm = 0` compiles all-perfect clocks (the
+/// control arm).
+pub fn clock_drift(ppm: u32) -> ScenarioSpec {
+    ScenarioSpec {
+        clock: Some(ClockSpec::uniform(ppm as f64, ppm as f64 / 100.0)),
+        ..ScenarioSpec::named(&format!("drift_{ppm}ppm"))
+    }
+}
+
 /// All preset names, in presentation order.
 pub const NAMES: [&str; 5] = ["steady", "bursty_links", "diurnal", "churn", "energy_drain"];
 
@@ -135,6 +147,20 @@ mod tests {
         assert!((bl.capacity_j / bs.capacity_j - 4.0).abs() < 1e-9);
         // 35% of a fully-active run.
         assert!((bs.capacity_j - 0.045 * 50.0 * 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_drift_preset_compiles_bounded_clocks() {
+        use crate::compile::NodeClock;
+        let run = SimDuration::from_secs(50);
+        let c = clock_drift(100).compile(12, 0, run, 5);
+        assert_eq!(c.name, "drift_100ppm");
+        assert_eq!(c.clocks.len(), 12);
+        assert!(c.clocks.iter().all(|k| k.skew_ppb.abs() <= 100_000));
+        assert!(c.clocks.iter().any(|k| k.skew_ppb != 0));
+        // Zero magnitude = the control arm: perfect clocks everywhere.
+        let z = clock_drift(0).compile(12, 0, run, 5);
+        assert!(z.clocks.iter().all(|k| k == &NodeClock::default()));
     }
 
     #[test]

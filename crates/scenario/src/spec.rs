@@ -61,6 +61,54 @@ pub enum ChurnSpec {
     },
 }
 
+/// One scripted clock glitch: at `at`, node `node`'s local clock jumps
+/// by `delta_ns` (positive = the clock leaps ahead, negative = it falls
+/// behind). Models the step desyncs real nodes suffer on reboots,
+/// brown-outs, and botched resynchronisations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlitchStep {
+    /// When the step happens (wall time).
+    pub at: SimTime,
+    /// Target node index.
+    pub node: u32,
+    /// Signed clock step in nanoseconds.
+    pub delta_ns: i64,
+}
+
+/// Per-node clock faults: every node gets a constant frequency skew and
+/// a linear drift-rate, both drawn uniformly in `±bound` from a stream
+/// derived from the master seed (like the Gilbert–Elliott chains), plus
+/// optional scripted desync [`GlitchStep`]s.
+///
+/// A node whose compiled skew is `s` ppb and drift-rate `d` ppb/s has a
+/// local-clock error at wall time `t` of
+/// `s·t + d·t²/2 + Σ glitches ≤ t` (all integer arithmetic, so traces
+/// round-trip byte-identically). The simulator applies the error where
+/// policies convert local schedule times into timer deadlines.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClockSpec {
+    /// Per-node skew bound in parts-per-million: each node's constant
+    /// frequency error is drawn uniformly in `[-skew_ppm, +skew_ppm]`.
+    pub skew_ppm: f64,
+    /// Per-node drift-rate bound in ppm per second: each node's rate
+    /// error *grows* linearly, drawn uniformly in the same way, so the
+    /// accumulated error is quadratic in elapsed time.
+    pub drift_ppm_per_s: f64,
+    /// Scripted desync steps, sorted by `(at, node)`.
+    pub glitches: Vec<GlitchStep>,
+}
+
+impl ClockSpec {
+    /// A pure skew/drift spec (no scripted glitches).
+    pub fn uniform(skew_ppm: f64, drift_ppm_per_s: f64) -> Self {
+        ClockSpec {
+            skew_ppm,
+            drift_ppm_per_s,
+            glitches: Vec::new(),
+        }
+    }
+}
+
 /// One traffic phase: from `from` onward the workload runs at
 /// `rate_scale` times its configured base rate, until the next phase.
 ///
@@ -89,6 +137,8 @@ pub struct ScenarioSpec {
     pub battery: Option<BatterySpec>,
     /// Node churn schedule.
     pub churn: Option<ChurnSpec>,
+    /// Per-node clock faults (skew, drift, scripted glitches).
+    pub clock: Option<ClockSpec>,
     /// Traffic phases, sorted by start time (scale 1.0 before the
     /// first phase).
     pub traffic: Vec<TrafficPhase>,
@@ -135,6 +185,24 @@ impl ScenarioSpec {
                 assert!(!mean_downtime.is_zero(), "churn mean downtime is zero");
             }
             Some(ChurnSpec::Scripted(_)) | None => {}
+        }
+        if let Some(c) = &self.clock {
+            assert!(
+                c.skew_ppm >= 0.0 && c.skew_ppm.is_finite(),
+                "clock skew bound must be a finite non-negative ppm"
+            );
+            assert!(
+                c.drift_ppm_per_s >= 0.0 && c.drift_ppm_per_s.is_finite(),
+                "clock drift bound must be a finite non-negative ppm/s"
+            );
+            let mut last = (SimTime::ZERO, 0u32);
+            for g in &c.glitches {
+                assert!(
+                    (g.at, g.node) >= last,
+                    "clock glitches must be sorted by (at, node)"
+                );
+                last = (g.at, g.node);
+            }
         }
         let mut last = SimTime::ZERO;
         for p in &self.traffic {

@@ -11,20 +11,25 @@
 //! phase <from_ns> <rate_scale>
 //! down <at_ns> <node>
 //! up <at_ns> <node>
+//! clock <node> <skew_ppb> <drift_ppb_per_s>
+//! glitch <at_ns> <node> <delta_ns>
 //! ```
 //!
 //! `link`/`battery` appear at most once; `phase` lines are sorted by
 //! start; `down`/`up` lines are the churn event stream in its sorted
-//! order. Floats use Rust's shortest round-trip formatting, so
+//! order; `clock` lines (one per node when clock faults are enabled)
+//! carry the compiled integer skew/drift rates, `glitch` lines the
+//! scripted signed clock steps. Floats use Rust's shortest round-trip
+//! formatting, so
 //! `from_trace(to_trace(c)) == c` exactly and re-serialising a parsed
 //! trace reproduces it **byte-identically** — the property the
 //! record/replay tests pin.
 
 use essat_sim::time::{SimDuration, SimTime};
 
-use crate::compile::{CompiledScenario, ScenarioEvent};
+use crate::compile::{CompiledScenario, NodeClock, ScenarioEvent};
 use crate::gilbert::GilbertElliottParams;
-use crate::spec::{BatterySpec, TrafficPhase};
+use crate::spec::{BatterySpec, GlitchStep, TrafficPhase};
 
 const HEADER: &str = "essat-scenario-trace v1";
 
@@ -60,6 +65,12 @@ pub fn to_trace(c: &CompiledScenario) -> String {
         let kind = if e.up { "up" } else { "down" };
         let _ = writeln!(out, "{kind} {} {}", e.at.as_nanos(), e.node);
     }
+    for (node, clk) in c.clocks.iter().enumerate() {
+        let _ = writeln!(out, "clock {node} {} {}", clk.skew_ppb, clk.drift_ppb_per_s);
+    }
+    for g in &c.glitches {
+        let _ = writeln!(out, "glitch {} {} {}", g.at.as_nanos(), g.node, g.delta_ns);
+    }
     out
 }
 
@@ -81,6 +92,12 @@ fn parse_f64(field: Option<&str>, line: &str) -> Result<f64, String> {
     field
         .and_then(|f| f.parse().ok())
         .ok_or_else(|| format!("malformed float in trace line: {line}"))
+}
+
+fn parse_i64(field: Option<&str>, line: &str) -> Result<i64, String> {
+    field
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| format!("malformed signed integer in trace line: {line}"))
 }
 
 /// Parses a trace back into the compiled scenario it recorded.
@@ -127,6 +144,26 @@ pub fn from_trace(trace: &str) -> Result<CompiledScenario, String> {
                     up: tag == "up",
                 });
             }
+            "clock" => {
+                let node = parse_u64(parts.next(), line)? as usize;
+                if node != c.clocks.len() {
+                    return Err(format!(
+                        "clock lines must appear in node order (expected node {}): {line}",
+                        c.clocks.len()
+                    ));
+                }
+                c.clocks.push(NodeClock {
+                    skew_ppb: parse_i64(parts.next(), line)?,
+                    drift_ppb_per_s: parse_i64(parts.next(), line)?,
+                });
+            }
+            "glitch" => {
+                c.glitches.push(GlitchStep {
+                    at: SimTime::from_nanos(parse_u64(parts.next(), line)?),
+                    node: parse_u64(parts.next(), line)? as u32,
+                    delta_ns: parse_i64(parts.next(), line)?,
+                });
+            }
             other => return Err(format!("unknown trace line tag `{other}`")),
         }
     }
@@ -139,7 +176,24 @@ mod tests {
     use crate::spec::{ChurnSpec, ScenarioSpec};
 
     fn rich_scenario() -> CompiledScenario {
+        use crate::spec::ClockSpec;
         let mut spec = ScenarioSpec::named("kitchen_sink");
+        spec.clock = Some(ClockSpec {
+            skew_ppm: 40.0,
+            drift_ppm_per_s: 1.5,
+            glitches: vec![
+                GlitchStep {
+                    at: SimTime::from_secs(12),
+                    node: 5,
+                    delta_ns: -750_000,
+                },
+                GlitchStep {
+                    at: SimTime::from_secs(30),
+                    node: 9,
+                    delta_ns: 2_000_000,
+                },
+            ],
+        });
         spec.link = Some(GilbertElliottParams {
             mean_good: SimDuration::from_millis(3_500),
             mean_bad: SimDuration::from_millis(900),
@@ -170,10 +224,18 @@ mod tests {
     #[test]
     fn round_trip_is_exact_and_byte_identical() {
         let c = rich_scenario();
+        assert!(!c.clocks.is_empty(), "clock faults compiled");
+        assert_eq!(c.glitches.len(), 2, "scripted glitches carried over");
         let trace = to_trace(&c);
         let parsed = from_trace(&trace).expect("parses");
         assert_eq!(parsed, c, "structural round trip");
         assert_eq!(to_trace(&parsed), trace, "byte-identical re-serialisation");
+    }
+
+    #[test]
+    fn rejects_out_of_order_clock_lines() {
+        let t = "essat-scenario-trace v1\nname x\nnodes 2\nclock 1 5 0";
+        assert!(from_trace(t).is_err());
     }
 
     #[test]

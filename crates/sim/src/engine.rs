@@ -282,6 +282,31 @@ impl<M: Model> Engine<M> {
         }
         ran
     }
+
+    /// [`Engine::run_until`] with an event budget: runs events with fire
+    /// time `<= deadline`, but at most `budget` of them. Returns `true`
+    /// when the deadline was reached (the clock then rests at exactly
+    /// `deadline`), `false` when the budget ran out first (the clock
+    /// stays at the last processed event). The deterministic runaway
+    /// guard for sweep jobs: the same `(model, seed, budget)` either
+    /// always completes or always trips, independent of wall clock.
+    pub fn run_until_capped(&mut self, deadline: SimTime, budget: u64) -> bool {
+        let mut ran = 0u64;
+        while let Some((time, _id, event)) = self.queue.pop_before(deadline) {
+            if ran >= budget {
+                // Put-back is not supported; re-push the popped event
+                // unprocessed so the queue stays consistent.
+                self.queue.push(time, event);
+                return false;
+            }
+            self.dispatch(time, event);
+            ran += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +414,23 @@ mod tests {
         assert_eq!(e.run_with_budget(3), 3);
         assert_eq!(e.model().log.len(), 3);
         assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn capped_run_reports_budget_exhaustion() {
+        let mut e = Engine::new(Recorder::default());
+        for i in 0..10 {
+            e.schedule_at(SimTime::from_millis(i), Ev::Mark(i as u32));
+        }
+        // Budget trips first: the clock stays at the last event.
+        assert!(!e.run_until_capped(SimTime::from_secs(1), 4));
+        assert_eq!(e.processed(), 4);
+        assert_eq!(e.now(), SimTime::from_millis(3));
+        assert_eq!(e.pending(), 6, "unprocessed events stay queued");
+        // Enough budget: completes and lands exactly on the deadline.
+        assert!(e.run_until_capped(SimTime::from_secs(1), 1_000));
+        assert_eq!(e.processed(), 10);
+        assert_eq!(e.now(), SimTime::from_secs(1));
     }
 
     #[test]

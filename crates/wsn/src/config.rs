@@ -71,6 +71,44 @@ impl WorkloadSpec {
     }
 }
 
+/// The adaptive guard-time knob: extra wake lead and collection-
+/// deadline slack protocols spend to tolerate clock desync.
+///
+/// The guard in effect at schedule time `t` is
+/// `base + t · growth_ppm · 10⁻⁶` — a constant floor plus a component
+/// that grows with elapsed time, matching how unsynchronised clock
+/// error accumulates. Nodes wake `guard` earlier than their scheduled
+/// commitments (energy cost, tracked in
+/// [`crate::metrics::RunResult::guard_wake_ns`]) and parents hold
+/// collection timeouts open `guard` longer (latency cost). The default
+/// is zero, which leaves every schedule untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardTime {
+    /// Constant guard floor.
+    pub base: SimDuration,
+    /// Guard growth in parts-per-million of elapsed time (e.g. 100
+    /// ppm grows the guard by 100 µs per second of run time).
+    pub growth_ppm: u32,
+}
+
+impl GuardTime {
+    /// No guard at all (the default).
+    pub const ZERO: GuardTime = GuardTime {
+        base: SimDuration::ZERO,
+        growth_ppm: 0,
+    };
+
+    /// The guard in effect for a commitment scheduled at `t`.
+    pub fn at(&self, t: SimTime) -> SimDuration {
+        self.base + SimDuration::from_nanos(t.as_nanos() / 1_000_000 * self.growth_ppm as u64)
+    }
+
+    /// True when the guard never changes any schedule.
+    pub fn is_zero(&self) -> bool {
+        self.base.is_zero() && self.growth_ppm == 0
+    }
+}
+
 /// How queries reach the nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetupMode {
@@ -123,6 +161,8 @@ pub struct ExperimentConfig {
     pub sts: StsConfig,
     /// DTS tuning (collection timeout margin).
     pub dts: DtsConfig,
+    /// Adaptive guard time against clock desync (zero by default).
+    pub clock_guard: GuardTime,
     /// Master seed; every run derives all randomness from it.
     pub seed: u64,
 }
@@ -149,6 +189,7 @@ impl ExperimentConfig {
             scenario: None,
             sts: StsConfig::default(),
             dts: DtsConfig::default(),
+            clock_guard: GuardTime::ZERO,
             seed,
         }
     }
@@ -188,6 +229,12 @@ impl ExperimentConfig {
     /// Builder-style scenario attachment.
     pub fn with_scenario(mut self, scenario: Scenario) -> Self {
         self.scenario = Some(scenario);
+        self
+    }
+
+    /// Builder-style guard-time knob (see [`GuardTime`]).
+    pub fn with_clock_guard(mut self, base: SimDuration, growth_ppm: u32) -> Self {
+        self.clock_guard = GuardTime { base, growth_ppm };
         self
     }
 
@@ -305,6 +352,27 @@ mod tests {
         let cfg2 = ExperimentConfig::quick(Protocol::Sync, WorkloadSpec::paper(1.0), 4)
             .with_scenario(Scenario::Spec(presets::energy_drain(run)));
         cfg2.validate();
+    }
+
+    #[test]
+    fn guard_time_grows_with_elapsed_time() {
+        assert!(GuardTime::ZERO.is_zero());
+        assert_eq!(
+            GuardTime::ZERO.at(SimTime::from_secs(100)),
+            SimDuration::ZERO
+        );
+        let g = GuardTime {
+            base: SimDuration::from_millis(1),
+            growth_ppm: 100,
+        };
+        assert!(!g.is_zero());
+        // 100 ppm of 50 s = 5 ms, plus the 1 ms floor.
+        assert_eq!(g.at(SimTime::from_secs(50)), SimDuration::from_millis(6));
+        assert_eq!(g.at(SimTime::ZERO), SimDuration::from_millis(1));
+        let cfg = ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 3)
+            .with_clock_guard(SimDuration::from_millis(1), 100);
+        cfg.validate();
+        assert_eq!(cfg.clock_guard, g);
     }
 
     #[test]

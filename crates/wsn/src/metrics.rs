@@ -138,6 +138,17 @@ pub struct RunResult {
     /// High-water mark of the engine's pending-event set (for
     /// performance reporting — queue pressure at the paper scale).
     pub peak_queue_depth: u64,
+    /// Child reports still missing when collection timeouts fired,
+    /// summed over all parents and rounds — the desync/fault stress
+    /// indicator behind [`RunResult::missed_round_rate`].
+    pub missed_reports: u64,
+    /// Receiver-side schedule resynchronisations: piggybacked phase
+    /// updates a parent actually applied (DTS under drift/loss).
+    pub resync_events: u64,
+    /// Total guard-time wake lead scheduled, in nanoseconds: the extra
+    /// awake time the [`crate::config::GuardTime`] knob buys — its
+    /// energy overhead proxy.
+    pub guard_wake_ns: u64,
 }
 
 /// Summed MAC counters.
@@ -209,6 +220,26 @@ impl RunResult {
     /// The measurement window length.
     pub fn window(&self) -> SimDuration {
         self.measured_until - self.measured_from
+    }
+
+    /// Fraction of completed rounds that sealed *partial* at the root —
+    /// at least one expected reading missed its round. Clock desync
+    /// pushes this up; the guard knob buys it back down.
+    pub fn missed_round_rate(&self) -> f64 {
+        let (done, full) = self.queries.iter().fold((0u64, 0u64), |(d, f), q| {
+            (d + q.rounds_completed, f + q.rounds_full)
+        });
+        if done == 0 {
+            0.0
+        } else {
+            1.0 - full as f64 / done as f64
+        }
+    }
+
+    /// Guard-time energy overhead in seconds of extra awake time (see
+    /// [`RunResult::guard_wake_ns`]).
+    pub fn guard_overhead_s(&self) -> f64 {
+        self.guard_wake_ns as f64 * 1e-9
     }
 
     /// A 64-bit FNV-1a digest over every metric of the run, including
@@ -289,6 +320,9 @@ impl RunResult {
         h.u64(self.channel_collisions);
         h.u64(self.events_processed);
         h.u64(self.peak_queue_depth);
+        h.u64(self.missed_reports);
+        h.u64(self.resync_events);
+        h.u64(self.guard_wake_ns);
         format!("{:016x}", h.finish())
     }
 }
@@ -344,6 +378,9 @@ mod tests {
             channel_collisions: 0,
             events_processed: 0,
             peak_queue_depth: 0,
+            missed_reports: 0,
+            resync_events: 0,
+            guard_wake_ns: 0,
         }
     }
 
@@ -406,6 +443,26 @@ mod tests {
         lt.partition = Some(SimTime::from_secs(30));
         assert_eq!(lt.time_to_first_death(end), SimTime::from_secs(12));
         assert_eq!(lt.time_to_partition(end), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn missed_round_rate_over_queries() {
+        let q = |completed, full| QueryMetrics {
+            query: QueryId::new(0),
+            rate_hz: 1.0,
+            latency: OnlineStats::new(),
+            rounds_completed: completed,
+            rounds_full: full,
+            delivered_readings: 0,
+            expected_readings: 0,
+            records: Vec::new(),
+        };
+        let r = result(vec![], vec![q(8, 6), q(2, 2)]);
+        assert!((r.missed_round_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(result(vec![], vec![]).missed_round_rate(), 0.0);
+        let mut r = result(vec![], vec![]);
+        r.guard_wake_ns = 2_500_000_000;
+        assert!((r.guard_overhead_s() - 2.5).abs() < 1e-12);
     }
 
     #[test]

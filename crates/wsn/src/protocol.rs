@@ -18,7 +18,7 @@ use essat_baselines::sync::SyncSchedule;
 use essat_baselines::tag::Tag;
 use essat_core::dts::Dts;
 use essat_core::nts::Nts;
-use essat_core::policy::{EssatPolicy, PowerPolicy};
+use essat_core::policy::EssatPolicy;
 use essat_core::shaper::TrafficShaper;
 use essat_core::sts::Sts;
 use essat_net::ids::NodeId;
@@ -27,6 +27,10 @@ use essat_sim::time::SimTime;
 
 use crate::config::ExperimentConfig;
 use crate::payload::Payload;
+
+// Re-exported so downstream crates (the harness's custom-factory
+// seam) can name the policy trait without depending on `essat-core`.
+pub use essat_core::policy::PowerPolicy;
 
 /// Which power-management protocol every node runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -9,6 +9,7 @@ use essat_core::policy::PolicyTimer;
 use essat_net::channel::TxId;
 use essat_net::ids::NodeId;
 use essat_net::mac::MacTimer;
+use essat_sim::time::SimTime;
 
 /// Simulation events.
 #[derive(Debug)]
@@ -88,6 +89,12 @@ pub enum Ev {
         /// fresh one). Checked only for [`PolicyTimer::is_chain`]
         /// timers.
         gen: u64,
+        /// The schedule time the policy armed — what the node's local
+        /// clock reads when the timer fires. Under clock faults the
+        /// event is dispatched at the wall-converted instant, but the
+        /// policy must see its own clock, or schedule-driven policies
+        /// would re-arm the same edge forever.
+        local: SimTime,
     },
     /// Scripted or scenario node failure.
     NodeFail {

@@ -154,7 +154,7 @@ impl World {
             let at = q.round_start(k0);
             if at < self.run_end {
                 ctx.schedule_at(
-                    at.max(now),
+                    self.to_wall(node, at).max(now),
                     Ev::RoundStart {
                         node,
                         query: qi,
@@ -202,7 +202,7 @@ impl World {
             if let Some((round, at)) = self.register_query_at(node, qi, now) {
                 self.refuse_rounds_before(node, qi, round);
                 ctx.schedule_at(
-                    at.max(now),
+                    self.to_wall(node, at).max(now),
                     Ev::RoundStart {
                         node,
                         query: qi,

@@ -30,6 +30,8 @@ mod node;
 mod pool;
 mod power;
 mod rounds;
+#[cfg(feature = "sanitize")]
+mod sanitizer;
 mod world;
 
 pub use events::Ev;

@@ -60,7 +60,16 @@ impl World {
                 PolicyAction::WakeRadio => self.wake_radio(node, ctx),
                 PolicyAction::SetTimer { timer, at } => {
                     let gen = self.hot.sched_gen[node.index()];
-                    ctx.schedule_at(at, Ev::Policy { node, timer, gen });
+                    let wall = self.to_wall(node, at).max(ctx.now());
+                    ctx.schedule_at(
+                        wall,
+                        Ev::Policy {
+                            node,
+                            timer,
+                            gen,
+                            local: at,
+                        },
+                    );
                 }
                 PolicyAction::SendAtim { dest } => {
                     let frame = {
@@ -83,7 +92,16 @@ impl World {
                     *gen += 1;
                     let gen = *gen;
                     if let Some(at) = wake_at {
-                        ctx.schedule_at(at, Ev::RadioWake { node, gen });
+                        // Wake early by the guard time: desynced clocks
+                        // make the planned instant unreliable, so buy
+                        // tolerance with a little extra on-time.
+                        let guard = self.guard_at(at);
+                        let mut wall = self.to_wall(node, at);
+                        if !guard.is_zero() {
+                            wall = wall.saturating_sub(guard);
+                            self.guard_wake_ns += guard.as_nanos();
+                        }
+                        ctx.schedule_at(wall.max(ctx.now()), Ev::RadioWake { node, gen });
                     }
                 }
                 PolicyAction::Suspend => self.suspend_radio(node, ctx),
@@ -127,11 +145,18 @@ impl World {
     /// timers (SYNC edges, PSM beacons) are generation-guarded so a
     /// churn-revived node's re-armed chain is not duplicated by a stale
     /// pending expiry.
+    ///
+    /// The policy's view carries `local` — the schedule time it armed,
+    /// i.e. what its own (possibly skewed) clock reads at expiry — not
+    /// the wall clock. A schedule-driven policy fed the wall clock
+    /// would see a fast node's timer fire *before* the edge it asked
+    /// for, re-arm the very same edge, and spin forever at one instant.
     pub(crate) fn handle_policy_timer(
         &mut self,
         node: NodeId,
         timer: PolicyTimer,
         gen: u64,
+        local: SimTime,
         ctx: &mut Context<'_, Ev>,
     ) {
         {
@@ -140,7 +165,7 @@ impl World {
                 return;
             }
         }
-        let view = self.node_view(node, ctx.now());
+        let view = self.node_view(node, local);
         let mut acts = self.take_acts();
         self.nodes[node.index()]
             .policy
@@ -201,7 +226,17 @@ impl World {
                         },
                     );
                 }
-                MacAction::Deliver { frame } => self.handle_delivery(node, frame, ctx),
+                MacAction::Deliver { frame } => {
+                    // A dead node's MAC is parked at death and every
+                    // path into it is dead-guarded; a delivery here
+                    // means a guard was bypassed.
+                    #[cfg(feature = "sanitize")]
+                    assert!(
+                        !self.hot.dead[node.index()],
+                        "sanitizer: frame delivered to dead node {node}"
+                    );
+                    self.handle_delivery(node, frame, ctx)
+                }
                 MacAction::TxDone { frame, .. } => self.handle_tx_done(node, frame, ctx),
                 MacAction::TxFailed { frame, .. } => self.handle_tx_failed(node, frame, ctx),
             }
@@ -241,10 +276,16 @@ impl World {
         let Some(earliest) = n.policy.earliest_commitment() else {
             return;
         };
-        let at = earliest.saturating_sub(n.radio.params().turn_on).max(now);
+        let turn_on = n.radio.params().turn_on;
+        let guard = self.guard_at(earliest);
+        let mut at = self.to_wall(node, earliest).saturating_sub(turn_on);
+        if !guard.is_zero() {
+            at = at.saturating_sub(guard);
+            self.guard_wake_ns += guard.as_nanos();
+        }
         self.hot.wake_gen[i] += 1;
         let gen = self.hot.wake_gen[i];
-        ctx.schedule_at(at, Ev::RadioWake { node, gen });
+        ctx.schedule_at(at.max(now), Ev::RadioWake { node, gen });
     }
 
     /// Begin waking the radio if it is off (or queue the wake if it is

@@ -61,12 +61,15 @@ impl World {
         (at < self.run_end).then_some((k0, at))
     }
 
-    /// The first round of `q` starting at or after `now`.
+    /// The first round of `q` starting at or after `now`. A round
+    /// boundary landing exactly on `now` is *included* — a node
+    /// revived (or rejoined) precisely at a round start runs that
+    /// round rather than silently waiting out a full period.
     pub(crate) fn next_round_at(q: &Query, now: SimTime) -> u64 {
-        if q.phase >= now {
-            0
-        } else {
-            q.round_at(now).map(|k| k + 1).unwrap_or(0)
+        match q.round_at(now) {
+            None => 0,
+            Some(k) if q.round_start(k) == now => k,
+            Some(k) => k + 1,
         }
     }
 
@@ -112,8 +115,11 @@ impl World {
         };
         n.rounds.insert(key, state);
         if let Some(d) = deadline {
+            // Stretch the timeout by the guard so desynced children get
+            // the extra slack their skewed releases need.
+            let wall = self.to_wall(node, d) + self.guard_at(d);
             ctx.schedule_at(
-                d.max(ctx.now()),
+                wall.max(ctx.now()),
                 Ev::CollectionTimeout {
                     node,
                     query: qi,
@@ -182,11 +188,11 @@ impl World {
         } else {
             self.skip_round(node, qi, k, ctx);
         }
-        // Chain the next round.
+        // Chain the next round (on this node's clock).
         let next = q.round_start(k + 1);
         if next < self.run_end {
             ctx.schedule_at(
-                next,
+                self.to_wall(node, next).max(ctx.now()),
                 Ev::RoundStart {
                     node,
                     query: qi,
@@ -299,7 +305,11 @@ impl World {
             // root's children being complete is not enough, since their
             // aggregates may themselves be partial.
             let full = full && agg.count() == self.source_count[qi];
-            let latency_s = (now - q.round_start(k)).as_secs_f64().max(0.0);
+            // A fast clock can finish a round at a wall instant before
+            // the agreed round start — clamp, don't underflow.
+            let latency_s = now
+                .saturating_duration_since(q.round_start(k))
+                .as_secs_f64();
             let qm = &mut self.qmetrics[qi];
             qm.latency.add(latency_s);
             qm.rounds_completed += 1;
@@ -348,7 +358,7 @@ impl World {
             self.do_send(node, qi, k, ctx);
         } else {
             ctx.schedule_at(
-                send_at,
+                self.to_wall(node, send_at).max(now),
                 Ev::ReleaseReport {
                     node,
                     query: qi,
@@ -435,6 +445,7 @@ impl World {
                 Some(r) => r.agg.missing(),
             }
         };
+        self.missed_reports += missing.len() as u64;
         let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
         let mut failed_children = Vec::new();
         {
@@ -537,13 +548,15 @@ impl World {
 
         let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
         let now = ctx.now();
+        let mut resynced = false;
         {
             let n = &mut self.nodes[node.index()];
             let obs = n.loss.observe(query, child, k);
             n.child_fail.heard_from(child);
-            // §4.3 phase resynchronisation bookkeeping.
+            // §4.3 phase resynchronisation bookkeeping. A piggyback
+            // that clears a known-stale phase is a completed resync.
             if piggyback.is_some() {
-                n.stale_phase.remove(&(qi, child));
+                resynced = n.stale_phase.remove(&(qi, child));
             }
             if n.policy.wants_phase_resync() {
                 let gap = matches!(obs, LossObservation::Gap { .. });
@@ -569,6 +582,9 @@ impl World {
                 .on_report_received(&q, child, k, now, piggyback, &info);
         }
         self.put_kids(kids);
+        if resynced {
+            self.resync_events += 1;
+        }
         // Fold into the round (unless it already finished).
         if self.open_round(node, qi, k, ctx) {
             let key = RoundKey { query, round: k };
@@ -613,8 +629,9 @@ impl World {
             r.deadline = Some(fresh);
             r.timeout_gen += 1;
             let gen = r.timeout_gen;
+            let wall = self.to_wall(node, fresh) + self.guard_at(fresh);
             ctx.schedule_at(
-                fresh.max(ctx.now()),
+                wall.max(ctx.now()),
                 Ev::CollectionTimeout {
                     node,
                     query: qi,
@@ -726,7 +743,7 @@ impl World {
         }
         if let Some((round, at)) = self.register_query_at(node, qi, ctx.now()) {
             ctx.schedule_at(
-                at.max(ctx.now()),
+                self.to_wall(node, at).max(ctx.now()),
                 Ev::RoundStart {
                     node,
                     query: qi,
@@ -753,5 +770,38 @@ impl World {
             }
         };
         self.enqueue_frame(node, frame, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essat_query::aggregate::AggregateOp;
+    use essat_sim::time::SimDuration;
+
+    fn q(phase_ms: u64, period_ms: u64) -> Query {
+        Query::periodic(
+            QueryId::new(0),
+            SimDuration::from_millis(period_ms),
+            SimTime::from_millis(phase_ms),
+            AggregateOp::Sum,
+        )
+    }
+
+    #[test]
+    fn next_round_includes_exact_boundary() {
+        let q = q(100, 250);
+        // Before the phase: round 0.
+        assert_eq!(World::next_round_at(&q, SimTime::ZERO), 0);
+        assert_eq!(World::next_round_at(&q, SimTime::from_millis(100)), 0);
+        // Mid-round: the next one.
+        assert_eq!(World::next_round_at(&q, SimTime::from_millis(101)), 1);
+        assert_eq!(World::next_round_at(&q, SimTime::from_millis(349)), 1);
+        // Exactly on a later boundary: that round, not the one after —
+        // the regression this pins (k+1 used to be returned here,
+        // making a node revived at a round start skip a full period).
+        assert_eq!(World::next_round_at(&q, SimTime::from_millis(350)), 1);
+        assert_eq!(World::next_round_at(&q, SimTime::from_millis(600)), 2);
+        assert_eq!(World::next_round_at(&q, SimTime::from_millis(601)), 3);
     }
 }

@@ -119,6 +119,18 @@ pub struct World {
     pub(crate) phase_piggybacks: u64,
     pub(crate) phase_requests: u64,
     pub(crate) reports_sent: u64,
+    /// Child reports still missing when a collection timeout fired.
+    pub(crate) missed_reports: u64,
+    /// Piggybacked phase updates that resolved a known-stale phase.
+    pub(crate) resync_events: u64,
+    /// Total guard-time lead added to radio wake-ups (clock-drift
+    /// tolerance bought with energy; see
+    /// [`crate::config::GuardTime`]).
+    pub(crate) guard_wake_ns: u64,
+    /// Invariant checker (compiled in only with the `sanitize`
+    /// feature).
+    #[cfg(feature = "sanitize")]
+    pub(crate) san: super::sanitizer::Sanitizer,
     /// Deaths / partition / recovery marks for the lifetime figures.
     pub(crate) lifetime: LifetimeStats,
     /// MAC counters of MACs replaced by churn revivals (so totals keep
@@ -298,6 +310,11 @@ impl World {
             phase_piggybacks: 0,
             phase_requests: 0,
             reports_sent: 0,
+            missed_reports: 0,
+            resync_events: 0,
+            guard_wake_ns: 0,
+            #[cfg(feature = "sanitize")]
+            san: super::sanitizer::Sanitizer::default(),
             lifetime: LifetimeStats::default(),
             mac_lost: MacTotals::default(),
             kid_pool: Vec::new(),
@@ -316,7 +333,7 @@ impl World {
                         if let Some((round, at)) = world.register_query_at(node, qi, SimTime::ZERO)
                         {
                             initial.push((
-                                at,
+                                world.to_wall(node, at),
                                 Ev::RoundStart {
                                     node,
                                     query: qi,
@@ -351,11 +368,12 @@ impl World {
                     match a {
                         PolicyAction::SetTimer { timer, at } => {
                             initial.push((
-                                at,
+                                world.to_wall(m, at),
                                 Ev::Policy {
                                     node: m,
                                     timer,
                                     gen: 0,
+                                    local: at,
                                 },
                             ));
                         }
@@ -416,6 +434,23 @@ impl World {
         cache: Option<&BuildCache>,
         scratch: &mut WorldScratch,
     ) -> RunResult {
+        Self::run_pooled_capped(cfg, factory, cache, scratch, None)
+            .expect("uncapped run cannot exhaust a budget")
+    }
+
+    /// [`World::run_pooled`] under a deterministic event budget: the
+    /// run is abandoned (returning `None`) once it has processed
+    /// `budget` events without reaching the configured duration. The
+    /// sweep executor's runaway guard — an event count, not a wall
+    /// clock, so the same job trips (or doesn't) identically on every
+    /// machine and thread count.
+    pub fn run_pooled_capped(
+        cfg: &ExperimentConfig,
+        factory: &PolicyFactory<'_>,
+        cache: Option<&BuildCache>,
+        scratch: &mut WorldScratch,
+        budget: Option<u64>,
+    ) -> Option<RunResult> {
         let pre = cache.map(|c| c.get_or_build(cfg));
         let mut initial = std::mem::take(&mut scratch.initial);
         initial.clear();
@@ -427,13 +462,24 @@ impl World {
             engine.schedule_at(at, ev);
         }
         scratch.initial = initial;
-        engine.run_until(run_end);
+        let reached_end = match budget {
+            Some(b) => engine.run_until_capped(run_end, b),
+            None => {
+                engine.run_until(run_end);
+                true
+            }
+        };
         let events = engine.processed();
         let peak = engine.peak_pending() as u64;
         let (world, mut queue) = engine.into_parts();
         queue.clear();
         scratch.queue = queue;
-        world.finalize_into(run_end, events, peak, Some(scratch))
+        if !reached_end {
+            // Budget exhausted: drop the world (its pools are rebuilt
+            // on the worker's next run) and report the abandonment.
+            return None;
+        }
+        Some(world.finalize_into(run_end, events, peak, Some(scratch)))
     }
 
     /// Moves a scratch's warmed buffer pools into this (fresh) world.
@@ -451,6 +497,34 @@ impl World {
 
     pub(crate) fn query(&self, qi: usize) -> Query {
         self.queries[qi].clone()
+    }
+
+    /// Maps a node-local schedule instant to wall (engine) time under
+    /// the scenario's clock-fault model.
+    ///
+    /// Policies reason in their node's local clock; the engine runs on
+    /// true time. A node whose clock reads `at` when the true time is
+    /// `at - err(at)` fires its timer at that wall instant, so positive
+    /// clock error makes a node act *early* and negative error late —
+    /// exactly the desync Safe Sleep's wake-lead and DTS's phase-shifted
+    /// schedules must survive. The identity map without clock faults,
+    /// so fault-free runs are bit-for-bit unchanged.
+    pub(crate) fn to_wall(&self, node: NodeId, at: SimTime) -> SimTime {
+        let Some(s) = &self.scenario else { return at };
+        if !s.has_clock_faults() {
+            return at;
+        }
+        let err = s.clock_err_ns(node.as_u32(), at) as i128;
+        let wall = at.as_nanos() as i128 - err;
+        SimTime::from_nanos(wall.clamp(0, u64::MAX as i128) as u64)
+    }
+
+    /// The adaptive guard time at local instant `t` (see
+    /// [`crate::config::GuardTime`]): wake-ups lead their target by this
+    /// much and collection timeouts stretch by it, so schedules tolerate
+    /// the clock error accumulated by `t`.
+    pub(crate) fn guard_at(&self, t: SimTime) -> essat_sim::time::SimDuration {
+        self.cfg.clock_guard.at(t)
     }
 
     /// `(own_rank, max_rank, own_level, max_level, children-with-ranks)`
@@ -558,7 +632,7 @@ impl World {
         let root = self.root;
         if let Some((round, at)) = self.register_query_at(root, qi, ctx.now()) {
             ctx.schedule_at(
-                at.max(ctx.now()),
+                self.to_wall(root, at).max(ctx.now()),
                 Ev::RoundStart {
                     node: root,
                     query: qi,
@@ -593,6 +667,8 @@ impl World {
         peak_queue_depth: u64,
         scratch: Option<&mut WorldScratch>,
     ) -> RunResult {
+        #[cfg(feature = "sanitize")]
+        self.sanitize_sweep(end);
         if let Some(s) = scratch {
             s.kid_pool.append(&mut self.kid_pool);
             s.act_pool.append(&mut self.act_pool);
@@ -609,6 +685,16 @@ impl World {
             let n = &mut self.nodes[i];
             if !self.hot.dead[i] {
                 n.radio.settle(end);
+            }
+            // Settlement: a node that never died must have its whole
+            // run accounted, split exactly across the three states.
+            #[cfg(feature = "sanitize")]
+            if !self.hot.dead[i] && n.revivals == 0 {
+                assert_eq!(
+                    n.radio.active_ns() + n.radio.off_ns() + n.radio.transition_ns(),
+                    end.as_nanos(),
+                    "sanitizer: node {i} radio accounting does not settle to the run length"
+                );
             }
             if !self.hot.member[i] {
                 continue;
@@ -658,6 +744,9 @@ impl World {
             phase_piggybacks: self.phase_piggybacks,
             phase_requests: self.phase_requests,
             reports_sent: self.reports_sent,
+            missed_reports: self.missed_reports,
+            resync_events: self.resync_events,
+            guard_wake_ns: self.guard_wake_ns,
             mac,
             lifetime: std::mem::take(&mut self.lifetime),
             channel_transmissions: ch.transmissions,
@@ -688,6 +777,8 @@ impl Model for World {
     type Event = Ev;
 
     fn handle(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        #[cfg(feature = "sanitize")]
+        self.sanitize_step(ctx.now());
         match event {
             Ev::SetupEnd => self.handle_setup_end(ctx),
             Ev::ForcedWindowEnd => self.handle_forced_window_end(ctx),
@@ -719,7 +810,12 @@ impl Model for World {
             Ev::TxEnd { sender, tx } => self.handle_tx_end(sender, tx, ctx),
             Ev::RadioDone { node } => self.handle_radio_done(node, ctx),
             Ev::RadioWake { node, gen } => self.handle_radio_wake(node, gen, ctx),
-            Ev::Policy { node, timer, gen } => self.handle_policy_timer(node, timer, gen, ctx),
+            Ev::Policy {
+                node,
+                timer,
+                gen,
+                local,
+            } => self.handle_policy_timer(node, timer, gen, local, ctx),
             Ev::NodeFail { node } => self.handle_node_fail(node, ctx),
             Ev::NodeRecover { node } => self.handle_node_recover(node, ctx),
             Ev::BatteryCheck => self.handle_battery_check(ctx),
