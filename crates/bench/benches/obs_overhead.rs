@@ -1,0 +1,43 @@
+//! NullProbe A/B guard: the observability layer must be free when
+//! disabled.
+//!
+//! Arm A runs a simulation through the plain entry point
+//! (`runner::run_one`); arm B runs the *same* configuration through
+//! the probed entry point with the [`essat_obs::NullProbe`] attached.
+//! `NullProbe::enabled()` is a monomorphized constant `false`, so every
+//! hook — and its argument preparation — must dead-code away and the
+//! two arms must time identically. CI compares the two records and
+//! fails on more than 2% overhead (see `.github/workflows/ci.yml`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use essat_obs::NullProbe;
+use essat_sim::time::SimDuration;
+use essat_wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
+use essat_wsn::runner;
+
+fn bench_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(2.0), 5);
+    cfg.duration = SimDuration::from_secs(10);
+    cfg
+}
+
+/// Arm A: the plain run path (no probe type in sight).
+fn baseline_run(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("obs/baseline_run", |b| {
+        b.iter(|| black_box(runner::run_one(&cfg)))
+    });
+}
+
+/// Arm B: the instrumented path with an explicit `NullProbe`.
+fn null_probe_run(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("obs/null_probe_run", |b| {
+        b.iter(|| black_box(runner::run_probed(&cfg, NullProbe)))
+    });
+}
+
+criterion_group!(benches, baseline_run, null_probe_run);
+criterion_main!(benches);

@@ -27,6 +27,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use essat_net::ids::NodeId;
+use essat_obs::json::escape;
+use essat_obs::perfetto::PerfettoBuilder;
+use essat_obs::profile::RunTimings;
 use essat_wsn::config::{ExperimentConfig, Protocol};
 use essat_wsn::metrics::RunResult;
 use essat_wsn::payload::Payload;
@@ -57,8 +60,20 @@ impl SweepCell {
     }
 }
 
-/// Aggregate statistics over everything an executor has run.
+/// One worker thread's share of a sweep: how many jobs it claimed and
+/// how long it spent executing them (claim to result). The difference
+/// between `busy` and the executor wall clock is the worker's idle
+/// tail — the utilization figure in `BENCH_harness.json`.
 #[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Jobs this worker completed (including failed ones).
+    pub jobs: u64,
+    /// Wall-clock spent executing jobs.
+    pub busy: Duration,
+}
+
+/// Aggregate statistics over everything an executor has run.
+#[derive(Debug, Clone, Default)]
 pub struct ExecutorStats {
     /// Simulation runs completed.
     pub jobs: u64,
@@ -68,6 +83,13 @@ pub struct ExecutorStats {
     pub peak_queue_depth: u64,
     /// Wall-clock time spent inside [`SweepExecutor::run`].
     pub wall: Duration,
+    /// Per-phase simulation timings summed over all successful jobs
+    /// (CPU time, so with N workers the sum can exceed `wall`).
+    pub timings: RunTimings,
+    /// Per-worker utilization, indexed by worker id. Accumulates
+    /// across runs; a later run with fewer jobs than workers leaves
+    /// the surplus workers' entries untouched.
+    pub workers: Vec<WorkerStats>,
 }
 
 impl ExecutorStats {
@@ -82,18 +104,59 @@ impl ExecutorStats {
     }
 
     /// Renders the stats as a `BENCH_harness.json` document.
+    ///
+    /// The original keys (`threads` … `peak_queue_depth`) are stable —
+    /// CI's bench gate reads `events_per_sec` from the committed
+    /// baseline — with the profiling extension appended: per-phase
+    /// CPU-time totals and the per-worker utilization array.
     pub fn to_json(&self, threads: usize) -> String {
+        let mut workers = String::from("[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                workers.push_str(", ");
+            }
+            workers.push_str(&format!(
+                "{{\"jobs\": {}, \"busy_s\": {:.3}}}",
+                w.jobs,
+                w.busy.as_secs_f64()
+            ));
+        }
+        workers.push(']');
         format!(
             "{{\n  \"threads\": {threads},\n  \"jobs\": {},\n  \"events\": {},\n  \
              \"wall_clock_s\": {:.3},\n  \"events_per_sec\": {:.0},\n  \
-             \"peak_queue_depth\": {}\n}}\n",
+             \"peak_queue_depth\": {},\n  \"build_s\": {:.3},\n  \"run_s\": {:.3},\n  \
+             \"finalize_s\": {:.3},\n  \"workers\": {workers}\n}}\n",
             self.jobs,
             self.events,
             self.wall.as_secs_f64(),
             self.events_per_sec(),
             self.peak_queue_depth,
+            self.timings.build.as_secs_f64(),
+            self.timings.run.as_secs_f64(),
+            self.timings.finalize.as_secs_f64(),
         )
     }
+}
+
+/// One job's wall-clock profile: where it ran, when it started
+/// (relative to its [`SweepExecutor::run`] call), and how long each
+/// phase took. Pure measurement — nondeterministic by nature, never
+/// fed back into any simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct JobProfile {
+    /// Index into the `cells` slice passed to the run.
+    pub cell: usize,
+    /// Repetition index within the cell.
+    pub rep: u32,
+    /// Worker thread that ran the job.
+    pub worker: usize,
+    /// Job start, as an offset from the start of the executor run.
+    pub start: Duration,
+    /// Claim-to-result wall-clock (includes panic isolation overhead).
+    pub wall: Duration,
+    /// Per-phase simulation timings of the successful attempt.
+    pub timings: RunTimings,
 }
 
 /// One job that did not produce a result: which cell and repetition,
@@ -158,6 +221,32 @@ impl SweepOutcome {
         }
         Some(s)
     }
+
+    /// The failure list as a machine-readable JSON document
+    /// (`{"failures": [...]}`; the array is empty when everything ran).
+    pub fn failures_json(&self) -> String {
+        let mut s = String::from("{\n  \"failures\": [");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"cell\": {}, \"rep\": {}, \"protocol\": \"{}\", \"seed\": {}, \
+                 \"reason\": \"{}\", \"retried\": {}}}",
+                f.cell,
+                f.rep,
+                escape(&f.protocol),
+                f.seed,
+                escape(&f.reason),
+                f.retried
+            ));
+        }
+        if !self.failures.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
 }
 
 /// Work-stealing executor over sweep grids. Reusable: statistics
@@ -167,6 +256,7 @@ pub struct SweepExecutor {
     threads: usize,
     stats: ExecutorStats,
     event_budget: Option<u64>,
+    profiles: Vec<JobProfile>,
 }
 
 impl Default for SweepExecutor {
@@ -192,6 +282,7 @@ impl SweepExecutor {
             threads: threads.max(1),
             stats: ExecutorStats::default(),
             event_budget: None,
+            profiles: Vec::new(),
         }
     }
 
@@ -213,7 +304,42 @@ impl SweepExecutor {
 
     /// Statistics accumulated so far.
     pub fn stats(&self) -> ExecutorStats {
-        self.stats
+        self.stats.clone()
+    }
+
+    /// Per-job wall-clock profiles accumulated so far, ordered by job
+    /// (cell, then repetition) within each run.
+    pub fn profiles(&self) -> &[JobProfile] {
+        &self.profiles
+    }
+
+    /// Renders the accumulated job profiles as a Chrome/Perfetto
+    /// trace-event document: one process (`pid` 1, "essat executor"),
+    /// one thread track per worker, one complete event per job. Loads
+    /// directly in `ui.perfetto.dev`; timestamps are wall-clock offsets
+    /// from the start of the (latest) executor run.
+    pub fn profile_perfetto(&self) -> String {
+        let mut b = PerfettoBuilder::new();
+        b.process_name(1, "essat executor");
+        let workers = self
+            .profiles
+            .iter()
+            .map(|p| p.worker + 1)
+            .max()
+            .unwrap_or(0);
+        for w in 0..workers {
+            b.thread_name(1, w as u32, &format!("worker {w}"));
+        }
+        for p in &self.profiles {
+            b.complete(
+                1,
+                p.worker as u32,
+                &format!("cell {} rep {}", p.cell, p.rep),
+                p.start.as_nanos() as u64,
+                p.wall.as_nanos() as u64,
+            );
+        }
+        b.finish()
     }
 
     /// Runs every `(cell, repetition)` job across the worker pool and
@@ -260,7 +386,7 @@ impl SweepExecutor {
             }
         }
         let cursor = AtomicUsize::new(0);
-        type Slot = Mutex<Option<Result<RunResult, JobFailure>>>;
+        type Slot = Mutex<Option<(Result<RunResult, JobFailure>, JobProfile)>>;
         let slots: Vec<Slot> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(jobs.len()).max(1);
         let budget = self.event_budget;
@@ -270,8 +396,9 @@ impl SweepExecutor {
         // tree + channel adjacency instead of rebuilding them per job.
         let cache = BuildCache::new();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
+            for w in 0..workers {
+                let (jobs, cursor, slots, cache) = (&jobs, &cursor, &slots, &cache);
+                scope.spawn(move || {
                     // Worker-local scratch: the event-queue slab, channel
                     // buffer pools and action buffers warmed by one job
                     // are recycled into the next.
@@ -281,9 +408,28 @@ impl SweepExecutor {
                         let Some((ci, rep, cfg)) = jobs.get(i) else {
                             break;
                         };
-                        let outcome =
-                            Self::run_job(cfg, factory, &cache, &mut scratch, budget, *ci, *rep);
-                        *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                        let start = t0.elapsed();
+                        let claimed = Instant::now();
+                        let mut timings = RunTimings::default();
+                        let outcome = Self::run_job(
+                            cfg,
+                            factory,
+                            cache,
+                            &mut scratch,
+                            budget,
+                            *ci,
+                            *rep,
+                            &mut timings,
+                        );
+                        let profile = JobProfile {
+                            cell: *ci,
+                            rep: *rep,
+                            worker: w,
+                            start,
+                            wall: claimed.elapsed(),
+                            timings,
+                        };
+                        *slots[i].lock().expect("result slot poisoned") = Some((outcome, profile));
                     }
                 });
             }
@@ -294,21 +440,29 @@ impl SweepExecutor {
             .map(|c| Vec::with_capacity(c.runs as usize))
             .collect();
         let mut failures = Vec::new();
+        if self.stats.workers.len() < workers {
+            self.stats.workers.resize(workers, WorkerStats::default());
+        }
         for ((ci, _, _), slot) in jobs.iter().zip(slots) {
-            let outcome = slot
+            let (outcome, profile) = slot
                 .into_inner()
                 .expect("result slot poisoned")
                 .expect("worker filled every claimed slot");
+            let ws = &mut self.stats.workers[profile.worker];
+            ws.jobs += 1;
+            ws.busy += profile.wall;
             match outcome {
                 Ok(r) => {
                     self.stats.jobs += 1;
                     self.stats.events += r.events_processed;
                     self.stats.peak_queue_depth =
                         self.stats.peak_queue_depth.max(r.peak_queue_depth);
+                    self.stats.timings.accumulate(&profile.timings);
                     results[*ci].push(r);
                 }
                 Err(f) => failures.push(f),
             }
+            self.profiles.push(profile);
         }
         self.stats.wall += t0.elapsed();
         SweepOutcome { results, failures }
@@ -316,7 +470,9 @@ impl SweepExecutor {
 
     /// One panic-isolated job: run, retry once on panic (with a fresh
     /// scratch — a panic can leave the recycled buffers inconsistent),
-    /// and turn whatever is left into a structured failure.
+    /// and turn whatever is left into a structured failure. `timings`
+    /// receives the per-phase wall-clock of the last attempt.
+    #[allow(clippy::too_many_arguments)]
     fn run_job(
         cfg: &ExperimentConfig,
         factory: &SyncPolicyFactory<'_>,
@@ -325,6 +481,7 @@ impl SweepExecutor {
         budget: Option<u64>,
         cell: usize,
         rep: u32,
+        timings: &mut RunTimings,
     ) -> Result<RunResult, JobFailure> {
         let fail = |reason: String, retried: bool| JobFailure {
             cell,
@@ -340,18 +497,20 @@ impl SweepExecutor {
                 budget.unwrap_or(0)
             )
         };
-        let attempt = |scratch: &mut WorldScratch| {
+        let attempt = |scratch: &mut WorldScratch, timings: &mut RunTimings| {
+            *timings = RunTimings::default();
             catch_unwind(AssertUnwindSafe(|| {
-                World::run_pooled_capped(
+                World::run_pooled_timed(
                     cfg,
                     &|c, n, e| factory(c, n, e),
                     Some(cache),
                     scratch,
                     budget,
+                    timings,
                 )
             }))
         };
-        match attempt(scratch) {
+        match attempt(scratch, timings) {
             Ok(Some(r)) => Ok(r),
             // Budget exhaustion is deterministic: a retry would burn
             // the same events to the same end. Fail immediately.
@@ -359,7 +518,7 @@ impl SweepExecutor {
             Err(payload) => {
                 let first = panic_message(payload);
                 *scratch = WorldScratch::new();
-                match attempt(scratch) {
+                match attempt(scratch, timings) {
                     Ok(Some(r)) => Ok(r),
                     Ok(None) => Err(fail(budget_reason(), true)),
                     Err(payload2) => {

@@ -25,7 +25,8 @@ pub mod table;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::executor::{
-        ExecutorStats, JobFailure, SweepCell, SweepExecutor, SweepOutcome, SyncPolicyFactory,
+        ExecutorStats, JobFailure, JobProfile, SweepCell, SweepExecutor, SweepOutcome,
+        SyncPolicyFactory, WorkerStats,
     };
     pub use crate::figures::{
         drift, fig2_deadline, fig5_rank_profile, fig8_sleep_hist, fig9_tbe, headline, lifetime,

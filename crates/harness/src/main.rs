@@ -4,10 +4,16 @@
 //! ```text
 //! essat-figures [FIGURES|all] [--scale quick|paper] [--seed N]
 //!               [--csv DIR] [--threads N] [--bench-json PATH]
+//!               [--figure NAME] [--list-figures] [--trace PATH]
+//!               [--sample PERIOD] [--profile PATH]
+//!               [--failures-json PATH]
 //!
 //! FIGURES      any of: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!              headline overhead lifetime robustness drift
 //!              (default: all)
+//! --figure NAME      select a figure by name (same as the bare name;
+//!              unknown names list the valid set)
+//! --list-figures     print the valid figure names and exit
 //! --scale S    quick (40 nodes, 50 s, 2 runs) or paper (80 nodes,
 //!              200 s, 5 runs; the default). --quick is shorthand for
 //!              --scale quick.
@@ -16,6 +22,17 @@
 //! --threads N  worker threads (default: all cores)
 //! --bench-json PATH  where to write the run's performance record
 //!              (default: BENCH_harness.json in the working directory)
+//! --trace PATH       run the first planned cell once more with the
+//!              timeline tracer attached and write the per-node trace:
+//!              Chrome/Perfetto JSON, or compact JSONL if PATH ends in
+//!              .jsonl. Load the JSON at https://ui.perfetto.dev.
+//! --sample PERIOD    same side-run with the time-series sampler at
+//!              PERIOD seconds of sim time per row set; the CSV goes to
+//!              samples.csv (inside --csv DIR when given)
+//! --profile PATH     write the executor's wall-clock job profile as a
+//!              Perfetto trace (one track per worker)
+//! --failures-json PATH  machine-readable failed-job report, written
+//!              only when jobs failed (default: FAILURES_harness.json)
 //! ```
 //!
 //! All requested figures share one [`SweepExecutor`]: the whole
@@ -32,6 +49,11 @@ use essat_harness::executor::SweepExecutor;
 use essat_harness::figures::{self, QuerySweepData, RateSweepData};
 use essat_harness::scale::Scale;
 use essat_harness::table::FigureData;
+use essat_obs::sample::TimeSeriesSampler;
+use essat_obs::trace::TimelineTracer;
+use essat_obs::Fanout;
+use essat_sim::time::SimDuration;
+use essat_wsn::runner::run_probed;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +63,10 @@ fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut bench_json = PathBuf::from("BENCH_harness.json");
+    let mut failures_json = PathBuf::from("FAILURES_harness.json");
+    let mut trace_path: Option<PathBuf> = None;
+    let mut sample_period: Option<f64> = None;
+    let mut profile_path: Option<PathBuf> = None;
 
     let all_figures = [
         "fig2",
@@ -93,6 +119,47 @@ fn main() {
                         .unwrap_or_else(|| usage("--bench-json needs a path")),
                 );
             }
+            "--failures-json" => {
+                failures_json = PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--failures-json needs a path")),
+                );
+            }
+            "--trace" => {
+                trace_path = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage("--trace needs a path")),
+                ));
+            }
+            "--sample" => {
+                let p: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sample needs a period in seconds"));
+                if p <= 0.0 || !p.is_finite() {
+                    usage("--sample needs a positive period in seconds");
+                }
+                sample_period = Some(p);
+            }
+            "--profile" => {
+                profile_path = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage("--profile needs a path")),
+                ));
+            }
+            "--list-figures" => {
+                for f in all_figures {
+                    println!("{f}");
+                }
+                return;
+            }
+            "--figure" => {
+                let name = it
+                    .next()
+                    .unwrap_or_else(|| usage("--figure needs a figure name"));
+                if !all_figures.contains(&name.as_str()) {
+                    unknown_figure(name, &all_figures);
+                }
+                wanted.insert(name.clone());
+            }
             "all" => {
                 for f in all_figures {
                     wanted.insert(f.to_string());
@@ -101,6 +168,7 @@ fn main() {
             name if all_figures.contains(&name) => {
                 wanted.insert(name.to_string());
             }
+            other if !other.starts_with('-') => unknown_figure(other, &all_figures),
             other => usage(&format!("unknown argument: {other}")),
         }
     }
@@ -199,6 +267,10 @@ fn main() {
     let outcome = exec.run_checked(&cells);
     if let Some(report) = outcome.failure_summary() {
         eprintln!("{report}");
+        match std::fs::write(&failures_json, outcome.failures_json()) {
+            Ok(()) => eprintln!("# wrote {}", failures_json.display()),
+            Err(e) => eprintln!("# could not write {}: {e}", failures_json.display()),
+        }
     }
     let grid = outcome.results;
     let slice = |key: &str| {
@@ -297,6 +369,66 @@ fn main() {
         println!("{}", h.render());
     }
 
+    // Observability side-run: one extra probed run of the first
+    // planned cell's configuration. Probes only observe — the figure
+    // grid above is untouched, and the probed run's digest equals the
+    // unprobed one (pinned by `tests/probes.rs`).
+    if trace_path.is_some() || sample_period.is_some() {
+        let cfg = &cells.first().expect("at least one figure planned").cfg;
+        eprintln!(
+            "# probed side-run: {} seed {} ({} nodes)",
+            cfg.protocol, cfg.seed, cfg.nodes
+        );
+        let (tracer, sampler) = match (&trace_path, sample_period) {
+            (Some(_), Some(p)) => {
+                let probe = Fanout(
+                    TimelineTracer::new(),
+                    TimeSeriesSampler::new(SimDuration::from_secs_f64(p)),
+                );
+                let (_, Fanout(t, s)) = run_probed(cfg, probe);
+                (Some(t), Some(s))
+            }
+            (Some(_), None) => {
+                let (_, t) = run_probed(cfg, TimelineTracer::new());
+                (Some(t), None)
+            }
+            (None, Some(p)) => {
+                let (_, s) = run_probed(cfg, TimeSeriesSampler::new(SimDuration::from_secs_f64(p)));
+                (None, Some(s))
+            }
+            (None, None) => unreachable!("guarded above"),
+        };
+        if let (Some(path), Some(t)) = (&trace_path, &tracer) {
+            let doc = if path.extension().is_some_and(|e| e == "jsonl") {
+                t.to_jsonl()
+            } else {
+                t.to_perfetto_json()
+            };
+            match std::fs::write(path, doc) {
+                Ok(()) => eprintln!(
+                    "# wrote {} ({} trace events)",
+                    path.display(),
+                    t.events().len()
+                ),
+                Err(e) => eprintln!("# could not write {}: {e}", path.display()),
+            }
+        }
+        if let Some(s) = &sampler {
+            let path = csv_dir
+                .as_ref()
+                .map(|d| d.join("samples.csv"))
+                .unwrap_or_else(|| PathBuf::from("samples.csv"));
+            match std::fs::write(&path, s.to_csv()) {
+                Ok(()) => eprintln!(
+                    "# wrote {} ({} sample rows)",
+                    path.display(),
+                    s.rows().len()
+                ),
+                Err(e) => eprintln!("# could not write {}: {e}", path.display()),
+            }
+        }
+    }
+
     // Performance record: one JSON document per invocation.
     let stats = exec.stats();
     let json = stats.to_json(exec.threads());
@@ -311,13 +443,32 @@ fn main() {
         ),
         Err(e) => eprintln!("# could not write {}: {e}", bench_json.display()),
     }
+
+    if let Some(path) = &profile_path {
+        match std::fs::write(path, exec.profile_perfetto()) {
+            Ok(()) => eprintln!(
+                "# wrote {} ({} jobs profiled)",
+                path.display(),
+                exec.profiles().len()
+            ),
+            Err(e) => eprintln!("# could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: essat-figures [fig2..fig9|headline|overhead|lifetime|robustness|drift|all]… \
-         [--scale quick|paper] [--seed N] [--csv DIR] [--threads N] [--bench-json PATH]"
+         [--figure NAME] [--list-figures] [--scale quick|paper] [--seed N] [--csv DIR] \
+         [--threads N] [--bench-json PATH] [--failures-json PATH] [--trace PATH] \
+         [--sample SECONDS] [--profile PATH]"
     );
+    std::process::exit(2);
+}
+
+fn unknown_figure(name: &str, all: &[&str]) -> ! {
+    eprintln!("error: unknown figure '{name}'");
+    eprintln!("valid figures: {}", all.join(" "));
     std::process::exit(2);
 }

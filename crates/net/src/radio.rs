@@ -421,6 +421,22 @@ impl Radio {
         self.energy_j + self.power_w() * span as f64 / 1e9
     }
 
+    /// Read-only projection of the three state counters to `now`, as
+    /// `(active_ns, off_ns, transition_ns)` — what [`Radio::settle`]
+    /// would leave in the books, without mutating them (the
+    /// counterpart of [`Radio::energy_j_at`], used by observability
+    /// probes that must not perturb the run).
+    pub fn counters_at(&self, now: SimTime) -> (u64, u64, u64) {
+        let span = now.saturating_duration_since(self.state_since).as_nanos();
+        let (mut active, mut off, mut trans) = (self.active_ns, self.off_ns, self.transition_ns);
+        match self.state {
+            RadioState::Active => active += span,
+            RadioState::Off => off += span,
+            RadioState::TurningOff | RadioState::TurningOn => trans += span,
+        }
+        (active, off, trans)
+    }
+
     /// Nanoseconds spent `Active` (after [`Radio::settle`]).
     pub fn active_ns(&self) -> u64 {
         self.active_ns

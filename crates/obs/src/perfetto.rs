@@ -1,0 +1,172 @@
+//! Chrome/Perfetto trace-event JSON emission and validation.
+//!
+//! The builder produces the JSON Array Format documented for
+//! `chrome://tracing` and loaded verbatim by `ui.perfetto.dev`: a
+//! top-level object whose `traceEvents` array holds metadata (`"M"`),
+//! complete (`"X"`), and instant (`"i"`) events. Timestamps are in
+//! microseconds; we emit nanosecond-precision values with three
+//! decimal places so nothing is lost. Both the simulation tracer
+//! (pid 0, one thread per node) and the harness executor profiler
+//! (pid 1, one thread per worker) render through this builder, so the
+//! two tracks can be concatenated into one trace.
+
+use crate::json::{self, JsonValue};
+
+/// Incrementally builds one trace-event JSON document.
+#[derive(Debug, Default)]
+pub struct PerfettoBuilder {
+    events: Vec<String>,
+}
+
+/// Formats a nanosecond count as fractional microseconds ("12.345").
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+impl PerfettoBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        PerfettoBuilder::default()
+    }
+
+    /// Names a process track (`"M"` / `process_name`).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            r#"{{"ph":"M","pid":{pid},"tid":0,"name":"process_name","args":{{"name":"{}"}}}}"#,
+            json::escape(name)
+        ));
+    }
+
+    /// Names a thread track (`"M"` / `thread_name`).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+            json::escape(name)
+        ));
+    }
+
+    /// A complete (`"X"`) event: a span of `dur_ns` starting `ts_ns`.
+    pub fn complete(&mut self, pid: u32, tid: u32, name: &str, ts_ns: u64, dur_ns: u64) {
+        self.events.push(format!(
+            r#"{{"ph":"X","pid":{pid},"tid":{tid},"ts":{},"dur":{},"name":"{}"}}"#,
+            us(ts_ns),
+            us(dur_ns),
+            json::escape(name)
+        ));
+    }
+
+    /// A thread-scoped instant (`"i"`) event at `ts_ns`.
+    pub fn instant(&mut self, pid: u32, tid: u32, name: &str, ts_ns: u64) {
+        self.events.push(format!(
+            r#"{{"ph":"i","s":"t","pid":{pid},"tid":{tid},"ts":{},"name":"{}"}}"#,
+            us(ts_ns),
+            json::escape(name)
+        ));
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the final document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(ev);
+            if i + 1 != self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Structurally validates a trace-event JSON document.
+///
+/// Checks the shape `ui.perfetto.dev` requires: a parseable JSON
+/// object with a `traceEvents` array in which every element is an
+/// object carrying a string `ph`, numeric `pid`/`tid`, a string
+/// `name`, a numeric `ts` on all non-metadata events, and a numeric
+/// `dur` on `"X"` events. Returns the event count.
+pub fn validate(doc: &str) -> Result<usize, String> {
+    let root = json::parse(doc).map_err(|e| e.to_string())?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        if !ev.is_obj() {
+            return Err(ctx("not an object"));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing string ph"))?;
+        for key in ["pid", "tid"] {
+            ev.get(key)
+                .and_then(JsonValue::as_num)
+                .ok_or_else(|| ctx(&format!("missing numeric {key}")))?;
+        }
+        ev.get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing string name"))?;
+        if ph != "M" {
+            ev.get("ts")
+                .and_then(JsonValue::as_num)
+                .ok_or_else(|| ctx("missing numeric ts"))?;
+        }
+        if ph == "X" {
+            ev.get("dur")
+                .and_then(JsonValue::as_num)
+                .ok_or_else(|| ctx("missing numeric dur"))?;
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_output_validates() {
+        let mut b = PerfettoBuilder::new();
+        b.process_name(0, "simulation");
+        b.thread_name(0, 3, "node 3");
+        b.complete(0, 3, "awake", 1_500, 2_000_000);
+        b.instant(0, 3, "rx", 2_000_123);
+        let doc = b.finish();
+        assert_eq!(validate(&doc), Ok(4));
+    }
+
+    #[test]
+    fn empty_trace_validates() {
+        assert_eq!(validate(&PerfettoBuilder::new().finish()), Ok(0));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_events() {
+        assert!(validate("[]").is_err());
+        assert!(validate(r#"{"traceEvents": [{"ph": "X"}]}"#).is_err());
+        assert!(
+            validate(r#"{"traceEvents": [{"ph":"X","pid":0,"tid":0,"ts":1,"name":"a"}]}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn microsecond_rendering_keeps_nanosecond_precision() {
+        assert_eq!(us(1_234_567), "1234.567");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(0), "0.000");
+    }
+}

@@ -1,0 +1,52 @@
+//! Wall-clock phase timings for one simulation run.
+//!
+//! The simulator fills a [`RunTimings`] per run (world construction,
+//! event-loop execution, metrics finalisation); the harness executor
+//! aggregates them across jobs and workers into the
+//! `BENCH_harness.json` profiling record and the optional executor
+//! Perfetto track. Wall-clock times are *profiling* data — they never
+//! feed back into the simulation and are inherently nondeterministic.
+
+use std::time::Duration;
+
+/// Per-phase wall-clock timings of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunTimings {
+    /// Building the world: topology, tree, channel, per-node stacks.
+    pub build: Duration,
+    /// Draining the event queue to the run end.
+    pub run: Duration,
+    /// Settling radios and assembling the `RunResult`.
+    pub finalize: Duration,
+}
+
+impl RunTimings {
+    /// Total wall-clock across the three phases.
+    pub fn total(&self) -> Duration {
+        self.build + self.run + self.finalize
+    }
+
+    /// Accumulates another run's timings into this one.
+    pub fn accumulate(&mut self, other: &RunTimings) {
+        self.build += other.build;
+        self.run += other.run;
+        self.finalize += other.finalize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut a = RunTimings {
+            build: Duration::from_millis(1),
+            run: Duration::from_millis(10),
+            finalize: Duration::from_millis(2),
+        };
+        assert_eq!(a.total(), Duration::from_millis(13));
+        a.accumulate(&a.clone());
+        assert_eq!(a.total(), Duration::from_millis(26));
+    }
+}

@@ -1,0 +1,471 @@
+//! The timeline tracer: per-node spans and instants, with Perfetto
+//! and JSONL export.
+//!
+//! [`TimelineTracer`] is a [`Probe`] that turns the hook stream into a
+//! flat list of [`TraceEvent`]s — radio awake/asleep spans,
+//! transmission spans (duration = airtime), and instants for clean
+//! receptions, collisions, round starts, sealed rounds, churn, and
+//! clock glitches. The list renders two ways:
+//!
+//! * [`TimelineTracer::to_perfetto_json`] — Chrome/Perfetto
+//!   trace-event JSON (pid 0 = the simulation, one thread per node),
+//!   loadable in `ui.perfetto.dev`.
+//! * [`TimelineTracer::to_jsonl`] — one compact JSON object per line,
+//!   parsed back by [`parse_jsonl`] (the codec round-trips exactly).
+
+use essat_sim::time::SimTime;
+
+use crate::json::{self, JsonValue};
+use crate::perfetto::PerfettoBuilder;
+use crate::{Probe, SampleView};
+
+/// The kind of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span during which the node's radio was active (or waking).
+    Awake,
+    /// A span during which the node's radio was asleep.
+    Asleep,
+    /// A transmission span; `a` = payload bytes.
+    Tx,
+    /// A clean reception; `a` = sending node.
+    Rx,
+    /// A transmission ended with collision-corrupted receivers;
+    /// `a` = clean count, `b` = corrupted count. Node = sender.
+    Collision,
+    /// The node opened a round; `a` = query, `b` = round number.
+    RoundStart,
+    /// The root sealed a round; `a` = query, `b` = round number.
+    /// Node = root.
+    RoundSealed,
+    /// The node went down; `a` = 1 for battery depletion, 0 for
+    /// scripted churn.
+    NodeDown,
+    /// The node recovered from a scripted failure.
+    NodeUp,
+    /// A scripted clock step; `a` = magnitude in ns, `b` = 1 if the
+    /// step was backward (negative) else 0.
+    ClockGlitch,
+}
+
+impl TraceKind {
+    /// Stable label used by both codecs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Awake => "awake",
+            TraceKind::Asleep => "asleep",
+            TraceKind::Tx => "tx",
+            TraceKind::Rx => "rx",
+            TraceKind::Collision => "collision",
+            TraceKind::RoundStart => "round_start",
+            TraceKind::RoundSealed => "round_sealed",
+            TraceKind::NodeDown => "node_down",
+            TraceKind::NodeUp => "node_up",
+            TraceKind::ClockGlitch => "clock_glitch",
+        }
+    }
+
+    /// Inverse of [`TraceKind::as_str`].
+    pub fn parse(s: &str) -> Option<TraceKind> {
+        Some(match s {
+            "awake" => TraceKind::Awake,
+            "asleep" => TraceKind::Asleep,
+            "tx" => TraceKind::Tx,
+            "rx" => TraceKind::Rx,
+            "collision" => TraceKind::Collision,
+            "round_start" => TraceKind::RoundStart,
+            "round_sealed" => TraceKind::RoundSealed,
+            "node_down" => TraceKind::NodeDown,
+            "node_up" => TraceKind::NodeUp,
+            "clock_glitch" => TraceKind::ClockGlitch,
+            _ => return None,
+        })
+    }
+}
+
+/// One entry on a node's timeline.
+///
+/// `dur_ns == 0` marks an instant; otherwise the event is a span
+/// `[ts_ns, ts_ns + dur_ns)`. The `a`/`b` payloads are kind-specific
+/// (see [`TraceKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: TraceKind,
+    /// Start time, nanoseconds of simulated time.
+    pub ts_ns: u64,
+    /// Span length in nanoseconds; 0 for instants.
+    pub dur_ns: u64,
+    /// The node the event belongs to.
+    pub node: u32,
+    /// First kind-specific payload.
+    pub a: u64,
+    /// Second kind-specific payload.
+    pub b: u64,
+}
+
+/// A [`Probe`] that records per-node timeline events.
+///
+/// Nodes start with their radios active, so every node's timeline
+/// opens with an `Awake` span at time zero; open spans are closed by
+/// the `on_run_end` callback.
+#[derive(Debug, Default)]
+pub struct TimelineTracer {
+    events: Vec<TraceEvent>,
+    // Per-node open-span start times; `None` = no open span of that
+    // kind. Grown on demand (probes see dense node indices).
+    awake_since: Vec<Option<u64>>,
+    asleep_since: Vec<Option<u64>>,
+}
+
+impl TimelineTracer {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        TimelineTracer::default()
+    }
+
+    /// The recorded events, in emission order (spans appear at their
+    /// *close* time; instants at their occurrence).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    fn grow(&mut self, node: u32) {
+        let need = node as usize + 1;
+        if self.awake_since.len() < need {
+            // A node first seen mid-run has been awake since t=0 (all
+            // radios start active; sleepers emit a radio-state hook
+            // before their first sleep).
+            self.awake_since.resize(need, Some(0));
+            self.asleep_since.resize(need, None);
+        }
+    }
+
+    fn push(&mut self, kind: TraceKind, ts_ns: u64, dur_ns: u64, node: u32, a: u64, b: u64) {
+        self.events.push(TraceEvent {
+            kind,
+            ts_ns,
+            dur_ns,
+            node,
+            a,
+            b,
+        });
+    }
+
+    /// Renders the timeline as Chrome/Perfetto trace-event JSON.
+    pub fn to_perfetto_json(&self) -> String {
+        let mut b = PerfettoBuilder::new();
+        b.process_name(0, "simulation");
+        let mut named: Vec<bool> = Vec::new();
+        for ev in &self.events {
+            let idx = ev.node as usize;
+            if named.len() <= idx {
+                named.resize(idx + 1, false);
+            }
+            if !named[idx] {
+                named[idx] = true;
+                b.thread_name(0, ev.node, &format!("node {}", ev.node));
+            }
+            let name = match ev.kind {
+                TraceKind::RoundStart => format!("round q{} #{}", ev.a, ev.b),
+                TraceKind::RoundSealed => format!("sealed q{} #{}", ev.a, ev.b),
+                TraceKind::Rx => format!("rx<-{}", ev.a),
+                TraceKind::Collision => format!("collision x{}", ev.b),
+                TraceKind::NodeDown => {
+                    if ev.a == 1 {
+                        "battery dead".to_string()
+                    } else {
+                        "down".to_string()
+                    }
+                }
+                other => other.as_str().to_string(),
+            };
+            if ev.dur_ns > 0 {
+                b.complete(0, ev.node, &name, ev.ts_ns, ev.dur_ns);
+            } else {
+                b.instant(0, ev.node, &name, ev.ts_ns);
+            }
+        }
+        b.finish()
+    }
+
+    /// Renders the timeline as compact JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&format!(
+                r#"{{"k":"{}","t":{},"d":{},"n":{},"a":{},"b":{}}}"#,
+                ev.kind.as_str(),
+                ev.ts_ns,
+                ev.dur_ns,
+                ev.node,
+                ev.a,
+                ev.b
+            ));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses a JSONL document produced by [`TimelineTracer::to_jsonl`].
+pub fn parse_jsonl(doc: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in doc.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ctx = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let v = json::parse(line).map_err(|e| ctx(&e.to_string()))?;
+        let kind = v
+            .get("k")
+            .and_then(JsonValue::as_str)
+            .and_then(TraceKind::parse)
+            .ok_or_else(|| ctx("bad or missing kind"))?;
+        let field = |key: &str| -> Result<u64, String> {
+            let n = v
+                .get(key)
+                .and_then(JsonValue::as_num)
+                .ok_or_else(|| ctx(&format!("missing numeric {key}")))?;
+            if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+                return Err(ctx(&format!("{key} is not a u64")));
+            }
+            Ok(n as u64)
+        };
+        out.push(TraceEvent {
+            kind,
+            ts_ns: field("t")?,
+            dur_ns: field("d")?,
+            node: field("n")? as u32,
+            a: field("a")?,
+            b: field("b")?,
+        });
+    }
+    Ok(out)
+}
+
+impl Probe for TimelineTracer {
+    fn on_radio_state(&mut self, now: SimTime, node: u32, active: bool) {
+        self.grow(node);
+        let t = now.as_nanos();
+        let i = node as usize;
+        if active {
+            if let Some(since) = self.asleep_since[i].take() {
+                self.push(TraceKind::Asleep, since, t - since, node, 0, 0);
+            }
+            self.awake_since[i] = Some(t);
+        } else {
+            if let Some(since) = self.awake_since[i].take() {
+                self.push(TraceKind::Awake, since, t - since, node, 0, 0);
+            }
+            self.asleep_since[i] = Some(t);
+        }
+    }
+
+    fn on_tx_start(&mut self, now: SimTime, node: u32, airtime_ns: u64, bytes: u32) {
+        self.push(
+            TraceKind::Tx,
+            now.as_nanos(),
+            airtime_ns,
+            node,
+            bytes as u64,
+            0,
+        );
+    }
+
+    fn on_tx_end(&mut self, now: SimTime, sender: u32, clean: u32, corrupted: u32) {
+        if corrupted > 0 {
+            self.push(
+                TraceKind::Collision,
+                now.as_nanos(),
+                0,
+                sender,
+                clean as u64,
+                corrupted as u64,
+            );
+        }
+    }
+
+    fn on_rx(&mut self, now: SimTime, node: u32, from: u32) {
+        self.push(TraceKind::Rx, now.as_nanos(), 0, node, from as u64, 0);
+    }
+
+    fn on_round_start(&mut self, now: SimTime, node: u32, query: u32, round: u64) {
+        self.push(
+            TraceKind::RoundStart,
+            now.as_nanos(),
+            0,
+            node,
+            query as u64,
+            round,
+        );
+    }
+
+    fn on_round_sealed(&mut self, now: SimTime, node: u32, query: u32, round: u64, _full: bool) {
+        self.push(
+            TraceKind::RoundSealed,
+            now.as_nanos(),
+            0,
+            node,
+            query as u64,
+            round,
+        );
+    }
+
+    fn on_node_down(&mut self, now: SimTime, node: u32, battery: bool) {
+        self.grow(node);
+        let t = now.as_nanos();
+        let i = node as usize;
+        // Death settles the radio: close whatever span is open.
+        if let Some(since) = self.awake_since[i].take() {
+            self.push(TraceKind::Awake, since, t - since, node, 0, 0);
+        }
+        if let Some(since) = self.asleep_since[i].take() {
+            self.push(TraceKind::Asleep, since, t - since, node, 0, 0);
+        }
+        self.push(TraceKind::NodeDown, t, 0, node, battery as u64, 0);
+    }
+
+    fn on_node_up(&mut self, now: SimTime, node: u32) {
+        self.grow(node);
+        // Revival restarts the radio in the active state.
+        self.awake_since[node as usize] = Some(now.as_nanos());
+        self.push(TraceKind::NodeUp, now.as_nanos(), 0, node, 0, 0);
+    }
+
+    fn on_clock_glitch(&mut self, at: SimTime, node: u32, delta_ns: i64) {
+        self.push(
+            TraceKind::ClockGlitch,
+            at.as_nanos(),
+            0,
+            node,
+            delta_ns.unsigned_abs(),
+            (delta_ns < 0) as u64,
+        );
+    }
+
+    fn on_run_end(&mut self, end: SimTime, view: &dyn SampleView) {
+        let t = end.as_nanos();
+        // Make sure every node has a track even if it never slept.
+        self.grow(view.node_count().saturating_sub(1) as u32);
+        for i in 0..self.awake_since.len() {
+            let node = i as u32;
+            if let Some(since) = self.awake_since[i].take() {
+                if t > since {
+                    self.push(TraceKind::Awake, since, t - since, node, 0, 0);
+                }
+            }
+            if let Some(since) = self.asleep_since[i].take() {
+                if t > since {
+                    self.push(TraceKind::Asleep, since, t - since, node, 0, 0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfetto;
+
+    struct NodesView(usize);
+    impl SampleView for NodesView {
+        fn node_count(&self) -> usize {
+            self.0
+        }
+        fn is_alive(&self, _: usize) -> bool {
+            true
+        }
+        fn in_tree(&self, _: usize) -> bool {
+            true
+        }
+        fn energy_j(&self, _: usize, _: SimTime) -> f64 {
+            0.0
+        }
+        fn duty_cycle(&self, _: usize, _: SimTime) -> f64 {
+            0.0
+        }
+        fn queue_depth(&self, _: usize) -> usize {
+            0
+        }
+    }
+
+    fn sample_tracer() -> TimelineTracer {
+        let mut tr = TimelineTracer::new();
+        tr.on_radio_state(SimTime::from_millis(10), 1, false);
+        tr.on_radio_state(SimTime::from_millis(25), 1, true);
+        tr.on_tx_start(SimTime::from_millis(30), 0, 1_250_000, 36);
+        tr.on_rx(SimTime::from_millis(31), 1, 0);
+        tr.on_tx_end(SimTime::from_millis(31), 0, 1, 2);
+        tr.on_round_start(SimTime::from_millis(40), 2, 0, 7);
+        tr.on_round_sealed(SimTime::from_millis(45), 0, 0, 7, true);
+        tr.on_node_down(SimTime::from_millis(50), 2, true);
+        tr.on_clock_glitch(SimTime::from_millis(55), 1, -500);
+        tr.on_run_end(SimTime::from_millis(60), &NodesView(3));
+        tr
+    }
+
+    #[test]
+    fn spans_open_and_close() {
+        let tr = sample_tracer();
+        let sleeps: Vec<_> = tr
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Asleep)
+            .collect();
+        assert_eq!(sleeps.len(), 1);
+        assert_eq!(sleeps[0].ts_ns, 10_000_000);
+        assert_eq!(sleeps[0].dur_ns, 15_000_000);
+        // Node 1: awake [0,10ms) then awake [25ms,60ms); node 0 awake
+        // the whole run; node 2 awake until death at 50ms.
+        let awake_ns: u64 = tr
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Awake && e.node == 1)
+            .map(|e| e.dur_ns)
+            .sum();
+        assert_eq!(awake_ns, 45_000_000);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let tr = sample_tracer();
+        let doc = tr.to_jsonl();
+        let parsed = parse_jsonl(&doc).expect("parses");
+        assert_eq!(parsed, tr.events());
+        // Re-encoding is byte-identical.
+        let again = TimelineTracer {
+            events: parsed,
+            ..TimelineTracer::default()
+        };
+        assert_eq!(again.to_jsonl(), doc);
+    }
+
+    #[test]
+    fn perfetto_export_validates() {
+        let tr = sample_tracer();
+        let doc = tr.to_perfetto_json();
+        let count = perfetto::validate(&doc).expect("valid trace");
+        assert!(count > tr.events().len(), "metadata events add tracks");
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in [
+            TraceKind::Awake,
+            TraceKind::Asleep,
+            TraceKind::Tx,
+            TraceKind::Rx,
+            TraceKind::Collision,
+            TraceKind::RoundStart,
+            TraceKind::RoundSealed,
+            TraceKind::NodeDown,
+            TraceKind::NodeUp,
+            TraceKind::ClockGlitch,
+        ] {
+            assert_eq!(TraceKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(TraceKind::parse("nonsense"), None);
+    }
+}

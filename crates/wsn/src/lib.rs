@@ -49,6 +49,6 @@ pub mod prelude {
     pub use crate::metrics::{MacTotals, NodeMetrics, QueryMetrics, RunResult};
     pub use crate::payload::Payload;
     pub use crate::protocol::{PolicyEnv, PolicyFactory};
-    pub use crate::runner::{run_many, run_one, run_summary, Summary};
+    pub use crate::runner::{run_many, run_one, run_probed, run_summary, Summary};
     pub use crate::sim::{Ev, World};
 }

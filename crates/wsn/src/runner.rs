@@ -9,15 +9,41 @@
 
 use std::thread;
 
+use essat_obs::profile::RunTimings;
+use essat_obs::Probe;
 use essat_sim::stats::{Confidence, OnlineStats};
 
 use crate::config::ExperimentConfig;
 use crate::metrics::RunResult;
-use crate::sim::World;
+use crate::protocol::Protocol;
+use crate::sim::{World, WorldScratch};
 
 /// Runs a single experiment.
 pub fn run_one(cfg: &ExperimentConfig) -> RunResult {
     World::run(cfg)
+}
+
+/// Runs a single experiment with an observability [`Probe`] attached,
+/// returning the result together with the probe (carrying whatever it
+/// recorded).
+///
+/// Probes observe through read-only seams and cannot touch the event
+/// queue or any RNG, so the result — including its digest — is
+/// byte-identical to [`run_one`] on the same configuration (pinned by
+/// `tests/probes.rs`).
+pub fn run_probed<P: Probe>(cfg: &ExperimentConfig, probe: P) -> (RunResult, P) {
+    let mut scratch = WorldScratch::new();
+    let mut timings = RunTimings::default();
+    let (result, probe) = World::run_instrumented(
+        cfg,
+        &Protocol::build_policy,
+        None,
+        &mut scratch,
+        None,
+        probe,
+        &mut timings,
+    );
+    (result.expect("uncapped run cannot exhaust a budget"), probe)
 }
 
 /// Runs `runs` independent repetitions (seeds `seed, seed+1, …`),

@@ -119,3 +119,28 @@ pub enum Ev {
         node: NodeId,
     },
 }
+
+impl Ev {
+    /// Stable label for the event's variant, used by observability
+    /// probes (the per-dispatch hook reports which alphabet entry is
+    /// being handled).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Ev::SetupEnd => "setup_end",
+            Ev::ForcedWindowEnd => "forced_window_end",
+            Ev::RoundStart { .. } => "round_start",
+            Ev::CollectionTimeout { .. } => "collection_timeout",
+            Ev::ReleaseReport { .. } => "release_report",
+            Ev::MacTimer { .. } => "mac_timer",
+            Ev::TxEnd { .. } => "tx_end",
+            Ev::RadioDone { .. } => "radio_done",
+            Ev::RadioWake { .. } => "radio_wake",
+            Ev::Policy { .. } => "policy",
+            Ev::NodeFail { .. } => "node_fail",
+            Ev::NodeRecover { .. } => "node_recover",
+            Ev::BatteryCheck => "battery_check",
+            Ev::FloodIssue { .. } => "flood_issue",
+            Ev::ForceWake { .. } => "force_wake",
+        }
+    }
+}

@@ -5,6 +5,7 @@ use essat_core::policy::SleepTrigger;
 use essat_core::shaper::TreeInfo;
 use essat_net::ids::NodeId;
 use essat_net::mac::Mac;
+use essat_obs::Probe;
 use essat_query::model::QueryId;
 use essat_sim::engine::Context;
 use essat_sim::time::SimTime;
@@ -12,7 +13,7 @@ use essat_sim::time::SimTime;
 use super::events::Ev;
 use super::world::World;
 
-impl World {
+impl<P: Probe> World<P> {
     pub(crate) fn handle_node_fail(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
         self.kill_node(node, ctx.now());
         // Detectors at the neighbours drive the repair.
@@ -32,6 +33,11 @@ impl World {
             n.died_at = Some(now);
             n.radio.settle(now);
         }
+        self.probe.on_node_down(
+            now,
+            node.index() as u32,
+            self.hot.battery_dead[node.index()],
+        );
         if self.hot.member[node.index()] {
             self.lifetime.deaths.push((now, node));
             if self.lifetime.first_death.is_none() {
@@ -106,6 +112,8 @@ impl World {
             n.stale_phase.clear();
             n.recheck_on_wake = false;
         }
+        self.probe.on_node_up(now, node.index() as u32);
+        self.probe.on_radio_state(now, node.index() as u32, true);
         self.lifetime.recoveries += 1;
         if self.hot.member[node.index()] {
             if self.tree.is_member(node) {
@@ -149,7 +157,7 @@ impl World {
             .collect();
         for qi in qis {
             let q = self.query(qi);
-            let k0 = Self::next_round_at(&q, now);
+            let k0 = World::next_round_at(&q, now);
             self.refuse_rounds_before(node, qi, k0);
             let at = q.round_start(k0);
             if at < self.run_end {

@@ -13,6 +13,7 @@ use essat_net::frame::{Dest, Frame, FrameKind};
 use essat_net::ids::NodeId;
 use essat_net::mac::MacAction;
 use essat_net::radio::TransitionOutcome;
+use essat_obs::{PolicyActionKind, Probe};
 use essat_sim::engine::Context;
 use essat_sim::time::SimTime;
 
@@ -20,7 +21,7 @@ use super::events::Ev;
 use super::world::World;
 use crate::payload::Payload;
 
-impl World {
+impl<P: Probe> World<P> {
     /// Snapshot of a node's lower layers for a policy call.
     pub(crate) fn node_view(&self, node: NodeId, now: SimTime) -> NodeView {
         let i = node.index();
@@ -56,6 +57,17 @@ impl World {
         ctx: &mut Context<'_, Ev>,
     ) {
         for action in acts.drain(..) {
+            if self.probe.enabled() {
+                let kind = match &action {
+                    PolicyAction::WakeRadio => PolicyActionKind::WakeRadio,
+                    PolicyAction::SetTimer { .. } => PolicyActionKind::SetTimer,
+                    PolicyAction::SendAtim { .. } => PolicyActionKind::SendAtim,
+                    PolicyAction::Enqueue(_) => PolicyActionKind::Enqueue,
+                    PolicyAction::Sleep { .. } | PolicyAction::Suspend => PolicyActionKind::Sleep,
+                };
+                self.probe
+                    .on_policy_action(ctx.now(), node.index() as u32, kind);
+            }
             match action {
                 PolicyAction::WakeRadio => self.wake_radio(node, ctx),
                 PolicyAction::SetTimer { timer, at } => {
@@ -121,6 +133,7 @@ impl World {
         let d = n.radio.begin_sleep(now).expect("radio is active");
         self.hot.radio_active[i] = false;
         self.hot.active_since[i] = SimTime::MAX;
+        self.probe.on_radio_state(now, i as u32, false);
         ctx.schedule_after(d, Ev::RadioDone { node });
     }
 
@@ -132,6 +145,8 @@ impl World {
         trigger: SleepTrigger,
         ctx: &mut Context<'_, Ev>,
     ) {
+        self.probe
+            .on_sleep_checkpoint(ctx.now(), node.index() as u32);
         let view = self.node_view(node, ctx.now());
         let mut acts = self.take_acts();
         self.nodes[node.index()]
@@ -202,6 +217,12 @@ impl World {
                     ctx.schedule_after(after, Ev::MacTimer { node, kind, gen });
                 }
                 MacAction::StartTx { frame, airtime } => {
+                    self.probe.on_tx_start(
+                        ctx.now(),
+                        node.index() as u32,
+                        airtime.as_nanos(),
+                        frame.bytes,
+                    );
                     let start = self.channel.begin_tx(ctx.now(), node, airtime);
                     for i in 0..start.now_busy.len() {
                         let h = start.now_busy[i].index();
@@ -316,6 +337,7 @@ impl World {
             TransitionOutcome::NowActive => {
                 self.hot.radio_active[node.index()] = true;
                 self.hot.active_since[node.index()] = now;
+                self.probe.on_radio_state(now, node.index() as u32, true);
                 let busy = self.channel.carrier_busy(node);
                 let mut acts = self.take_macts();
                 self.nodes[node.index()]
@@ -368,6 +390,7 @@ impl World {
             self.nodes[sender.index()].mac.tx_ended_into(now, &mut acts);
             self.exec_mac_actions(sender, &mut acts, ctx);
         }
+        let mut delivered: u32 = 0;
         for i in 0..end.clean_receivers.len() {
             let r = end.clean_receivers[i];
             let ri = r.index();
@@ -377,6 +400,8 @@ impl World {
             // The receiver must have been awake for the entire frame
             // (`active_since` is `SimTime::MAX` while not fully active).
             if self.hot.active_since[ri] <= end.started {
+                delivered += 1;
+                self.probe.on_rx(now, ri as u32, sender.index() as u32);
                 // `Frame<Payload>` is `Copy`: the fan-out to receivers
                 // is a bitwise copy, not an allocation.
                 self.nodes[ri].mac.frame_arrived_into(frame, now, &mut acts);
@@ -384,6 +409,14 @@ impl World {
             }
         }
         self.put_macts(acts);
+        if self.probe.enabled() {
+            self.probe.on_tx_end(
+                now,
+                sender.index() as u32,
+                delivered,
+                end.corrupted_receivers.len() as u32,
+            );
+        }
         self.channel.recycle_nodes(end.now_idle);
         self.channel.recycle_nodes(end.clean_receivers);
         self.channel.recycle_nodes(end.corrupted_receivers);

@@ -11,6 +11,7 @@ use essat_core::policy::SleepTrigger;
 use essat_core::shaper::TreeInfo;
 use essat_net::frame::{Dest, Frame, FrameKind, PAPER_REPORT_BYTES};
 use essat_net::ids::NodeId;
+use essat_obs::Probe;
 use essat_query::aggregate::AggState;
 use essat_query::model::{Query, QueryId};
 use essat_query::round::RoundKey;
@@ -23,6 +24,23 @@ use super::world::World;
 use crate::payload::{sizes, Payload};
 
 impl World {
+    /// The first round of `q` starting at or after `now`. A round
+    /// boundary landing exactly on `now` is *included* — a node
+    /// revived (or rejoined) precisely at a round start runs that
+    /// round rather than silently waiting out a full period.
+    ///
+    /// (A pure function, kept on the non-generic impl so call sites
+    /// need no probe type annotation.)
+    pub(crate) fn next_round_at(q: &Query, now: SimTime) -> u64 {
+        match q.round_at(now) {
+            None => 0,
+            Some(k) if q.round_start(k) == now => k,
+            Some(k) => k + 1,
+        }
+    }
+}
+
+impl<P: Probe> World<P> {
     /// Registers query `qi` at `node`. Returns the node's first round
     /// `(index, start time)` if the node participates.
     pub(crate) fn register_query_at(
@@ -56,21 +74,9 @@ impl World {
         n.policy.on_register(&q, &info, is_root);
         self.put_kids(kid_ranks);
         // First round this node can still run.
-        let k0 = Self::next_round_at(&q, now);
+        let k0 = World::next_round_at(&q, now);
         let at = q.round_start(k0);
         (at < self.run_end).then_some((k0, at))
-    }
-
-    /// The first round of `q` starting at or after `now`. A round
-    /// boundary landing exactly on `now` is *included* — a node
-    /// revived (or rejoined) precisely at a round start runs that
-    /// round rather than silently waiting out a full period.
-    pub(crate) fn next_round_at(q: &Query, now: SimTime) -> u64 {
-        match q.round_at(now) {
-            None => 0,
-            Some(k) if q.round_start(k) == now => k,
-            Some(k) => k + 1,
-        }
     }
 
     /// Checks staleness and opens the round's collection state.
@@ -172,6 +178,8 @@ impl World {
             }
             *next = k + 1;
         }
+        self.probe
+            .on_round_start(ctx.now(), node.index() as u32, qi as u32, k);
         let q = self.query(qi);
         if self.round_is_active(&q, k) {
             if self.open_round(node, qi, k, ctx) && self.is_source(node, qi) {
@@ -179,7 +187,7 @@ impl World {
                     query: q.id,
                     round: k,
                 };
-                let reading = Self::reading(node, k);
+                let reading = World::reading(node, k);
                 if let Some(r) = self.nodes[node.index()].rounds.get_mut(&key) {
                     r.agg.add_own(reading);
                 }
@@ -305,6 +313,8 @@ impl World {
             // root's children being complete is not enough, since their
             // aggregates may themselves be partial.
             let full = full && agg.count() == self.source_count[qi];
+            self.probe
+                .on_round_sealed(now, node.index() as u32, qi as u32, k, full);
             // A fast clock can finish a round at a wall instant before
             // the agreed round start — clamp, don't underflow.
             let latency_s = now

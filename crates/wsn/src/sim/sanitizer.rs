@@ -24,6 +24,7 @@
 //! `finalize_into`). When the feature is off none of this exists — the
 //! hot path carries zero cost.
 
+use essat_obs::Probe;
 use essat_sim::time::SimTime;
 
 use super::world::World;
@@ -51,7 +52,7 @@ impl Default for Sanitizer {
     }
 }
 
-impl World {
+impl<P: Probe> World<P> {
     /// Per-event probe: time monotonicity, plus the periodic sweep.
     pub(crate) fn sanitize_step(&mut self, now: SimTime) {
         assert!(

@@ -9,6 +9,8 @@ use essat_net::ids::NodeId;
 use essat_net::mac::Mac;
 use essat_net::radio::Radio;
 use essat_net::topology::Topology;
+use essat_obs::profile::RunTimings;
+use essat_obs::{NullProbe, Probe, SampleView};
 use essat_query::aggregate::AggState;
 use essat_query::model::{Query, QueryId};
 use essat_query::tree::RoutingTree;
@@ -91,8 +93,15 @@ impl Hot {
 /// lives behind each node's [`essat_core::policy::PowerPolicy`], built
 /// once per run by the policy factory (default:
 /// [`Protocol::build_policy`]).
+///
+/// The world is generic over an [`essat_obs::Probe`]: a read-only
+/// observer notified at the same structural seams the `sanitize`
+/// feature checks. The default [`NullProbe`] monomorphizes every hook
+/// away, so the probe-free hot path is unchanged; attaching a real
+/// probe cannot perturb the run (probes see shared views only — the
+/// digest-equality tests in `tests/probes.rs` pin this).
 #[derive(Debug)]
-pub struct World {
+pub struct World<P: Probe = NullProbe> {
     pub(crate) cfg: ExperimentConfig,
     /// Master RNG (kept for deriving fresh per-node streams mid-run,
     /// e.g. the MAC of a churn-revived node).
@@ -150,6 +159,8 @@ pub struct World {
     /// push/pop copy it; parking frames here keeps the event alphabet
     /// at pointer-ish sizes for the 40M-event runs.
     pub(crate) tx_frames: Vec<Option<Frame<Payload>>>,
+    /// The attached observability probe ([`NullProbe`] by default).
+    pub(crate) probe: P,
 }
 
 impl World {
@@ -168,19 +179,24 @@ impl World {
         factory: &PolicyFactory<'_>,
     ) -> (World, Vec<(SimTime, Ev)>) {
         let mut initial = Vec::new();
-        let world = Self::new_prebuilt(cfg, factory, None, &mut initial);
+        let world = World::new_prebuilt(cfg, factory, None, &mut initial, NullProbe);
         (world, initial)
     }
+}
 
+impl<P: Probe> World<P> {
     /// [`World::new_with`] over an optional cached build block,
     /// appending the initial event list to a caller-recycled buffer —
-    /// the sweep executor's construction path.
+    /// the sweep executor's construction path. The probe is installed
+    /// before any event runs (and told about the scenario's scripted
+    /// clock glitches, which are compiled ahead of time).
     pub(crate) fn new_prebuilt(
         cfg: ExperimentConfig,
         factory: &PolicyFactory<'_>,
         pre: Option<std::sync::Arc<Prebuilt>>,
         initial: &mut Vec<(SimTime, Ev)>,
-    ) -> World {
+        probe: P,
+    ) -> World<P> {
         cfg.validate();
         let master = SimRng::seed_from_u64(cfg.seed);
         let mut phase_rng = master.derive(2);
@@ -321,7 +337,18 @@ impl World {
             act_pool: Vec::new(),
             mact_pool: Vec::new(),
             tx_frames: Vec::new(),
+            probe,
         };
+
+        // Scripted clock glitches are part of the compiled scenario,
+        // not the event stream; report them to the probe up front.
+        if world.probe.enabled() {
+            if let Some(s) = &world.scenario {
+                for g in &s.glitches {
+                    world.probe.on_clock_glitch(g.at, g.node, g.delta_ns);
+                }
+            }
+        }
 
         initial.push((world.measure_from, Ev::SetupEnd));
 
@@ -411,7 +438,9 @@ impl World {
 
         world
     }
+}
 
+impl World {
     /// Runs a full experiment and returns its metrics.
     pub fn run(cfg: &ExperimentConfig) -> RunResult {
         Self::run_with(cfg, &Protocol::build_policy)
@@ -451,10 +480,56 @@ impl World {
         scratch: &mut WorldScratch,
         budget: Option<u64>,
     ) -> Option<RunResult> {
+        let mut timings = RunTimings::default();
+        Self::run_pooled_timed(cfg, factory, cache, scratch, budget, &mut timings)
+    }
+
+    /// [`World::run_pooled_capped`], accumulating per-phase wall-clock
+    /// timings (build / run / finalize) into `timings` — the executor's
+    /// profiling path. The timings are measurement only; they never
+    /// influence the run.
+    pub fn run_pooled_timed(
+        cfg: &ExperimentConfig,
+        factory: &PolicyFactory<'_>,
+        cache: Option<&BuildCache>,
+        scratch: &mut WorldScratch,
+        budget: Option<u64>,
+        timings: &mut RunTimings,
+    ) -> Option<RunResult> {
+        World::run_instrumented(cfg, factory, cache, scratch, budget, NullProbe, timings).0
+    }
+
+    /// Deterministic synthetic sensor reading.
+    ///
+    /// (On the non-generic impl so `World::reading(...)` resolves
+    /// without a probe type annotation — it is a pure function.)
+    pub(crate) fn reading(node: NodeId, k: u64) -> AggState {
+        AggState::from_reading(((node.index() as u64 * 31 + k * 7) % 101) as f64)
+    }
+}
+
+impl<P: Probe> World<P> {
+    /// The fully general run path: [`World::run_pooled_capped`] with an
+    /// attached probe and per-phase wall-clock timing. Returns the
+    /// probe so callers can drain what it recorded; the result is
+    /// `None` only when an event budget was exhausted.
+    ///
+    /// The result is byte-identical for every probe (including
+    /// [`NullProbe`]) — probes observe, they cannot perturb.
+    pub fn run_instrumented(
+        cfg: &ExperimentConfig,
+        factory: &PolicyFactory<'_>,
+        cache: Option<&BuildCache>,
+        scratch: &mut WorldScratch,
+        budget: Option<u64>,
+        probe: P,
+        timings: &mut RunTimings,
+    ) -> (Option<RunResult>, P) {
+        let t_build = std::time::Instant::now();
         let pre = cache.map(|c| c.get_or_build(cfg));
         let mut initial = std::mem::take(&mut scratch.initial);
         initial.clear();
-        let mut world = World::new_prebuilt(cfg.clone(), factory, pre, &mut initial);
+        let mut world = World::new_prebuilt(cfg.clone(), factory, pre, &mut initial, probe);
         world.adopt_scratch(scratch);
         let run_end = world.run_end;
         let mut engine = Engine::with_queue(world, std::mem::take(&mut scratch.queue));
@@ -462,6 +537,8 @@ impl World {
             engine.schedule_at(at, ev);
         }
         scratch.initial = initial;
+        timings.build += t_build.elapsed();
+        let t_run = std::time::Instant::now();
         let reached_end = match budget {
             Some(b) => engine.run_until_capped(run_end, b),
             None => {
@@ -474,12 +551,16 @@ impl World {
         let (world, mut queue) = engine.into_parts();
         queue.clear();
         scratch.queue = queue;
+        timings.run += t_run.elapsed();
         if !reached_end {
             // Budget exhausted: drop the world (its pools are rebuilt
             // on the worker's next run) and report the abandonment.
-            return None;
+            return (None, world.probe);
         }
-        Some(world.finalize_into(run_end, events, peak, Some(scratch)))
+        let t_fin = std::time::Instant::now();
+        let (result, probe) = world.finalize_into(run_end, events, peak, Some(scratch));
+        timings.finalize += t_fin.elapsed();
+        (Some(result), probe)
     }
 
     /// Moves a scratch's warmed buffer pools into this (fresh) world.
@@ -576,11 +657,6 @@ impl World {
         }
     }
 
-    /// Deterministic synthetic sensor reading.
-    pub(crate) fn reading(node: NodeId, k: u64) -> AggState {
-        AggState::from_reading(((node.index() as u64 * 31 + k * 7) % 101) as f64)
-    }
-
     // ------------------------------------------------------------------
     // Setup & finalisation
     // ------------------------------------------------------------------
@@ -659,16 +735,28 @@ impl World {
     }
 
     /// Collects the run's metrics; with a scratch, salvages the world's
-    /// warmed buffer pools into it for the worker's next run.
+    /// warmed buffer pools into it for the worker's next run. Returns
+    /// the probe alongside the result so callers can drain what it
+    /// recorded.
     pub(crate) fn finalize_into(
         mut self,
         end: SimTime,
         events_processed: u64,
         peak_queue_depth: u64,
         scratch: Option<&mut WorldScratch>,
-    ) -> RunResult {
+    ) -> (RunResult, P) {
         #[cfg(feature = "sanitize")]
         self.sanitize_sweep(end);
+        // Last probe callback, before radios settle: the view's
+        // projections at `end` equal the settled books, so a sampler's
+        // final row matches the `RunResult` node totals exactly.
+        if self.probe.enabled() {
+            let view = WorldView {
+                nodes: &self.nodes,
+                hot: &self.hot,
+            };
+            self.probe.on_run_end(end, &view);
+        }
         if let Some(s) = scratch {
             s.kid_pool.append(&mut self.kid_pool);
             s.act_pool.append(&mut self.act_pool);
@@ -703,8 +791,14 @@ impl World {
             let off = n.radio.off_ns() - n.snap.off;
             let trans = n.radio.transition_ns() - n.snap.trans;
             let total = active + off + trans;
+            // A dead radio's books are settled at death, so `total`
+            // already clamps to the node's death time. A node that died
+            // *before* the window opened (or a zero-length window) has
+            // no measured span at all — it was never active in the
+            // window, so its duty cycle is 0, not the former 1.0
+            // (tests/fault_injection.rs pins this).
             let duty = if total == 0 {
-                1.0
+                0.0
             } else {
                 (active + trans) as f64 / total as f64
             };
@@ -734,7 +828,7 @@ impl World {
         mac.failed += self.mac_lost.failed;
         mac.retries += self.mac_lost.retries;
         let ch = self.channel.stats();
-        RunResult {
+        let result = RunResult {
             seed: self.cfg.seed,
             measured_from: self.measure_from,
             measured_until: end,
@@ -753,7 +847,8 @@ impl World {
             channel_collisions: ch.collisions,
             events_processed,
             peak_queue_depth,
-        }
+        };
+        (result, self.probe)
     }
 
     /// The routing tree (tests & examples inspect structure).
@@ -771,14 +866,89 @@ impl World {
     pub fn scenario(&self) -> Option<&CompiledScenario> {
         self.scenario.as_ref()
     }
+
+    /// Notifies the probe of an event dispatch. With [`NullProbe`] the
+    /// `enabled()` check constant-folds to `false` and the whole call
+    /// (view construction included) disappears from the hot path.
+    fn probe_event(&mut self, now: SimTime, kind: &'static str) {
+        if !self.probe.enabled() {
+            return;
+        }
+        let view = WorldView {
+            nodes: &self.nodes,
+            hot: &self.hot,
+        };
+        self.probe.on_event(now, kind, &view);
+    }
 }
 
-impl Model for World {
+/// The read-only per-node projection handed to probes: borrows only
+/// the node stacks and the hot flags, so it can coexist with a
+/// mutable borrow of the probe itself.
+struct WorldView<'a> {
+    nodes: &'a [NodeState],
+    hot: &'a Hot,
+}
+
+impl SampleView for WorldView<'_> {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn is_alive(&self, node: usize) -> bool {
+        !self.hot.dead[node]
+    }
+
+    fn in_tree(&self, node: usize) -> bool {
+        self.hot.member[node]
+    }
+
+    fn energy_j(&self, node: usize, now: SimTime) -> f64 {
+        let n = &self.nodes[node];
+        // Dead radios were settled at death; projecting them to `now`
+        // would bill the dead span.
+        let e = if self.hot.dead[node] {
+            n.radio.energy_j()
+        } else {
+            n.radio.energy_j_at(now)
+        };
+        e - n.snap.energy
+    }
+
+    fn duty_cycle(&self, node: usize, now: SimTime) -> f64 {
+        let n = &self.nodes[node];
+        let (active, off, trans) = if self.hot.dead[node] {
+            (
+                n.radio.active_ns(),
+                n.radio.off_ns(),
+                n.radio.transition_ns(),
+            )
+        } else {
+            n.radio.counters_at(now)
+        };
+        let active = active - n.snap.active;
+        let off = off - n.snap.off;
+        let trans = trans - n.snap.trans;
+        let total = active + off + trans;
+        if total == 0 {
+            0.0
+        } else {
+            (active + trans) as f64 / total as f64
+        }
+    }
+
+    fn queue_depth(&self, node: usize) -> usize {
+        self.nodes[node].mac.queue_len()
+    }
+}
+
+impl<P: Probe> Model for World<P> {
     type Event = Ev;
 
     fn handle(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
         #[cfg(feature = "sanitize")]
         self.sanitize_step(ctx.now());
+        self.probe_event(ctx.now(), event.label());
         match event {
             Ev::SetupEnd => self.handle_setup_end(ctx),
             Ev::ForcedWindowEnd => self.handle_forced_window_end(ctx),

@@ -27,6 +27,7 @@ pub use essat_baselines as baselines;
 pub use essat_core as core;
 pub use essat_harness as harness;
 pub use essat_net as net;
+pub use essat_obs as obs;
 pub use essat_query as query;
 pub use essat_scenario as scenario;
 pub use essat_sim as sim;

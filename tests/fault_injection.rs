@@ -8,7 +8,7 @@ use essat::harness::executor::{SweepCell, SweepExecutor};
 use essat::scenario::compile::CompiledScenario;
 use essat::scenario::presets;
 use essat::scenario::spec::Scenario;
-use essat::sim::time::SimDuration;
+use essat::sim::time::{SimDuration, SimTime};
 use essat::wsn::config::{ExperimentConfig, Protocol, WorkloadSpec};
 use essat::wsn::runner;
 use essat::wsn::sim::World;
@@ -168,4 +168,28 @@ fn all_protocols_survive_heavy_drift() {
         );
         assert!(r.reports_sent > 0, "{protocol}: nothing reported");
     }
+}
+
+/// A node killed inside the setup slot dies before the measurement
+/// window ever opens, so it accrues no per-state time at all. Its duty
+/// cycle must report as exactly 0 — not NaN from a 0/0 division (the
+/// regression this pins: finalize clamps the `total == 0` case).
+#[test]
+fn node_dead_before_measurement_window_has_zero_duty() {
+    let victim = 5u32;
+    let run = runner::run_one(
+        &cfg(Protocol::DtsSs, 55).with_node_failure(SimTime::from_millis(100), victim),
+    );
+    let n = &run.nodes[victim as usize];
+    assert_eq!(
+        n.duty_cycle, 0.0,
+        "dead-before-window node must report zero duty, got {}",
+        n.duty_cycle
+    );
+    // The rest of the network kept running and measuring normally.
+    assert!(run
+        .nodes
+        .iter()
+        .enumerate()
+        .any(|(i, n)| i != victim as usize && n.duty_cycle > 0.0));
 }
