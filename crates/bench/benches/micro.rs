@@ -137,6 +137,62 @@ fn timer_wheel_cancel_churn(c: &mut Criterion) {
     });
 }
 
+fn batch_drain(c: &mut Criterion) {
+    c.bench_function("micro/batch_drain_10k", |b| {
+        // The engine's batched consumption loop (pop_batch_before +
+        // per-entry claim) over the same workload as
+        // `event_queue_push_pop_10k` — the delta between the two is the
+        // per-event cursor overhead the batch drain removes.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::seed_from_u64(1);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000), i);
+            }
+            let deadline = SimTime::from_nanos(u64::MAX / 2);
+            let mut buf = Vec::new();
+            let mut sum = 0u64;
+            while q.pop_batch_before(deadline, &mut buf) != 0 {
+                for &entry in &buf {
+                    if let Some(e) = q.claim(entry) {
+                        sum = sum.wrapping_add(e);
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn channel_end_tx_vectorised(c: &mut Criterion) {
+    use essat_net::channel::TxEndBuf;
+    let mut rng = SimRng::seed_from_u64(42);
+    let topo = Topology::random_paper(&mut rng);
+    c.bench_function("micro/channel_end_tx_vectorised", |b| {
+        // The zero-copy fan-out path the simulator actually runs: the
+        // same begin/end cycle as `channel_start_end_tx`, but ends
+        // resolve through `end_tx_into` into one recycled flat buffer
+        // (clean | corrupted | now-idle partitions) instead of three
+        // per-call vectors.
+        let mut ch = Channel::new(&topo, SimRng::seed_from_u64(7));
+        let mut end = TxEndBuf::default();
+        let mut t = 0u64;
+        b.iter(|| {
+            let t0 = SimTime::from_micros(t);
+            let airtime = SimDuration::from_micros(416);
+            let txs = [0u32, 20, 40, 60].map(|s| ch.begin_tx(t0, NodeId::new(s), airtime));
+            let mut clean = 0usize;
+            for tx in txs {
+                ch.recycle_nodes(tx.now_busy);
+                ch.end_tx_into(t0 + airtime, tx.id, &mut end);
+                clean += end.clean().len();
+            }
+            t += 1_000;
+            black_box(clean)
+        })
+    });
+}
+
 fn channel_start_end_tx(c: &mut Criterion) {
     let mut rng = SimRng::seed_from_u64(42);
     let topo = Topology::random_paper(&mut rng);
@@ -297,7 +353,9 @@ criterion_group! {
         event_queue_churn_with_cancel,
         timer_wheel_push_pop,
         timer_wheel_cancel_churn,
+        batch_drain,
         channel_start_end_tx,
+        channel_end_tx_vectorised,
         safe_sleep_decide,
         shaper_round_trip,
         channel_collision_storm,

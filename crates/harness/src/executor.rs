@@ -72,6 +72,68 @@ pub struct WorkerStats {
     pub busy: Duration,
 }
 
+/// Identifies *what* a bench record measured: the figure set, scale,
+/// job count, and a hash of every job's full configuration.
+///
+/// `BENCH_harness.json` embeds this so the CI bench gate only compares
+/// `events_per_sec` between records that measured the same work. The
+/// committed record once changed workloads silently — a new figure grew
+/// the job set 173 → 221 and the recorded throughput "dropped" 5.22M →
+/// 4.59M events/s with no code regression at all — so a raw number
+/// comparison can both mask real regressions and false-trip on
+/// workload growth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Figure keys, in planning order.
+    pub figures: Vec<String>,
+    /// `quick` or `paper`.
+    pub scale: String,
+    /// Base seed the sweep was planned with.
+    pub seed: u64,
+    /// Total simulation runs (cells × repetitions).
+    pub jobs: u32,
+    /// FNV-1a 64 over the canonical rendering of every cell's
+    /// configuration and repetition count, in job order.
+    pub config_hash: u64,
+}
+
+impl Workload {
+    /// Builds the descriptor for a planned job list.
+    pub fn new(figures: &[&str], scale: &str, seed: u64, cells: &[SweepCell]) -> Workload {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for c in cells {
+            for b in format!("{:?}*{}", c.cfg, c.runs).bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        Workload {
+            figures: figures.iter().map(|f| f.to_string()).collect(),
+            scale: scale.to_string(),
+            seed,
+            jobs: cells.iter().map(|c| c.runs).sum(),
+            config_hash: h,
+        }
+    }
+
+    /// Renders the descriptor as the `workload` JSON object.
+    ///
+    /// The hash is hex-encoded: a u64 does not survive a round-trip
+    /// through JSON readers that parse numbers as doubles.
+    pub fn to_json(&self) -> String {
+        let figs = self
+            .figures
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"figures\": [{figs}], \"scale\": \"{}\", \"seed\": {}, \"jobs\": {}, \
+             \"config_hash\": \"{:016x}\"}}",
+            self.scale, self.seed, self.jobs, self.config_hash
+        )
+    }
+}
+
 /// Aggregate statistics over everything an executor has run.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutorStats {
@@ -110,6 +172,13 @@ impl ExecutorStats {
     /// baseline — with the profiling extension appended: per-phase
     /// CPU-time totals and the per-worker utilization array.
     pub fn to_json(&self, threads: usize) -> String {
+        self.to_json_with(threads, None)
+    }
+
+    /// [`ExecutorStats::to_json`] with an embedded [`Workload`]
+    /// descriptor, so the record states what it measured and the bench
+    /// gate can refuse to compare across different job sets.
+    pub fn to_json_with(&self, threads: usize, workload: Option<&Workload>) -> String {
         let mut workers = String::from("[");
         for (i, w) in self.workers.iter().enumerate() {
             if i > 0 {
@@ -122,8 +191,12 @@ impl ExecutorStats {
             ));
         }
         workers.push(']');
+        let workload = match workload {
+            Some(w) => format!("  \"workload\": {},\n", w.to_json()),
+            None => String::new(),
+        };
         format!(
-            "{{\n  \"threads\": {threads},\n  \"jobs\": {},\n  \"events\": {},\n  \
+            "{{\n{workload}  \"threads\": {threads},\n  \"jobs\": {},\n  \"events\": {},\n  \
              \"wall_clock_s\": {:.3},\n  \"events_per_sec\": {:.0},\n  \
              \"peak_queue_depth\": {},\n  \"build_s\": {:.3},\n  \"run_s\": {:.3},\n  \
              \"finalize_s\": {:.3},\n  \"workers\": {workers}\n}}\n",

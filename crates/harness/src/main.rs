@@ -429,9 +429,17 @@ fn main() {
         }
     }
 
-    // Performance record: one JSON document per invocation.
+    // Performance record: one JSON document per invocation, stamped
+    // with the workload descriptor so the CI bench gate refuses to
+    // compare throughput across different job sets.
+    let planned: Vec<&str> = spans.iter().map(|&(k, _, _)| k).collect();
+    let scale_key = match scale {
+        Scale::Quick => "quick",
+        Scale::Paper => "paper",
+    };
+    let workload = essat_harness::executor::Workload::new(&planned, scale_key, seed, &cells);
     let stats = exec.stats();
-    let json = stats.to_json(exec.threads());
+    let json = stats.to_json_with(exec.threads(), Some(&workload));
     match std::fs::write(&bench_json, &json) {
         Ok(()) => eprintln!(
             "# {}: {} runs, {:.1}s wall, {:.0} events/s, peak queue {}",
@@ -443,7 +451,6 @@ fn main() {
         ),
         Err(e) => eprintln!("# could not write {}: {e}", bench_json.display()),
     }
-
     if let Some(path) = &profile_path {
         match std::fs::write(path, exec.profile_perfetto()) {
             Ok(()) => eprintln!(

@@ -156,6 +156,73 @@ pub struct TxEnd {
     pub now_idle: Vec<NodeId>,
 }
 
+/// Reusable outcome buffer for [`Channel::end_tx_into`] — the simulator's
+/// allocation-free fan-out path.
+///
+/// The three receiver classes live in **one contiguous list** partitioned
+/// as `[clean | corrupted | now-idle]`; each class is exposed as a slice.
+/// One buffer per world replaces the three pooled vectors per call that
+/// [`Channel::end_tx`] returns, and the flat layout keeps the fan-out
+/// loops on a single warm allocation.
+#[derive(Debug)]
+pub struct TxEndBuf {
+    /// The transmitting node.
+    pub sender: NodeId,
+    /// When the transmission started.
+    pub started: SimTime,
+    nodes: Vec<NodeId>,
+    clean_end: usize,
+    corrupted_end: usize,
+}
+
+impl Default for TxEndBuf {
+    fn default() -> Self {
+        TxEndBuf {
+            sender: NodeId::new(0),
+            started: SimTime::ZERO,
+            nodes: Vec::new(),
+            clean_end: 0,
+            corrupted_end: 0,
+        }
+    }
+}
+
+impl TxEndBuf {
+    /// Hearers whose copy survived collisions and loss injection, in
+    /// ascending id (CSR) order.
+    #[inline]
+    pub fn clean(&self) -> &[NodeId] {
+        &self.nodes[..self.clean_end]
+    }
+
+    /// Hearers whose copy was corrupted, in ascending id order.
+    #[inline]
+    pub fn corrupted(&self) -> &[NodeId] {
+        &self.nodes[self.clean_end..self.corrupted_end]
+    }
+
+    /// Nodes at which the medium just became idle (carrier 1 → 0), in
+    /// interference-CSR order.
+    #[inline]
+    pub fn now_idle(&self) -> &[NodeId] {
+        &self.nodes[self.corrupted_end..]
+    }
+
+    /// Number of corrupted hearers (probe reporting).
+    #[inline]
+    pub fn corrupted_len(&self) -> u32 {
+        (self.corrupted_end - self.clean_end) as u32
+    }
+
+    fn reset(&mut self, sender: NodeId, started: SimTime) {
+        self.sender = sender;
+        self.started = started;
+        self.nodes.clear();
+        self.clean_end = 0;
+        self.corrupted_end = 0;
+    }
+}
+
 /// Counters the channel keeps for the run summary.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
@@ -472,10 +539,44 @@ impl Channel {
     /// Finishes a transmission, returning delivery outcomes and carrier
     /// transitions.
     ///
+    /// Convenience wrapper over [`Channel::end_tx_into`] that splits the
+    /// flat outcome buffer into three pooled vectors. The simulator's hot
+    /// path uses `end_tx_into` directly.
+    ///
     /// # Panics
     ///
     /// Panics if `id` does not correspond to an in-flight transmission.
     pub fn end_tx(&mut self, now: SimTime, id: TxId) -> TxEnd {
+        let mut buf = TxEndBuf::default();
+        self.end_tx_into(now, id, &mut buf);
+        let mut clean = self.take_nodes();
+        let mut corrupted_rx = self.take_nodes();
+        let mut now_idle = self.take_nodes();
+        clean.extend_from_slice(buf.clean());
+        corrupted_rx.extend_from_slice(buf.corrupted());
+        now_idle.extend_from_slice(buf.now_idle());
+        TxEnd {
+            sender: buf.sender,
+            started: buf.started,
+            clean_receivers: clean,
+            corrupted_receivers: corrupted_rx,
+            now_idle,
+        }
+    }
+
+    /// Finishes a transmission, writing delivery outcomes and carrier
+    /// transitions into a caller-recycled [`TxEndBuf`].
+    ///
+    /// The fan-out is vectorised: receivers are classified with slice
+    /// passes over the sender's CSR adjacency ranges — one pass finalises
+    /// the per-hearer corruption flags (loss injection draws happen here,
+    /// in ascending-id order), then clean and corrupted hearers are
+    /// written as contiguous partitions of the flat outcome list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not correspond to an in-flight transmission.
+    pub fn end_tx_into(&mut self, now: SimTime, id: TxId, out: &mut TxEndBuf) {
         let slot = id.slot();
         assert!(
             self.slots
@@ -484,7 +585,7 @@ impl Channel {
             "end_tx for unknown transmission"
         );
         // Detach the slot from the active set (swap-remove, O(1)).
-        let (sender, start, corrupted, pos) = {
+        let (sender, start, mut corrupted, pos) = {
             let tx = &mut self.slots[slot];
             tx.live = false;
             (
@@ -501,32 +602,24 @@ impl Channel {
         }
         self.free.push(slot as u32);
         self.transmitting[sender.index()] = false;
+        out.reset(sender, start);
 
-        let mut clean = self.take_nodes();
-        let mut corrupted_rx = self.take_nodes();
-        let mut now_idle = self.take_nodes();
         let si = sender.index();
-        let (i0, i1) = (
-            self.adj.interference.off[si] as usize,
-            self.adj.interference.off[si + 1] as usize,
-        );
-        for idx in i0..i1 {
-            let h = self.adj.interference.flat[idx];
-            let cc = &mut self.carrier_count[h.index()];
-            debug_assert!(*cc > 0, "carrier count underflow at {h}");
-            *cc -= 1;
-            if *cc == 0 {
-                now_idle.push(h);
-            }
-        }
         let (h0, h1) = (
             self.adj.neighbors.off[si] as usize,
             self.adj.neighbors.off[si + 1] as usize,
         );
-        for (i, idx) in (h0..h1).enumerate() {
-            let h = self.adj.neighbors.flat[idx];
-            let mut bad = corrupted[i];
-            if !bad {
+        let hearers = &self.adj.neighbors.flat[h0..h1];
+
+        // Pass 1 — finalise corruption flags in hearer (ascending-id)
+        // order. Loss draws must happen here, one per otherwise-clean
+        // copy, to keep the RNG sequence identical to the historical
+        // per-receiver path.
+        if self.loss_model.is_some() || self.drop_prob > 0.0 {
+            for (i, &h) in hearers.iter().enumerate() {
+                if corrupted[i] {
+                    continue;
+                }
                 // Loss sources compose: the per-link model (if any) OR
                 // the configured baseline probability. An installed
                 // model used to silently override the baseline.
@@ -535,25 +628,44 @@ impl Channel {
                     None => false,
                 } || (self.drop_prob > 0.0 && self.rng.chance(self.drop_prob));
                 if injected {
-                    bad = true;
+                    corrupted[i] = true;
                     self.stats.injected_drops += 1;
                 }
             }
-            if bad {
-                corrupted_rx.push(h);
-            } else {
-                clean.push(h);
+        }
+
+        // Pass 2 — partition hearers into the flat outcome list: clean
+        // first, corrupted second, both in hearer order.
+        for (i, &h) in hearers.iter().enumerate() {
+            if !corrupted[i] {
+                out.nodes.push(h);
             }
         }
+        out.clean_end = out.nodes.len();
+        for (i, &h) in hearers.iter().enumerate() {
+            if corrupted[i] {
+                out.nodes.push(h);
+            }
+        }
+        out.corrupted_end = out.nodes.len();
+
+        // Pass 3 — decrement carrier counts over the interference range,
+        // appending the 1 → 0 transitions as the final partition.
+        let (i0, i1) = (
+            self.adj.interference.off[si] as usize,
+            self.adj.interference.off[si + 1] as usize,
+        );
+        for &h in &self.adj.interference.flat[i0..i1] {
+            let cc = &mut self.carrier_count[h.index()];
+            debug_assert!(*cc > 0, "carrier count underflow at {h}");
+            *cc -= 1;
+            if *cc == 0 {
+                out.nodes.push(h);
+            }
+        }
+
         // Return the corruption buffer to the pool.
         self.bool_pool.push(corrupted);
-        TxEnd {
-            sender,
-            started: start,
-            clean_receivers: clean,
-            corrupted_receivers: corrupted_rx,
-            now_idle,
-        }
     }
 }
 
@@ -606,6 +718,44 @@ mod tests {
         assert_eq!(end_b.clean_receivers, vec![n(3)]);
         assert_eq!(end_b.corrupted_receivers, vec![n(1)]);
         assert!(ch.stats().collisions >= 2);
+    }
+
+    #[test]
+    fn end_tx_into_partitions_match_wrapper() {
+        // Two identically-seeded channels with loss injection: the
+        // pooled three-vector wrapper and the flat-buffer path must
+        // produce the same partitions, in the same order, from the
+        // same RNG draw sequence.
+        let topo = Topology::line(6, 10.0, 12.0);
+        let mut a = Channel::new(&topo, SimRng::seed_from_u64(9));
+        let mut b = Channel::new(&topo, SimRng::seed_from_u64(9));
+        a.set_drop_probability(0.4);
+        b.set_drop_probability(0.4);
+        let mut buf = TxEndBuf::default();
+        for round in 0..64u64 {
+            let t0 = t_us(round * 1_000);
+            let sender = n((round % 6) as u32);
+            let ta = a.begin_tx(t0, sender, us(416));
+            let tb = b.begin_tx(t0, sender, us(416));
+            a.recycle_nodes(ta.now_busy);
+            b.recycle_nodes(tb.now_busy);
+            let end = a.end_tx(t0 + us(416), ta.id);
+            b.end_tx_into(t0 + us(416), tb.id, &mut buf);
+            assert_eq!(end.sender, buf.sender);
+            assert_eq!(end.started, buf.started);
+            assert_eq!(end.clean_receivers.as_slice(), buf.clean());
+            assert_eq!(end.corrupted_receivers.as_slice(), buf.corrupted());
+            assert_eq!(end.now_idle.as_slice(), buf.now_idle());
+            assert_eq!(end.corrupted_receivers.len() as u32, buf.corrupted_len());
+            a.recycle_nodes(end.clean_receivers);
+            a.recycle_nodes(end.corrupted_receivers);
+            a.recycle_nodes(end.now_idle);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(
+            a.stats().injected_drops > 0,
+            "the corrupted partition was never exercised"
+        );
     }
 
     #[test]

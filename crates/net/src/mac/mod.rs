@@ -443,6 +443,18 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
         out
     }
 
+    /// Whether a pending timer event for `(kind, gen)` is still current.
+    ///
+    /// Disarming a MAC timer bumps its generation rather than removing
+    /// the queued event, so most expiries that reach the executor are
+    /// stale no-ops; this check lets the dispatch loop skip the action
+    /// machinery for them.
+    #[inline]
+    pub fn timer_current(&self, kind: MacTimer, gen: u64) -> bool {
+        let i = kind.idx();
+        self.timer_armed[i] && self.timer_gen[i] == gen
+    }
+
     /// [`Mac::timer_fired`] into a caller-recycled buffer.
     pub fn timer_fired_into(
         &mut self,

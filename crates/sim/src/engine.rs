@@ -49,7 +49,7 @@
 //! assert_eq!(engine.now(), SimTime::from_millis(40));
 //! ```
 
-use crate::queue::{EventId, EventQueue};
+use crate::queue::{BatchEntry, EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
 /// World state driven by the engine.
@@ -127,6 +127,9 @@ pub struct Engine<M: Model> {
     queue: EventQueue<M::Event>,
     model: M,
     processed: u64,
+    /// Reusable batch-drain buffer for the bounded-run loops: one wheel
+    /// bucket's worth of ordering handles at a time.
+    batch: Vec<BatchEntry>,
 }
 
 impl<M: Model> Engine<M> {
@@ -150,6 +153,7 @@ impl<M: Model> Engine<M> {
             queue,
             model,
             processed: 0,
+            batch: Vec::new(),
         }
     }
 
@@ -258,15 +262,40 @@ impl<M: Model> Engine<M> {
         self.processed - before
     }
 
+    /// Merges any events that sorted ahead of the unclaimed batch entry
+    /// `e` (pushed into the current bucket after the batch was drained)
+    /// back into the dispatch order, then claims and dispatches `e` itself
+    /// if it is still live.
+    #[inline]
+    fn dispatch_batch_entry(&mut self, e: BatchEntry) {
+        if self.queue.batch_dirty() {
+            while let Some((time, _id, event)) = self.queue.pop_before_entry(e) {
+                self.dispatch(time, event);
+            }
+        }
+        if let Some(event) = self.queue.claim(e) {
+            self.dispatch(e.time(), event);
+        }
+    }
+
     /// Runs events with fire time `<= deadline`, then advances the clock
     /// to exactly `deadline` (even if the queue still holds later events).
+    ///
+    /// Drains the queue one sorted wheel bucket at a time instead of one
+    /// cursor pass per event; liveness is re-validated per entry at
+    /// dispatch, so a handler cancelling a later event in the same
+    /// drained bucket still suppresses it.
     ///
     /// Returns the number of events processed by this call.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.processed;
-        while let Some((time, _id, event)) = self.queue.pop_before(deadline) {
-            self.dispatch(time, event);
+        let mut buf = std::mem::take(&mut self.batch);
+        while self.queue.pop_batch_before(deadline, &mut buf) != 0 {
+            for &e in &buf {
+                self.dispatch_batch_entry(e);
+            }
         }
+        self.batch = buf;
         if self.now < deadline {
             self.now = deadline;
         }
@@ -290,18 +319,51 @@ impl<M: Model> Engine<M> {
     /// stays at the last processed event). The deterministic runaway
     /// guard for sweep jobs: the same `(model, seed, budget)` either
     /// always completes or always trips, independent of wall clock.
+    /// Budget accounting stays per-event under batch draining: when the
+    /// budget runs out mid-bucket, the unclaimed remainder of the batch
+    /// is re-filed with original sequence numbers, so those events stay
+    /// pending in their exact total-order positions.
     pub fn run_until_capped(&mut self, deadline: SimTime, budget: u64) -> bool {
         let mut ran = 0u64;
-        while let Some((time, _id, event)) = self.queue.pop_before(deadline) {
-            if ran >= budget {
-                // Put-back is not supported; re-push the popped event
-                // unprocessed so the queue stays consistent.
-                self.queue.push(time, event);
-                return false;
+        let mut buf = std::mem::take(&mut self.batch);
+        while self.queue.pop_batch_before(deadline, &mut buf) != 0 {
+            for i in 0..buf.len() {
+                let e = buf[i];
+                if self.queue.batch_dirty() {
+                    while ran < budget {
+                        match self.queue.pop_before_entry(e) {
+                            Some((time, _id, event)) => {
+                                self.dispatch(time, event);
+                                ran += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                if ran >= budget {
+                    // Give the unclaimed tail back (stale entries are
+                    // dropped), then report exhaustion only if a live
+                    // event at or before the deadline actually remains —
+                    // the tail may have been entirely cancelled.
+                    self.queue.requeue_batch(&buf[i..]);
+                    self.batch = buf;
+                    match self.queue.peek_time() {
+                        Some(t) if t <= deadline => return false,
+                        _ => {
+                            if self.now < deadline {
+                                self.now = deadline;
+                            }
+                            return true;
+                        }
+                    }
+                }
+                if let Some(event) = self.queue.claim(e) {
+                    self.dispatch(e.time(), event);
+                    ran += 1;
+                }
             }
-            self.dispatch(time, event);
-            ran += 1;
         }
+        self.batch = buf;
         if self.now < deadline {
             self.now = deadline;
         }
@@ -316,7 +378,7 @@ mod tests {
     #[derive(Default)]
     struct Recorder {
         log: Vec<(SimTime, u32)>,
-        cancel_target: Option<EventId>,
+        cancel_targets: Vec<EventId>,
     }
 
     enum Ev {
@@ -335,7 +397,7 @@ mod tests {
                     ctx.schedule_now(Ev::Mark(99));
                 }
                 Ev::CancelOther => {
-                    if let Some(id) = self.cancel_target.take() {
+                    for id in self.cancel_targets.drain(..) {
                         assert!(ctx.cancel(id));
                         assert!(!ctx.is_pending(id));
                     }
@@ -379,10 +441,58 @@ mod tests {
     fn cancellation_from_handler() {
         let mut e = Engine::new(Recorder::default());
         let victim = e.schedule_at(SimTime::from_millis(10), Ev::Mark(1));
-        e.model_mut().cancel_target = Some(victim);
+        e.model_mut().cancel_targets = vec![victim];
         e.schedule_at(SimTime::from_millis(5), Ev::CancelOther);
         e.run_until_idle();
         assert!(e.model().log.is_empty());
+    }
+
+    /// A wheel-bucket-aligned instant: events within `WIDTH_NS` of it
+    /// land in the same drained batch.
+    fn bucket_start() -> SimTime {
+        // 611 × the 2^14 ns bucket width ≈ 10 ms.
+        SimTime::from_nanos(611 << 14)
+    }
+
+    #[test]
+    fn cancel_later_same_bucket_event_from_drained_batch() {
+        // Regression: batch draining hands the engine a whole sorted
+        // bucket at once, but liveness must be re-validated per entry —
+        // an event dispatched from the batch that cancels a later entry
+        // of the *same* bucket (even at the very same instant) still
+        // suppresses it.
+        let mut e = Engine::new(Recorder::default());
+        let t = bucket_start();
+        e.schedule_at(t, Ev::CancelOther);
+        // Same instant, later seq — drained into the same batch.
+        let v1 = e.schedule_at(t, Ev::Mark(1));
+        // Same bucket, strictly later time.
+        let v2 = e.schedule_at(t + SimDuration::from_nanos(8_192), Ev::Mark(2));
+        e.model_mut().cancel_targets = vec![v1, v2];
+        let ran = e.run_until(SimTime::from_millis(20));
+        assert_eq!(ran, 1, "only the cancelling event runs");
+        assert!(e.model().log.is_empty());
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_mid_bucket_leaves_tail_pending() {
+        // Regression: `run_until_capped` accounting stays per-event
+        // under batch draining. Exhaustion midway through a drained
+        // bucket re-files the unclaimed tail, which then runs — in
+        // order — on the next call.
+        let mut e = Engine::new(Recorder::default());
+        let t = bucket_start();
+        for i in 0..5u64 {
+            e.schedule_at(t + SimDuration::from_nanos(i * 100), Ev::Mark(i as u32));
+        }
+        assert!(!e.run_until_capped(SimTime::from_secs(1), 2));
+        assert_eq!(e.model().log.len(), 2);
+        assert_eq!(e.pending(), 3, "mid-bucket tail stays queued");
+        assert!(e.run_until_capped(SimTime::from_secs(1), 100));
+        let marks: Vec<u32> = e.model().log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(marks, vec![0, 1, 2, 3, 4]);
+        assert_eq!(e.now(), SimTime::from_secs(1));
     }
 
     #[test]

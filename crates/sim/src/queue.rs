@@ -21,8 +21,8 @@
 //! granularity (backoffs, DIFS/SIFS, airtimes, radio transitions), for
 //! which a comparison heap pays `O(log n)` pointer-chasing per event. The
 //! wheel is a ring of `BUCKET_COUNT` (4096) buckets of `2^BUCKET_SHIFT`
-//! ns each (16.384 µs ≈ one 802.11 20 µs slot), covering a ≈67 ms
-//! near-future window:
+//! ns each (65.536 µs ≈ a handful of 802.11 20 µs slots), covering a
+//! ≈268 ms near-future window:
 //!
 //! * **push** within the window appends to the target bucket — O(1);
 //! * **pop** drains the *current* bucket, which is sorted by
@@ -37,6 +37,21 @@
 //! Pushes at or before the cursor's bucket (e.g. `schedule_now` chains)
 //! insert into the current bucket at their sorted position, which keeps
 //! the total order exact even while the bucket is being drained.
+//!
+//! # Batch drain
+//!
+//! [`EventQueue::pop_batch_before`] hands out the current bucket's sorted
+//! run of entries up to a deadline in one pass, for callers (the engine's
+//! hot loop) that would otherwise pay one cursor pass per event. Batched
+//! entries are *ordering handles only*: the payload stays in the slab
+//! until [`EventQueue::claim`], which re-validates liveness — a handler
+//! dispatched from the batch may cancel a later entry of the same batch,
+//! and the claim then returns `None` instead of double-dispatching.
+//! Pushes that land in the current bucket while a batch is outstanding
+//! set a dirty flag ([`EventQueue::batch_dirty`]); the caller merges such
+//! intruders back into the total order via
+//! [`EventQueue::pop_before_entry`], and un-claimed entries can be
+//! re-filed with [`EventQueue::requeue_batch`] (budget exhaustion).
 //!
 //! # Examples
 //!
@@ -61,15 +76,17 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// log2 of the bucket width in nanoseconds: 2^14 ns = 16.384 µs, the
-/// MAC slot granularity (802.11 uses 20 µs slots; backoffs, DIFS and
-/// airtimes are all small multiples of it).
-const BUCKET_SHIFT: u32 = 14;
+/// log2 of the bucket width in nanoseconds: 2^16 ns = 65.536 µs, a few
+/// 802.11 20 µs slots. Wide enough that a batch drain hands the engine
+/// several events at a time (a 16.384 µs bucket held ~1 event, paying a
+/// cursor advance per event); narrow enough that the sorted insert for
+/// pushes into the current bucket stays cheap.
+const BUCKET_SHIFT: u32 = 16;
 /// Number of buckets in the ring (must be a power of two). With
-/// [`BUCKET_SHIFT`] this spans ≈67 ms of near future — wide enough that
-/// collection timeouts and radio wake-ups land in the wheel directly;
-/// only round-period chains (hundreds of ms and up) take the overflow
-/// heap.
+/// [`BUCKET_SHIFT`] this spans ≈268 ms of near future — wide enough
+/// that collection timeouts, radio wake-ups and most round-period
+/// chains land in the wheel directly; only second-scale schedules take
+/// the overflow heap.
 const BUCKET_COUNT: usize = 4096;
 const BUCKET_MASK: u64 = (BUCKET_COUNT as u64) - 1;
 /// Occupancy bitmap words.
@@ -121,6 +138,35 @@ impl Ord for Entry {
     }
 }
 
+/// An ordering handle drained by [`EventQueue::pop_batch_before`].
+///
+/// Holds no payload: the event stays in the slab until
+/// [`EventQueue::claim`]s it, so cancellations issued between drain and
+/// dispatch are still honoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl BatchEntry {
+    /// The fire time of the drained entry.
+    #[inline]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The cancellation handle of the drained entry.
+    #[inline]
+    pub fn id(&self) -> EventId {
+        EventId {
+            seq: self.seq,
+            slot: self.slot,
+        }
+    }
+}
+
 /// Deterministic future-event set.
 ///
 /// See the [module documentation](self) for ordering and cancellation
@@ -150,6 +196,11 @@ pub struct EventQueue<E> {
     sorted: bool,
     /// Events at or beyond the wheel horizon, ordered by `(time, seq)`.
     overflow: BinaryHeap<Reverse<Entry>>,
+    /// Set when a push lands in (or before) the current bucket while a
+    /// drained batch may be outstanding — the new entry could sort ahead
+    /// of batch entries not yet claimed. Cleared by
+    /// [`EventQueue::pop_batch_before`].
+    batch_dirty: bool,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -173,6 +224,7 @@ impl<E> EventQueue<E> {
             drain: 0,
             sorted: false,
             overflow: BinaryHeap::new(),
+            batch_dirty: false,
         }
     }
 
@@ -205,6 +257,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Files an ordering entry into the wheel or the overflow heap.
+    #[inline]
     fn insert_entry(&mut self, e: Entry) {
         let abs = e.time.as_nanos() >> BUCKET_SHIFT;
         if self.live == 1 && abs > self.cur_abs {
@@ -223,7 +276,10 @@ impl<E> EventQueue<E> {
         if abs <= self.cur_abs {
             // Current bucket (or the past — the engine forbids that, but
             // the queue keeps exact order regardless): keep the drained
-            // suffix sorted.
+            // suffix sorted. The new entry may sort ahead of an
+            // outstanding batch's unclaimed tail, so flag the batch
+            // dirty for the caller's merge check.
+            self.batch_dirty = true;
             let ring = (self.cur_abs & BUCKET_MASK) as usize;
             if self.sorted {
                 let tail = &self.wheel[ring][self.drain..];
@@ -247,6 +303,7 @@ impl<E> EventQueue<E> {
     /// Scheduling into the past (before the last popped event) is allowed
     /// by the queue itself; the [`engine`](crate::engine) enforces clock
     /// monotonicity at a higher level.
+    #[inline]
     pub fn push(&mut self, time: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -267,9 +324,7 @@ impl<E> EventQueue<E> {
             }
         };
         self.live += 1;
-        if self.live > self.peak_live {
-            self.peak_live = self.live;
-        }
+        self.peak_live = self.peak_live.max(self.live);
         self.insert_entry(Entry { time, seq, slot });
         EventId { seq, slot }
     }
@@ -408,6 +463,110 @@ impl<E> EventQueue<E> {
         Some(self.consume_head(e))
     }
 
+    /// Copies the current bucket's remaining live entries with fire time
+    /// `<= deadline` into `buf`, advancing the drained prefix past them.
+    /// The bucket is already settled (sorted, `drain` on a live entry).
+    fn drain_bucket_into(&mut self, deadline: SimTime, buf: &mut Vec<BatchEntry>) {
+        let ring = (self.cur_abs & BUCKET_MASK) as usize;
+        let bucket = &self.wheel[ring];
+        let mut i = self.drain;
+        while i < bucket.len() {
+            let e = bucket[i];
+            if e.time > deadline {
+                break;
+            }
+            i += 1;
+            let sl = &self.slots[e.slot as usize];
+            if sl.seq == e.seq && sl.event.is_some() {
+                buf.push(BatchEntry {
+                    time: e.time,
+                    seq: e.seq,
+                    slot: e.slot,
+                });
+            }
+        }
+        self.drain = i;
+    }
+
+    /// Drains the current bucket's sorted run of live entries with fire
+    /// time `<= deadline` into `buf` (cleared first) in exact
+    /// `(time, seq)` order, and returns how many were drained — zero when
+    /// nothing is pending at or before the deadline.
+    ///
+    /// The drained entries are ordering handles only: the caller must
+    /// [`EventQueue::claim`] each one at dispatch, which re-validates
+    /// liveness (a handler may cancel a later entry of the same batch).
+    /// While the batch is outstanding, [`EventQueue::batch_dirty`] tells
+    /// the caller whether a push may have landed ahead of the unclaimed
+    /// tail; entries that will not be claimed must be given back via
+    /// [`EventQueue::requeue_batch`].
+    pub fn pop_batch_before(&mut self, deadline: SimTime, buf: &mut Vec<BatchEntry>) -> usize {
+        buf.clear();
+        let Some(first) = self.settle_head() else {
+            return 0;
+        };
+        if first.time > deadline {
+            return 0;
+        }
+        self.drain_bucket_into(deadline, buf);
+        self.batch_dirty = false;
+        buf.len()
+    }
+
+    /// True if a push landed in (or before) the current bucket since the
+    /// last [`EventQueue::pop_batch_before`] — i.e. an event may now sort
+    /// ahead of batch entries not yet claimed, and the caller must merge
+    /// via [`EventQueue::pop_before_entry`] before claiming each one.
+    #[inline]
+    pub fn batch_dirty(&self) -> bool {
+        self.batch_dirty
+    }
+
+    /// Pops the earliest pending event only if it sorts strictly before
+    /// the batch entry `e` — the merge point for events pushed into the
+    /// current bucket while a drained batch is outstanding.
+    pub fn pop_before_entry(&mut self, e: BatchEntry) -> Option<(SimTime, EventId, E)> {
+        let head = self.settle_head()?;
+        if (head.time, head.seq) >= (e.time, e.seq) {
+            return None;
+        }
+        Some(self.consume_head(head))
+    }
+
+    /// Takes the payload of a drained batch entry if it is still live.
+    /// Returns `None` when the entry was cancelled between drain and
+    /// claim — the liveness re-validation that makes cancel-during-batch
+    /// exact (no double dispatch, no ghost dispatch).
+    #[inline]
+    pub fn claim(&mut self, e: BatchEntry) -> Option<E> {
+        let sl = &mut self.slots[e.slot as usize];
+        if sl.seq != e.seq {
+            return None;
+        }
+        let event = sl.event.take()?;
+        self.free.push(e.slot);
+        self.live -= 1;
+        Some(event)
+    }
+
+    /// Re-files drained batch entries that will not be claimed (e.g. an
+    /// event budget ran out mid-batch). The payloads never left the slab,
+    /// so only the ordering entries are restored — with their original
+    /// sequence numbers, keeping the total order exact. Entries cancelled
+    /// while the batch was outstanding are dropped.
+    pub fn requeue_batch(&mut self, entries: &[BatchEntry]) {
+        for &e in entries {
+            let sl = &self.slots[e.slot as usize];
+            if sl.seq == e.seq && sl.event.is_some() {
+                self.insert_entry(Entry {
+                    time: e.time,
+                    seq: e.seq,
+                    slot: e.slot,
+                });
+            }
+        }
+    }
+
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
         self.live
@@ -446,6 +605,7 @@ impl<E> EventQueue<E> {
         self.drain = 0;
         self.sorted = false;
         self.overflow.clear();
+        self.batch_dirty = false;
     }
 }
 

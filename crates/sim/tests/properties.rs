@@ -336,6 +336,86 @@ mod wheel_vs_reference {
             }
         }
 
+        /// Differential test of the batch-drain protocol (the exact
+        /// consumption loop the engine runs: `pop_batch_before`, then
+        /// per entry a dirty-merge via `pop_before_entry` followed by
+        /// `claim`) against the reference heap, with mid-drain pushes
+        /// into the current bucket, far-future pushes whose overflow
+        /// entries must migrate across batch boundaries, and cancels of
+        /// not-yet-claimed batch entries.
+        #[test]
+        fn batch_drain_matches_reference(
+            initial in proptest::collection::vec(
+                prop_oneof![0u64..20_000, 0u64..5_000_000, 0u64..150_000_000],
+                1..150,
+            ),
+            script in proptest::collection::vec((0u8..3, 0u64..20_000, any::<u16>()), 0..150),
+        ) {
+            let mut q = EventQueue::new();
+            let mut r = RefQueue::default();
+            let mut ids = Vec::new();
+            let mut payload = 0usize;
+            for &t in &initial {
+                ids.push(q.push(SimTime::from_nanos(t), payload));
+                r.push(t, payload);
+                payload += 1;
+            }
+            let mut script = script.into_iter();
+            let deadline = SimTime::from_nanos(2_000_000_000);
+            let mut buf = Vec::new();
+            while q.pop_batch_before(deadline, &mut buf) != 0 {
+                for &e in &buf {
+                    // One scripted interference op per batch entry,
+                    // played *between* dispatches like a handler would.
+                    match script.next() {
+                        Some((0, dt, _)) => {
+                            // Near push: often lands in the bucket being
+                            // consumed and must merge into dispatch order.
+                            let t = e.time().as_nanos() + dt % 4_096;
+                            ids.push(q.push(SimTime::from_nanos(t), payload));
+                            r.push(t, payload);
+                            payload += 1;
+                        }
+                        Some((1, dt, _)) => {
+                            // Far push: lands in the overflow heap and
+                            // must migrate back as later batches drain.
+                            let t = e.time().as_nanos() + 100_000_000 + dt;
+                            ids.push(q.push(SimTime::from_nanos(t), payload));
+                            r.push(t, payload);
+                            payload += 1;
+                        }
+                        Some((_, _, pick)) if !ids.is_empty() => {
+                            let id = ids[pick as usize % ids.len()];
+                            prop_assert_eq!(
+                                q.cancel(id),
+                                r.cancel(id.as_u64()),
+                                "cancel outcome diverged"
+                            );
+                        }
+                        _ => {}
+                    }
+                    if q.batch_dirty() {
+                        while let Some((t, _, p)) = q.pop_before_entry(e) {
+                            prop_assert_eq!(
+                                Some((t.as_nanos(), p)),
+                                r.pop(),
+                                "mid-drain intruder order diverged"
+                            );
+                        }
+                    }
+                    if let Some(p) = q.claim(e) {
+                        prop_assert_eq!(
+                            Some((e.time().as_nanos(), p)),
+                            r.pop(),
+                            "batch dispatch order diverged"
+                        );
+                    }
+                }
+            }
+            prop_assert!(q.is_empty(), "wheel retains events past the drain");
+            prop_assert_eq!(r.pop(), None, "reference retains events the wheel dropped");
+        }
+
         /// Same-instant FIFO across the overflow → wheel migration: a
         /// burst scheduled far in the future pops in insertion order
         /// even though it reaches the wheel via the overflow heap.

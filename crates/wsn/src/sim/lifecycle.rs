@@ -246,17 +246,37 @@ impl<P: Probe> World<P> {
             return;
         };
         let now = ctx.now();
-        for i in 0..self.hot.dead.len() {
-            if self.hot.dead[i] {
-                continue;
+        // Chunked two-pass sweep. Pass 1 scans the SoA `dead` flags a
+        // cache-line-sized chunk at a time — the live count per chunk is
+        // a branch-free accumulation, so a fully-dead chunk (common late
+        // in lifetime runs) costs one test — and only live nodes pay for
+        // the energy projection. Doomed nodes land in a recycled scratch
+        // list; pass 2 does the (rare, mutation-heavy) kills.
+        const CHUNK: usize = 64;
+        let mut doomed = std::mem::take(&mut self.sweep_scratch);
+        doomed.clear();
+        let n = self.hot.dead.len();
+        let mut base = 0;
+        while base < n {
+            let end = (base + CHUNK).min(n);
+            let chunk = &self.hot.dead[base..end];
+            let live = chunk.iter().fold(0u32, |a, &d| a + !d as u32);
+            if live != 0 {
+                for (off, &dead) in chunk.iter().enumerate() {
+                    if !dead && self.nodes[base + off].radio.energy_j_at(now) >= b.capacity_j {
+                        doomed.push((base + off) as u32);
+                    }
+                }
             }
-            if self.nodes[i].radio.energy_j_at(now) >= b.capacity_j {
-                // Battery deaths are permanent: churn recovery must not
-                // resurrect a node with an empty battery.
-                self.hot.battery_dead[i] = true;
-                self.kill_node(NodeId::new(i as u32), now);
-            }
+            base = end;
         }
+        for &i in &doomed {
+            // Battery deaths are permanent: churn recovery must not
+            // resurrect a node with an empty battery.
+            self.hot.battery_dead[i as usize] = true;
+            self.kill_node(NodeId::new(i), now);
+        }
+        self.sweep_scratch = doomed;
         let next = now + b.check_period;
         if next < self.run_end {
             ctx.schedule_at(next, Ev::BatteryCheck);

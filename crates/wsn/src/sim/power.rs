@@ -376,10 +376,11 @@ impl<P: Probe> World<P> {
         let frame = self.tx_frames[tx.slot_index()]
             .take()
             .expect("in-flight transmission has a parked frame");
-        let end = self.channel.end_tx(now, tx);
+        let mut end = std::mem::take(&mut self.tx_end_buf);
+        self.channel.end_tx_into(now, tx, &mut end);
         let mut acts = self.take_macts();
-        for i in 0..end.now_idle.len() {
-            let h = end.now_idle[i];
+        for i in 0..end.now_idle().len() {
+            let h = end.now_idle()[i];
             let hi = h.index();
             if !self.hot.dead[hi] && self.hot.radio_active[hi] {
                 self.nodes[hi].mac.carrier_idle_into(now, &mut acts);
@@ -391,8 +392,8 @@ impl<P: Probe> World<P> {
             self.exec_mac_actions(sender, &mut acts, ctx);
         }
         let mut delivered: u32 = 0;
-        for i in 0..end.clean_receivers.len() {
-            let r = end.clean_receivers[i];
+        for i in 0..end.clean().len() {
+            let r = end.clean()[i];
             let ri = r.index();
             if self.hot.dead[ri] {
                 continue;
@@ -410,16 +411,10 @@ impl<P: Probe> World<P> {
         }
         self.put_macts(acts);
         if self.probe.enabled() {
-            self.probe.on_tx_end(
-                now,
-                sender.index() as u32,
-                delivered,
-                end.corrupted_receivers.len() as u32,
-            );
+            self.probe
+                .on_tx_end(now, sender.index() as u32, delivered, end.corrupted_len());
         }
-        self.channel.recycle_nodes(end.now_idle);
-        self.channel.recycle_nodes(end.clean_receivers);
-        self.channel.recycle_nodes(end.corrupted_receivers);
+        self.tx_end_buf = end;
         self.sleep_checkpoint(sender, SleepTrigger::Quiesce, ctx);
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use essat_core::policy::{PolicyAction, SleepTrigger};
-use essat_net::channel::Channel;
+use essat_net::channel::{Channel, TxEndBuf};
 use essat_net::frame::Frame;
 use essat_net::ids::NodeId;
 use essat_net::mac::Mac;
@@ -159,6 +159,13 @@ pub struct World<P: Probe = NullProbe> {
     /// push/pop copy it; parking frames here keeps the event alphabet
     /// at pointer-ish sizes for the 40M-event runs.
     pub(crate) tx_frames: Vec<Option<Frame<Payload>>>,
+    /// Recycled flat tx-end outcome buffer: the channel partitions each
+    /// finished transmission's clean / corrupted / now-idle fan-out into
+    /// this one contiguous list instead of three per-call vectors.
+    pub(crate) tx_end_buf: TxEndBuf,
+    /// Recycled scratch for the whole-network sweeps (battery doom
+    /// list, boundary checkpoint work lists).
+    pub(crate) sweep_scratch: Vec<u32>,
     /// The attached observability probe ([`NullProbe`] by default).
     pub(crate) probe: P,
 }
@@ -337,6 +344,8 @@ impl<P: Probe> World<P> {
             act_pool: Vec::new(),
             mact_pool: Vec::new(),
             tx_frames: Vec::new(),
+            tx_end_buf: TxEndBuf::default(),
+            sweep_scratch: Vec::new(),
             probe,
         };
 
@@ -678,14 +687,16 @@ impl<P: Probe> World<P> {
                 energy: n.radio.energy_j(),
             };
         }
-        // First sleep decisions.
-        for node in self.topo.nodes().collect::<Vec<_>>() {
-            let i = node.index();
+        // First sleep decisions: one in-order sweep straight over the
+        // SoA flags (no id-list materialisation — scheduling order, and
+        // therefore seq tie-breaks, must match the per-node path
+        // exactly). Non-members sleep for the rest of the run.
+        for i in 0..self.hot.dead.len() {
             if self.hot.dead[i] {
                 continue;
             }
+            let node = NodeId::new(i as u32);
             if !self.hot.member[i] {
-                // Outside the tree: sleep for the rest of the run.
                 if self.hot.radio_active[i] && self.nodes[i].mac.can_suspend() {
                     self.suspend_radio(node, ctx);
                 }
@@ -699,8 +710,10 @@ impl<P: Probe> World<P> {
         if !self.setup_over {
             return;
         }
-        for node in self.topo.nodes().collect::<Vec<_>>() {
-            self.sleep_checkpoint(node, SleepTrigger::Boundary, ctx);
+        // Whole-network boundary sweep, straight over the Hot arrays —
+        // no id-list materialisation.
+        for i in 0..self.hot.dead.len() {
+            self.sleep_checkpoint(NodeId::new(i as u32), SleepTrigger::Boundary, ctx);
         }
     }
 
@@ -968,13 +981,24 @@ impl<P: Probe> Model for World<P> {
             }
             Ev::MacTimer { node, kind, gen } => {
                 if !self.hot.dead[node.index()] {
-                    let mut acts = self.take_macts();
-                    self.nodes[node.index()]
-                        .mac
-                        .timer_fired_into(kind, gen, ctx.now(), &mut acts);
-                    self.exec_mac_actions(node, &mut acts, ctx);
-                    self.put_macts(acts);
-                    self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+                    // Disarm is a generation bump, so most expiries that
+                    // arrive here are stale no-ops. Those skip the
+                    // checkpoint too: whatever bumped the generation did
+                    // so inside an event handler that ran its own
+                    // checkpoint, so a stale expiry observes no state
+                    // change since the last sleep decision.
+                    if self.nodes[node.index()].mac.timer_current(kind, gen) {
+                        let mut acts = self.take_macts();
+                        self.nodes[node.index()].mac.timer_fired_into(
+                            kind,
+                            gen,
+                            ctx.now(),
+                            &mut acts,
+                        );
+                        self.exec_mac_actions(node, &mut acts, ctx);
+                        self.put_macts(acts);
+                        self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
+                    }
                 }
             }
             Ev::TxEnd { sender, tx } => self.handle_tx_end(sender, tx, ctx),

@@ -81,6 +81,33 @@ fn event_budget_exhaustion_is_reported() {
     assert!(f.reason.contains("event budget"), "reason: {}", f.reason);
 }
 
+/// Budget accounting stays per-event under batch draining. The engine
+/// consumes events a wheel bucket at a time, but a budget of N must
+/// trip after exactly N dispatches — exhaustion midway through a
+/// drained bucket leaves the remainder pending and reports the same
+/// structured failure as before batching, at every cap value around
+/// bucket-sized dispatch bursts.
+#[test]
+fn budget_exhaustion_mid_bucket_reports_identically() {
+    for budget in [1u64, 97, 100, 101, 128, 1_000] {
+        let out = SweepExecutor::with_threads(1)
+            .with_event_budget(budget)
+            .run_checked(&[SweepCell::new(cfg(Protocol::DtsSs, 9), 1)]);
+        assert!(
+            out.results[0].is_empty(),
+            "budget {budget}: an exhausted run yields no result"
+        );
+        assert_eq!(out.failures.len(), 1, "budget {budget}");
+        let f = &out.failures[0];
+        assert!(!f.retried, "budget {budget}: exhaustion is deterministic");
+        assert!(
+            f.reason.contains(&budget.to_string()),
+            "budget {budget}: reason names the cap: {}",
+            f.reason
+        );
+    }
+}
+
 /// An ample budget is invisible: the capped path reproduces the
 /// uncapped run bit for bit.
 #[test]
