@@ -137,6 +137,99 @@ fn timer_wheel_cancel_churn(c: &mut Criterion) {
     });
 }
 
+/// Executes one MAC action batch against a real event queue the way the
+/// simulator's executor does: `SetTimer` pushes an expiry event and hands
+/// the id back through `timer_scheduled` (cancelling any displaced
+/// handle), `StartTx` completes instantaneously, and every surrendered
+/// handle from `pop_cancelled` becomes a real `queue.cancel`.
+fn run_mac_actions(
+    mac: &mut essat_net::mac::Mac<u64>,
+    q: &mut EventQueue<essat_net::mac::MacTimer>,
+    now: SimTime,
+    acts: &mut Vec<essat_net::mac::MacAction<u64>>,
+    spare: &mut Vec<essat_net::mac::MacAction<u64>>,
+) {
+    use essat_net::mac::MacAction;
+    while !acts.is_empty() {
+        spare.clear();
+        for a in acts.drain(..) {
+            match a {
+                MacAction::SetTimer { kind, after } => {
+                    let id = q.push(now + after, kind);
+                    if let Some(stale) = mac.timer_scheduled(kind, id) {
+                        q.cancel(stale);
+                    }
+                }
+                MacAction::StartTx { .. } => {
+                    // Airtime is irrelevant here; what this bench
+                    // measures is the arm/disarm traffic of the cycle.
+                    mac.tx_ended_into(now, spare);
+                }
+                _ => {}
+            }
+        }
+        while let Some(id) = mac.pop_cancelled() {
+            q.cancel(id);
+        }
+        std::mem::swap(acts, spare);
+    }
+}
+
+fn mac_timer_arm_disarm_churn(c: &mut Criterion) {
+    use essat_net::frame::{Dest, Frame, FrameKind};
+    use essat_net::mac::{Mac, MacParams};
+    c.bench_function("micro/mac_timer_arm_disarm_churn", |b| {
+        // The CSMA/CA contention cycle's timer lifecycle end-to-end:
+        // every DIFS/backoff arm schedules a real expiry event, every
+        // carrier interruption disarms it via true cancellation
+        // (`timer_scheduled` / `pop_cancelled` / `queue.cancel`), and
+        // expiries dispatch through the wheel. This is the path that
+        // replaced generation-fencing, so its cost is tracked here.
+        b.iter(|| {
+            let mut mac: Mac<u64> = Mac::new(
+                NodeId::new(0),
+                MacParams::paper(),
+                SimRng::seed_from_u64(11),
+            );
+            let mut q = EventQueue::new();
+            let mut acts = Vec::new();
+            let mut spare = Vec::new();
+            let mut now = SimTime::from_nanos(0);
+            let mut fired = 0u64;
+            for step in 0..2_000u64 {
+                let f = Frame {
+                    id: mac.alloc_frame_id(),
+                    src: mac.node(),
+                    dest: Dest::Broadcast,
+                    kind: FrameKind::Data,
+                    bytes: 52,
+                    payload: step,
+                };
+                mac.enqueue_into(f, now, &mut acts);
+                run_mac_actions(&mut mac, &mut q, now, &mut acts, &mut spare);
+                if step % 3 == 0 {
+                    // Carrier goes busy then idle: the Difs/Backoff
+                    // disarm + re-arm churn this bench exists for.
+                    mac.carrier_busy(now);
+                    while let Some(id) = mac.pop_cancelled() {
+                        q.cancel(id);
+                    }
+                    mac.carrier_idle_into(now, &mut acts);
+                    run_mac_actions(&mut mac, &mut q, now, &mut acts, &mut spare);
+                }
+                while let Some((t, _, kind)) = q.pop() {
+                    now = now.max(t);
+                    fired += 1;
+                    mac.timer_fired_into(kind, now, &mut acts);
+                    run_mac_actions(&mut mac, &mut q, now, &mut acts, &mut spare);
+                }
+                now += SimDuration::from_micros(100);
+            }
+            black_box(fired)
+        })
+    });
+}
+
 fn batch_drain(c: &mut Criterion) {
     c.bench_function("micro/batch_drain_10k", |b| {
         // The engine's batched consumption loop (pop_batch_before +
@@ -353,6 +446,7 @@ criterion_group! {
         event_queue_churn_with_cancel,
         timer_wheel_push_pop,
         timer_wheel_cancel_churn,
+        mac_timer_arm_disarm_churn,
         batch_drain,
         channel_start_end_tx,
         channel_end_tx_vectorised,

@@ -20,13 +20,18 @@
 //!
 //! The state machine never touches the engine: every input returns a list
 //! of [`MacAction`]s (timers to arm, transmissions to start, frames to
-//! deliver up) that the simulator executes. Timers use generation
-//! counters, so cancelling is just bumping a counter — stale timer events
-//! are ignored on arrival.
+//! deliver up) that the simulator executes. Timers are *truly cancelled*:
+//! the MAC keeps the live [`EventId`] of every armed timer (reported back
+//! by the executor via [`Mac::timer_scheduled`] after it schedules a
+//! [`MacAction::SetTimer`]) and, on disarm or re-arm, surrenders the
+//! superseded handle through [`Mac::pop_cancelled`] for the executor to
+//! `cancel` on its queue — a disarmed timer never dispatches at all,
+//! instead of firing stale and being filtered by a generation check.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+use essat_sim::queue::EventId;
 use essat_sim::rng::SimRng;
 use essat_sim::time::{SimDuration, SimTime};
 
@@ -85,8 +90,8 @@ impl Default for MacParams {
 }
 
 /// Timer classes the MAC arms. The simulator routes expiry back via
-/// [`Mac::timer_fired`] together with the generation returned in the
-/// [`MacAction::SetTimer`] action.
+/// [`Mac::timer_fired`]; at most one timer of each kind is armed at a
+/// time, and the MAC owns its cancellation handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MacTimer {
     /// Idle-medium wait before transmission or backoff.
@@ -126,13 +131,13 @@ impl fmt::Display for MacTimer {
 /// Instructions emitted by the MAC for the simulator to execute.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MacAction<P> {
-    /// Arm (or re-arm) a timer; deliver expiry via [`Mac::timer_fired`]
-    /// with the same generation.
+    /// Arm (or re-arm) a timer; deliver expiry via [`Mac::timer_fired`].
+    /// After scheduling the expiry event, the executor must hand its
+    /// [`EventId`] back through [`Mac::timer_scheduled`] (and cancel any
+    /// handle that call returns) so disarms can truly cancel it.
     SetTimer {
         /// Which timer.
         kind: MacTimer,
-        /// Generation to echo back on expiry.
-        gen: u64,
         /// Delay from now.
         after: SimDuration,
     },
@@ -234,8 +239,14 @@ pub struct Mac<P> {
     /// (the paper's §4.3 phase-update-request-in-ACK mechanism).
     ack_notes: HashMap<NodeId, P>,
     after_ack: AfterAck,
-    timer_gen: [u64; MacTimer::COUNT],
+    /// Live expiry-event handle per timer kind, reported by the executor
+    /// via [`Mac::timer_scheduled`]. `Some` iff an expiry event for that
+    /// kind is (believed) pending in the simulator's queue.
+    timer_ev: [Option<EventId>; MacTimer::COUNT],
     timer_armed: [bool; MacTimer::COUNT],
+    /// Handles of superseded timers awaiting cancellation by the
+    /// executor (drained via [`Mac::pop_cancelled`]).
+    cancelled: Vec<EventId>,
     last_seen: HashMap<NodeId, FrameId>,
     next_frame_seq: u64,
     stats: MacStats,
@@ -260,8 +271,9 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
             pending_acks: VecDeque::new(),
             ack_notes: HashMap::new(),
             after_ack: AfterAck::AccessCycle,
-            timer_gen: [0; MacTimer::COUNT],
+            timer_ev: [None; MacTimer::COUNT],
             timer_armed: [false; MacTimer::COUNT],
+            cancelled: Vec::new(),
             last_seen: HashMap::new(),
             next_frame_seq: 0,
             stats: MacStats::default(),
@@ -317,19 +329,60 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
 
     fn arm(&mut self, kind: MacTimer, after: SimDuration, out: &mut Vec<MacAction<P>>) {
         let i = kind.idx();
-        self.timer_gen[i] += 1;
+        if let Some(old) = self.timer_ev[i].take() {
+            self.cancelled.push(old);
+        }
         self.timer_armed[i] = true;
-        out.push(MacAction::SetTimer {
-            kind,
-            gen: self.timer_gen[i],
-            after,
-        });
+        out.push(MacAction::SetTimer { kind, after });
     }
 
     fn disarm(&mut self, kind: MacTimer) {
         let i = kind.idx();
-        self.timer_gen[i] += 1;
         self.timer_armed[i] = false;
+        if let Some(old) = self.timer_ev[i].take() {
+            self.cancelled.push(old);
+        }
+    }
+
+    /// Reports the expiry event the executor scheduled for the most
+    /// recent [`MacAction::SetTimer`] of `kind`. Returns a handle the
+    /// executor must cancel: either a displaced older expiry event, or
+    /// `id` itself when the arm was already superseded by a disarm later
+    /// in the same action batch.
+    #[must_use = "a returned handle must be cancelled on the event queue"]
+    pub fn timer_scheduled(&mut self, kind: MacTimer, id: EventId) -> Option<EventId> {
+        let i = kind.idx();
+        if !self.timer_armed[i] {
+            return Some(id);
+        }
+        self.timer_ev[i].replace(id)
+    }
+
+    /// Pops one handle awaiting cancellation (a disarmed or superseded
+    /// timer's expiry event). The executor drains this after every call
+    /// that may disarm timers and cancels each handle on its queue.
+    #[inline]
+    pub fn pop_cancelled(&mut self) -> Option<EventId> {
+        self.cancelled.pop()
+    }
+
+    /// Moves every stored timer handle into the pending-cancel buffer
+    /// and disarms all timers — used when the node dies or the MAC is
+    /// about to be replaced, so no expiry event outlives its owner.
+    pub fn cancel_all_timers(&mut self) {
+        for i in 0..MacTimer::COUNT {
+            self.timer_armed[i] = false;
+            if let Some(old) = self.timer_ev[i].take() {
+                self.cancelled.push(old);
+            }
+        }
+    }
+
+    /// The stored expiry-event handle for `kind`, if armed. Lets the
+    /// executor cross-check (under `sanitize`) that a dispatched timer
+    /// expiry is the event the MAC still expects.
+    pub fn timer_event(&self, kind: MacTimer) -> Option<EventId> {
+        self.timer_ev[kind.idx()]
     }
 
     /// Hands a data frame to the MAC for transmission.
@@ -435,39 +488,27 @@ impl<P: Clone + Default + PartialEq> Mac<P> {
         }
     }
 
-    /// A timer armed through [`MacAction::SetTimer`] expired.
-    /// Stale generations are ignored.
-    pub fn timer_fired(&mut self, kind: MacTimer, gen: u64, now: SimTime) -> Vec<MacAction<P>> {
+    /// A timer armed through [`MacAction::SetTimer`] expired. Disarmed
+    /// timers are truly cancelled on the event queue, so every expiry
+    /// that arrives here is current.
+    pub fn timer_fired(&mut self, kind: MacTimer, now: SimTime) -> Vec<MacAction<P>> {
         let mut out = Vec::new();
-        self.timer_fired_into(kind, gen, now, &mut out);
+        self.timer_fired_into(kind, now, &mut out);
         out
     }
 
-    /// Whether a pending timer event for `(kind, gen)` is still current.
-    ///
-    /// Disarming a MAC timer bumps its generation rather than removing
-    /// the queued event, so most expiries that reach the executor are
-    /// stale no-ops; this check lets the dispatch loop skip the action
-    /// machinery for them.
-    #[inline]
-    pub fn timer_current(&self, kind: MacTimer, gen: u64) -> bool {
-        let i = kind.idx();
-        self.timer_armed[i] && self.timer_gen[i] == gen
-    }
-
     /// [`Mac::timer_fired`] into a caller-recycled buffer.
-    pub fn timer_fired_into(
-        &mut self,
-        kind: MacTimer,
-        gen: u64,
-        now: SimTime,
-        out: &mut Vec<MacAction<P>>,
-    ) {
+    pub fn timer_fired_into(&mut self, kind: MacTimer, now: SimTime, out: &mut Vec<MacAction<P>>) {
         let i = kind.idx();
-        if !self.timer_armed[i] || self.timer_gen[i] != gen {
+        if !self.timer_armed[i] {
+            // Defensive: with true cancellation a disarmed timer's expiry
+            // never dispatches. Tolerated (not asserted) because a node
+            // revival swaps in a fresh MAC, and an expiry armed by the
+            // old one while the node was dead may still be in flight.
             return;
         }
         self.timer_armed[i] = false;
+        self.timer_ev[i] = None; // consumed by this very dispatch
         match kind {
             MacTimer::Difs => {
                 debug_assert_eq!(self.state, State::Difs);

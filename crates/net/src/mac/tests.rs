@@ -31,8 +31,8 @@ fn t(us: u64) -> SimTime {
 /// Drive one SetTimer action to expiry, returning follow-up actions.
 fn fire(mac: &mut TMac, actions: &[MacAction<u32>], now: SimTime) -> Vec<MacAction<u32>> {
     for a in actions {
-        if let MacAction::SetTimer { kind, gen, .. } = a {
-            return mac.timer_fired(*kind, *gen, now);
+        if let MacAction::SetTimer { kind, .. } = a {
+            return mac.timer_fired(*kind, now);
         }
     }
     panic!("no timer among actions: {actions:?}");
@@ -160,7 +160,7 @@ fn frame_dropped_after_retry_limit() {
             .iter()
             .find(|a| matches!(a, MacAction::SetTimer { .. }))
         {
-            Some(MacAction::SetTimer { kind, gen, .. }) => mac.timer_fired(*kind, *gen, now),
+            Some(MacAction::SetTimer { kind, .. }) => mac.timer_fired(*kind, now),
             _ => {
                 if actions
                     .iter()
@@ -313,17 +313,74 @@ fn suspend_retains_queue_and_resumes() {
 }
 
 #[test]
-fn stale_timer_generations_ignored() {
+fn disarm_surrenders_handle_for_cancellation() {
+    use essat_sim::queue::EventQueue;
+    let mut q: EventQueue<()> = EventQueue::new();
+    let mut mac = mk(0);
+    let f = data(&mut mac, Dest::Broadcast, 1);
+    let a1 = mac.enqueue(f, t(0)); // arms DIFS
+    let MacAction::SetTimer { kind, after } = a1[0] else {
+        panic!("expected timer");
+    };
+    // The executor schedules the expiry and reports the handle back.
+    let id = q.push(t(0) + after, ());
+    assert_eq!(mac.timer_scheduled(kind, id), None);
+    assert_eq!(mac.timer_event(kind), Some(id));
+    // Busy disarms the DIFS: the MAC surrenders the handle so the
+    // expiry event is truly cancelled, not fired stale.
+    mac.carrier_busy(t(10));
+    let surrendered = mac.pop_cancelled().expect("disarm surrenders the handle");
+    assert_eq!(surrendered, id);
+    assert!(mac.pop_cancelled().is_none());
+    assert!(q.cancel(surrendered));
+    assert!(q.is_empty());
+    // Defensive: a late expiry (protocol violated) is still a no-op.
+    assert!(mac.timer_fired(kind, t(50)).is_empty());
+}
+
+#[test]
+fn arm_superseded_before_scheduling_returns_own_handle() {
+    use essat_sim::queue::EventQueue;
+    let mut q: EventQueue<()> = EventQueue::new();
     let mut mac = mk(0);
     let f = data(&mut mac, Dest::Broadcast, 1);
     let a1 = mac.enqueue(f, t(0));
-    let MacAction::SetTimer { kind, gen, .. } = a1[0] else {
+    let MacAction::SetTimer { kind, after } = a1[0] else {
         panic!("expected timer");
     };
-    // Busy cancels the DIFS.
+    // The medium goes busy (disarming the DIFS) before the executor
+    // schedules the arm's expiry event: reporting the fresh handle back
+    // returns it immediately for cancellation.
+    mac.carrier_busy(t(0));
+    let id = q.push(t(0) + after, ());
+    assert_eq!(mac.timer_scheduled(kind, id), Some(id));
+    assert_eq!(mac.timer_event(kind), None);
+}
+
+#[test]
+fn rearm_displaces_previous_handle() {
+    use essat_sim::queue::EventQueue;
+    let mut q: EventQueue<()> = EventQueue::new();
+    let mut mac = mk(0);
+    let f = data(&mut mac, Dest::Broadcast, 1);
+    let a1 = mac.enqueue(f, t(0));
+    let MacAction::SetTimer { kind, after } = a1[0] else {
+        panic!("expected timer");
+    };
+    let first = q.push(t(0) + after, ());
+    assert_eq!(mac.timer_scheduled(kind, first), None);
+    // Busy then idle re-arms the DIFS: the disarm surrendered `first`,
+    // and the new arm's handle takes its place cleanly.
     mac.carrier_busy(t(10));
-    let out = mac.timer_fired(kind, gen, t(50));
-    assert!(out.is_empty(), "stale DIFS must be ignored");
+    assert_eq!(mac.pop_cancelled(), Some(first));
+    let a2 = mac.carrier_idle(t(100));
+    let MacAction::SetTimer { kind, after } = a2[0] else {
+        panic!("expected re-armed timer");
+    };
+    let second = q.push(t(100) + after, ());
+    assert_eq!(mac.timer_scheduled(kind, second), None);
+    assert_eq!(mac.timer_event(kind), Some(second));
+    assert!(mac.pop_cancelled().is_none());
 }
 
 #[test]

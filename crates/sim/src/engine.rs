@@ -71,6 +71,7 @@ pub trait Model {
 #[derive(Debug)]
 pub struct Context<'a, E> {
     now: SimTime,
+    id: EventId,
     queue: &'a mut EventQueue<E>,
 }
 
@@ -78,6 +79,18 @@ impl<'a, E> Context<'a, E> {
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The id of the event currently being dispatched.
+    ///
+    /// Handle-owning state machines (the MAC timers, Safe-Sleep
+    /// wake-ups, collection timeouts) keep the [`EventId`] returned
+    /// when they armed a timer and cancel it on disarm; this accessor
+    /// lets them cross-check, at dispatch, that a firing event is the
+    /// one they still expect (the `sanitize` feature's "no stale event
+    /// ever dispatches" invariant).
+    pub fn event_id(&self) -> EventId {
+        self.id
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -230,12 +243,13 @@ impl<M: Model> Engine<M> {
     /// Advances the clock to `time` and hands `event` to the model —
     /// the single dispatch path shared by [`Engine::step`] and
     /// [`Engine::run_until`].
-    fn dispatch(&mut self, time: SimTime, event: M::Event) {
+    fn dispatch(&mut self, time: SimTime, id: EventId, event: M::Event) {
         debug_assert!(time >= self.now, "event queue violated monotonicity");
         self.now = time;
         self.processed += 1;
         let mut ctx = Context {
             now: time,
+            id,
             queue: &mut self.queue,
         };
         self.model.handle(event, &mut ctx);
@@ -245,8 +259,8 @@ impl<M: Model> Engine<M> {
     /// queue was empty.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some((time, _id, event)) => {
-                self.dispatch(time, event);
+            Some((time, id, event)) => {
+                self.dispatch(time, id, event);
                 true
             }
             None => false,
@@ -269,12 +283,12 @@ impl<M: Model> Engine<M> {
     #[inline]
     fn dispatch_batch_entry(&mut self, e: BatchEntry) {
         if self.queue.batch_dirty() {
-            while let Some((time, _id, event)) = self.queue.pop_before_entry(e) {
-                self.dispatch(time, event);
+            while let Some((time, id, event)) = self.queue.pop_before_entry(e) {
+                self.dispatch(time, id, event);
             }
         }
         if let Some(event) = self.queue.claim(e) {
-            self.dispatch(e.time(), event);
+            self.dispatch(e.time(), e.id(), event);
         }
     }
 
@@ -332,8 +346,8 @@ impl<M: Model> Engine<M> {
                 if self.queue.batch_dirty() {
                     while ran < budget {
                         match self.queue.pop_before_entry(e) {
-                            Some((time, _id, event)) => {
-                                self.dispatch(time, event);
+                            Some((time, id, event)) => {
+                                self.dispatch(time, id, event);
                                 ran += 1;
                             }
                             None => break,
@@ -358,7 +372,7 @@ impl<M: Model> Engine<M> {
                     }
                 }
                 if let Some(event) = self.queue.claim(e) {
-                    self.dispatch(e.time(), event);
+                    self.dispatch(e.time(), e.id(), event);
                     ran += 1;
                 }
             }
@@ -385,6 +399,12 @@ mod tests {
         Mark(u32),
         Spawn,
         CancelOther,
+        /// The cancel-on-disarm shape: disarm (cancel) every stored
+        /// handle and immediately re-arm a replacement `delay` later.
+        DisarmRearm {
+            delay: SimDuration,
+            mark: u32,
+        },
     }
 
     impl Model for Recorder {
@@ -401,6 +421,13 @@ mod tests {
                         assert!(ctx.cancel(id));
                         assert!(!ctx.is_pending(id));
                     }
+                }
+                Ev::DisarmRearm { delay, mark } => {
+                    for id in self.cancel_targets.drain(..) {
+                        ctx.cancel(id);
+                    }
+                    let id = ctx.schedule_after(delay, Ev::Mark(mark));
+                    self.cancel_targets.push(id);
                 }
             }
         }
@@ -473,6 +500,67 @@ mod tests {
         assert_eq!(ran, 1, "only the cancelling event runs");
         assert!(e.model().log.is_empty());
         assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn disarm_rearm_against_drained_batch_suppresses_and_replaces() {
+        // Regression for the cancel-on-disarm timer path: a handler
+        // cancels a pending timer that was *already drained into the
+        // current batch* (same bucket, later seq) and immediately
+        // re-arms a replacement. The cancelled entry must not fire and
+        // the replacement must fire at its own (time, seq) position —
+        // the exact shape a MAC disarm/re-arm produces.
+        let mut e = Engine::new(Recorder::default());
+        let t = bucket_start();
+        // The "armed timer", drained into the same batch as the disarm.
+        let armed = e.schedule_at(t + SimDuration::from_nanos(200), Ev::Mark(1));
+        e.model_mut().cancel_targets = vec![armed];
+        e.schedule_at(
+            t,
+            Ev::DisarmRearm {
+                delay: SimDuration::from_nanos(500),
+                mark: 2,
+            },
+        );
+        // A bystander between the cancelled slot and the replacement
+        // keeps FIFO order observable.
+        e.schedule_at(t + SimDuration::from_nanos(300), Ev::Mark(3));
+        let ran = e.run_until(t + SimDuration::from_millis(1));
+        assert_eq!(ran, 3, "disarm + bystander + replacement");
+        let marks: Vec<u32> = e.model().log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(
+            marks,
+            vec![3, 2],
+            "cancelled timer never fires; order holds"
+        );
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn rearm_into_currently_draining_bucket_fires_in_order() {
+        // A replacement timer pushed into the wheel bucket that is being
+        // drained right now must be merged into dispatch order via the
+        // dirty-batch path, while a pre-drain cancel stays suppressed.
+        let mut e = Engine::new(Recorder::default());
+        let t = bucket_start();
+        let seed = e.schedule_at(
+            t,
+            Ev::DisarmRearm {
+                delay: SimDuration::from_nanos(100),
+                mark: 0,
+            },
+        );
+        assert!(e.cancel(seed));
+        e.schedule_at(
+            t,
+            Ev::DisarmRearm {
+                delay: SimDuration::from_nanos(100),
+                mark: 7,
+            },
+        );
+        e.run_until(t + SimDuration::from_millis(1));
+        let marks: Vec<u32> = e.model().log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(marks, vec![7], "only the live re-arm's replacement fires");
     }
 
     #[test]

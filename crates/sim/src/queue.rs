@@ -339,18 +339,21 @@ impl<E> EventQueue<E> {
     /// Cancels a pending event. Returns `true` if the event was still
     /// pending (and is now guaranteed never to fire), `false` if it had
     /// already fired or been cancelled.
+    #[inline]
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.is_live(id) {
+        let Some(sl) = self.slots.get_mut(id.slot as usize) else {
+            return false;
+        };
+        if sl.seq != id.seq || sl.event.take().is_none() {
             return false;
         }
-        let sl = &mut self.slots[id.slot as usize];
-        sl.event = None;
         self.free.push(id.slot);
         self.live -= 1;
         true
     }
 
     /// Returns `true` if the event is still pending.
+    #[inline]
     pub fn is_pending(&self, id: EventId) -> bool {
         self.is_live(id)
     }
@@ -812,6 +815,36 @@ mod tests {
         q.push(base + SimDuration::from_micros(4), 3); // FIFO after 2
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    /// The cancel-on-disarm contract against an outstanding batch:
+    /// cancelling an entry already drained into the batch makes its
+    /// `claim` return `None`, `requeue_batch` drops it, and the freed
+    /// slot's reuse never resurrects the stale handle.
+    #[test]
+    fn cancel_of_batch_drained_entry_suppresses_claim_and_requeue() {
+        let mut q = EventQueue::new();
+        let base = SimTime::from_micros(100);
+        q.push(base, 0);
+        let armed = q.push(base + SimDuration::from_micros(2), 1);
+        q.push(base + SimDuration::from_micros(4), 2);
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_batch_before(SimTime::from_millis(1), &mut buf), 3);
+        // Disarm between drain and dispatch (what a handler does when it
+        // cancels a later same-bucket timer).
+        assert!(q.cancel(armed));
+        assert_eq!(q.claim(buf[0]), Some(0));
+        assert_eq!(q.claim(buf[1]), None, "cancelled entry must not dispatch");
+        // The freed slot may be reused immediately; the stale batch entry
+        // still must not claim the new occupant.
+        let reused = q.push(base + SimDuration::from_micros(3), 9);
+        assert_eq!(q.claim(buf[1]), None, "slot reuse must not resurrect");
+        // Requeue the unclaimed tail: the live entry survives, and the
+        // re-armed replacement pops in exact order with it.
+        q.requeue_batch(&buf[2..]);
+        assert!(q.is_pending(reused));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![9, 2]);
     }
 
     /// Pushing after an idle (empty) stretch jumps the cursor instead of

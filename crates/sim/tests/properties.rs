@@ -286,6 +286,70 @@ mod wheel_vs_reference {
         }
     }
 
+    /// Timer kinds the differential arm/disarm owners juggle (the MAC
+    /// has four: DIFS, backoff, ACK timeout, ACK delay).
+    const TIMER_KINDS: usize = 4;
+
+    /// True-cancellation owner: one live [`EventId`] handle per timer
+    /// kind; disarm and re-arm cancel the superseded event on the
+    /// queue, so every pop is a live firing.
+    #[derive(Default)]
+    struct CancelOwner {
+        q: EventQueue<usize>,
+        handle: [Option<essat_sim::queue::EventId>; TIMER_KINDS],
+    }
+
+    impl CancelOwner {
+        fn arm(&mut self, kind: usize, at: SimTime) {
+            if let Some(old) = self.handle[kind].take() {
+                assert!(self.q.cancel(old), "displaced handle was not live");
+            }
+            self.handle[kind] = Some(self.q.push(at, kind));
+        }
+        fn disarm(&mut self, kind: usize) {
+            if let Some(old) = self.handle[kind].take() {
+                assert!(self.q.cancel(old), "disarmed handle was not live");
+            }
+        }
+        fn fire_next(&mut self) -> Option<(u64, usize)> {
+            let (t, id, kind) = self.q.pop()?;
+            assert_eq!(self.handle[kind], Some(id), "popped a superseded timer");
+            self.handle[kind] = None;
+            Some((t.as_nanos(), kind))
+        }
+    }
+
+    /// Fire-and-filter owner (the retired protocol): arm and disarm
+    /// bump a per-kind generation; superseded events stay queued and
+    /// are filtered out at dispatch.
+    #[derive(Default)]
+    struct FilterOwner {
+        q: EventQueue<(usize, u64)>,
+        gen: [u64; TIMER_KINDS],
+        armed: [bool; TIMER_KINDS],
+    }
+
+    impl FilterOwner {
+        fn arm(&mut self, kind: usize, at: SimTime) {
+            self.gen[kind] += 1;
+            self.armed[kind] = true;
+            self.q.push(at, (kind, self.gen[kind]));
+        }
+        fn disarm(&mut self, kind: usize) {
+            self.gen[kind] += 1;
+            self.armed[kind] = false;
+        }
+        fn fire_next(&mut self) -> Option<(u64, usize)> {
+            while let Some((t, _, (kind, gen))) = self.q.pop() {
+                if self.armed[kind] && gen == self.gen[kind] {
+                    self.armed[kind] = false;
+                    return Some((t.as_nanos(), kind));
+                }
+            }
+            None
+        }
+    }
+
     /// One scripted operation: 0 = push, 1 = pop, 2 = cancel.
     fn op_strategy() -> impl Strategy<Value = (u8, u64, u16)> {
         (
@@ -414,6 +478,59 @@ mod wheel_vs_reference {
             }
             prop_assert!(q.is_empty(), "wheel retains events past the drain");
             prop_assert_eq!(r.pop(), None, "reference retains events the wheel dropped");
+        }
+
+        /// Differential test of the true-cancellation timer protocol
+        /// against the retired fire-and-filter (generation fence)
+        /// protocol, over random arm / disarm / re-arm / fire scripts.
+        /// Both owners drive the same wheel implementation and push on
+        /// every arm, so sequence numbers line up; the only difference
+        /// is whether a superseded timer is cancelled on the queue or
+        /// left to be filtered at dispatch. The observable firings —
+        /// `(time, kind)`, in exact FIFO order — must be identical,
+        /// which is precisely the behaviour-preservation argument for
+        /// retiring the stale-dispatch path.
+        #[test]
+        fn cancellation_matches_fire_and_filter(
+            ops in proptest::collection::vec(
+                (0u8..4, 0usize..TIMER_KINDS, 0u64..500_000),
+                1..300,
+            ),
+        ) {
+            let mut live = CancelOwner::default();
+            let mut reference = FilterOwner::default();
+            let mut now = 0u64;
+            for (op, kind, dt) in ops {
+                match op {
+                    // Arm (a re-arm when already armed: the cancel
+                    // owner displaces the old handle).
+                    0 | 1 => {
+                        let at = SimTime::from_nanos(now + dt);
+                        live.arm(kind, at);
+                        reference.arm(kind, at);
+                    }
+                    2 => {
+                        live.disarm(kind);
+                        reference.disarm(kind);
+                    }
+                    _ => {
+                        let got = live.fire_next();
+                        prop_assert_eq!(got, reference.fire_next(), "firing diverged");
+                        if let Some((t, _)) = got {
+                            now = now.max(t);
+                        }
+                    }
+                }
+            }
+            // Drain: every remaining armed timer fires, in the same
+            // order, and nothing else does.
+            loop {
+                let got = live.fire_next();
+                prop_assert_eq!(got, reference.fire_next(), "drain firing diverged");
+                if got.is_none() {
+                    break;
+                }
+            }
         }
 
         /// Same-instant FIFO across the overflow → wheel migration: a

@@ -242,6 +242,17 @@ impl RunResult {
         self.guard_wake_ns as f64 * 1e-9
     }
 
+    /// The digest schema version recorded in golden files
+    /// (`digest-version:` header in `tests/golden/quick_digests.txt`).
+    ///
+    /// Bump this when an intentional change moves the digest for every
+    /// run — e.g. version 2 retired stale-event dispatches, shrinking
+    /// `events_processed` and `peak_queue_depth` (both hashed) while
+    /// leaving every simulation-level metric untouched. Keep the old
+    /// version's golden file committed next to the new one so the
+    /// history of intentional migrations stays auditable.
+    pub const DIGEST_VERSION: u32 = 2;
+
     /// A 64-bit FNV-1a digest over every metric of the run, including
     /// per-round traces, per-node duty/energy bit patterns, the
     /// sleep-interval histogram, and the engine's event count.

@@ -27,7 +27,10 @@ pub enum Ev {
         /// Round number.
         round: u64,
     },
-    /// Collection timeout for `(node, query, round)`.
+    /// Collection timeout for `(node, query, round)`. Superseded
+    /// timeouts (deadline refreshes, early round completion) are truly
+    /// cancelled via the handle stored in the round state, so a
+    /// dispatched timeout is always current.
     CollectionTimeout {
         /// Aggregating node.
         node: NodeId,
@@ -35,8 +38,6 @@ pub enum Ev {
         query: usize,
         /// Round number.
         round: u64,
-        /// Staleness guard.
-        gen: u64,
     },
     /// A buffered report reaches its policy release time.
     ReleaseReport {
@@ -47,14 +48,14 @@ pub enum Ev {
         /// Round number.
         round: u64,
     },
-    /// MAC timer expiry.
+    /// MAC timer expiry. Disarmed timers are cancelled on the queue
+    /// (the MAC surrenders their handles), so an expiry that dispatches
+    /// is always the armed one.
     MacTimer {
         /// Owning node.
         node: NodeId,
         /// Timer class.
         kind: MacTimer,
-        /// Generation echo.
-        gen: u64,
     },
     /// A transmission leaves the air. The frame body is parked in the
     /// world's `tx_frames` side table (indexed by the transmission
@@ -71,12 +72,12 @@ pub enum Ev {
         /// Owning node.
         node: NodeId,
     },
-    /// Safe-Sleep-scheduled wake-up (`t_wakeup − t_OFF→ON`).
+    /// Safe-Sleep-scheduled wake-up (`t_wakeup − t_OFF→ON`). A newer
+    /// sleep decision cancels the superseded wake-up via the handle in
+    /// `Hot::wake_ev` instead of letting it fire stale.
     RadioWake {
         /// Owning node.
         node: NodeId,
-        /// Staleness guard.
-        gen: u64,
     },
     /// A policy timer expired (SYNC edges, PSM windows, …).
     Policy {
@@ -84,11 +85,6 @@ pub enum Ev {
         node: NodeId,
         /// Which timer.
         timer: PolicyTimer,
-        /// Schedule-chain staleness guard (churn recovery re-arms
-        /// chains; a stale pending chain event must not duplicate the
-        /// fresh one). Checked only for [`PolicyTimer::is_chain`]
-        /// timers.
-        gen: u64,
         /// The schedule time the policy armed — what the node's local
         /// clock reads when the timer fires. Under clock faults the
         /// event is dispatched at the wall-converted instant, but the

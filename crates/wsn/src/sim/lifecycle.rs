@@ -15,14 +15,15 @@ use super::world::World;
 
 impl<P: Probe> World<P> {
     pub(crate) fn handle_node_fail(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
-        self.kill_node(node, ctx.now());
+        self.kill_node(node, ctx);
         // Detectors at the neighbours drive the repair.
     }
 
-    /// Marks `node` dead at `now` (scripted failure, churn, or battery
-    /// depletion), settles its energy accounting, and records the
-    /// network-lifetime marks.
-    pub(crate) fn kill_node(&mut self, node: NodeId, now: SimTime) {
+    /// Marks `node` dead (scripted failure, churn, or battery
+    /// depletion), settles its energy accounting, cancels the timers it
+    /// owns on the queue, and records the network-lifetime marks.
+    pub(crate) fn kill_node(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
         {
             let i = node.index();
             if self.hot.dead[i] {
@@ -32,6 +33,20 @@ impl<P: Probe> World<P> {
             let n = &mut self.nodes[i];
             n.died_at = Some(now);
             n.radio.settle(now);
+            // A dead node's MAC timers and chain policy schedules must
+            // not fire; surrender their handles and cancel them. The
+            // pending radio wake (if any) survives — a revival before
+            // it fires still honours it, and the dispatch dead-guard
+            // drops it otherwise.
+            n.mac.cancel_all_timers();
+            while let Some(id) = n.mac.pop_cancelled() {
+                ctx.cancel(id);
+            }
+            let mut chain = std::mem::take(&mut self.chain_ev[i]);
+            for id in chain.drain(..) {
+                ctx.cancel(id);
+            }
+            self.chain_ev[i] = chain;
         }
         self.probe.on_node_down(
             now,
@@ -96,6 +111,13 @@ impl<P: Probe> World<P> {
             n.died_at = None;
             n.revivals += 1;
             n.radio.resurrect(now);
+            // The outgoing MAC may still hold timer handles (timers
+            // armed while the node was dead no-op at dispatch but are
+            // better off the queue entirely).
+            n.mac.cancel_all_timers();
+            while let Some(id) = n.mac.pop_cancelled() {
+                ctx.cancel(id);
+            }
             let old = std::mem::replace(&mut n.mac, Mac::new(node, self.cfg.mac, mac_rng));
             let ms = old.stats();
             self.mac_lost.enqueued += ms.enqueued;
@@ -103,6 +125,11 @@ impl<P: Probe> World<P> {
             self.mac_lost.delivered += ms.delivered;
             self.mac_lost.failed += ms.failed;
             self.mac_lost.retries += ms.retries;
+            for r in n.rounds.values_mut() {
+                if let Some(id) = r.timeout_ev.take() {
+                    ctx.cancel(id);
+                }
+            }
             n.rounds.clear();
             n.loss = essat_core::maintenance::LossDetector::new();
             n.child_fail =
@@ -125,10 +152,16 @@ impl<P: Probe> World<P> {
             }
         }
         // Re-arm the policy's schedule chain (it stopped at death) and
-        // reset its per-interval state; the bumped generation drops any
-        // stale pending chain events.
+        // reset its per-interval state. Any chain events armed in the
+        // meantime (a dead node's one-shot timers can still run) are
+        // cancelled so the fresh chain is the only one ticking.
         {
-            self.hot.sched_gen[node.index()] += 1;
+            let i = node.index();
+            let mut chain = std::mem::take(&mut self.chain_ev[i]);
+            for id in chain.drain(..) {
+                ctx.cancel(id);
+            }
+            self.chain_ev[i] = chain;
             let mut acts = self.take_acts();
             self.nodes[node.index()].policy.on_revive(now, &mut acts);
             self.exec_policy_actions(node, &mut acts, ctx);
@@ -274,7 +307,7 @@ impl<P: Probe> World<P> {
             // Battery deaths are permanent: churn recovery must not
             // resurrect a node with an empty battery.
             self.hot.battery_dead[i as usize] = true;
-            self.kill_node(NodeId::new(i), now);
+            self.kill_node(NodeId::new(i), ctx);
         }
         self.sweep_scratch = doomed;
         let next = now + b.check_period;
@@ -308,6 +341,11 @@ impl<P: Probe> World<P> {
             }
             let n = &mut self.nodes[m.index()];
             n.participating.clear();
+            for r in n.rounds.values_mut() {
+                if let Some(id) = r.timeout_ev.take() {
+                    ctx.cancel(id);
+                }
+            }
             n.rounds.clear();
             n.expected_children.clear();
             for qi in 0..self.queries.len() {

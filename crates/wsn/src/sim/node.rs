@@ -14,6 +14,7 @@ use essat_net::ids::NodeId;
 use essat_net::mac::Mac;
 use essat_net::radio::Radio;
 use essat_query::round::{RoundAggregator, RoundKey};
+use essat_sim::queue::EventId;
 use essat_sim::time::SimTime;
 
 use crate::payload::Payload;
@@ -32,7 +33,10 @@ pub(crate) const PARENT_FAIL_THRESHOLD: u32 = 5;
 #[derive(Debug)]
 pub(crate) struct RoundState {
     pub(crate) agg: RoundAggregator,
-    pub(crate) timeout_gen: u64,
+    /// Handle of the round's pending collection timeout, if any. Whoever
+    /// closes or refreshes the round takes it and cancels the event on
+    /// the queue.
+    pub(crate) timeout_ev: Option<EventId>,
     pub(crate) deadline: Option<SimTime>,
     pub(crate) piggyback: Option<SimTime>,
     pub(crate) release_planned: bool,
@@ -51,7 +55,7 @@ pub(crate) struct RadioSnapshot {
 /// Per-node simulation state: the layered stack the executor drives.
 ///
 /// The scalar flags consulted on (nearly) every event — liveness, tree
-/// membership, radio mode, timer generations — do **not** live here:
+/// membership, radio mode, pending wake-up handles — do **not** live here:
 /// they are flattened into the structure-of-arrays
 /// [`Hot`](super::world::Hot) block on the `World`, so per-event guard
 /// checks and whole-network sweeps stay cache-linear instead of striding

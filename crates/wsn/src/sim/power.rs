@@ -71,17 +71,26 @@ impl<P: Probe> World<P> {
             match action {
                 PolicyAction::WakeRadio => self.wake_radio(node, ctx),
                 PolicyAction::SetTimer { timer, at } => {
-                    let gen = self.hot.sched_gen[node.index()];
                     let wall = self.to_wall(node, at).max(ctx.now());
-                    ctx.schedule_at(
+                    let id = ctx.schedule_at(
                         wall,
                         Ev::Policy {
                             node,
                             timer,
-                            gen,
                             local: at,
                         },
                     );
+                    if timer.is_chain() {
+                        // Track chain-timer events so churn (death /
+                        // revival) can cancel the whole chain instead of
+                        // letting stale links fire into a re-armed one.
+                        // Consumed ids linger until this lazy compaction;
+                        // chains hold ~1 pending link, so the list stays
+                        // tiny.
+                        let list = &mut self.chain_ev[node.index()];
+                        list.retain(|&old| ctx.is_pending(old));
+                        list.push(id);
+                    }
                 }
                 PolicyAction::SendAtim { dest } => {
                     let frame = {
@@ -100,9 +109,11 @@ impl<P: Probe> World<P> {
                 PolicyAction::Enqueue(frame) => self.enqueue_frame(node, frame, ctx),
                 PolicyAction::Sleep { wake_at } => {
                     self.suspend_radio(node, ctx);
-                    let gen = &mut self.hot.wake_gen[node.index()];
-                    *gen += 1;
-                    let gen = *gen;
+                    // A newer sleep decision supersedes any pending
+                    // wake-up: cancel it outright.
+                    if let Some(prev) = self.hot.wake_ev[node.index()].take() {
+                        ctx.cancel(prev);
+                    }
                     if let Some(at) = wake_at {
                         // Wake early by the guard time: desynced clocks
                         // make the planned instant unreliable, so buy
@@ -113,7 +124,8 @@ impl<P: Probe> World<P> {
                             wall = wall.saturating_sub(guard);
                             self.guard_wake_ns += guard.as_nanos();
                         }
-                        ctx.schedule_at(wall.max(ctx.now()), Ev::RadioWake { node, gen });
+                        let id = ctx.schedule_at(wall.max(ctx.now()), Ev::RadioWake { node });
+                        self.hot.wake_ev[node.index()] = Some(id);
                     }
                 }
                 PolicyAction::Suspend => self.suspend_radio(node, ctx),
@@ -128,9 +140,14 @@ impl<P: Probe> World<P> {
     pub(crate) fn suspend_radio(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
         let i = node.index();
-        let n = &mut self.nodes[i];
-        n.mac.radio_slept(now);
-        let d = n.radio.begin_sleep(now).expect("radio is active");
+        let d = {
+            let n = &mut self.nodes[i];
+            n.mac.radio_slept(now);
+            n.radio.begin_sleep(now).expect("radio is active")
+        };
+        // `radio_slept` disarmed every MAC timer; cancel their expiry
+        // events so none ride the queue stale.
+        self.drain_mac_cancels(node, ctx);
         self.hot.radio_active[i] = false;
         self.hot.active_since[i] = SimTime::MAX;
         self.probe.on_radio_state(now, i as u32, false);
@@ -157,9 +174,11 @@ impl<P: Probe> World<P> {
     }
 
     /// A policy timer expired: route it back into the policy. Chain
-    /// timers (SYNC edges, PSM beacons) are generation-guarded so a
-    /// churn-revived node's re-armed chain is not duplicated by a stale
-    /// pending expiry.
+    /// timers (SYNC edges, PSM beacons) are tracked by handle in
+    /// `chain_ev`, and churn (death / revival) cancels the whole chain,
+    /// so a re-armed chain is never duplicated by a stale pending
+    /// expiry; the dead-guard below covers chain links armed *while*
+    /// the node was dead (a dead node's non-chain timers still run).
     ///
     /// The policy's view carries `local` — the schedule time it armed,
     /// i.e. what its own (possibly skewed) clock reads at expiry — not
@@ -170,13 +189,23 @@ impl<P: Probe> World<P> {
         &mut self,
         node: NodeId,
         timer: PolicyTimer,
-        gen: u64,
         local: SimTime,
         ctx: &mut Context<'_, Ev>,
     ) {
-        {
+        if timer.is_chain() {
             let i = node.index();
-            if timer.is_chain() && (self.hot.dead[i] || gen != self.hot.sched_gen[i]) {
+            let id = ctx.event_id();
+            let list = &mut self.chain_ev[i];
+            #[cfg(feature = "sanitize")]
+            assert!(
+                list.contains(&id),
+                "sanitizer: untracked chain policy timer dispatched at node {node}"
+            );
+            // This link is consumed; drop its handle from the chain set.
+            if let Some(pos) = list.iter().position(|&x| x == id) {
+                list.swap_remove(pos);
+            }
+            if self.hot.dead[i] {
                 return;
             }
         }
@@ -205,16 +234,32 @@ impl<P: Probe> World<P> {
         self.mact_pool.push(acts);
     }
 
+    /// Cancels the expiry events of every timer `node`'s MAC disarmed
+    /// since the last drain. Called after any MAC entry point that can
+    /// disarm timers — this is the seam that turns the MAC's surrendered
+    /// handles into real `queue.cancel` calls.
+    pub(crate) fn drain_mac_cancels(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
+        while let Some(id) = self.nodes[node.index()].mac.pop_cancelled() {
+            ctx.cancel(id);
+        }
+    }
+
     pub(crate) fn exec_mac_actions(
         &mut self,
         node: NodeId,
         actions: &mut Vec<MacAction<Payload>>,
         ctx: &mut Context<'_, Ev>,
     ) {
+        // The MAC call that produced `actions` may also have disarmed
+        // timers; cancel those expiry events before executing anything.
+        self.drain_mac_cancels(node, ctx);
         for action in actions.drain(..) {
             match action {
-                MacAction::SetTimer { kind, gen, after } => {
-                    ctx.schedule_after(after, Ev::MacTimer { node, kind, gen });
+                MacAction::SetTimer { kind, after } => {
+                    let id = ctx.schedule_after(after, Ev::MacTimer { node, kind });
+                    if let Some(stale) = self.nodes[node.index()].mac.timer_scheduled(kind, id) {
+                        ctx.cancel(stale);
+                    }
                 }
                 MacAction::StartTx { frame, airtime } => {
                     self.probe.on_tx_start(
@@ -225,10 +270,13 @@ impl<P: Probe> World<P> {
                     );
                     let start = self.channel.begin_tx(ctx.now(), node, airtime);
                     for i in 0..start.now_busy.len() {
-                        let h = start.now_busy[i].index();
+                        let hn = start.now_busy[i];
+                        let h = hn.index();
                         if !self.hot.dead[h] && self.hot.radio_active[h] {
-                            // carrier_busy never emits actions.
+                            // carrier_busy never emits actions, but it
+                            // can disarm Difs/Backoff timers.
                             self.nodes[h].mac.carrier_busy(ctx.now());
+                            self.drain_mac_cancels(hn, ctx);
                         }
                     }
                     self.channel.recycle_nodes(start.now_busy);
@@ -304,9 +352,11 @@ impl<P: Probe> World<P> {
             at = at.saturating_sub(guard);
             self.guard_wake_ns += guard.as_nanos();
         }
-        self.hot.wake_gen[i] += 1;
-        let gen = self.hot.wake_gen[i];
-        ctx.schedule_at(at.max(now), Ev::RadioWake { node, gen });
+        if let Some(prev) = self.hot.wake_ev[i].take() {
+            ctx.cancel(prev);
+        }
+        let id = ctx.schedule_at(at.max(now), Ev::RadioWake { node });
+        self.hot.wake_ev[i] = Some(id);
     }
 
     /// Begin waking the radio if it is off (or queue the wake if it is
@@ -363,9 +413,23 @@ impl<P: Probe> World<P> {
         }
     }
 
-    pub(crate) fn handle_radio_wake(&mut self, node: NodeId, gen: u64, ctx: &mut Context<'_, Ev>) {
+    pub(crate) fn handle_radio_wake(&mut self, node: NodeId, ctx: &mut Context<'_, Ev>) {
         let i = node.index();
-        if self.hot.dead[i] || gen != self.hot.wake_gen[i] {
+        // Superseded wake-ups are cancelled at supersession, so a
+        // dispatched wake is always the stored one; it is consumed here.
+        let stored = self.hot.wake_ev[i].take();
+        #[cfg(feature = "sanitize")]
+        assert_eq!(
+            stored,
+            Some(ctx.event_id()),
+            "sanitizer: stale radio wake dispatched at node {node}"
+        );
+        #[cfg(not(feature = "sanitize"))]
+        let _ = stored;
+        // Death does not cancel the pending wake (a node revived before
+        // it fires still honours it, matching pre-handle semantics), so
+        // a wake can dispatch for a still-dead node: drop it.
+        if self.hot.dead[i] {
             return;
         }
         self.wake_radio(node, ctx);

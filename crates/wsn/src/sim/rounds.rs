@@ -111,16 +111,7 @@ impl<P: Probe> World<P> {
         } else {
             Some(self.collection_deadline(node, qi, k))
         };
-        let n = &mut self.nodes[node.index()];
-        let state = RoundState {
-            agg: essat_query::round::RoundAggregator::new(&expected),
-            timeout_gen: 0,
-            deadline,
-            piggyback: None,
-            release_planned: false,
-        };
-        n.rounds.insert(key, state);
-        if let Some(d) = deadline {
+        let timeout_ev = deadline.map(|d| {
             // Stretch the timeout by the guard so desynced children get
             // the extra slack their skewed releases need.
             let wall = self.to_wall(node, d) + self.guard_at(d);
@@ -130,10 +121,18 @@ impl<P: Probe> World<P> {
                     node,
                     query: qi,
                     round: k,
-                    gen: 0,
                 },
-            );
-        }
+            )
+        });
+        let n = &mut self.nodes[node.index()];
+        let state = RoundState {
+            agg: essat_query::round::RoundAggregator::new(&expected),
+            timeout_ev,
+            deadline,
+            piggyback: None,
+            release_planned: false,
+        };
+        n.rounds.insert(key, state);
         true
     }
 
@@ -303,6 +302,9 @@ impl<P: Probe> World<P> {
             let Some(mut r) = self.nodes[node.index()].rounds.remove(&key) else {
                 return;
             };
+            if let Some(id) = r.timeout_ev.take() {
+                ctx.cancel(id);
+            }
             let agg = r.agg.seal();
             let n = &mut self.nodes[node.index()];
             n.done
@@ -355,6 +357,10 @@ impl<P: Probe> World<P> {
                 return;
             };
             r.release_planned = true;
+            // The round is closing; its timeout must not fire.
+            if let Some(id) = r.timeout_ev.take() {
+                ctx.cancel(id);
+            }
             let rel = n.policy.plan_release(&q, k, now, &info);
             r.piggyback = rel.piggyback;
             if rel.send_at <= now {
@@ -389,7 +395,11 @@ impl<P: Probe> World<P> {
         };
         let Some(parent) = self.tree.parent(node) else {
             // Detached from the tree (declared failed): drop silently.
-            self.nodes[node.index()].rounds.remove(&key);
+            if let Some(mut r) = self.nodes[node.index()].rounds.remove(&key) {
+                if let Some(id) = r.timeout_ev.take() {
+                    ctx.cancel(id);
+                }
+            }
             return;
         };
         let (agg, piggyback) = {
@@ -439,7 +449,6 @@ impl<P: Probe> World<P> {
         node: NodeId,
         qi: usize,
         k: u64,
-        gen: u64,
         ctx: &mut Context<'_, Ev>,
     ) {
         let q = self.query(qi);
@@ -447,12 +456,23 @@ impl<P: Probe> World<P> {
             query: q.id,
             round: k,
         };
+        // Superseded timeouts are cancelled on the queue, so a dispatch
+        // is always the live one; the guards below are defensive.
         let missing = {
-            let n = &self.nodes[node.index()];
-            match n.rounds.get(&key) {
+            let n = &mut self.nodes[node.index()];
+            match n.rounds.get_mut(&key) {
                 None => return,
-                Some(r) if r.timeout_gen != gen || r.release_planned => return,
-                Some(r) => r.agg.missing(),
+                Some(r) if r.release_planned => return,
+                Some(r) => {
+                    #[cfg(feature = "sanitize")]
+                    assert_eq!(
+                        r.timeout_ev,
+                        Some(ctx.event_id()),
+                        "sanitizer: stale collection timeout dispatched at node {node}"
+                    );
+                    r.timeout_ev = None; // consumed by this dispatch
+                    r.agg.missing()
+                }
             }
         };
         self.missed_reports += missing.len() as u64;
@@ -634,21 +654,29 @@ impl<P: Probe> World<P> {
         };
         let fresh = self.collection_deadline(node, qi, k);
         if Some(fresh) != current {
-            let n = &mut self.nodes[node.index()];
-            let r = n.rounds.get_mut(&key).expect("checked above");
-            r.deadline = Some(fresh);
-            r.timeout_gen += 1;
-            let gen = r.timeout_gen;
+            let old_ev = {
+                let n = &mut self.nodes[node.index()];
+                let r = n.rounds.get_mut(&key).expect("checked above");
+                r.deadline = Some(fresh);
+                r.timeout_ev.take()
+            };
+            if let Some(id) = old_ev {
+                ctx.cancel(id);
+            }
             let wall = self.to_wall(node, fresh) + self.guard_at(fresh);
-            ctx.schedule_at(
+            let id = ctx.schedule_at(
                 wall.max(ctx.now()),
                 Ev::CollectionTimeout {
                     node,
                     query: qi,
                     round: k,
-                    gen,
                 },
             );
+            self.nodes[node.index()]
+                .rounds
+                .get_mut(&key)
+                .expect("checked above")
+                .timeout_ev = Some(id);
         }
     }
 
@@ -678,7 +706,11 @@ impl<P: Probe> World<P> {
                     children: &kids,
                 };
                 n.policy.on_report_sent(&q, round, now, &info);
-                n.rounds.remove(&RoundKey { query, round });
+                if let Some(mut r) = n.rounds.remove(&RoundKey { query, round }) {
+                    if let Some(id) = r.timeout_ev.take() {
+                        ctx.cancel(id);
+                    }
+                }
                 self.put_kids(kids);
             }
             Payload::Atim => {
@@ -720,7 +752,11 @@ impl<P: Probe> World<P> {
                     };
                     let n = &mut self.nodes[node.index()];
                     n.policy.on_report_failed(&q, round, now, &info);
-                    n.rounds.remove(&RoundKey { query, round });
+                    if let Some(mut r) = n.rounds.remove(&RoundKey { query, round }) {
+                        if let Some(id) = r.timeout_ev.take() {
+                            ctx.cancel(id);
+                        }
+                    }
                     if let Dest::Unicast(p) = frame.dest {
                         if n.parent_fail.miss(p) {
                             parent_failed = Some(p);

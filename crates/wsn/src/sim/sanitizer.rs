@@ -17,12 +17,17 @@
 //!   member's parent chain reaches the root, and parent/children
 //!   links are symmetric — under churn, repair, and rejoin.
 //!
-//! Two more invariants live at their natural sites: no frame is ever
-//! delivered to a dead node (asserted at the MAC `Deliver` action) and
+//! More invariants live at their natural sites: no frame is ever
+//! delivered to a dead node (asserted at the MAC `Deliver` action);
 //! every never-died node's radio accounting settles to exactly the run
 //! length, split across the three state counters (asserted in
-//! `finalize_into`). When the feature is off none of this exists — the
-//! hot path carries zero cost.
+//! `finalize_into`); and **no stale event ever dispatches** — a
+//! MAC-timer expiry, radio wake-up, chain policy timer, or collection
+//! timeout that reaches its handler must be the exact event its owner's
+//! stored [`essat_sim::queue::EventId`] handle names (asserted at each
+//! dispatch site), since superseded timers are truly cancelled on the
+//! queue rather than filtered at delivery. When the feature is off none
+//! of this exists — the hot path carries zero cost.
 
 use essat_obs::Probe;
 use essat_sim::time::SimTime;

@@ -17,6 +17,7 @@ use essat_query::tree::RoutingTree;
 use essat_scenario::compile::CompiledScenario;
 use essat_scenario::gilbert::GilbertElliott;
 use essat_sim::engine::{Context, Engine, Model};
+use essat_sim::queue::EventId;
 use essat_sim::rng::SimRng;
 use essat_sim::stats::{Histogram, OnlineStats};
 use essat_sim::time::SimTime;
@@ -37,7 +38,7 @@ const SLEEP_HIST_BINS: usize = 2000;
 ///
 /// These are the scalars consulted by (nearly) every event — the dead /
 /// member guards, the radio-mode test in the per-receiver transmission
-/// fan-out, the wake/schedule generation fences — plus the flags the
+/// fan-out, the pending wake-up handles — plus the flags the
 /// periodic `BatteryCheck` sweep scans. Keeping them in flat arrays
 /// indexed by node keeps those whole-network walks inside a handful of
 /// cache lines instead of striding across the ~half-KB
@@ -59,11 +60,10 @@ pub(crate) struct Hot {
     /// Mirror of `radio.active_since()`; `SimTime::MAX` while the radio
     /// is not fully active.
     pub(crate) active_since: Vec<SimTime>,
-    /// Safe-Sleep wake-up staleness fence.
-    pub(crate) wake_gen: Vec<u64>,
-    /// Policy chain generation (SYNC edges / PSM beacons); bumped on
-    /// churn recovery so stale chain events drop out.
-    pub(crate) sched_gen: Vec<u64>,
+    /// Handle of the node's pending Safe-Sleep wake-up, if any. A newer
+    /// sleep decision cancels the superseded event on the queue through
+    /// this handle instead of letting it dispatch stale.
+    pub(crate) wake_ev: Vec<Option<EventId>>,
     /// Death was caused by battery depletion: permanent — churn
     /// `resurrect` events must not revive a node with an empty battery.
     pub(crate) battery_dead: Vec<bool>,
@@ -78,8 +78,7 @@ impl Hot {
                 .collect(),
             radio_active: vec![true; n],
             active_since: vec![SimTime::ZERO; n],
-            wake_gen: vec![0; n],
-            sched_gen: vec![0; n],
+            wake_ev: vec![None; n],
             battery_dead: vec![false; n],
         }
     }
@@ -119,6 +118,11 @@ pub struct World<P: Probe = NullProbe> {
     pub(crate) nodes: Vec<NodeState>,
     /// Structure-of-arrays hot node state (see [`Hot`]).
     pub(crate) hot: Hot,
+    /// Handles of each node's pending *chain* policy timers (SYNC
+    /// edges / PSM beacons): the self-perpetuating schedules a churn
+    /// death or recovery must truly cancel on the queue. Non-chain
+    /// policy timers are one-shots and stay untracked.
+    pub(crate) chain_ev: Vec<Vec<EventId>>,
     pub(crate) setup_over: bool,
     pub(crate) forced_windows: Vec<(SimTime, SimTime)>,
     pub(crate) run_end: SimTime,
@@ -313,6 +317,7 @@ impl<P: Probe> World<P> {
             }
         }
 
+        let topo_nodes = topo.node_count();
         let mut world = World {
             cfg,
             master,
@@ -325,6 +330,7 @@ impl<P: Probe> World<P> {
             source_count,
             nodes,
             hot,
+            chain_ev: vec![Vec::new(); topo_nodes],
             setup_over: false,
             forced_windows,
             run_end,
@@ -408,7 +414,6 @@ impl<P: Probe> World<P> {
                                 Ev::Policy {
                                     node: m,
                                     timer,
-                                    gen: 0,
                                     local: at,
                                 },
                             ));
@@ -543,7 +548,16 @@ impl<P: Probe> World<P> {
         let run_end = world.run_end;
         let mut engine = Engine::with_queue(world, std::mem::take(&mut scratch.queue));
         for (at, ev) in initial.drain(..) {
-            engine.schedule_at(at, ev);
+            // Initial chain policy timers must be tracked like every
+            // later one, or churn cancellation would miss them.
+            let chain_node = match &ev {
+                Ev::Policy { node, timer, .. } if timer.is_chain() => Some(*node),
+                _ => None,
+            };
+            let id = engine.schedule_at(at, ev);
+            if let Some(n) = chain_node {
+                engine.model_mut().chain_ev[n.index()].push(id);
+            }
         }
         scratch.initial = initial;
         timings.build += t_build.elapsed();
@@ -968,48 +982,40 @@ impl<P: Probe> Model for World<P> {
             Ev::RoundStart { node, query, round } => {
                 self.handle_round_start(node, query, round, ctx)
             }
-            Ev::CollectionTimeout {
-                node,
-                query,
-                round,
-                gen,
-            } => self.handle_collection_timeout(node, query, round, gen, ctx),
+            Ev::CollectionTimeout { node, query, round } => {
+                self.handle_collection_timeout(node, query, round, ctx)
+            }
             Ev::ReleaseReport { node, query, round } => {
                 if !self.hot.dead[node.index()] {
                     self.do_send(node, query, round, ctx);
                 }
             }
-            Ev::MacTimer { node, kind, gen } => {
+            Ev::MacTimer { node, kind } => {
+                // Disarmed timers were cancelled on the queue, so an
+                // expiry that dispatches is the armed one — no staleness
+                // check. The dead guard stays: death cancels the MAC's
+                // timers, but a timer armed *while dead* (a dead node's
+                // one-shot policy timer may still enqueue) must no-op.
                 if !self.hot.dead[node.index()] {
-                    // Disarm is a generation bump, so most expiries that
-                    // arrive here are stale no-ops. Those skip the
-                    // checkpoint too: whatever bumped the generation did
-                    // so inside an event handler that ran its own
-                    // checkpoint, so a stale expiry observes no state
-                    // change since the last sleep decision.
-                    if self.nodes[node.index()].mac.timer_current(kind, gen) {
-                        let mut acts = self.take_macts();
-                        self.nodes[node.index()].mac.timer_fired_into(
-                            kind,
-                            gen,
-                            ctx.now(),
-                            &mut acts,
-                        );
-                        self.exec_mac_actions(node, &mut acts, ctx);
-                        self.put_macts(acts);
-                        self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
-                    }
+                    #[cfg(feature = "sanitize")]
+                    assert_eq!(
+                        self.nodes[node.index()].mac.timer_event(kind),
+                        Some(ctx.event_id()),
+                        "sanitizer: stale MAC timer dispatched at node {node}"
+                    );
+                    let mut acts = self.take_macts();
+                    self.nodes[node.index()]
+                        .mac
+                        .timer_fired_into(kind, ctx.now(), &mut acts);
+                    self.exec_mac_actions(node, &mut acts, ctx);
+                    self.put_macts(acts);
+                    self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
                 }
             }
             Ev::TxEnd { sender, tx } => self.handle_tx_end(sender, tx, ctx),
             Ev::RadioDone { node } => self.handle_radio_done(node, ctx),
-            Ev::RadioWake { node, gen } => self.handle_radio_wake(node, gen, ctx),
-            Ev::Policy {
-                node,
-                timer,
-                gen,
-                local,
-            } => self.handle_policy_timer(node, timer, gen, local, ctx),
+            Ev::RadioWake { node } => self.handle_radio_wake(node, ctx),
+            Ev::Policy { node, timer, local } => self.handle_policy_timer(node, timer, local, ctx),
             Ev::NodeFail { node } => self.handle_node_fail(node, ctx),
             Ev::NodeRecover { node } => self.handle_node_recover(node, ctx),
             Ev::BatteryCheck => self.handle_battery_check(ctx),

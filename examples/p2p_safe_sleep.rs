@@ -19,6 +19,7 @@ use essat::net::ids::NodeId;
 use essat::net::radio::{Radio, RadioParams, TransitionOutcome};
 use essat::query::model::QueryId;
 use essat::sim::engine::{Context, Engine, Model};
+use essat::sim::queue::EventId;
 use essat::sim::time::{SimDuration, SimTime};
 
 const PERIOD: SimDuration = SimDuration::from_millis(500);
@@ -36,13 +37,15 @@ enum Ev {
     /// A radio finished a power transition.
     RadioDone { peer: usize },
     /// A Safe-Sleep wake-up fired.
-    Wake { peer: usize, gen: u64 },
+    Wake { peer: usize },
 }
 
 struct Peers {
     radio: [Radio; 2],
     ss: [SafeSleep; 2],
-    wake_gen: [u64; 2],
+    /// Pending wake-up per peer: re-planning a sleep cancels the old
+    /// wake event outright instead of letting it fire stale.
+    wake_ev: [Option<EventId>; 2],
     rounds_ok: u64,
     missed: u64,
 }
@@ -65,14 +68,10 @@ impl Peers {
             }
             let d = self.radio[peer].begin_sleep(ctx.now()).expect("active");
             ctx.schedule_after(d, Ev::RadioDone { peer });
-            self.wake_gen[peer] += 1;
-            ctx.schedule_at(
-                start_wake_at,
-                Ev::Wake {
-                    peer,
-                    gen: self.wake_gen[peer],
-                },
-            );
+            if let Some(old) = self.wake_ev[peer].take() {
+                ctx.cancel(old);
+            }
+            self.wake_ev[peer] = Some(ctx.schedule_at(start_wake_at, Ev::Wake { peer }));
         }
     }
 }
@@ -125,8 +124,11 @@ impl Model for Peers {
                     ctx.schedule_after(d, Ev::RadioDone { peer });
                 }
             }
-            Ev::Wake { peer, gen } => {
-                if gen == self.wake_gen[peer] && self.radio[peer].is_off() {
+            Ev::Wake { peer } => {
+                // Superseded wakes were cancelled on the queue, so a
+                // dispatch is always the planned one.
+                self.wake_ev[peer] = None;
+                if self.radio[peer].is_off() {
                     let d = self.radio[peer].begin_wake(ctx.now()).expect("off");
                     ctx.schedule_after(d, Ev::RadioDone { peer });
                 }
@@ -143,7 +145,7 @@ fn main() {
     let mut peers = Peers {
         radio: [Radio::new(params), Radio::new(params)],
         ss: [SafeSleep::new(t_be, t_on), SafeSleep::new(t_be, t_on)],
-        wake_gen: [0, 0],
+        wake_ev: [None, None],
         rounds_ok: 0,
         missed: 0,
     };
