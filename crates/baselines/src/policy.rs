@@ -298,7 +298,9 @@ impl<P: std::fmt::Debug + Send> PowerPolicy<P> for PsmPolicy<P> {
             }
             PolicyTimer::PsmAdvEnd => self.try_sleep(view, out),
             PolicyTimer::PsmRelease { dest } => self.release_to(dest, view, out),
-            PolicyTimer::SyncEdge | PolicyTimer::Custom { .. } => {}
+            // Repair timers are intercepted by the executor before the
+            // policy dispatch and never reach any policy.
+            PolicyTimer::SyncEdge | PolicyTimer::Repair { .. } | PolicyTimer::Custom { .. } => {}
         }
     }
 

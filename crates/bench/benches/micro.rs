@@ -426,6 +426,47 @@ fn tree_construction(c: &mut Criterion) {
     });
 }
 
+fn link_quality_ewma(c: &mut Criterion) {
+    // The self-healing layer's per-tx-end arithmetic: one EWMA fold per
+    // unicast MAC outcome, mixed success/failure cycles as the channel
+    // would produce them. 1k folds per iteration amortise the timer.
+    c.bench_function("micro/link_quality_ewma", |b| {
+        b.iter(|| {
+            let mut q = 1.0f64;
+            for i in 0..1000u32 {
+                let attempts = 1 + (i % 7);
+                let delivered = i % 5 != 0;
+                q = essat_wsn::sim::link_ewma_step(q, 0.3, attempts, delivered);
+                // Keep the estimate in a realistic band so the loop
+                // never degenerates into denormal arithmetic.
+                if q < 1e-3 {
+                    q = 1.0;
+                }
+            }
+            black_box(q)
+        })
+    });
+}
+
+fn tree_reparent(c: &mut Criterion) {
+    // A self-healing subtree move on a dense grid: the node oscillates
+    // between its two best candidates (its current parent is always
+    // excluded), exercising candidate scan + acyclicity walk + level/
+    // rank recomputation — the full `RoutingTree::reparent` path.
+    let topo = Topology::grid(5, 5, 10.0, 15.0);
+    let root = NodeId::new(12);
+    let mut tree = RoutingTree::build(&topo, root, None);
+    let node = NodeId::new(6);
+    let flat = |_: NodeId, _: NodeId| 1.0f64;
+    assert!(
+        tree.reparent(&topo, node, &flat).is_some(),
+        "bench node must have an alternative parent"
+    );
+    c.bench_function("micro/tree_reparent", |b| {
+        b.iter(|| black_box(tree.reparent(&topo, node, &flat)))
+    });
+}
+
 fn aggregation_merge(c: &mut Criterion) {
     c.bench_function("micro/agg_merge_1k", |b| {
         b.iter(|| {
@@ -455,6 +496,8 @@ criterion_group! {
         channel_collision_storm,
         gilbert_elliott_step,
         tree_construction,
+        link_quality_ewma,
+        tree_reparent,
         aggregation_merge,
 }
 criterion_main!(benches);

@@ -50,6 +50,16 @@ pub enum PolicyTimer {
         /// The confirmed destination.
         dest: NodeId,
     },
+    /// Self-healing tree-repair backoff timer. Unlike every other
+    /// variant this one is armed by the *executor* (when a §4.3
+    /// failure detector trips), not by a policy; it rides the same
+    /// `Ev::Policy` plumbing so its `EventId` handle obeys the
+    /// cancel-on-disarm discipline, and the executor intercepts its
+    /// expiry before the policy dispatch.
+    Repair {
+        /// The suspected-failed neighbour the repair targets.
+        target: NodeId,
+    },
     /// A timer belonging to an out-of-tree policy. The executor never
     /// interprets `key`; `chain` selects the generation-guarded
     /// schedule-chain semantics (see [`PolicyTimer::is_chain`]).

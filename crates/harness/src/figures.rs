@@ -12,6 +12,7 @@
 //! | [`lifetime`] | beyond the paper | network lifetime (first death / partition) under `energy_drain` |
 //! | [`robustness`] | beyond the paper | delivery & latency across the scenario presets |
 //! | [`drift`] | beyond the paper | delivery & missed-round rate vs clock skew/drift |
+//! | [`self_healing`] | beyond the paper | repair on/off under churn & bursty links, all protocols |
 //!
 //! Figures 3+6 and 4+7 share their underlying simulations (duty cycle
 //! and latency come from the same runs), which halves the sweep cost.
@@ -31,7 +32,7 @@ use essat_scenario::presets;
 use essat_scenario::spec::Scenario;
 use essat_sim::stats::{Confidence, OnlineStats};
 use essat_sim::time::SimDuration;
-use essat_wsn::config::{Protocol, WorkloadSpec};
+use essat_wsn::config::{Protocol, RepairConfig, WorkloadSpec};
 use essat_wsn::metrics::RunResult;
 
 use crate::executor::{SweepCell, SweepExecutor};
@@ -512,11 +513,19 @@ pub fn robustness(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> FigureDa
 }
 
 /// The robustness figure's job plan: every (preset, protocol) cell.
+/// Pinned to the legacy maintenance path (repair disabled): this figure
+/// characterises the raw protocols under stress — deadline-budgeted
+/// redispatch would compensate the injected faults (bursty-link cells
+/// can even beat steady ones) and blur exactly the degradation it
+/// plots. The `self_healing` figure is where the repair layer's effect
+/// is measured, on-vs-off.
 pub fn robustness_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for preset in ROBUSTNESS_PRESETS {
         for protocol in SCENARIO_PROTOCOLS {
-            let mut cfg = scale.config(protocol, WorkloadSpec::paper(1.0), seed);
+            let mut cfg = scale
+                .config(protocol, WorkloadSpec::paper(1.0), seed)
+                .with_repair(RepairConfig::disabled());
             let spec = presets::by_name(preset, cfg.duration).expect("known preset");
             cfg.scenario = Some(Scenario::Spec(spec));
             cells.push(SweepCell::new(cfg, scale.runs()));
@@ -553,6 +562,139 @@ pub fn robustness_from(grid: &[Vec<RunResult>]) -> FigureData {
         }
     }
     fig
+}
+
+/// Presets stressed by the `self_healing` figure, in series order.
+pub const SELF_HEALING_PRESETS: [&str; 2] = ["churn", "bursty_links"];
+
+/// The two arms compared by the `self_healing` figure, in cell order.
+pub const SELF_HEALING_ARMS: [&str; 2] = ["repair", "legacy"];
+
+/// Self-healing figure output: the repair layer on-vs-off under faults.
+#[derive(Debug, Clone)]
+pub struct SelfHealingData {
+    /// Delivery ratio (%) per protocol; one series per (preset, arm).
+    pub delivery: FigureData,
+    /// Time spent partitioned (s) per protocol; one series per
+    /// (preset, arm). Episodes still open at run end are counted.
+    pub in_partition: FigureData,
+    /// Time to root partition (s, right-censored at run end) per
+    /// protocol; one series per (preset, arm). Repair pushing a run to
+    /// the censoring bound means the partition never happened.
+    pub time_to_partition: FigureData,
+    /// Repair-arm activity per protocol: repairs performed, orphaned
+    /// node·time, and mean detection-to-repair latency; one series per
+    /// (preset, metric).
+    pub activity: FigureData,
+}
+
+/// Self-healing figure: every protocol under the `churn` and
+/// `bursty_links` presets, with the repair layer enabled vs the legacy
+/// maintenance path. The x axis indexes [`Protocol::all`].
+pub fn self_healing(exec: &mut SweepExecutor, scale: Scale, seed: u64) -> SelfHealingData {
+    let grid = exec.run(&self_healing_cells(scale, seed));
+    self_healing_from(&grid)
+}
+
+/// The self-healing figure's job plan: every (preset, protocol, arm)
+/// cell, arms ordered per [`SELF_HEALING_ARMS`].
+pub fn self_healing_cells(scale: Scale, seed: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for preset in SELF_HEALING_PRESETS {
+        for protocol in Protocol::all() {
+            for arm in SELF_HEALING_ARMS {
+                let mut cfg = scale.config(protocol, WorkloadSpec::paper(1.0), seed);
+                if arm == "legacy" {
+                    cfg = cfg.with_repair(RepairConfig::disabled());
+                }
+                let spec = presets::by_name(preset, cfg.duration).expect("known preset");
+                cfg.scenario = Some(Scenario::Spec(spec));
+                cells.push(SweepCell::new(cfg, scale.runs()));
+            }
+        }
+    }
+    cells
+}
+
+/// Assembles the self-healing figure from the results of
+/// [`self_healing_cells`] (same order).
+pub fn self_healing_from(grid: &[Vec<RunResult>]) -> SelfHealingData {
+    let mut delivery = FigureData::new(
+        "self_healing_delivery",
+        "Delivery ratio (%) with the repair layer on (repair) vs off (legacy)",
+        "protocol_index",
+        "delivery ratio (%)",
+    );
+    let mut in_partition = FigureData::new(
+        "self_healing_in_partition",
+        "Time spent partitioned (s), repair vs legacy (open episodes counted)",
+        "protocol_index",
+        "time in partition (s)",
+    );
+    let mut time_to_partition = FigureData::new(
+        "self_healing_time_to_partition",
+        "Time to root partition (s, right-censored at run end), repair vs legacy",
+        "protocol_index",
+        "time to partition (s)",
+    );
+    let mut activity = FigureData::new(
+        "self_healing_activity",
+        "Repair-arm activity: repairs, orphaned node-seconds, mean repair latency",
+        "protocol_index",
+        "count / seconds",
+    );
+    for preset in SELF_HEALING_PRESETS {
+        for arm in SELF_HEALING_ARMS {
+            let label = format!("{preset}/{arm}");
+            delivery.series.push(Series::new(&label));
+            in_partition.series.push(Series::new(&label));
+            time_to_partition.series.push(Series::new(&label));
+        }
+        activity
+            .series
+            .push(Series::new(format!("{preset} repairs")));
+        activity
+            .series
+            .push(Series::new(format!("{preset} orphan node-s")));
+        activity
+            .series
+            .push(Series::new(format!("{preset} repair latency (s)")));
+    }
+    let mut cell = grid.iter();
+    for (pi, _preset) in SELF_HEALING_PRESETS.iter().enumerate() {
+        for (xi, _) in Protocol::all().iter().enumerate() {
+            for (ai, arm) in SELF_HEALING_ARMS.iter().enumerate() {
+                let results = cell.next().expect("one cell per (preset, protocol, arm)");
+                if results.is_empty() {
+                    continue;
+                }
+                let si = pi * SELF_HEALING_ARMS.len() + ai;
+                let (d, d_ci) = stat_over_runs(results, |r| 100.0 * r.delivery_ratio());
+                delivery.series[si].push(xi as f64, d, d_ci);
+                let (t, t_ci) = stat_over_runs(results, RunResult::time_in_partition_s);
+                in_partition.series[si].push(xi as f64, t, t_ci);
+                let (p, p_ci) = stat_over_runs(results, |r| {
+                    r.lifetime.time_to_partition(r.measured_until).as_secs_f64()
+                });
+                time_to_partition.series[si].push(xi as f64, p, p_ci);
+                if *arm == "repair" {
+                    let base = pi * 3;
+                    let (n, n_ci) = stat_over_runs(results, |r| r.repairs as f64);
+                    activity.series[base].push(xi as f64, n, n_ci);
+                    let (o, o_ci) = stat_over_runs(results, RunResult::orphan_node_seconds);
+                    activity.series[base + 1].push(xi as f64, o, o_ci);
+                    let (l, l_ci) = stat_over_runs(results, RunResult::mean_reparent_latency_s);
+                    activity.series[base + 2].push(xi as f64, l, l_ci);
+                }
+            }
+        }
+    }
+    SelfHealingData {
+        delivery,
+        in_partition,
+        time_to_partition,
+        activity,
+    }
 }
 
 /// Drift figure output: behaviour under clock faults.

@@ -10,7 +10,7 @@
 //!
 //! FIGURES      any of: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!              headline overhead lifetime robustness drift
-//!              (default: all)
+//!              self_healing (default: all)
 //! --figure NAME      select a figure by name (same as the bare name;
 //!              unknown names list the valid set)
 //! --list-figures     print the valid figure names and exit
@@ -82,6 +82,7 @@ fn main() {
         "lifetime",
         "robustness",
         "drift",
+        "self_healing",
     ];
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -251,6 +252,13 @@ fn main() {
     if wanted.contains("drift") {
         plan("drift", figures::drift_cells(scale, seed), &mut cells);
     }
+    if wanted.contains("self_healing") {
+        plan(
+            "self_healing",
+            figures::self_healing_cells(scale, seed),
+            &mut cells,
+        );
+    }
     let total_jobs: u32 = cells
         .iter()
         .map(|c: &essat_harness::executor::SweepCell| c.runs)
@@ -352,6 +360,18 @@ fn main() {
         let data = figures::drift_from(slice("drift").expect("planned"), scale);
         emit(&data.delivery);
         emit(&data.missed);
+    }
+    if wanted.contains("self_healing") {
+        let data = figures::self_healing_from(slice("self_healing").expect("planned"));
+        emit(&data.delivery);
+        emit(&data.in_partition);
+        emit(&data.time_to_partition);
+        emit(&data.activity);
+        println!("protocol_index legend (churn + bursty_links presets, repair on vs off):");
+        for (i, p) in essat_wsn::config::Protocol::all().iter().enumerate() {
+            println!("  {i}: {p}");
+        }
+        println!();
     }
     if wanted.contains("overhead") {
         let series = &rate.as_ref().expect("computed").dts_overhead_bits;
@@ -466,7 +486,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: essat-figures [fig2..fig9|headline|overhead|lifetime|robustness|drift|all]… \
+        "usage: essat-figures [fig2..fig9|headline|overhead|lifetime|robustness|drift|self_healing|all]… \
          [--figure NAME] [--list-figures] [--scale quick|paper] [--seed N] [--csv DIR] \
          [--threads N] [--bench-json PATH] [--failures-json PATH] [--trace PATH] \
          [--sample SECONDS] [--profile PATH]"

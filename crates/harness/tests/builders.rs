@@ -120,6 +120,58 @@ fn robustness_builder_shape() {
 }
 
 #[test]
+fn self_healing_builder_shape() {
+    let data = figures::self_healing(&mut SweepExecutor::new(), Scale::Quick, 2024);
+    assert_eq!(data.delivery.id, "self_healing_delivery");
+    assert_eq!(data.in_partition.id, "self_healing_in_partition");
+    assert_eq!(data.time_to_partition.id, "self_healing_time_to_partition");
+    let mean = |fig: &essat_harness::table::FigureData, label: &str| {
+        let s = fig
+            .series(label)
+            .unwrap_or_else(|| panic!("{label} series"));
+        assert_eq!(s.points.len(), 8, "{label}: one point per protocol");
+        s.points.iter().map(|p| p.y).sum::<f64>() / s.points.len() as f64
+    };
+    for preset in ["churn", "bursty_links"] {
+        let on = format!("{preset}/repair");
+        let off = format!("{preset}/legacy");
+        // The headline claim: repair must not cost delivery under any
+        // preset, and must buy it back under bursty links.
+        let d_on = mean(&data.delivery, &on);
+        let d_off = mean(&data.delivery, &off);
+        assert!(
+            d_on >= d_off - 1e-9,
+            "{preset}: repair delivery {d_on}% below legacy {d_off}%"
+        );
+        // Time in partition can only shrink when episodes heal.
+        let p_on = mean(&data.in_partition, &on);
+        let p_off = mean(&data.in_partition, &off);
+        assert!(
+            p_on <= p_off + 1e-9,
+            "{preset}: repair in-partition {p_on}s above legacy {p_off}s"
+        );
+        // Right-censored time-to-partition: repair keeps the root
+        // reachable at least as long, protocol by protocol.
+        let ttp_on = &data.time_to_partition.series(&on).unwrap().points;
+        let ttp_off = &data.time_to_partition.series(&off).unwrap().points;
+        for (a, b) in ttp_on.iter().zip(ttp_off.iter()) {
+            assert!(
+                a.y >= b.y - 1e-9,
+                "{preset}: repair partitions earlier ({} vs {})",
+                a.y,
+                b.y
+            );
+        }
+    }
+    // Under bursty links the gap is the figure's point: repair must
+    // strictly beat legacy on mean delivery.
+    assert!(
+        mean(&data.delivery, "bursty_links/repair") > mean(&data.delivery, "bursty_links/legacy"),
+        "repair should strictly improve bursty-link delivery"
+    );
+}
+
+#[test]
 fn fig2_builder_shape() {
     let fig = figures::fig2_deadline(&mut SweepExecutor::new(), Scale::Quick, 5);
     assert_eq!(fig.id, "fig2");

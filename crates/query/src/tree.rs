@@ -254,6 +254,25 @@ impl RoutingTree {
     /// Panics if `failed` is the root (the paper assumes the base station
     /// survives) or not a member.
     pub fn fail_node(&mut self, topology: &Topology, failed: NodeId) -> Vec<NodeId> {
+        self.fail_node_by(topology, failed, &|_, _| 1.0)
+    }
+
+    /// [`RoutingTree::fail_node`] with a caller-supplied directed
+    /// link-quality estimate: each orphan's candidates are ordered by
+    /// (lowest level, highest `quality(orphan, candidate)`, lowest id).
+    /// With a constant quality this is exactly `fail_node` — the
+    /// quality only breaks ties within a level, so the legacy (level,
+    /// id) rule is the flat special case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed` is the root or not a member.
+    pub fn fail_node_by(
+        &mut self,
+        topology: &Topology,
+        failed: NodeId,
+        quality: &dyn Fn(NodeId, NodeId) -> f64,
+    ) -> Vec<NodeId> {
         assert!(failed != self.root, "cannot fail the root/base station");
         assert!(self.member[failed.index()], "{failed} is not a tree member");
 
@@ -267,7 +286,7 @@ impl RoutingTree {
         for orphan in orphans {
             // Candidate parents: surviving member neighbours outside the
             // orphan's own subtree.
-            let mut best: Option<(u32, NodeId)> = None;
+            let mut best: Option<(u32, f64, NodeId)> = None;
             for &cand in topology.neighbors(orphan) {
                 if cand == failed || !self.member[cand.index()] {
                     continue;
@@ -276,14 +295,26 @@ impl RoutingTree {
                     continue;
                 }
                 if let Some(lvl) = self.level[cand.index()] {
-                    let key = (lvl, cand);
-                    if best.map(|b| key < b).unwrap_or(true) {
-                        best = Some(key);
+                    let q = quality(orphan, cand);
+                    // A non-finite quality is a veto (the simulator
+                    // encodes "candidate is dead" as -inf): skip, don't
+                    // merely deprioritise — level dominates the order.
+                    if !q.is_finite() {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((bl, bq, bid)) => {
+                            lvl < bl || (lvl == bl && (q > bq || (q == bq && cand < bid)))
+                        }
+                    };
+                    if better {
+                        best = Some((lvl, q, cand));
                     }
                 }
             }
             match best {
-                Some((_, new_parent)) => {
+                Some((_, _, new_parent)) => {
                     self.parent[orphan.index()] = Some(new_parent);
                     reattached.push(orphan);
                 }
@@ -332,6 +363,120 @@ impl RoutingTree {
         }
         let (_, new_parent) = best?;
         self.parent[node.index()] = Some(new_parent);
+        self.recompute_levels();
+        self.rebuild_derived();
+        Some(new_parent)
+    }
+
+    /// Moves a live member — together with its entire subtree — under a
+    /// new parent (§4.3 self-healing: the node detected its current
+    /// parent failed or degraded). Candidates are member neighbours
+    /// outside the node's own subtree and distinct from its current
+    /// parent; the best is chosen by lowest level, then highest
+    /// `quality(node, candidate)` (the caller's directed link-quality
+    /// estimate), then lowest id. Levels and ranks are recomputed so the
+    /// moved subtree learns its new depths.
+    ///
+    /// Returns the new parent, or `None` when no valid candidate exists
+    /// (the node keeps its current parent; the caller retries later with
+    /// backoff).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root or not a member.
+    pub fn reparent(
+        &mut self,
+        topology: &Topology,
+        node: NodeId,
+        quality: &dyn Fn(NodeId, NodeId) -> f64,
+    ) -> Option<NodeId> {
+        assert!(node != self.root, "the root never re-parents");
+        assert!(self.member[node.index()], "{node} is not a tree member");
+        let old_parent = self.parent[node.index()];
+        let mut best: Option<(u32, f64, NodeId)> = None;
+        for &cand in topology.neighbors(node) {
+            if !self.member[cand.index()] || Some(cand) == old_parent {
+                continue;
+            }
+            // Acyclicity: never attach under one's own descendant.
+            if self.is_descendant(cand, node) {
+                continue;
+            }
+            let Some(lvl) = self.level[cand.index()] else {
+                continue;
+            };
+            let q = quality(node, cand);
+            // Non-finite quality is a veto (see `fail_node_by`).
+            if !q.is_finite() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bl, bq, bid)) => {
+                    lvl < bl || (lvl == bl && (q > bq || (q == bq && cand < bid)))
+                }
+            };
+            if better {
+                best = Some((lvl, q, cand));
+            }
+        }
+        let (_, _, new_parent) = best?;
+        self.parent[node.index()] = Some(new_parent);
+        self.recompute_levels();
+        self.rebuild_derived();
+        Some(new_parent)
+    }
+
+    /// Re-admits an orphaned (non-member, still alive) node under its
+    /// best member neighbour — lowest level, then highest
+    /// `quality(orphan, candidate)`, then lowest id. The link-quality
+    /// tie-break is what distinguishes this from
+    /// [`RoutingTree::rejoin_node`]: a recovering network prefers the
+    /// parent it can actually talk to. Idempotent: adopting a current
+    /// member returns its existing parent and changes nothing.
+    ///
+    /// Returns the new parent, or `None` when no member neighbour is in
+    /// range (a later adoption of a bridging node may let it back in —
+    /// callers sweep orphans to fixpoint for exactly this reason).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `orphan` is the root.
+    pub fn adopt_orphan(
+        &mut self,
+        topology: &Topology,
+        orphan: NodeId,
+        quality: &dyn Fn(NodeId, NodeId) -> f64,
+    ) -> Option<NodeId> {
+        assert!(orphan != self.root, "the root never leaves the tree");
+        if self.member[orphan.index()] {
+            return self.parent[orphan.index()];
+        }
+        let mut best: Option<(u32, f64, NodeId)> = None;
+        for &cand in topology.neighbors(orphan) {
+            if !self.member[cand.index()] {
+                continue;
+            }
+            let Some(lvl) = self.level[cand.index()] else {
+                continue;
+            };
+            let q = quality(orphan, cand);
+            // Non-finite quality is a veto (see `fail_node_by`).
+            if !q.is_finite() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bl, bq, bid)) => {
+                    lvl < bl || (lvl == bl && (q > bq || (q == bq && cand < bid)))
+                }
+            };
+            if better {
+                best = Some((lvl, q, cand));
+            }
+        }
+        let (_, _, new_parent) = best?;
+        self.parent[orphan.index()] = Some(new_parent);
         self.recompute_levels();
         self.rebuild_derived();
         Some(new_parent)
@@ -597,6 +742,94 @@ mod tests {
         let before = tree.clone();
         assert_eq!(tree.rejoin_node(&topo, n(2)), Some(n(1)));
         assert_eq!(tree, before);
+    }
+
+    /// Neutral quality: every link scores the same, so selection falls
+    /// back to (level, id) — the original §4.3 rule.
+    fn flat(_: NodeId, _: NodeId) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn reparent_moves_whole_subtree() {
+        // 3x3 grid rooted at 0. Node 4 (level 2, parent 1) has child 7;
+        // its candidates are 3 (level 1) and 5 (level 2) — 1 is the
+        // current parent and 7 its own descendant. Lowest level wins:
+        // the subtree (4, 7) moves under 3 and levels are recomputed.
+        let topo = Topology::grid(3, 3, 10.0, 10.5);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        assert_eq!(tree.parent(n(4)), Some(n(1)));
+        assert_eq!(tree.parent(n(7)), Some(n(4)));
+        let new_parent = tree.reparent(&topo, n(4), &flat);
+        tree.check_invariants();
+        assert_eq!(new_parent, Some(n(3)), "lowest-level candidate");
+        assert_eq!(tree.parent(n(7)), Some(n(4)), "subtree intact");
+        assert_eq!(tree.level(n(4)), Some(2));
+        assert_eq!(tree.level(n(7)), Some(3), "subtree levels recomputed");
+    }
+
+    #[test]
+    fn reparent_prefers_link_quality_within_a_level() {
+        // 2x2 grid rooted at 0: node 3 hears 1 and 2, both level 1.
+        // Flat quality picks 1 (lowest id); degrading 3->1 flips the
+        // choice to 2.
+        let topo = Topology::grid(2, 2, 10.0, 10.5);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        assert_eq!(tree.parent(n(3)), Some(n(1)));
+        // Current parent (1) is excluded, so flat quality moves 3 to 2.
+        assert_eq!(tree.reparent(&topo, n(3), &flat), Some(n(2)));
+        // Now the current parent is 2; quality says 2 is great and 1 is
+        // terrible — but 2 is excluded as the current parent, so 1 wins
+        // by being the only candidate.
+        let q = |_c: NodeId, p: NodeId| if p == n(1) { 0.1 } else { 0.9 };
+        assert_eq!(tree.reparent(&topo, n(3), &q), Some(n(1)));
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn reparent_never_attaches_into_own_subtree() {
+        // Line 0-1-2-3: node 1's only non-parent neighbour is its own
+        // child 2 — no valid candidate, tree unchanged.
+        let topo = Topology::line(4, 10.0, 12.0);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        let before = tree.clone();
+        assert_eq!(tree.reparent(&topo, n(1), &flat), None);
+        assert_eq!(tree, before);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn adopt_orphan_uses_quality_and_is_idempotent() {
+        let topo = Topology::grid(2, 2, 10.0, 10.5);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        tree.fail_node(&topo, n(3));
+        assert!(!tree.is_member(n(3)));
+        // Both 1 and 2 are level-1 members; quality prefers 2.
+        let q = |_c: NodeId, p: NodeId| if p == n(2) { 0.9 } else { 0.2 };
+        assert_eq!(tree.adopt_orphan(&topo, n(3), &q), Some(n(2)));
+        tree.check_invariants();
+        assert!(tree.is_member(n(3)));
+        // Idempotent: adopting a member returns its parent, unchanged.
+        let before = tree.clone();
+        assert_eq!(tree.adopt_orphan(&topo, n(3), &q), Some(n(2)));
+        assert_eq!(tree, before);
+    }
+
+    #[test]
+    fn adoption_sweep_recovers_partition() {
+        // Failing 1 on a line drops 2 and 3. Sweeping adopt_orphan in id
+        // order until fixpoint chains the whole partition back once 1
+        // recovers.
+        let topo = Topology::line(4, 10.0, 12.0);
+        let mut tree = RoutingTree::build(&topo, n(0), None);
+        tree.fail_node(&topo, n(1));
+        assert_eq!(tree.member_count(), 1);
+        assert_eq!(tree.adopt_orphan(&topo, n(3), &flat), None, "no bridge yet");
+        assert_eq!(tree.adopt_orphan(&topo, n(1), &flat), Some(n(0)));
+        assert_eq!(tree.adopt_orphan(&topo, n(2), &flat), Some(n(1)));
+        assert_eq!(tree.adopt_orphan(&topo, n(3), &flat), Some(n(2)));
+        tree.check_invariants();
+        assert_eq!(tree.member_count(), 4);
     }
 
     #[test]

@@ -128,6 +128,125 @@ proptest! {
         }
     }
 
+    /// Self-healing surgery under random kill / revive / degrade /
+    /// re-parent scripts: the incrementally repaired tree satisfies the
+    /// structural invariants after every operation and never keeps a
+    /// dead member; re-adopting a current member is idempotent; and
+    /// after sweeping orphan adoptions to fixpoint the member set
+    /// equals the from-scratch reference — exactly the live nodes with
+    /// a live path to the root.
+    #[test]
+    fn self_healing_script_matches_rebuild_reference(
+        seed in any::<u64>(),
+        n in 4u32..40,
+        ops in proptest::collection::vec((0u8..4, any::<u32>(), 0.05f64..1.0), 1..25),
+    ) {
+        fn quality<'a>(
+            alive: &'a [bool],
+            q: &'a [f64],
+            n: usize,
+        ) -> impl Fn(NodeId, NodeId) -> f64 + 'a {
+            move |s: NodeId, d: NodeId| {
+                if alive[d.index()] {
+                    q[s.index() * n + d.index()]
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+        }
+        let mut rng = SimRng::seed_from_u64(seed);
+        let topo = Topology::random(n, Area::new(250.0, 250.0), 90.0, &mut rng);
+        let root = topo.closest_to_center();
+        let mut tree = RoutingTree::build(&topo, root, None);
+        let nn = topo.node_count();
+        let mut alive = vec![true; nn];
+        let mut q = vec![1.0f64; nn * nn];
+        for &(op, raw, val) in &ops {
+            let pick = (raw as usize) % nn;
+            let node = NodeId::new(pick as u32);
+            match op {
+                0 => {
+                    // Kill: declare the node failed and heal around it.
+                    if node != root && alive[pick] {
+                        alive[pick] = false;
+                        if tree.is_member(node) {
+                            tree.fail_node_by(&topo, node, &quality(&alive, &q, nn));
+                        }
+                    }
+                }
+                1 => {
+                    // Revive: back to life, try immediate re-adoption.
+                    if node != root && !alive[pick] {
+                        alive[pick] = true;
+                        tree.adopt_orphan(&topo, node, &quality(&alive, &q, nn));
+                    }
+                }
+                2 => {
+                    // Degrade: move one directed link's quality.
+                    let tgt = ((raw >> 8) as usize) % nn;
+                    q[pick * nn + tgt] = val;
+                }
+                _ => {
+                    // Degraded-parent escape: move a member elsewhere.
+                    if node != root && alive[pick] && tree.is_member(node) {
+                        tree.reparent(&topo, node, &quality(&alive, &q, nn));
+                    }
+                }
+            }
+            tree.check_invariants();
+            for &m in tree.members() {
+                prop_assert!(alive[m.index()], "dead member {m} kept in the tree");
+            }
+        }
+        // Idempotent re-adoption: adopting a current member returns its
+        // existing parent and changes nothing.
+        if let Some(&m) = tree.members().iter().find(|&&m| m != root) {
+            let before = tree.clone();
+            let p = tree.adopt_orphan(&topo, m, &quality(&alive, &q, nn));
+            prop_assert_eq!(p, before.parent(m));
+            prop_assert_eq!(&tree, &before);
+        }
+        // Sweep adoptions to fixpoint (an adoption can make the next
+        // orphan reachable), then compare against the from-scratch
+        // reference: BFS over live nodes from the root.
+        loop {
+            let mut adopted = false;
+            for i in 0..nn {
+                let node = NodeId::new(i as u32);
+                if alive[i]
+                    && node != root
+                    && !tree.is_member(node)
+                    && tree.adopt_orphan(&topo, node, &quality(&alive, &q, nn)).is_some()
+                {
+                    adopted = true;
+                }
+            }
+            if !adopted {
+                break;
+            }
+        }
+        tree.check_invariants();
+        let mut reach = vec![false; nn];
+        reach[root.index()] = true;
+        let mut stack = vec![root];
+        while let Some(u) = stack.pop() {
+            for &v in topo.neighbors(u) {
+                if alive[v.index()] && !reach[v.index()] {
+                    reach[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        for (i, &reachable) in reach.iter().enumerate() {
+            prop_assert_eq!(
+                tree.is_member(NodeId::new(i as u32)),
+                reachable,
+                "node {} membership diverged from the rebuild reference",
+                i
+            );
+        }
+    }
+
     /// A round aggregator seals to exactly the sum of accepted inputs,
     /// regardless of arrival order and duplicates.
     #[test]

@@ -138,6 +138,20 @@ impl CompiledScenario {
         !self.clocks.is_empty()
     }
 
+    /// Whether this compiled stream perturbs the run at all: churn,
+    /// bursty links, a battery model, clock faults, or scripted
+    /// glitches. A spec that compiles to nothing (e.g. `clock_drift(0)`)
+    /// answers `false` — such a scenario must behave bit-identically to
+    /// having none attached. Traffic phases are excluded: they reshape
+    /// the workload, they don't fault it.
+    pub fn can_fault(&self) -> bool {
+        self.link.is_some()
+            || self.battery.is_some()
+            || !self.events.is_empty()
+            || !self.clocks.is_empty()
+            || !self.glitches.is_empty()
+    }
+
     /// Validates this compiled stream against a run's shape — used when
     /// replaying a recorded (possibly hand-edited) trace, which skips
     /// the `compile()` checks the `Spec` path gets for free.

@@ -109,6 +109,65 @@ impl GuardTime {
     }
 }
 
+/// The self-healing layer's knobs: link-quality estimation, parent-
+/// failure detection backoff, and the deadline-aware retransmission
+/// budget.
+///
+/// All defaults are chosen so a fault-free run is *bit-identical* with
+/// repair enabled or disabled: link-quality EWMA updates are pure
+/// arithmetic on state nothing reads until a failure is detected, the
+/// repair timer only arms after consecutive delivery failures, and the
+/// retransmission budget only engages once a MAC retry budget has
+/// already been exhausted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairConfig {
+    /// Master switch. Disabling reverts to the pre-self-healing
+    /// behaviour (synchronous §4.3 repair at detection, no collection-
+    /// layer retransmissions); kept for the zero-cost A/B bench guard.
+    pub enabled: bool,
+    /// EWMA smoothing factor for per-directed-link quality:
+    /// `q ← (1 − α)·q + α·outcome` per MAC ACK outcome.
+    pub ewma_alpha: f64,
+    /// Initial (seeded) quality for every directed link. Optimistic by
+    /// default: an untried link is assumed good until evidence arrives.
+    pub ewma_seed: f64,
+    /// First repair-timer delay after parent-failure detection; each
+    /// unsuccessful repair attempt doubles it (exponential backoff).
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: SimDuration,
+    /// Deadline slack `s` in the retransmission budget: a failed report
+    /// is re-dispatched only while `now + retry_cost ≤ deadline − s`.
+    pub budget_slack: SimDuration,
+    /// Upper bound on collection-layer re-dispatches per round (the
+    /// budget usually runs out first; this is the hard stop).
+    pub max_redispatch: u32,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            enabled: true,
+            ewma_alpha: 0.3,
+            ewma_seed: 1.0,
+            backoff_base: SimDuration::from_millis(250),
+            backoff_cap: SimDuration::from_secs(8),
+            budget_slack: SimDuration::from_millis(5),
+            max_redispatch: 2,
+        }
+    }
+}
+
+impl RepairConfig {
+    /// Repair disabled entirely (the A/B bench baseline arm).
+    pub fn disabled() -> Self {
+        RepairConfig {
+            enabled: false,
+            ..RepairConfig::default()
+        }
+    }
+}
+
 /// How queries reach the nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetupMode {
@@ -163,6 +222,10 @@ pub struct ExperimentConfig {
     pub dts: DtsConfig,
     /// Adaptive guard time against clock desync (zero by default).
     pub clock_guard: GuardTime,
+    /// Self-healing layer (link-quality EWMA, repair backoff,
+    /// retransmission budget). Enabled by default; fault-free runs are
+    /// bit-identical either way.
+    pub repair: RepairConfig,
     /// Master seed; every run derives all randomness from it.
     pub seed: u64,
 }
@@ -190,6 +253,7 @@ impl ExperimentConfig {
             sts: StsConfig::default(),
             dts: DtsConfig::default(),
             clock_guard: GuardTime::ZERO,
+            repair: RepairConfig::default(),
             seed,
         }
     }
@@ -238,6 +302,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Builder-style repair-layer override (see [`RepairConfig`]).
+    pub fn with_repair(mut self, repair: RepairConfig) -> Self {
+        self.repair = repair;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -261,6 +331,22 @@ impl ExperimentConfig {
                 "scripted failure of node {node} at {at} is past the run end {end}"
             );
         }
+        assert!(
+            self.repair.ewma_alpha > 0.0 && self.repair.ewma_alpha <= 1.0,
+            "EWMA alpha must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.repair.ewma_seed),
+            "EWMA seed quality must be in [0, 1]"
+        );
+        assert!(
+            !self.repair.backoff_base.is_zero(),
+            "repair backoff base must be positive"
+        );
+        assert!(
+            self.repair.backoff_cap >= self.repair.backoff_base,
+            "repair backoff cap below its base"
+        );
         if let Some(Scenario::Spec(spec)) = &self.scenario {
             spec.validate();
         }
@@ -373,6 +459,29 @@ mod tests {
             .with_clock_guard(SimDuration::from_millis(1), 100);
         cfg.validate();
         assert_eq!(cfg.clock_guard, g);
+    }
+
+    #[test]
+    fn repair_config_defaults_and_builder() {
+        let cfg = ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 3);
+        cfg.validate();
+        assert!(cfg.repair.enabled, "repair is on by default");
+        let off = cfg.clone().with_repair(RepairConfig::disabled());
+        off.validate();
+        assert!(!off.repair.enabled);
+        assert_eq!(off.repair.ewma_alpha, cfg.repair.ewma_alpha);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA alpha")]
+    fn repair_alpha_out_of_range_rejected() {
+        let bad = RepairConfig {
+            ewma_alpha: 1.5,
+            ..Default::default()
+        };
+        ExperimentConfig::quick(Protocol::DtsSs, WorkloadSpec::paper(1.0), 3)
+            .with_repair(bad)
+            .validate();
     }
 
     #[test]

@@ -85,6 +85,20 @@ pub struct LifetimeStats {
     /// root (or the root itself died) — the paper-style "network
     /// partition" lifetime mark.
     pub partition: Option<SimTime>,
+    /// First time a partitioned network healed (every live member
+    /// regained a live path to the root) — `None` while healthy or
+    /// still partitioned. Self-healing repair and churn recovery both
+    /// set it.
+    pub partition_recovered_at: Option<SimTime>,
+    /// Start of the *currently open* partition episode (`None` when the
+    /// network is whole). Internal bookkeeping for
+    /// [`LifetimeStats::time_in_partition`]; closed episodes accumulate
+    /// into [`LifetimeStats::in_partition`].
+    pub partitioned_since: Option<SimTime>,
+    /// Total time spent partitioned over *closed* episodes (an episode
+    /// still open at run end is added by
+    /// [`LifetimeStats::time_in_partition`]).
+    pub in_partition: SimDuration,
     /// Nodes revived by churn recoveries.
     pub recoveries: u64,
 }
@@ -100,6 +114,39 @@ impl LifetimeStats {
     /// [`LifetimeStats::time_to_first_death`].
     pub fn time_to_partition(&self, end: SimTime) -> SimTime {
         self.partition.unwrap_or(end)
+    }
+
+    /// Total time the network spent partitioned, counting an episode
+    /// still open at `end`. A healed network reports only its actual
+    /// outage — not partitioned-forever.
+    pub fn time_in_partition(&self, end: SimTime) -> SimDuration {
+        let open = self
+            .partitioned_since
+            .map(|s| end - s)
+            .unwrap_or(SimDuration::ZERO);
+        self.in_partition + open
+    }
+
+    /// Records the network becoming partitioned at `now` (idempotent
+    /// while an episode is open).
+    pub fn mark_partitioned(&mut self, now: SimTime) {
+        if self.partition.is_none() {
+            self.partition = Some(now);
+        }
+        if self.partitioned_since.is_none() {
+            self.partitioned_since = Some(now);
+        }
+    }
+
+    /// Records the network healing at `now`: closes the open partition
+    /// episode (no-op when none is open).
+    pub fn mark_recovered(&mut self, now: SimTime) {
+        if let Some(since) = self.partitioned_since.take() {
+            self.in_partition += now - since;
+            if self.partition_recovered_at.is_none() {
+                self.partition_recovered_at = Some(now);
+            }
+        }
     }
 }
 
@@ -149,6 +196,21 @@ pub struct RunResult {
     /// awake time the [`crate::config::GuardTime`] knob buys — its
     /// energy overhead proxy.
     pub guard_wake_ns: u64,
+    /// Successful self-healing tree operations (re-parents away from a
+    /// failed parent plus orphan adoptions). Zero on fault-free runs.
+    pub repairs: u64,
+    /// Total detection-to-repair latency in nanoseconds, summed over
+    /// [`RunResult::repairs`]: how long nodes ran against a failed
+    /// parent before the backoff repair re-attached them.
+    pub reparent_latency_ns: u64,
+    /// Total node·time spent alive but outside the tree (orphaned), in
+    /// nanoseconds, summed over nodes — coverage lost to partitions
+    /// that adoption sweeps win back.
+    pub orphan_node_ns: u64,
+    /// Collection-layer report re-dispatches granted by the deadline-
+    /// aware retransmission budget (after a MAC retry budget was
+    /// exhausted but while the round's deadline still had slack).
+    pub redispatches: u64,
 }
 
 /// Summed MAC counters.
@@ -242,16 +304,44 @@ impl RunResult {
         self.guard_wake_ns as f64 * 1e-9
     }
 
+    /// Total time the network spent partitioned (see
+    /// [`LifetimeStats::time_in_partition`]), in seconds.
+    pub fn time_in_partition_s(&self) -> f64 {
+        self.lifetime
+            .time_in_partition(self.measured_until)
+            .as_secs_f64()
+    }
+
+    /// Mean detection-to-repair latency in seconds (0 when no repair
+    /// ever ran).
+    pub fn mean_reparent_latency_s(&self) -> f64 {
+        if self.repairs == 0 {
+            0.0
+        } else {
+            self.reparent_latency_ns as f64 * 1e-9 / self.repairs as f64
+        }
+    }
+
+    /// Total orphaned node·time in node-seconds (see
+    /// [`RunResult::orphan_node_ns`]).
+    pub fn orphan_node_seconds(&self) -> f64 {
+        self.orphan_node_ns as f64 * 1e-9
+    }
+
     /// The digest schema version recorded in golden files
     /// (`digest-version:` header in `tests/golden/quick_digests.txt`).
     ///
     /// Bump this when an intentional change moves the digest for every
     /// run — e.g. version 2 retired stale-event dispatches, shrinking
     /// `events_processed` and `peak_queue_depth` (both hashed) while
-    /// leaving every simulation-level metric untouched. Keep the old
-    /// version's golden file committed next to the new one so the
-    /// history of intentional migrations stays auditable.
-    pub const DIGEST_VERSION: u32 = 2;
+    /// leaving every simulation-level metric untouched; version 3 grew
+    /// the preimage with the self-healing metrics (partition recovery,
+    /// repairs, re-parent latency, orphan time, re-dispatches — all
+    /// zero/absent on fault-free runs, whose simulation-level metrics
+    /// are byte-identical to version 2). Keep the old version's golden
+    /// file committed next to the new one so the history of intentional
+    /// migrations stays auditable.
+    pub const DIGEST_VERSION: u32 = 3;
 
     /// A 64-bit FNV-1a digest over every metric of the run, including
     /// per-round traces, per-node duty/energy bit patterns, the
@@ -326,6 +416,17 @@ impl RunResult {
                 .map(|t| t.as_nanos())
                 .unwrap_or(u64::MAX),
         );
+        h.u64(
+            self.lifetime
+                .partition_recovered_at
+                .map(|t| t.as_nanos())
+                .unwrap_or(u64::MAX),
+        );
+        h.u64(
+            self.lifetime
+                .time_in_partition(self.measured_until)
+                .as_nanos(),
+        );
         h.u64(self.lifetime.recoveries);
         h.u64(self.channel_transmissions);
         h.u64(self.channel_collisions);
@@ -334,6 +435,10 @@ impl RunResult {
         h.u64(self.missed_reports);
         h.u64(self.resync_events);
         h.u64(self.guard_wake_ns);
+        h.u64(self.repairs);
+        h.u64(self.reparent_latency_ns);
+        h.u64(self.orphan_node_ns);
+        h.u64(self.redispatches);
         format!("{:016x}", h.finish())
     }
 }
@@ -392,6 +497,10 @@ mod tests {
             missed_reports: 0,
             resync_events: 0,
             guard_wake_ns: 0,
+            repairs: 0,
+            reparent_latency_ns: 0,
+            orphan_node_ns: 0,
+            redispatches: 0,
         }
     }
 
@@ -454,6 +563,44 @@ mod tests {
         lt.partition = Some(SimTime::from_secs(30));
         assert_eq!(lt.time_to_first_death(end), SimTime::from_secs(12));
         assert_eq!(lt.time_to_partition(end), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn partition_episodes_accumulate_and_heal() {
+        let mut lt = LifetimeStats::default();
+        let end = SimTime::from_secs(100);
+        assert_eq!(lt.time_in_partition(end), SimDuration::ZERO);
+        // Episode 1: 10 s → 25 s.
+        lt.mark_partitioned(SimTime::from_secs(10));
+        lt.mark_partitioned(SimTime::from_secs(12)); // idempotent while open
+        assert_eq!(lt.partition, Some(SimTime::from_secs(10)));
+        lt.mark_recovered(SimTime::from_secs(25));
+        assert_eq!(lt.partition_recovered_at, Some(SimTime::from_secs(25)));
+        assert_eq!(lt.time_in_partition(end), SimDuration::from_secs(15));
+        // Recovery without an open episode is a no-op.
+        lt.mark_recovered(SimTime::from_secs(30));
+        assert_eq!(lt.time_in_partition(end), SimDuration::from_secs(15));
+        // Episode 2 stays open to the end: censored into the total, but
+        // `partition` still records the *first* episode and
+        // `partition_recovered_at` the *first* heal.
+        lt.mark_partitioned(SimTime::from_secs(80));
+        assert_eq!(lt.partition, Some(SimTime::from_secs(10)));
+        assert_eq!(lt.partition_recovered_at, Some(SimTime::from_secs(25)));
+        assert_eq!(lt.time_in_partition(end), SimDuration::from_secs(35));
+    }
+
+    #[test]
+    fn self_healing_summaries() {
+        let mut r = result(vec![], vec![]);
+        assert_eq!(r.mean_reparent_latency_s(), 0.0);
+        r.repairs = 4;
+        r.reparent_latency_ns = 2_000_000_000;
+        r.orphan_node_ns = 3_500_000_000;
+        assert!((r.mean_reparent_latency_s() - 0.5).abs() < 1e-12);
+        assert!((r.orphan_node_seconds() - 3.5).abs() < 1e-12);
+        r.lifetime.mark_partitioned(SimTime::from_secs(2));
+        r.lifetime.mark_recovered(SimTime::from_secs(5));
+        assert!((r.time_in_partition_s() - 3.0).abs() < 1e-12);
     }
 
     #[test]

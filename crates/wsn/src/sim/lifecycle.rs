@@ -47,6 +47,15 @@ impl<P: Probe> World<P> {
                 ctx.cancel(id);
             }
             self.chain_ev[i] = chain;
+            // The dying node's pending repair timer must not fire, and
+            // a dead node stops accumulating orphan time.
+            if let Some(id) = self.repair.timer_ev[i].take() {
+                ctx.cancel(id);
+            }
+            self.repair.target[i] = None;
+            self.repair.armed_at[i] = None;
+            self.repair.backoff[i] = 0;
+            self.settle_orphan(i, now);
         }
         self.probe.on_node_down(
             now,
@@ -58,25 +67,31 @@ impl<P: Probe> World<P> {
             if self.lifetime.first_death.is_none() {
                 self.lifetime.first_death = Some(now);
             }
-            if self.lifetime.partition.is_none() && self.is_partitioned() {
-                self.lifetime.partition = Some(now);
-            }
+            self.check_partition_opened(now);
         }
     }
 
     /// True once some live tree member has no path of live nodes to the
     /// root (or the root itself is dead) — the lifetime figure's
-    /// "time to partition" mark. Only evaluated on deaths, so the BFS
-    /// cost is negligible.
+    /// "time to partition" mark. Collection-aware: a live build-time
+    /// member that fell *out of the routing tree* (an orphan subtree no
+    /// repair has re-attached yet) is partitioned from collection even
+    /// when a physical path exists. Only evaluated on deaths and
+    /// repairs, so the BFS cost is negligible.
     pub(crate) fn is_partitioned(&self) -> bool {
         if self.hot.dead[self.root.index()] {
             return true;
         }
-        let alive: Vec<NodeId> = self
-            .topo
-            .nodes()
-            .filter(|&m| self.hot.member[m.index()] && !self.hot.dead[m.index()])
-            .collect();
+        let mut alive = Vec::new();
+        for m in self.topo.nodes() {
+            if !self.hot.member[m.index()] || self.hot.dead[m.index()] {
+                continue;
+            }
+            if !self.tree.is_member(m) {
+                return true; // live member orphaned from the tree
+            }
+            alive.push(m);
+        }
         !self.topo.is_connected_subset(self.root, &alive)
     }
 
@@ -149,6 +164,13 @@ impl<P: Probe> World<P> {
                 self.restart_round_chains(node, ctx);
             } else {
                 self.rejoin_tree(node, ctx);
+            }
+            if self.tree.is_member(node) {
+                self.check_partition_healed(now);
+            } else if self.repair.orphaned_since[node.index()].is_none() {
+                // Revived but still cut off: live-and-orphaned time
+                // starts accumulating now.
+                self.repair.orphaned_since[node.index()] = Some(now);
             }
         }
         // Re-arm the policy's schedule chain (it stopped at death) and
@@ -231,6 +253,26 @@ impl<P: Probe> World<P> {
         let Some(parent) = self.tree.rejoin_node(&self.topo, node) else {
             return; // still cut off; a later recovery may bridge it back
         };
+        self.settle_orphan(node.index(), now);
+        self.readmit_node(node, parent, &old_rank, old_max, ctx);
+    }
+
+    /// Re-registers a just-re-attached node's queries from scratch and
+    /// refreshes every node whose schedule the rank changes touch. The
+    /// shared tail of [`World::rejoin_tree`] (churn recovery) and the
+    /// self-healing adoption sweep: the caller has already put `node`
+    /// under `parent` in the tree and captured the pre-surgery ranks.
+    pub(crate) fn readmit_node(
+        &mut self,
+        node: NodeId,
+        parent: NodeId,
+        old_rank: &[u32],
+        old_max: u32,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let now = ctx.now();
+        // Back in the tree: any pending self-rescue timer is moot.
+        self.disarm_repair(node, node, ctx);
         {
             let n = &mut self.nodes[node.index()];
             n.participating.clear();
@@ -328,7 +370,14 @@ impl<P: Probe> World<P> {
         let old_rank: Vec<u32> = self.topo.nodes().map(|n| self.tree.rank(n)).collect();
         let old_max = self.tree.max_rank();
         let was_member: Vec<bool> = self.topo.nodes().map(|n| self.tree.is_member(n)).collect();
-        let moved = self.tree.fail_node(&self.topo, failed);
+        // With self-healing on, orphans pick re-attachment parents by
+        // link quality (dead candidates vetoed); the flat legacy rule
+        // otherwise.
+        let moved = if self.repair_active() {
+            self.with_quality(|tree, topo, q| tree.fail_node_by(topo, failed, q))
+        } else {
+            self.tree.fail_node(&self.topo, failed)
+        };
 
         // The failed node — and any orphan subtree that could not
         // re-attach and therefore dropped out of the tree — stops
@@ -351,42 +400,21 @@ impl<P: Probe> World<P> {
             for qi in 0..self.queries.len() {
                 n.policy.forget_query(QueryId::new(qi as u32));
             }
+            // A *live* dropped node is now an orphan: start its
+            // orphan-seconds clock and (self-healing only) arm a
+            // self-rescue timer so it periodically tries to get
+            // re-adopted even if nobody else repairs nearby.
+            if !self.hot.dead[m.index()] {
+                if self.repair.orphaned_since[m.index()].is_none() {
+                    self.repair.orphaned_since[m.index()] = Some(now);
+                }
+                self.arm_repair(m, m, ctx);
+            }
         }
 
         // Its old parent drops every dependency on it.
         if let Some(p) = old_parent {
-            let qids: Vec<usize> = self.nodes[p.index()]
-                .participating
-                .iter()
-                .copied()
-                .collect();
-            for qi in qids {
-                let q = self.query(qi);
-                let n = &mut self.nodes[p.index()];
-                if let Some(kids) = n.expected_children.get_mut(&qi) {
-                    kids.retain(|&c| c != failed);
-                }
-                n.policy.on_child_removed(&q, failed);
-                n.loss.remove_child(failed);
-                n.child_fail.remove(failed);
-                // Unblock open rounds that waited on the failed child.
-                let open: Vec<u64> = n
-                    .rounds
-                    .iter()
-                    .filter(|(rk, _)| rk.query == q.id)
-                    .map(|(rk, _)| rk.round)
-                    .collect();
-                for k in open {
-                    let key = essat_query::round::RoundKey {
-                        query: q.id,
-                        round: k,
-                    };
-                    if let Some(r) = self.nodes[p.index()].rounds.get_mut(&key) {
-                        r.agg.remove_child(failed);
-                    }
-                    self.maybe_complete(p, qi, k, ctx);
-                }
-            }
+            self.drop_child_dependency(p, failed, ctx);
         }
 
         // Nodes affected by rank changes or re-parenting refresh their
@@ -404,6 +432,60 @@ impl<P: Probe> World<P> {
             }
             self.refresh_node_schedule(m, now);
             self.refresh_wake(m, ctx);
+        }
+        // Self-healing re-admits rescuable orphans immediately, *before*
+        // the partition check: a subtree that re-attaches in the same
+        // instant was never observably partitioned (no zero-length
+        // episode), and only genuinely stranded orphans — their rescue
+        // timers armed above — open one.
+        if self.repair_active() {
+            self.adoption_sweep(ctx);
+        }
+        self.check_partition_opened(now);
+    }
+
+    /// `p` forgets everything it expected from `lost`: expected-children
+    /// lists, loss/failure detectors, and open rounds blocked on the
+    /// child's report (which may now complete). Shared by the §4.3
+    /// declare-failed repair and the self-healing re-parent (where the
+    /// abandoned parent must likewise stop waiting).
+    pub(crate) fn drop_child_dependency(
+        &mut self,
+        p: NodeId,
+        lost: NodeId,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let qids: Vec<usize> = self.nodes[p.index()]
+            .participating
+            .iter()
+            .copied()
+            .collect();
+        for qi in qids {
+            let q = self.query(qi);
+            let n = &mut self.nodes[p.index()];
+            if let Some(kids) = n.expected_children.get_mut(&qi) {
+                kids.retain(|&c| c != lost);
+            }
+            n.policy.on_child_removed(&q, lost);
+            n.loss.remove_child(lost);
+            n.child_fail.remove(lost);
+            // Unblock open rounds that waited on the lost child.
+            let open: Vec<u64> = n
+                .rounds
+                .iter()
+                .filter(|(rk, _)| rk.query == q.id)
+                .map(|(rk, _)| rk.round)
+                .collect();
+            for k in open {
+                let key = essat_query::round::RoundKey {
+                    query: q.id,
+                    round: k,
+                };
+                if let Some(r) = self.nodes[p.index()].rounds.get_mut(&key) {
+                    r.agg.remove_child(lost);
+                }
+                self.maybe_complete(p, qi, k, ctx);
+            }
         }
     }
 

@@ -16,6 +16,9 @@
 //!   transitions, and sleep checkpoints.
 //! * `lifecycle` — scripted failures, scenario churn with recovery,
 //!   battery depletion, and routing-tree repair.
+//! * `repair` — the self-healing layer: link-quality EWMA estimation,
+//!   backoff repair timers, quality-driven re-parenting/adoption, and
+//!   deadline-aware retransmission budgets.
 //!
 //! Protocol behaviour lives *entirely* behind
 //! [`essat_core::policy::PowerPolicy`]: the ESSAT modes (a
@@ -29,6 +32,7 @@ mod lifecycle;
 mod node;
 mod pool;
 mod power;
+mod repair;
 mod rounds;
 #[cfg(feature = "sanitize")]
 mod sanitizer;
@@ -36,6 +40,7 @@ mod world;
 
 pub use events::Ev;
 pub use pool::{BuildCache, WorldScratch};
+pub use repair::link_ewma_step;
 pub use world::World;
 
 #[cfg(test)]

@@ -40,6 +40,9 @@ pub(crate) struct RoundState {
     pub(crate) deadline: Option<SimTime>,
     pub(crate) piggyback: Option<SimTime>,
     pub(crate) release_planned: bool,
+    /// Deadline-budgeted re-dispatches already spent on this round's
+    /// report (capped by [`crate::config::RepairConfig::max_redispatch`]).
+    pub(crate) redispatches: u32,
 }
 
 /// Radio counters at the end of the setup slot (metrics measure from

@@ -192,6 +192,12 @@ impl<P: Probe> World<P> {
         local: SimTime,
         ctx: &mut Context<'_, Ev>,
     ) {
+        // Repair timers belong to the executor's self-healing layer,
+        // not to any policy: intercept before the policy dispatch.
+        if let PolicyTimer::Repair { target } = timer {
+            self.handle_repair_timer(node, target, ctx);
+            return;
+        }
         if timer.is_chain() {
             let i = node.index();
             let id = ctx.event_id();
@@ -306,8 +312,12 @@ impl<P: Probe> World<P> {
                     );
                     self.handle_delivery(node, frame, ctx)
                 }
-                MacAction::TxDone { frame, .. } => self.handle_tx_done(node, frame, ctx),
-                MacAction::TxFailed { frame, .. } => self.handle_tx_failed(node, frame, ctx),
+                MacAction::TxDone { frame, attempts } => {
+                    self.handle_tx_done(node, frame, attempts, ctx)
+                }
+                MacAction::TxFailed { frame, attempts } => {
+                    self.handle_tx_failed(node, frame, attempts, ctx)
+                }
             }
         }
     }

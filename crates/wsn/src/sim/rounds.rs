@@ -131,6 +131,7 @@ impl<P: Probe> World<P> {
             deadline,
             piggyback: None,
             release_planned: false,
+            redispatches: 0,
         };
         n.rounds.insert(key, state);
         true
@@ -497,7 +498,7 @@ impl<P: Probe> World<P> {
         self.put_kids(kids);
         for c in failed_children {
             if self.tree.is_member(c) && self.tree.parent(c) == Some(node) {
-                self.repair_tree(c, ctx);
+                self.on_peer_suspect(node, c, ctx);
             }
         }
         // Forward the partial aggregate (§4.3).
@@ -612,6 +613,8 @@ impl<P: Probe> World<P> {
                 .on_report_received(&q, child, k, now, piggyback, &info);
         }
         self.put_kids(kids);
+        // The child spoke: withdraw any pending repair against it.
+        self.disarm_repair(node, child, ctx);
         if resynced {
             self.resync_events += 1;
         }
@@ -684,11 +687,18 @@ impl<P: Probe> World<P> {
         &mut self,
         node: NodeId,
         frame: Frame<Payload>,
+        attempts: u32,
         ctx: &mut Context<'_, Ev>,
     ) {
         match frame.payload {
             Payload::Report { query, round, .. } => {
                 self.reports_sent += 1;
+                // Link-quality estimation on the tx-end seam: the ACKed
+                // report is one success (after `attempts - 1` failures)
+                // on the directed link it actually used.
+                if let Dest::Unicast(dest) = frame.dest {
+                    self.observe_link(node, dest, attempts, true);
+                }
                 let qi = query.index();
                 let q = self.query(qi);
                 let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
@@ -712,6 +722,10 @@ impl<P: Probe> World<P> {
                     }
                 }
                 self.put_kids(kids);
+                // The suspect answered: withdraw any pending repair.
+                if let Dest::Unicast(dest) = frame.dest {
+                    self.disarm_repair(node, dest, ctx);
+                }
             }
             Payload::Atim => {
                 if let Dest::Unicast(dest) = frame.dest {
@@ -733,15 +747,29 @@ impl<P: Probe> World<P> {
         &mut self,
         node: NodeId,
         frame: Frame<Payload>,
+        attempts: u32,
         ctx: &mut Context<'_, Ev>,
     ) {
-        match frame.payload {
-            Payload::Report { query, round, .. } => {
-                let qi = query.index();
+        if let Payload::Report { query, round, .. } = &frame.payload {
+            let (query, round) = (*query, *round);
+            let qi = query.index();
+            // An exhausted retry cycle is `attempts` un-ACKed failures
+            // on the directed link, and one miss toward the parent —
+            // counted whether or not the report gets another dispatch.
+            let mut parent_failed = None;
+            if let Dest::Unicast(p) = frame.dest {
+                self.observe_link(node, p, attempts, false);
+                if self.nodes[node.index()].parent_fail.miss(p) {
+                    parent_failed = Some(p);
+                }
+            }
+            // Deadline-aware budget: give the report another cycle
+            // toward the (possibly since-repaired) parent while the
+            // round deadline still affords one. The round stays live.
+            if !self.try_redispatch(node, qi, round, frame, ctx) {
                 let q = self.query(qi);
                 let (own_rank, max_rank, own_level, max_level, kids) = self.tree_view(node);
                 let now = ctx.now();
-                let mut parent_failed = None;
                 {
                     let info = TreeInfo {
                         own_rank,
@@ -757,22 +785,16 @@ impl<P: Probe> World<P> {
                             ctx.cancel(id);
                         }
                     }
-                    if let Dest::Unicast(p) = frame.dest {
-                        if n.parent_fail.miss(p) {
-                            parent_failed = Some(p);
-                        }
-                    }
                 }
                 self.put_kids(kids);
-                if let Some(p) = parent_failed {
-                    if self.tree.is_member(p) && p != self.root {
-                        self.repair_tree(p, ctx);
-                    }
+            }
+            if let Some(p) = parent_failed {
+                if self.tree.is_member(p) && p != self.root {
+                    self.on_peer_suspect(node, p, ctx);
                 }
             }
-            Payload::Atim => { /* re-announced next beacon */ }
-            _ => {}
         }
+        // Atim: re-announced next beacon. Others: nothing to do.
         self.sleep_checkpoint(node, SleepTrigger::Quiesce, ctx);
     }
 

@@ -105,6 +105,31 @@ impl<P: Probe> World<P> {
             self.san.last_energy[i] = e;
         }
         self.sanitize_tree(now);
+        self.sanitize_repair(now);
+    }
+
+    /// Self-healing must be invisible on a run that cannot fault: no
+    /// repair timer ever armed, no repair ever counted. This is the
+    /// machine-checked form of the zero-cost claim behind the golden
+    /// digests staying byte-identical with repair enabled.
+    fn sanitize_repair(&self, now: SimTime) {
+        if self.faults_possible() {
+            return;
+        }
+        for (i, ev) in self.repair.timer_ev.iter().enumerate() {
+            assert!(
+                ev.is_none(),
+                "sanitizer: repair timer armed at node {i} on a fault-free run at {now}"
+            );
+        }
+        assert_eq!(
+            self.repair.repairs, 0,
+            "sanitizer: repair ran on a fault-free run at {now}"
+        );
+        assert_eq!(
+            self.repair.redispatches, 0,
+            "sanitizer: report redispatched on a fault-free run at {now}"
+        );
     }
 
     /// Routing-tree structural consistency.

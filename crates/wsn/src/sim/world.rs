@@ -146,6 +146,10 @@ pub struct World<P: Probe = NullProbe> {
     pub(crate) san: super::sanitizer::Sanitizer,
     /// Deaths / partition / recovery marks for the lifetime figures.
     pub(crate) lifetime: LifetimeStats,
+    /// Self-healing state: link-quality EWMA, per-node repair timers,
+    /// orphan accounting, and the run's repair counters (see
+    /// [`super::repair`]).
+    pub(crate) repair: super::repair::RepairState,
     /// MAC counters of MACs replaced by churn revivals (so totals keep
     /// the pre-death traffic).
     pub(crate) mac_lost: MacTotals,
@@ -318,6 +322,11 @@ impl<P: Probe> World<P> {
         }
 
         let topo_nodes = topo.node_count();
+        let repair_active = cfg.repair.enabled
+            && (scenario.as_ref().is_some_and(|s| s.can_fault())
+                || !cfg.node_failures.is_empty()
+                || cfg.drop_probability > 0.0);
+        let repair = super::repair::RepairState::new(topo_nodes, repair_active, &cfg.repair);
         let mut world = World {
             cfg,
             master,
@@ -345,6 +354,7 @@ impl<P: Probe> World<P> {
             #[cfg(feature = "sanitize")]
             san: super::sanitizer::Sanitizer::default(),
             lifetime: LifetimeStats::default(),
+            repair,
             mac_lost: MacTotals::default(),
             kid_pool: Vec::new(),
             act_pool: Vec::new(),
@@ -660,6 +670,22 @@ impl<P: Probe> World<P> {
         self.kid_pool.push(kids);
     }
 
+    /// Whether this configuration can inject any fault at all (a
+    /// scenario that actually perturbs the run, scripted failures, or
+    /// loss injection). The self-healing layer only activates when it
+    /// can — an idealised fault-free run keeps the legacy event stream
+    /// byte-identical (the golden-digest guarantee), and the sanitizer
+    /// asserts no repair timer ever arms there. A scenario that compiles
+    /// to nothing (e.g. `clock_drift(0)`) doesn't count, so its control
+    /// arm stays bit-identical to having no scenario at all. MAC retry
+    /// exhaustion from plain contention is legacy §4.3 territory either
+    /// way.
+    pub(crate) fn faults_possible(&self) -> bool {
+        self.scenario.as_ref().is_some_and(|s| s.can_fault())
+            || !self.cfg.node_failures.is_empty()
+            || self.cfg.drop_probability > 0.0
+    }
+
     pub(crate) fn is_source(&self, node: NodeId, qi: usize) -> bool {
         self.tree.is_member(node) && self.queries[qi].sources.contains(node)
     }
@@ -772,6 +798,13 @@ impl<P: Probe> World<P> {
         peak_queue_depth: u64,
         scratch: Option<&mut WorldScratch>,
     ) -> (RunResult, P) {
+        // A node still orphaned at run end is right-censored: its
+        // open orphan interval closes at the measurement boundary.
+        for i in 0..self.nodes.len() {
+            if !self.hot.dead[i] {
+                self.settle_orphan(i, end);
+            }
+        }
         #[cfg(feature = "sanitize")]
         self.sanitize_sweep(end);
         // Last probe callback, before radios settle: the view's
@@ -870,6 +903,10 @@ impl<P: Probe> World<P> {
             guard_wake_ns: self.guard_wake_ns,
             mac,
             lifetime: std::mem::take(&mut self.lifetime),
+            repairs: self.repair.repairs,
+            reparent_latency_ns: self.repair.reparent_latency_ns,
+            orphan_node_ns: self.repair.orphan_node_ns,
+            redispatches: self.repair.redispatches,
             channel_transmissions: ch.transmissions,
             channel_collisions: ch.collisions,
             events_processed,

@@ -147,13 +147,19 @@ fn diurnal_preset_runs_all_essat_protocols() {
 
 #[test]
 fn battery_depletion_is_gradual_not_instant() {
-    // A battery big enough for the whole run changes nothing.
+    // A battery big enough for the whole run changes nothing. Repair
+    // is pinned off on both arms: a battery model counts as
+    // fault-possible (depletion deaths are faults), so it would
+    // activate the self-healing layer on the battery arm only and the
+    // two runs would no longer be comparable — this test is about the
+    // battery machinery, not repair.
     let mut spec = ScenarioSpec::named("huge_battery");
     spec.battery = Some(BatterySpec {
         capacity_j: 1e6,
         check_period: SimDuration::from_millis(500),
     });
-    let base = cfg(Protocol::DtsSs, 71, 20);
+    let base =
+        cfg(Protocol::DtsSs, 71, 20).with_repair(essat_wsn::config::RepairConfig::disabled());
     let plain = runner::run_one(&base);
     let batt = runner::run_one(&base.clone().with_scenario(Scenario::Spec(spec)));
     assert!(batt.lifetime.deaths.is_empty());

@@ -13,6 +13,12 @@
 //! Version 2 retired stale-event dispatches (true timer cancellation):
 //! only the hashed `events_processed` / `peak_queue_depth` counters
 //! moved; every simulation-level metric is byte-identical to version 1.
+//! Version 3 grew the preimage with the self-healing counters
+//! (repairs, re-parent latency, orphan node-time, re-dispatches) and
+//! the partition-episode fields (recovered-at, time-in-partition) —
+//! all zero on these fault-free runs; the underlying event stream is
+//! unchanged (`robustness::repair_is_invisible_on_fault_free_runs`
+//! pins that with a full enabled-vs-disabled digest comparison).
 //!
 //! Regenerate (only for *intentional* behaviour changes) with:
 //!
@@ -27,8 +33,9 @@ use essat::wsn::runner;
 
 const GOLDEN_PATH: &str = "tests/golden/quick_digests.txt";
 const GOLDEN: &str = include_str!("golden/quick_digests.txt");
-/// The previous digest schema's goldens, retained for auditability.
+/// The previous digest schemas' goldens, retained for auditability.
 const GOLDEN_V1: &str = include_str!("golden/quick_digests_v1.txt");
+const GOLDEN_V2: &str = include_str!("golden/quick_digests_v2.txt");
 const SEED: u64 = 2025;
 
 /// All eight protocols, in the order the golden file records them.
@@ -124,12 +131,21 @@ fn quick_scale_digests_match_goldens() {
 /// so the migration trail cannot silently rot.
 #[test]
 fn retained_v1_goldens_parse() {
-    let (version, entries) = parse_goldens(GOLDEN_V1);
-    assert_eq!(version, 1, "quick_digests_v1.txt records digest-version 1");
-    assert_eq!(entries.len(), ALL.len(), "v1 file covers all protocols");
-    for ((name, digest), p) in entries.iter().zip(&ALL) {
-        assert_eq!(name, &p.to_string(), "v1 file order matches ALL");
-        assert_eq!(digest.len(), 16, "v1 digests are 16 hex chars");
-        assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+    for (raw, version) in [(GOLDEN_V1, 1), (GOLDEN_V2, 2)] {
+        let (parsed, entries) = parse_goldens(raw);
+        assert_eq!(
+            parsed, version,
+            "quick_digests_v{version}.txt records digest-version {version}"
+        );
+        assert_eq!(
+            entries.len(),
+            ALL.len(),
+            "v{version} file covers all protocols"
+        );
+        for ((name, digest), p) in entries.iter().zip(&ALL) {
+            assert_eq!(name, &p.to_string(), "v{version} file order matches ALL");
+            assert_eq!(digest.len(), 16, "v{version} digests are 16 hex chars");
+            assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+        }
     }
 }
